@@ -1,0 +1,92 @@
+"""Substrate microbenchmarks: the building blocks under the experiments.
+
+Not tied to a paper artifact; these track the performance of the
+from-scratch substrates (XML, SOAP, SQL engine, XPath, text parser) so a
+regression in one is visible before it distorts the table reproductions.
+"""
+
+import pytest
+
+from repro.datastores import generate_hpl, generate_presta, generate_smg98
+from repro.datastores.textfiles import parse_presta_file
+from repro.minidb import connect
+from repro.soap.rpc import decode_response, encode_response
+from repro.xmlkit import parse, serialize, xpath_select
+
+_SAMPLE_PRS = [
+    f"time_spent|/Code/MPI/MPI_Allgather|vampir|{i}.000000000-{i}.100000000|0.001"
+    for i in range(200)
+]
+
+
+@pytest.fixture(scope="module")
+def hpl_conn():
+    return connect(generate_hpl().to_database())
+
+
+@pytest.fixture(scope="module")
+def smg_conn():
+    ds = generate_smg98(num_executions=5, intervals_per_execution=5000)
+    return connect(ds.to_database())
+
+
+def test_xml_parse(benchmark):
+    text = serialize_sample()
+    doc = benchmark(parse, text)
+    assert doc.root.tag.local == "hplResults"
+
+
+def serialize_sample() -> str:
+    return generate_hpl(num_executions=50).to_xml()
+
+
+def test_xml_serialize(benchmark):
+    ds = generate_hpl(num_executions=50)
+    text = benchmark(ds.to_xml)
+    assert text.startswith("<?xml")
+
+
+def test_xpath_predicate_query(benchmark):
+    root = parse(serialize_sample()).root
+    hits = benchmark(xpath_select, root, "/hplResults/run[@numprocs='16']/@runid")
+    assert isinstance(hits, list)
+
+
+def test_soap_roundtrip_200_results(benchmark):
+    def roundtrip():
+        data = encode_response("urn:ppg", "getPR", _SAMPLE_PRS)
+        return decode_response(data)
+
+    response = benchmark(roundtrip)
+    assert len(response.value) == 200
+
+
+def test_minidb_indexed_point_query(benchmark, hpl_conn):
+    cursor = hpl_conn.cursor()
+    row = benchmark(
+        lambda: cursor.execute("SELECT gflops FROM hpl_runs WHERE runid = 42").fetchone()
+    )
+    assert row is not None
+
+
+def test_minidb_join_aggregate(benchmark, smg_conn):
+    cursor = smg_conn.cursor()
+
+    def query():
+        return cursor.execute(
+            "SELECT p.rank, COUNT(*) FROM intervals i "
+            "JOIN functions f ON i.funcid = f.funcid "
+            "JOIN processes p ON i.procid = p.procid "
+            "WHERE i.execid = 2 AND f.grp = 'MPI' GROUP BY p.rank"
+        ).fetchall()
+
+    rows = benchmark.pedantic(query, rounds=3, iterations=1)
+    assert rows
+
+
+def test_presta_file_parse(benchmark, tmp_path_factory):
+    directory = tmp_path_factory.mktemp("presta-bench")
+    generate_presta(num_executions=1).write_files(directory)
+    path = str(directory / "presta_rma_1.txt")
+    execution = benchmark(parse_presta_file, path)
+    assert len(execution.measurements) == 100

@@ -1,0 +1,45 @@
+"""Tables 1-3 — PortType listings (regenerated from the live definitions).
+
+These tables are interface specifications, so "reproducing" them is a
+conformance check plus rendering; the timed component is WSDL document
+generation/parsing, the operation a client performs when binding.
+"""
+
+from conftest import write_result
+
+from repro.core.semantic import APPLICATION_PORTTYPE, EXECUTION_PORTTYPE
+from repro.experiments import render_table1, render_table2, render_table3
+from repro.wsdl import generate_wsdl, parse_wsdl
+
+
+def test_table1_application_porttype(benchmark):
+    table = benchmark.pedantic(render_table1, rounds=1, iterations=1)
+    assert "getExecs" in table and "Grid Service Handles" in table
+    write_result("table1_application_porttype.txt", table)
+
+
+def test_table2_execution_porttype(benchmark):
+    table = benchmark.pedantic(render_table2, rounds=1, iterations=1)
+    assert "getPR" in table and "getTimeStartEnd" in table
+    write_result("table2_execution_porttype.txt", table)
+
+
+def test_table3_ogsa_porttypes(benchmark):
+    table = benchmark.pedantic(render_table3, rounds=1, iterations=1)
+    for op in ("FindServiceData", "SetTerminationTime", "Destroy", "CreateService"):
+        assert op in table
+    write_result("table3_ogsa_porttypes.txt", table)
+
+
+def test_wsdl_generation_speed(benchmark):
+    """Microbenchmark: render the Application PortType's WSDL."""
+    text = benchmark(generate_wsdl, APPLICATION_PORTTYPE, "http://h:1/services/app")
+    assert "getAllExecs" in text
+
+
+def test_wsdl_parse_speed(benchmark):
+    """Microbenchmark: parse the Execution PortType's WSDL (bind step)."""
+    text = generate_wsdl(EXECUTION_PORTTYPE, "http://h:1/services/exec")
+    porttype, endpoint = benchmark(parse_wsdl, text)
+    assert porttype.has_operation("getPR")
+    assert endpoint.endswith("/services/exec")

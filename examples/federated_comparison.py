@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""Federated comparison across heterogeneous stores (Figures 8-11).
+
+Three organizations publish performance data in three different formats
+— HPL in a relational database, the same HPL content in native XML, and
+PRESTA RMA in flat text files.  The client sees one uniform interface:
+the same query panels work against all of them, which is the thesis's
+central claim.
+
+Run: ``python examples/federated_comparison.py``
+"""
+
+import tempfile
+
+from repro.core import (
+    ApplicationQueryPanel,
+    ExecutionQuery,
+    ExecutionQueryPanel,
+    PPerfGridClient,
+    PPerfGridSite,
+    SiteConfig,
+)
+from repro.core.visualize import render_series_table
+from repro.datastores import TextFileStore, XmlStore, generate_hpl, generate_presta
+from repro.mapping import HplRdbmsWrapper, HplXmlWrapper, PrestaTextWrapper
+from repro.ogsi import GridEnvironment
+from repro.uddi import UddiClient, UddiRegistryServer
+
+
+def main() -> None:
+    env = GridEnvironment()
+    registry = env.create_container("registry.example.org:9090")
+    uddi_gsh = registry.deploy("services/uddi", UddiRegistryServer())
+    uddi = UddiClient.connect(env, uddi_gsh)
+
+    hpl = generate_hpl(seed=7)
+
+    # Site A: HPL in an RDBMS.
+    org_a = uddi.publish_organization("Lab A (RDBMS)", "a@example.org")
+    site_a = PPerfGridSite(
+        env, SiteConfig("siteA:8080", "HPL"), HplRdbmsWrapper(hpl.to_database())
+    )
+    site_a.publish(uddi, org_a)
+
+    # Site B: the *same content* in native XML — different schema/format,
+    # same PortTypes (the future-work §7 comparison store).
+    org_b = uddi.publish_organization("Lab B (XML)", "b@example.org")
+    site_b = PPerfGridSite(
+        env, SiteConfig("siteB:8080", "HPL-XML"), HplXmlWrapper(XmlStore(hpl.to_xml()))
+    )
+    site_b.publish(uddi, org_b)
+
+    # Site C: a different dataset entirely, in flat text files.
+    org_c = uddi.publish_organization("Lab C (text files)", "c@example.org")
+    with tempfile.TemporaryDirectory() as presta_dir:
+        generate_presta(seed=13, num_executions=8).write_files(presta_dir)
+        site_c = PPerfGridSite(
+            env,
+            SiteConfig("siteC:8080", "PRESTA-RMA"),
+            PrestaTextWrapper(TextFileStore(presta_dir)),
+        )
+        site_c.publish(uddi, org_c)
+
+        # ---------------- consumer: service discovery (Figure 8) ----------
+        client = PPerfGridClient(env, uddi_gsh.url())
+        print("Organizations in the registry:")
+        bindings = []
+        for org in client.discover_organizations("%"):
+            for service in org.services():
+                print(f"  {org.name:<22} -> {service.name} @ {service.factory_url}")
+                bindings.append(client.bind(service))
+
+        # ------------- Application Query Panel (Figure 9) -----------------
+        by_name = {b.name: b for b in bindings}
+        panel = ApplicationQueryPanel()
+        panel.add_query(by_name["HPL"], "numprocs", "16")
+        panel.add_query(by_name["HPL-XML"], "numprocs", "16")
+        panel.add_query(by_name["PRESTA-RMA"], "numprocs", "16")
+        executions = panel.run_queries()
+        print(f"\nApplication Query Panel returned {len(executions)} executions")
+
+        # The uniform view: identical HPL content behind two formats.
+        rdbms_execs = by_name["HPL"].query_executions("numprocs", "16")
+        xml_execs = by_name["HPL-XML"].query_executions("numprocs", "16")
+        v_rdbms = rdbms_execs[0].get_pr("gflops", ["/Run"])[0].value
+        v_xml = xml_execs[0].get_pr("gflops", ["/Run"])[0].value
+        print(
+            f"Same run through two formats: RDBMS gflops={v_rdbms}, "
+            f"XML gflops={v_xml} (equal: {v_rdbms == v_xml})"
+        )
+
+        # ------------- Execution Query Panel (Figure 10) ------------------
+        rma_execs = by_name["PRESTA-RMA"].query_executions("numprocs", "16")
+        exec_panel = ExecutionQueryPanel(executions=rma_execs[:2])
+        # Future-work §7 extension: filter results by metric value.
+        exec_panel.add_query(
+            ExecutionQuery(
+                "bandwidth_mbps", ["/Op/MPI_Put"], min_value=50.0
+            )
+        )
+        results = exec_panel.run_queries()
+        for gsh, prs in results.items():
+            print(f"\n{gsh}\n  MPI_Put sweeps with bandwidth >= 50 MB/s:")
+            print(render_series_table(prs, max_rows=8))
+
+
+if __name__ == "__main__":
+    main()

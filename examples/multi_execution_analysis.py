@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Multi-execution analysis: the PPerfDB use case PPerfGrid feeds (§7).
+
+The thesis positions PPerfGrid as the data layer under PPerfDB's
+multi-execution performance tuning.  This example does that analysis
+through the public API:
+
+1. a scaling study — how HPL gflops scale with process count, with
+   parallel efficiency;
+2. a two-run comparison of an SMG98 trace, focus by focus, flagging
+   regressions;
+3. an aligned metric table across every bound execution.
+
+Run: ``python examples/multi_execution_analysis.py``
+"""
+
+from repro.core import (
+    PPerfGridClient,
+    PPerfGridSite,
+    SiteConfig,
+    collect_metric,
+    compare_executions,
+    scaling_study,
+)
+from repro.datastores import generate_hpl, generate_smg98
+from repro.mapping import HplRdbmsWrapper, Smg98RdbmsWrapper
+from repro.ogsi import GridEnvironment
+
+
+def main() -> None:
+    env = GridEnvironment()
+    hpl_site = PPerfGridSite(
+        env, SiteConfig("hpl:8080", "HPL"),
+        HplRdbmsWrapper(generate_hpl(num_executions=60).to_database()),
+    )
+    smg_site = PPerfGridSite(
+        env, SiteConfig("smg:8080", "SMG98"),
+        Smg98RdbmsWrapper(
+            generate_smg98(num_executions=4, intervals_per_execution=3000).to_database()
+        ),
+    )
+    client = PPerfGridClient(env)
+    hpl = client.bind(hpl_site.factory_url, "HPL")
+    smg = client.bind(smg_site.factory_url, "SMG98")
+
+    # ---- 1. scaling study over the whole HPL dataset ---------------------
+    study = scaling_study(
+        hpl.all_executions(), "gflops", ["/Run"], "numprocs", higher_is_better=True
+    )
+    print(study.to_table())
+
+    # ---- 2. two-run trace comparison --------------------------------------
+    runs = smg.all_executions()
+    foci = [f for f in runs[0].foci() if f.startswith("/Code/MPI/")]
+    comparison = compare_executions(runs[0], runs[1], "time_spent", foci)
+    print()
+    print(comparison.to_table())
+    regressions = comparison.regressions(threshold=1.10)
+    print(f"\nFoci >=10% slower in run 2: {[r.focus for r in regressions]}")
+
+    # ---- 3. aligned metric table ------------------------------------------
+    table = collect_metric(
+        hpl.query_executions("numprocs", "16"),
+        "runtimesec",
+        ["/Run"],
+        label_attribute="rundate",
+    )
+    print("\nruntimesec for all numprocs=16 runs, labeled by run date:")
+    for label in table.labels():
+        print(f"  {label:<14} {table.value(label, '/Run'):.3f} s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Quickstart: publish one dataset, discover it, query it, chart it.
+
+Walks the full Figure 3 interaction in ~40 lines of user code:
+
+1. stand up a grid (container + UDDI registry),
+2. publish the HPL dataset behind Application/Execution Grid services,
+3. discover it through the registry and bind (creating an Application
+   service instance via its Factory),
+4. query Executions by attribute, query Performance Results, and render
+   the Figure 11-style chart.
+
+Run: ``python examples/quickstart.py``
+"""
+
+from repro.core import PPerfGridClient, PPerfGridSite, SiteConfig
+from repro.core.visualize import render_metric_chart
+from repro.datastores import generate_hpl
+from repro.mapping import HplRdbmsWrapper
+from repro.ogsi import GridEnvironment
+from repro.uddi import UddiClient, UddiRegistryServer
+
+
+def main() -> None:
+    # --- grid + registry -------------------------------------------------
+    env = GridEnvironment()
+    registry_container = env.create_container("registry.example.org:9090")
+    uddi_gsh = registry_container.deploy("services/uddi", UddiRegistryServer())
+
+    # --- publisher side ---------------------------------------------------
+    dataset = generate_hpl(seed=7, num_executions=124)
+    site = PPerfGridSite(
+        env,
+        SiteConfig(authority="siteA.example.org:8080", app_name="HPL"),
+        HplRdbmsWrapper(dataset.to_database()),
+    )
+    uddi = UddiClient.connect(env, uddi_gsh)
+    org_key = uddi.publish_organization("Example HPC Lab", "admin@example.org")
+    site.publish(uddi, org_key, "High-Performance Linpack runs")
+
+    # --- consumer side ----------------------------------------------------
+    client = PPerfGridClient(env, uddi_gsh.url())
+    org = client.discover_organizations("Example%")[0]
+    service = org.services()[0]
+    print(f"Discovered service {service.name!r} at {service.factory_url}")
+
+    app = client.bind(service)
+    print("Application info:", app.app_info())
+    print("Executions available:", app.num_executions())
+    params = app.exec_query_params()
+    print("Queryable attributes:", sorted(params))
+
+    # The thesis's running example: runs with 16 processes.
+    executions = app.query_executions("numprocs", "16")
+    print(f"\nExecutions with numprocs=16: {len(executions)}")
+
+    results = {}
+    for execution in executions[:10]:
+        results[execution.gsh] = execution.get_pr("gflops", ["/Run"])
+    print()
+    print(render_metric_chart(results, "gflops"))
+
+    # Bytes really moved through the SOAP transport:
+    rec = env.recorder
+    print(
+        f"\nTransport: {rec.count('transport.calls')} calls, "
+        f"{rec.bytes_total:,} bytes total"
+    )
+
+
+if __name__ == "__main__":
+    main()

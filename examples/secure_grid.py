@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""GSI-style security: signed requests and proxy delegation (§7).
+
+The thesis's prototype "does not address security"; its future-work
+section proposes GT3.2's Grid Security Infrastructure with public-key
+message protection and single-sign-on credential delegation.  This
+example turns on the reproduction's HMAC-based equivalent:
+
+* the site container rejects unsigned or forged requests;
+* a user signs on once, delegates a short-lived proxy credential, and
+  the client stub signs every call with it;
+* an expired proxy is rejected.
+"""
+
+from repro.core import PPerfGridClient, PPerfGridSite, SiteConfig
+from repro.core.client import ApplicationBinding
+from repro.core.semantic import APPLICATION_PORTTYPE
+from repro.datastores import generate_hpl
+from repro.gsi import CertificateAuthority, make_verifier, signature_header_provider
+from repro.mapping import HplRdbmsWrapper
+from repro.ogsi import GridEnvironment
+from repro.ogsi.porttypes import FACTORY_PORTTYPE
+from repro.simnet.clock import VirtualClock
+from repro.soap import SoapFault
+
+
+def main() -> None:
+    clock = VirtualClock()
+    env = GridEnvironment(clock=clock)
+    ca = CertificateAuthority("ExampleGrid-CA")
+
+    site = PPerfGridSite(
+        env,
+        SiteConfig("secure.example.org:8080", "HPL"),
+        HplRdbmsWrapper(generate_hpl(num_executions=8).to_database()),
+    )
+    # Require a valid signature on every request to this container.
+    env.container_for("secure.example.org:8080").verifier = make_verifier(ca, clock)
+
+    # Unsigned requests are now rejected at the container ingress.
+    client = PPerfGridClient(env)
+    try:
+        client.bind(site.factory_url, "HPL")
+    except SoapFault as fault:
+        print(f"Unsigned request rejected: {fault.fault_message}")
+
+    # Single sign-on: issue a credential, delegate a 1-hour proxy.
+    alice = ca.issue("/O=ExampleGrid/CN=alice")
+    proxy = alice.delegate(lifetime=3600.0, issued_at=clock.now())
+    ca.register_proxy(proxy)
+    print(f"Issued proxy {proxy.identity!r}, expires at t={proxy.expires_at}")
+
+    headers = signature_header_provider(proxy)
+    factory_stub = env.stub_for_handle(site.factory_url, FACTORY_PORTTYPE, headers)
+    instance_gsh = factory_stub.CreateService([])
+    app = ApplicationBinding(env, instance_gsh, "HPL")
+    # Rebind the application stub with signing headers too.
+    app.stub = env.stub_for_handle(instance_gsh, APPLICATION_PORTTYPE, headers)
+    print("Signed bind succeeded; executions:", app.num_executions())
+
+    # Fast-forward past the proxy lifetime: calls start failing.
+    clock.advance(7200.0)
+    try:
+        app.num_executions()
+    except SoapFault as fault:
+        print(f"After expiry: {fault.fault_message}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""XPath queries over Execution service data (future-work §7).
+
+GT3.2's WS Information Services let service data elements be queried
+with XPath.  Execution instances here expose metrics, foci, types, and
+the time range as SDEs, so a client can answer discovery questions with
+one FindServiceData call instead of four PortType operations.
+
+Run: ``python examples/xpath_service_data.py``
+"""
+
+from repro.core import PPerfGridClient, PPerfGridSite, SiteConfig
+from repro.datastores import generate_smg98
+from repro.mapping import Smg98RdbmsWrapper
+from repro.ogsi import GridEnvironment
+from repro.xmlkit import parse
+
+
+def main() -> None:
+    env = GridEnvironment()
+    site = PPerfGridSite(
+        env,
+        SiteConfig("siteA:8080", "SMG98"),
+        Smg98RdbmsWrapper(
+            generate_smg98(num_executions=2, intervals_per_execution=500).to_database()
+        ),
+    )
+    client = PPerfGridClient(env)
+    app = client.bind(site.factory_url, "SMG98")
+    execution = app.all_executions()[0]
+
+    # Name-dialect query: one SDE by name.
+    print("SDE 'timeStartEnd':")
+    print(" ", execution.find_service_data("timeStartEnd"))
+
+    # XPath dialect: all MPI code foci.
+    xml = execution.find_service_data(
+        "xpath://serviceDataElement[@name='foci']/value"
+    )
+    values = [el.text() for el in parse(xml).root.iter_elements()]
+    mpi_foci = [v for v in values if v.startswith("/Code/MPI/")]
+    print(f"\nMPI foci via XPath ({len(mpi_foci)} of {len(values)} foci):")
+    for focus in mpi_foci:
+        print("  ", focus)
+
+    # XPath dialect: does this execution record the func_calls metric?
+    xml = execution.find_service_data(
+        "xpath://serviceDataElement[@name='metrics']/value[.='func_calls']"
+    )
+    print("\nfunc_calls present:", "func_calls" in xml)
+
+    # Introspection SDEs every Grid service carries (OGSI FindServiceData).
+    print("\nIntrospection:")
+    for name in ("handle", "interfaces"):
+        print(f"  {name}: {execution.find_service_data(name)}")
+
+
+if __name__ == "__main__":
+    main()

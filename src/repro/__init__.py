@@ -1,0 +1,47 @@
+"""PPerfGrid reproduction.
+
+A from-scratch Python implementation of *PPerfGrid: A Grid Services-Based
+Tool for the Exchange of Heterogeneous Parallel Performance Data*
+(J. J. Hoffman, Portland State University, 2004), including every
+substrate the thesis builds on: an XML/SOAP/WSDL stack, an OGSI-style
+Grid-services runtime, a relational engine, a UDDI registry, GSI-style
+security, simulated hosts/network, and the three heterogeneous
+performance data stores of its evaluation.
+
+Quickstart::
+
+    from repro.experiments import build_grid, GridScale
+
+    grid = build_grid(GridScale.tiny())
+    app = grid.bind("HPL")
+    executions = app.query_executions("numprocs", "16")
+    results = executions[0].get_pr("gflops", ["/Run"])
+
+See ``examples/`` for full walkthroughs and ``benchmarks/`` for the
+table/figure reproductions.
+"""
+
+__version__ = "1.0.0"
+
+from repro.core import (
+    ApplicationService,
+    ExecutionService,
+    ManagerService,
+    PPerfGridClient,
+    PPerfGridSite,
+    PerformanceResult,
+    SiteConfig,
+)
+from repro.ogsi import GridEnvironment
+
+__all__ = [
+    "ApplicationService",
+    "ExecutionService",
+    "GridEnvironment",
+    "ManagerService",
+    "PPerfGridClient",
+    "PPerfGridSite",
+    "PerformanceResult",
+    "SiteConfig",
+    "__version__",
+]

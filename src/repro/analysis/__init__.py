@@ -1,0 +1,28 @@
+"""Statistics and report formatting for the experiment harness."""
+
+from repro.analysis.stats import (
+    coefficient_of_variation,
+    confidence_interval,
+    geometric_mean,
+    mean,
+    relative_change,
+    speedup,
+    stdev,
+    summarize,
+)
+from repro.analysis.tables import format_table, format_markdown_table
+from repro.analysis.charts import ascii_line_chart
+
+__all__ = [
+    "ascii_line_chart",
+    "coefficient_of_variation",
+    "confidence_interval",
+    "format_markdown_table",
+    "format_table",
+    "geometric_mean",
+    "mean",
+    "relative_change",
+    "speedup",
+    "stdev",
+    "summarize",
+]

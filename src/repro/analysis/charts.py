@@ -1,0 +1,61 @@
+"""ASCII charts for experiment reports (the Figure 12 renderer)."""
+
+from __future__ import annotations
+
+
+def ascii_line_chart(
+    x_values: list[float | int],
+    series: dict[str, list[float]],
+    height: int = 16,
+    width: int = 70,
+    title: str = "",
+    y_label: str = "",
+) -> str:
+    """Plot one or more series against shared x positions.
+
+    X positions are spread evenly (category axis, like the thesis's
+    Figure 12 which uses the execution counts 2..124 as categories).
+    Series are drawn with distinct glyphs; collisions show the later
+    series' glyph.
+    """
+    if not x_values:
+        raise ValueError("no x values")
+    glyphs = "o*x+#@"
+    for name, ys in series.items():
+        if len(ys) != len(x_values):
+            raise ValueError(f"series {name!r} has {len(ys)} points for {len(x_values)} x values")
+    all_y = [y for ys in series.values() for y in ys]
+    y_max = max(all_y) if all_y else 1.0
+    y_min = 0.0
+    span = (y_max - y_min) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    n = len(x_values)
+    xcols = [int(round(i * (width - 1) / max(1, n - 1))) for i in range(n)]
+    for si, (name, ys) in enumerate(series.items()):
+        glyph = glyphs[si % len(glyphs)]
+        for i, y in enumerate(ys):
+            row = height - 1 - int(round((y - y_min) / span * (height - 1)))
+            grid[row][xcols[i]] = glyph
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    label = (y_label + " ") if y_label else ""
+    for r, row in enumerate(grid):
+        y_at_row = y_max - (r / (height - 1)) * span if height > 1 else y_max
+        prefix = f"{label}{y_at_row:>10.1f} |" if r % 4 == 0 else f"{'':>{len(label) + 10}} |"
+        lines.append(prefix + "".join(row))
+    lines.append(" " * (len(label) + 11) + "+" + "-" * width)
+    # X tick labels under their columns.
+    tick_line = [" "] * (width + 1)
+    for i, x in enumerate(x_values):
+        text = str(x)
+        col = xcols[i]
+        start = min(max(0, col - len(text) // 2), width - len(text))
+        for j, ch in enumerate(text):
+            tick_line[start + j] = ch
+    lines.append(" " * (len(label) + 12) + "".join(tick_line))
+    legend = "   ".join(
+        f"{glyphs[i % len(glyphs)]} = {name}" for i, name in enumerate(series)
+    )
+    lines.append(" " * (len(label) + 12) + legend)
+    return "\n".join(lines)

@@ -1,0 +1,95 @@
+"""Summary statistics (Lilja-style, per the thesis's methodology §6.2/§6.4).
+
+The thesis reports means, coefficients of variation, relative change, and
+speedup, with sample sizes justified by the central limit theorem (>= 30
+samples).  These helpers compute exactly those quantities.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+def mean(samples: list[float]) -> float:
+    if not samples:
+        raise ValueError("mean of an empty sample")
+    return sum(samples) / len(samples)
+
+
+def stdev(samples: list[float]) -> float:
+    """Sample standard deviation (n-1 denominator); 0 for n < 2."""
+    n = len(samples)
+    if n == 0:
+        raise ValueError("stdev of an empty sample")
+    if n < 2:
+        return 0.0
+    mu = mean(samples)
+    return math.sqrt(sum((x - mu) ** 2 for x in samples) / (n - 1))
+
+
+def coefficient_of_variation(samples: list[float]) -> float:
+    """COV = stdev / mean — the thesis's variance measure in Table 4."""
+    mu = mean(samples)
+    if mu == 0:
+        return 0.0
+    return stdev(samples) / mu
+
+
+def geometric_mean(samples: list[float]) -> float:
+    if not samples:
+        raise ValueError("geometric mean of an empty sample")
+    if any(x <= 0 for x in samples):
+        raise ValueError("geometric mean requires positive samples")
+    return math.exp(sum(math.log(x) for x in samples) / len(samples))
+
+
+def confidence_interval(samples: list[float], confidence: float = 0.95) -> tuple[float, float]:
+    """Normal-approximation CI for the mean (valid at the thesis's n >= 30)."""
+    if confidence not in (0.90, 0.95, 0.99):
+        raise ValueError("supported confidence levels: 0.90, 0.95, 0.99")
+    z = {0.90: 1.645, 0.95: 1.960, 0.99: 2.576}[confidence]
+    mu = mean(samples)
+    half = z * stdev(samples) / math.sqrt(len(samples))
+    return (mu - half, mu + half)
+
+
+def speedup(baseline: float, optimized: float) -> float:
+    """baseline / optimized — Figure 12 / Table 5 convention."""
+    if optimized <= 0:
+        raise ValueError(f"optimized time must be positive, got {optimized}")
+    return baseline / optimized
+
+
+def relative_change(baseline: float, optimized: float) -> float:
+    """(baseline - optimized) / optimized, as a percentage.
+
+    The thesis's "Relative Change" rows (e.g. 96.05% for HPL caching)
+    equal ``(speedup - 1) * 100``.
+    """
+    if optimized <= 0:
+        raise ValueError(f"optimized time must be positive, got {optimized}")
+    return (baseline - optimized) / optimized * 100.0
+
+
+@dataclass(frozen=True)
+class SampleSummary:
+    """Mean/stdev/COV/min/max/n for one series."""
+
+    n: int
+    mean: float
+    stdev: float
+    cov: float
+    minimum: float
+    maximum: float
+
+
+def summarize(samples: list[float]) -> SampleSummary:
+    return SampleSummary(
+        n=len(samples),
+        mean=mean(samples),
+        stdev=stdev(samples),
+        cov=coefficient_of_variation(samples),
+        minimum=min(samples),
+        maximum=max(samples),
+    )

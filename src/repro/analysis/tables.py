@@ -1,0 +1,45 @@
+"""Fixed-width and Markdown table rendering for experiment reports."""
+
+from __future__ import annotations
+
+
+def _stringify(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000:
+            return f"{cell:,.2f}"
+        if abs(cell) >= 1:
+            return f"{cell:.2f}"
+        return f"{cell:.4g}"
+    return str(cell)
+
+
+def format_table(headers: list[str], rows: list[list[object]], title: str = "") -> str:
+    """Render an aligned fixed-width text table."""
+    cells = [[_stringify(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError(f"row has {len(row)} cells for {len(headers)} headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_markdown_table(headers: list[str], rows: list[list[object]]) -> str:
+    """Render a GitHub-flavored Markdown table (for EXPERIMENTS.md)."""
+    lines = ["| " + " | ".join(headers) + " |"]
+    lines.append("|" + "|".join("---" for _ in headers) + "|")
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(f"row has {len(row)} cells for {len(headers)} headers")
+        lines.append("| " + " | ".join(_stringify(c) for c in row) + " |")
+    return "\n".join(lines)

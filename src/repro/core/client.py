@@ -1,0 +1,515 @@
+"""The Virtualization Layer: PPerfGrid client, virtual objects, panels.
+
+This is the library form of the thesis's Swing client (Figures 8-11):
+
+* service discovery against the UDDI registry (Figure 8);
+* :class:`ApplicationBinding` / :class:`ExecutionBinding` — the virtual
+  objects: local stubs through which remote Applications/Executions are
+  used "as if they were local objects";
+* :class:`ApplicationQueryPanel` / :class:`ExecutionQueryPanel` — the
+  batch query tables of Figures 9 and 10, including the future-work
+  metric-value filter;
+* the local-bypass optimization of §7: a data store co-located with the
+  client is accessed directly through its wrapper, skipping the Services
+  Layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.semantic import (
+    APPLICATION_PORTTYPE,
+    EXECUTION_PORTTYPE,
+    UNDEFINED_TYPE,
+    PerformanceResult,
+)
+from repro.mapping.base import ApplicationWrapper
+from repro.ogsi.container import GridEnvironment
+from repro.ogsi.gsh import GridServiceHandle
+from repro.ogsi.porttypes import FACTORY_PORTTYPE
+from repro.uddi.proxy import OrganizationProxy, ServiceProxy, UddiClient
+
+
+def _parse_pairs(records: list[str]) -> dict[str, str]:
+    """Parse ``"name|value"`` records into a dict."""
+    out: dict[str, str] = {}
+    for record in records:
+        name, _, value = record.partition("|")
+        out[name] = value
+    return out
+
+
+def _parse_params(records: list[str]) -> dict[str, list[str]]:
+    """Parse ``"name|v1|v2|..."`` records into attribute -> values."""
+    out: dict[str, list[str]] = {}
+    for record in records:
+        parts = record.split("|")
+        out[parts[0]] = parts[1:]
+    return out
+
+
+class ExecutionBinding:
+    """A virtual Execution object (remote, via stub)."""
+
+    def __init__(self, environment: GridEnvironment, gsh: str) -> None:
+        self.environment = environment
+        self.gsh = gsh
+        self.stub = environment.stub_for_handle(gsh, EXECUTION_PORTTYPE)
+
+    @property
+    def is_local(self) -> bool:
+        return False
+
+    def info(self) -> dict[str, str]:
+        return _parse_pairs(self.stub.getInfo())
+
+    def foci(self) -> list[str]:
+        return list(self.stub.getFoci())
+
+    def metrics(self) -> list[str]:
+        return list(self.stub.getMetrics())
+
+    def types(self) -> list[str]:
+        return list(self.stub.getTypes())
+
+    def time_range(self) -> tuple[float, float]:
+        start, end = self.stub.getTimeStartEnd()
+        return (float(start), float(end))
+
+    def get_pr(
+        self,
+        metric: str,
+        foci: list[str],
+        start: float | None = None,
+        end: float | None = None,
+        result_type: str = UNDEFINED_TYPE,
+    ) -> list[PerformanceResult]:
+        """Query Performance Results (the Table 4 "total query time" path)."""
+        if start is None or end is None:
+            t0, t1 = self.time_range()
+            start = t0 if start is None else start
+            end = t1 if end is None else end
+        with self.environment.recorder.time("virtualization.getPR"):
+            packed = self.stub.getPR(metric, list(foci), repr(start), repr(end), result_type)
+        return [PerformanceResult.unpack(p) for p in packed]
+
+    def find_service_data(self, query: str) -> str:
+        """FindServiceData passthrough (supports the ``xpath:`` dialect)."""
+        return self.stub.FindServiceData(query)
+
+    def get_pr_async(
+        self,
+        metric: str,
+        foci: list[str],
+        sink_handle: str,
+        start: float | None = None,
+        end: float | None = None,
+        result_type: str = UNDEFINED_TYPE,
+    ) -> str:
+        """Submit a registry-callback query (§7); returns the query id."""
+        if start is None or end is None:
+            t0, t1 = self.time_range()
+            start = t0 if start is None else start
+            end = t1 if end is None else end
+        return self.stub.getPRAsync(
+            metric, list(foci), repr(start), repr(end), result_type, sink_handle
+        )
+
+    def subscribe(self, topic: str, sink_handle: str, expiration: float = 0.0) -> str:
+        return self.stub.SubscribeToNotificationTopic(topic, sink_handle, expiration)
+
+    def destroy(self) -> None:
+        self.stub.Destroy()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<ExecutionBinding {self.gsh}>"
+
+
+class LocalExecutionBinding:
+    """Local-bypass Execution: direct wrapper access, no Services Layer."""
+
+    def __init__(self, environment: GridEnvironment, wrapper, exec_id: str) -> None:
+        self.environment = environment
+        self.wrapper = wrapper
+        self.exec_id = exec_id
+        self.gsh = f"local:{exec_id}"
+
+    @property
+    def is_local(self) -> bool:
+        return True
+
+    def info(self) -> dict[str, str]:
+        return dict(self.wrapper.get_info())
+
+    def foci(self) -> list[str]:
+        return self.wrapper.get_foci()
+
+    def metrics(self) -> list[str]:
+        return self.wrapper.get_metrics()
+
+    def types(self) -> list[str]:
+        return self.wrapper.get_types()
+
+    def time_range(self) -> tuple[float, float]:
+        return self.wrapper.get_time_start_end()
+
+    def get_pr(
+        self,
+        metric: str,
+        foci: list[str],
+        start: float | None = None,
+        end: float | None = None,
+        result_type: str = UNDEFINED_TYPE,
+    ) -> list[PerformanceResult]:
+        if start is None or end is None:
+            t0, t1 = self.time_range()
+            start = t0 if start is None else start
+            end = t1 if end is None else end
+        with self.environment.recorder.time("virtualization.getPR.local"):
+            return self.wrapper.get_pr(metric, list(foci), start, end, result_type)
+
+
+class ApplicationBinding:
+    """A virtual Application object (remote, via stub).
+
+    ``stub`` (optional) supplies a pre-built stub — used by the dynamic
+    WSDL-driven binding path, where the interface was parsed off the wire
+    rather than taken from the compile-time PortType constant.
+    """
+
+    def __init__(
+        self,
+        environment: GridEnvironment,
+        instance_gsh: str,
+        name: str = "",
+        stub=None,
+    ) -> None:
+        self.environment = environment
+        self.gsh = instance_gsh
+        self.name = name
+        self.stub = stub or environment.stub_for_handle(instance_gsh, APPLICATION_PORTTYPE)
+
+    @property
+    def is_local(self) -> bool:
+        return False
+
+    def app_info(self) -> dict[str, str]:
+        return _parse_pairs(self.stub.getAppInfo())
+
+    def num_executions(self) -> int:
+        return int(self.stub.getNumExecs())
+
+    def exec_query_params(self) -> dict[str, list[str]]:
+        return _parse_params(self.stub.getExecQueryParams())
+
+    def all_executions(self) -> list[ExecutionBinding]:
+        return [ExecutionBinding(self.environment, g) for g in self.stub.getAllExecs()]
+
+    def query_executions(
+        self, attribute: str, value: str, operator: str = "="
+    ) -> list[ExecutionBinding]:
+        if operator == "=":
+            handles = self.stub.getExecs(attribute, value)
+        else:
+            handles = self.stub.getExecsOp(attribute, value, operator)
+        return [ExecutionBinding(self.environment, g) for g in handles]
+
+    def destroy(self) -> None:
+        self.stub.Destroy()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<ApplicationBinding {self.name or self.gsh}>"
+
+
+class LocalApplicationBinding:
+    """Local-bypass Application: direct wrapper access (§7 optimization)."""
+
+    def __init__(self, environment: GridEnvironment, wrapper: ApplicationWrapper, name: str = "") -> None:
+        self.environment = environment
+        self.wrapper = wrapper
+        self.name = name
+        self.gsh = f"local:{name}"
+
+    @property
+    def is_local(self) -> bool:
+        return True
+
+    def app_info(self) -> dict[str, str]:
+        return dict(self.wrapper.get_app_info())
+
+    def num_executions(self) -> int:
+        return self.wrapper.get_num_execs()
+
+    def exec_query_params(self) -> dict[str, list[str]]:
+        return self.wrapper.get_exec_query_params()
+
+    def all_executions(self) -> list[LocalExecutionBinding]:
+        return [
+            LocalExecutionBinding(self.environment, self.wrapper.execution(i), i)
+            for i in self.wrapper.get_all_exec_ids()
+        ]
+
+    def query_executions(
+        self, attribute: str, value: str, operator: str = "="
+    ) -> list[LocalExecutionBinding]:
+        ids = self.wrapper.get_exec_ids(attribute, value, operator)
+        return [
+            LocalExecutionBinding(self.environment, self.wrapper.execution(i), i)
+            for i in ids
+        ]
+
+
+class AsyncQueryCollector:
+    """Client-side half of the registry-callback query model (§7).
+
+    Deploys a pull sink next to the client; :meth:`collect` drains
+    deliveries and files them by query id.  ``results[qid]`` holds the
+    parsed PerformanceResults once the callback arrived; failed queries
+    appear in ``errors[qid]`` instead.
+    """
+
+    _counter = 0
+
+    def __init__(self, environment: GridEnvironment, authority: str = "ppg-client:7070") -> None:
+        from repro.ogsi.notification import PullNotificationSink
+
+        self.environment = environment
+        container = environment.container_for(authority)
+        if container is None:
+            container = environment.create_container(authority)
+        self.sink = PullNotificationSink()
+        AsyncQueryCollector._counter += 1
+        self.sink_gsh = container.deploy(
+            f"services/async-sink/{AsyncQueryCollector._counter}", self.sink
+        )
+        self.results: dict[str, list[PerformanceResult]] = {}
+        self.errors: dict[str, str] = {}
+
+    @property
+    def sink_handle(self) -> str:
+        return self.sink_gsh.url()
+
+    def collect(self) -> int:
+        """Drain pending deliveries; returns how many queries completed."""
+        drained = 0
+        for topic, message in self.sink.poll():
+            kind, _, query_id = topic.partition("/")
+            if kind == "pr-result":
+                packed = message.split("\n") if message else []
+                self.results[query_id] = [PerformanceResult.unpack(p) for p in packed]
+                drained += 1
+            elif kind == "pr-error":
+                self.errors[query_id] = message
+                drained += 1
+        return drained
+
+    def wait_for(self, query_id: str) -> list[PerformanceResult]:
+        """Collect until *query_id* has completed; raises on query error.
+
+        Delivery is synchronous in-process, so a single collect suffices;
+        the loop shape documents the protocol for a networked deployment.
+        """
+        if query_id not in self.results and query_id not in self.errors:
+            self.collect()
+        if query_id in self.errors:
+            raise RuntimeError(f"async query {query_id} failed: {self.errors[query_id]}")
+        if query_id not in self.results:
+            raise KeyError(f"no callback received for query {query_id}")
+        return self.results[query_id]
+
+    def close(self) -> None:
+        self.sink.Destroy()
+
+
+class PPerfGridClient:
+    """The client application: discovery, binding, and query panels."""
+
+    def __init__(self, environment: GridEnvironment, uddi_handle: str | None = None) -> None:
+        self.environment = environment
+        self.uddi = (
+            UddiClient.connect(environment, uddi_handle) if uddi_handle is not None else None
+        )
+        #: the Figure 8 "Current Bindings" list
+        self.bindings: list[ApplicationBinding | LocalApplicationBinding] = []
+        #: factory URL -> wrapper, for the local-bypass optimization
+        self._local_wrappers: dict[str, ApplicationWrapper] = {}
+
+    # ------------------------------------------------------------ discovery
+    def discover_organizations(self, name_pattern: str = "%") -> list[OrganizationProxy]:
+        if self.uddi is None:
+            raise RuntimeError("no UDDI registry configured for this client")
+        return self.uddi.find_organizations(name_pattern)
+
+    def register_local_wrapper(self, factory_url: str, wrapper: ApplicationWrapper) -> None:
+        """Mark a factory's data store as host-local (enables bypass)."""
+        self._local_wrappers[factory_url] = wrapper
+
+    # -------------------------------------------------------------- binding
+    def bind(self, service: ServiceProxy | str, name: str = "") -> ApplicationBinding | LocalApplicationBinding:
+        """Bind to a published Application (creates a service instance).
+
+        ``service`` is a UDDI ServiceProxy or a raw factory GSH/URL.  If
+        the factory's data store was registered as local, the Services
+        Layer is skipped entirely (future-work §7 bypass).
+        """
+        if isinstance(service, ServiceProxy):
+            factory_url = service.factory_url
+            name = name or service.name
+        else:
+            factory_url = service
+        local = self._local_wrappers.get(factory_url)
+        if local is not None:
+            binding: ApplicationBinding | LocalApplicationBinding = LocalApplicationBinding(
+                self.environment, local, name
+            )
+        else:
+            factory_stub = self.environment.stub_for_handle(factory_url, FACTORY_PORTTYPE)
+            instance_gsh = factory_stub.CreateService([])
+            binding = ApplicationBinding(self.environment, instance_gsh, name)
+        self.bindings.append(binding)
+        return binding
+
+    def bind_dynamic(self, service: ServiceProxy | str, name: str = "") -> ApplicationBinding:
+        """Bind using only the service's published WSDL (Figure 1 flow).
+
+        Unlike :meth:`bind`, no compile-time PortType is consulted: the
+        factory's and the created instance's interfaces are both fetched
+        as WSDL service data and parsed into stubs — the workflow a
+        non-Python PPerfGrid client would follow.
+        """
+        if isinstance(service, ServiceProxy):
+            factory_url = service.factory_url
+            name = name or service.name
+        else:
+            factory_url = service
+        factory_stub = self.environment.stub_from_wsdl(factory_url)
+        instance_gsh = factory_stub.CreateService([])
+        instance_stub = self.environment.stub_from_wsdl(instance_gsh)
+        binding = ApplicationBinding(self.environment, instance_gsh, name, stub=instance_stub)
+        self.bindings.append(binding)
+        return binding
+
+    def unbind_all(self) -> None:
+        for binding in self.bindings:
+            if isinstance(binding, ApplicationBinding):
+                try:
+                    binding.destroy()
+                except Exception:
+                    pass
+        self.bindings.clear()
+
+
+@dataclass
+class ApplicationQuery:
+    """One row of the Figure 9 query table."""
+
+    binding: ApplicationBinding | LocalApplicationBinding
+    attribute: str
+    value: str
+    operator: str = "="
+
+
+@dataclass
+class ApplicationQueryPanel:
+    """The Application Query Panel: batch queries for Executions.
+
+    Successive queries against the same Application OR together (thesis
+    §5.3.1.2); results are deduplicated by Execution GSH.
+    """
+
+    queries: list[ApplicationQuery] = field(default_factory=list)
+
+    def add_query(
+        self,
+        binding: ApplicationBinding | LocalApplicationBinding,
+        attribute: str,
+        value: str,
+        operator: str = "=",
+    ) -> None:
+        self.queries.append(ApplicationQuery(binding, attribute, value, operator))
+
+    def clear(self) -> None:
+        self.queries.clear()
+
+    def run_queries(self) -> list[ExecutionBinding | LocalExecutionBinding]:
+        """The 'Run Queries' button."""
+        out: list[ExecutionBinding | LocalExecutionBinding] = []
+        seen: set[str] = set()
+        for query in self.queries:
+            for execution in query.binding.query_executions(
+                query.attribute, query.value, query.operator
+            ):
+                if execution.gsh not in seen:
+                    seen.add(execution.gsh)
+                    out.append(execution)
+        return out
+
+
+@dataclass
+class ExecutionQuery:
+    """One row of the Figure 10 query table, plus the §7 value filter."""
+
+    metric: str
+    foci: list[str]
+    start: float | None = None
+    end: float | None = None
+    result_type: str = UNDEFINED_TYPE
+    #: optional metric-value filter (future-work §7): keep only results
+    #: with min_value <= value <= max_value
+    min_value: float | None = None
+    max_value: float | None = None
+
+    def matches(self, result: PerformanceResult) -> bool:
+        if self.min_value is not None and result.value < self.min_value:
+            return False
+        if self.max_value is not None and result.value > self.max_value:
+            return False
+        return True
+
+
+@dataclass
+class ExecutionQueryPanel:
+    """The Execution Query Panel: batch PR queries over bound Executions."""
+
+    executions: list[ExecutionBinding | LocalExecutionBinding] = field(default_factory=list)
+    queries: list[ExecutionQuery] = field(default_factory=list)
+
+    def add_query(self, query: ExecutionQuery) -> None:
+        self.queries.append(query)
+
+    def run_queries(self) -> dict[str, list[PerformanceResult]]:
+        """The 'Run Queries' button: execution GSH -> filtered results."""
+        out: dict[str, list[PerformanceResult]] = {}
+        for execution in self.executions:
+            out[execution.gsh] = self._query_one(execution)
+        return out
+
+    def run_queries_parallel(self, max_workers: int = 8) -> dict[str, list[PerformanceResult]]:
+        """Run with one thread per Execution, as the thesis's client does.
+
+        "Each query to an Execution was made in a separate thread" (§6.5).
+        Results are identical to :meth:`run_queries`; within one process
+        the threads interleave on the GIL rather than truly parallelize,
+        which is why the Figure 12 experiment replays onto simulated
+        hosts instead (DESIGN.md §5).
+        """
+        from concurrent.futures import ThreadPoolExecutor
+
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        with ThreadPoolExecutor(max_workers=max_workers) as pool:
+            futures = {
+                execution.gsh: pool.submit(self._query_one, execution)
+                for execution in self.executions
+            }
+            return {gsh: future.result() for gsh, future in futures.items()}
+
+    def _query_one(self, execution) -> list[PerformanceResult]:
+        collected: list[PerformanceResult] = []
+        for query in self.queries:
+            results = execution.get_pr(
+                query.metric, query.foci, query.start, query.end, query.result_type
+            )
+            collected.extend(r for r in results if query.matches(r))
+        return collected

@@ -1,0 +1,158 @@
+"""The Execution Grid service (thesis §5.3.2, Table 2).
+
+An Execution instance is transient and stateful: created by the
+Execution Factory (usually via the Manager), it carries its execution
+wrapper, its Performance-Result cache, and — per future-work §7 — a
+NotificationSource so clients can subscribe to data-store updates.
+"""
+
+from __future__ import annotations
+
+from repro.core.prcache import PrCache, UnboundedCache
+from repro.core.semantic import EXECUTION_PORTTYPE, PerformanceResult, pr_cache_key
+from repro.mapping.base import ExecutionWrapper
+from repro.ogsi.notification import NotificationSourceMixin
+from repro.ogsi.service import GridServiceBase
+
+#: estimated memory (MB) charged to the host per cached entry, for the
+#: Service-Data-Provider-driven adaptive policy
+_CACHE_ENTRY_MB = 0.01
+
+
+class ExecutionService(GridServiceBase, NotificationSourceMixin):
+    """One Execution semantic object exposed as a Grid service."""
+
+    porttype = EXECUTION_PORTTYPE
+
+    def __init__(
+        self,
+        wrapper: ExecutionWrapper,
+        exec_id: str,
+        cache: PrCache | None = None,
+    ) -> None:
+        super().__init__()
+        self._init_notification_source()
+        self.wrapper = wrapper
+        self.exec_id = exec_id
+        self.cache = cache if cache is not None else UnboundedCache()
+
+    def on_deployed(self, container, gsh) -> None:
+        super().on_deployed(container, gsh)
+        self.service_data.set("execId", self.exec_id)
+        # Future-work §7: expose metrics/foci/types/time as SDEs so an
+        # XPath FindServiceData query can answer discovery questions.
+        self.service_data.set("metrics", self.wrapper.get_metrics())
+        self.service_data.set("foci", self.wrapper.get_foci())
+        self.service_data.set("types", self.wrapper.get_types())
+        start, end = self.wrapper.get_time_start_end()
+        self.service_data.set("timeStartEnd", [repr(start), repr(end)])
+
+    # ----------------------------------------------- Table 2 operations
+    def getInfo(self) -> list[str]:
+        self.require_active()
+        return [f"{name}|{value}" for name, value in self.wrapper.get_info()]
+
+    def getFoci(self) -> list[str]:
+        self.require_active()
+        return self.wrapper.get_foci()
+
+    def getMetrics(self) -> list[str]:
+        self.require_active()
+        return self.wrapper.get_metrics()
+
+    def getTypes(self) -> list[str]:
+        self.require_active()
+        return self.wrapper.get_types()
+
+    def getTimeStartEnd(self) -> list[str]:
+        self.require_active()
+        start, end = self.wrapper.get_time_start_end()
+        return [repr(start), repr(end)]
+
+    def getPR(
+        self,
+        metric: str,
+        foci: list[str],
+        startTime: str,
+        endTime: str,
+        resultType: str,
+    ) -> list[str]:
+        """Query Performance Results, consulting the PR cache first."""
+        self.require_active()
+        key = pr_cache_key(metric, list(foci), startTime, endTime, resultType)
+        cached = self.cache.get(key)
+        if cached is not None:
+            return list(cached)
+        try:
+            start = float(startTime)
+            end = float(endTime)
+        except ValueError as exc:
+            raise ValueError(f"bad time bound: {exc}") from exc
+        results = self.wrapper.get_pr(metric, list(foci), start, end, resultType)
+        packed = [pr.pack() for pr in results]
+        self.cache.put(key, packed)
+        if self.container is not None and self.container.host is not None:
+            self.container.host.allocate_memory(_CACHE_ENTRY_MB)
+        return packed
+
+    def getPRAsync(
+        self,
+        metric: str,
+        foci: list[str],
+        startTime: str,
+        endTime: str,
+        resultType: str,
+        sinkHandle: str,
+    ) -> str:
+        """Registry-callback query (§7 extension).
+
+        Runs the query and pushes the packed results to *sinkHandle* as a
+        notification on topic ``pr-result/<query-id>``; the message body
+        is the newline-joined result array ('|' is taken by the record
+        format).  Returns the query id.  Query failures are delivered on
+        topic ``pr-error/<query-id>`` instead of faulting the submit call
+        — the submitter may long since have moved on.
+        """
+        self.require_active()
+        if self.container is None:
+            raise RuntimeError("Execution service is not deployed")
+        self._async_counter = getattr(self, "_async_counter", 0) + 1
+        query_id = f"query-{self.exec_id}-{self._async_counter}"
+        from repro.ogsi.porttypes import NOTIFICATION_SINK_PORTTYPE
+
+        stub = self.container.environment.stub_for_handle(
+            sinkHandle, NOTIFICATION_SINK_PORTTYPE
+        )
+        try:
+            packed = self.getPR(metric, foci, startTime, endTime, resultType)
+        except Exception as exc:
+            stub.DeliverNotification(f"pr-error/{query_id}", str(exc))
+            return query_id
+        stub.DeliverNotification(f"pr-result/{query_id}", "\n".join(packed))
+        return query_id
+
+    # -------------------------------------------------------- lifecycle
+    def on_destroyed(self) -> None:
+        if self.container is not None and self.container.host is not None:
+            self.container.host.release_memory(_CACHE_ENTRY_MB * len(self.cache))
+        self.cache.clear()
+
+    # --------------------------------------------------- update support
+    def announce_update(self, description: str) -> int:
+        """Notify subscribers that the underlying data store changed.
+
+        Refreshes discovery SDEs and invalidates the PR cache first, so a
+        notified client re-querying sees fresh data.  Returns the number
+        of push deliveries made.
+        """
+        self.require_active()
+        self.cache.clear()
+        self.service_data.set("metrics", self.wrapper.get_metrics())
+        self.service_data.set("foci", self.wrapper.get_foci())
+        start, end = self.wrapper.get_time_start_end()
+        self.service_data.set("timeStartEnd", [repr(start), repr(end)])
+        return self.notify("data-update", f"{self.exec_id}|{description}")
+
+    def unpack_results(self, packed: list[str]) -> list[PerformanceResult]:
+        """Convenience for in-process callers/tests."""
+        return [PerformanceResult.unpack(p) for p in packed]

@@ -1,0 +1,182 @@
+"""Performance-Result cache (thesis §5.3.2.3 and Table 5).
+
+The cache "stores the results of Performance Result queries in a hash
+table indexed by a string value representing the parameters involved in
+the query".  The thesis's prototype uses an unbounded table; its
+future-work section proposes a replacement policy that "adjusts
+dynamically depending on the host's available system resources" — both
+are implemented, plus a plain LRU for the ablation bench.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction accounting."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class PrCache(ABC):
+    """Cache interface: string key -> list of packed PR strings."""
+
+    def __init__(self) -> None:
+        self.stats = CacheStats()
+
+    @abstractmethod
+    def _get(self, key: str) -> list[str] | None: ...
+
+    @abstractmethod
+    def _put(self, key: str, value: list[str]) -> None: ...
+
+    @abstractmethod
+    def __len__(self) -> int: ...
+
+    def get(self, key: str) -> list[str] | None:
+        value = self._get(key)
+        if value is None:
+            self.stats.misses += 1
+        else:
+            self.stats.hits += 1
+        return value
+
+    def put(self, key: str, value: list[str]) -> None:
+        self._put(key, list(value))
+
+    def clear(self) -> None:  # pragma: no cover - overridden where stateful
+        raise NotImplementedError
+
+
+class NullCache(PrCache):
+    """Caching disabled (the Table 5 "caching off" arm)."""
+
+    def _get(self, key: str) -> list[str] | None:
+        return None
+
+    def _put(self, key: str, value: list[str]) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return 0
+
+    def clear(self) -> None:
+        pass
+
+
+class UnboundedCache(PrCache):
+    """The thesis's prototype policy: keep everything."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._table: dict[str, list[str]] = {}
+
+    def _get(self, key: str) -> list[str] | None:
+        return self._table.get(key)
+
+    def _put(self, key: str, value: list[str]) -> None:
+        self._table[key] = value
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def clear(self) -> None:
+        self._table.clear()
+
+
+class LruCache(PrCache):
+    """Bounded LRU."""
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__()
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._table: OrderedDict[str, list[str]] = OrderedDict()
+
+    def _get(self, key: str) -> list[str] | None:
+        value = self._table.get(key)
+        if value is not None:
+            self._table.move_to_end(key)
+        return value
+
+    def _put(self, key: str, value: list[str]) -> None:
+        if key in self._table:
+            self._table.move_to_end(key)
+        self._table[key] = value
+        while len(self._table) > self.capacity:
+            self._table.popitem(last=False)
+            self.stats.evictions += 1
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def clear(self) -> None:
+        self._table.clear()
+
+
+@dataclass
+class AdaptiveCache(PrCache):
+    """Capacity follows host free memory (future-work §7).
+
+    ``stats_provider`` returns a resource snapshot with a
+    ``memory_free_fraction`` entry (the Service Data Provider payload of
+    :meth:`repro.simnet.host.SimHost.resource_stats`).  The effective
+    capacity is ``max(min_capacity, int(max_capacity * free_fraction))``,
+    re-evaluated on every insert; shrinking evicts in LRU order.
+    """
+
+    stats_provider: Callable[[], dict[str, float]] = lambda: {"memory_free_fraction": 1.0}
+    max_capacity: int = 1024
+    min_capacity: int = 8
+    _table: OrderedDict = field(default_factory=OrderedDict)
+
+    def __post_init__(self) -> None:
+        super().__init__()
+        if self.min_capacity < 1 or self.max_capacity < self.min_capacity:
+            raise ValueError(
+                f"need 1 <= min_capacity <= max_capacity, got "
+                f"{self.min_capacity}, {self.max_capacity}"
+            )
+
+    def effective_capacity(self) -> int:
+        snapshot = self.stats_provider()
+        free = float(snapshot.get("memory_free_fraction", 1.0))
+        free = min(1.0, max(0.0, free))
+        return max(self.min_capacity, int(self.max_capacity * free))
+
+    def _get(self, key: str) -> list[str] | None:
+        value = self._table.get(key)
+        if value is not None:
+            self._table.move_to_end(key)
+        return value
+
+    def _put(self, key: str, value: list[str]) -> None:
+        if key in self._table:
+            self._table.move_to_end(key)
+        self._table[key] = value
+        capacity = self.effective_capacity()
+        while len(self._table) > capacity:
+            self._table.popitem(last=False)
+            self.stats.evictions += 1
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def clear(self) -> None:
+        self._table.clear()

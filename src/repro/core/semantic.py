@@ -1,0 +1,290 @@
+"""Semantic-layer data model and PortType definitions (Tables 1 and 2).
+
+The thesis's wire conventions are preserved exactly:
+
+* ``getAppInfo`` / ``getInfo`` return ``"name|value"`` strings;
+* ``getExecQueryParams`` returns ``"name|v1|v2|..."`` strings;
+* ``getAllExecs`` / ``getExecs`` return GSH strings;
+* ``getPR`` returns Performance Results as strings, and the PR cache is
+  keyed by a ``"metric | foci | type | start-end"`` parameter string.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ogsi.porttypes import (
+    GRID_SERVICE_PORTTYPE,
+    NOTIFICATION_SOURCE_PORTTYPE,
+)
+from repro.wsdl.porttype import Operation, Parameter, PortType
+
+PPERFGRID_NS = "http://pperfgrid.cs.pdx.edu/2004"
+
+#: the thesis's placeholder when a query does not constrain the tool type
+UNDEFINED_TYPE = "UNDEFINED"
+
+
+@dataclass(frozen=True)
+class PerformanceResult:
+    """One performance measurement: one metric, one focus, one time span.
+
+    ``type`` names the measurement tool that collected the data (e.g.
+    ``"vampir"``, ``"hpl"``, ``"presta"``).
+    """
+
+    metric: str
+    focus: str
+    result_type: str
+    start: float
+    end: float
+    value: float
+
+    def pack(self) -> str:
+        """Wire form: ``metric|focus|type|start-end|value``.
+
+        Times are rendered fixed-point (they are non-negative offsets), so
+        the span contains exactly one ``-`` and round-trips unambiguously.
+        """
+        return (
+            f"{self.metric}|{self.focus}|{self.result_type}|"
+            f"{self.start:.9f}-{self.end:.9f}|{self.value!r}"
+        )
+
+    @staticmethod
+    def unpack(text: str) -> "PerformanceResult":
+        parts = text.split("|")
+        if len(parts) != 5:
+            raise ValueError(f"bad PerformanceResult record {text!r}")
+        metric, focus, result_type, span, value = parts
+        start_text, sep, end_text = span.partition("-")
+        if not sep:
+            raise ValueError(f"bad time span in {text!r}")
+        try:
+            return PerformanceResult(
+                metric=metric,
+                focus=focus,
+                result_type=result_type,
+                start=float(start_text),
+                end=float(end_text),
+                value=float(value),
+            )
+        except ValueError as exc:
+            raise ValueError(f"bad PerformanceResult record {text!r}: {exc}") from exc
+
+
+def pr_cache_key(metric: str, foci: list[str], start: str, end: str, result_type: str) -> str:
+    """The thesis's cache-key format (§5.3.2.3)."""
+    return f"{metric} | {';'.join(foci)} | {result_type} | {start}-{end}"
+
+
+APPLICATION_PORTTYPE = PortType(
+    name="Application",
+    namespace=PPERFGRID_NS,
+    doc="A program for which performance data is stored (thesis Table 1).",
+    operations=(
+        Operation(
+            "getAppInfo",
+            (),
+            "xsd:string[]",
+            doc=(
+                "Returns general information about the application, possibly "
+                "including application name, version, etc. Returns an array of "
+                "string values, each element of which should contain a name and "
+                "a value delimited by the '|' character."
+            ),
+        ),
+        Operation(
+            "getNumExecs",
+            (),
+            "xsd:int",
+            doc=(
+                "Returns the number of unique executions available for the "
+                "application as an integer."
+            ),
+        ),
+        Operation(
+            "getExecQueryParams",
+            (),
+            "xsd:string[]",
+            doc=(
+                "Returns a list of attributes that describe executions, "
+                "arguments or run data, for example. Each attribute has "
+                "associated with it a set of values, representing all unique "
+                "possible values for that attribute. Returns an array of string "
+                "values, each element of which should contain a name and a set "
+                "of values delimited by the '|' character."
+            ),
+        ),
+        Operation(
+            "getAllExecs",
+            (),
+            "xsd:string[]",
+            doc=(
+                "Returns an array of Grid Service Handles (GSHs) representing "
+                "an Execution service instance for each unique execution "
+                "record. Returns an array of string values, each element of "
+                "which should be a properly formatted GSH."
+            ),
+        ),
+        Operation(
+            "getExecs",
+            (
+                Parameter("attribute", "xsd:string"),
+                Parameter("value", "xsd:string"),
+            ),
+            "xsd:string[]",
+            doc=(
+                "Returns an array of Grid Service Handles (GSHs) representing "
+                "an Execution service instance for each execution record "
+                "matching the attribute and value passed as parameters. Returns "
+                "an array of string values, each element of which should be a "
+                "properly formatted GSH."
+            ),
+        ),
+        # Extension beyond Table 1 (OBSERVER-style operator queries, §2.2.3).
+        Operation(
+            "getExecsOp",
+            (
+                Parameter("attribute", "xsd:string"),
+                Parameter("value", "xsd:string"),
+                Parameter("operator", "xsd:string"),
+            ),
+            "xsd:string[]",
+            doc=(
+                "Extension: like getExecs but with a comparison operator "
+                "(=, !=, <, <=, >, >=) applied to the attribute value."
+            ),
+        ),
+    ),
+    extends=(GRID_SERVICE_PORTTYPE,),
+)
+
+EXECUTION_PORTTYPE = PortType(
+    name="Execution",
+    namespace=PPERFGRID_NS,
+    doc="A single run of an Application (thesis Table 2).",
+    operations=(
+        Operation(
+            "getInfo",
+            (),
+            "xsd:string[]",
+            doc=(
+                "Returns general information about the Execution. Returns an "
+                "array of string values, each element of which should contain "
+                "a name and a value delimited by the '|' character."
+            ),
+        ),
+        Operation(
+            "getFoci",
+            (),
+            "xsd:string[]",
+            doc=(
+                "Returns a list of all possible unique focus values for the "
+                "Execution (no duplicates) as an array of strings. Foci refer "
+                "to the nodes of the resource hierarchy (e.g. /Process/27 or "
+                "/Code/MPI/MPI_Comm_rank)."
+            ),
+        ),
+        Operation(
+            "getMetrics",
+            (),
+            "xsd:string[]",
+            doc=(
+                "Returns a list of all possible unique metric values for the "
+                "Execution (no duplicates) as an array of strings. Metric "
+                "refers to the measurements recorded in the dataset (e.g. "
+                "func_calls, msg_deliv_time)."
+            ),
+        ),
+        Operation(
+            "getTypes",
+            (),
+            "xsd:string[]",
+            doc=(
+                "Returns a list of all possible unique type values for the "
+                "Execution (no duplicates) as an array of strings. Type refers "
+                "to the performance tool used to collect the data."
+            ),
+        ),
+        Operation(
+            "getTimeStartEnd",
+            (),
+            "xsd:string[]",
+            doc=(
+                "Returns a list of two values, the first representing the "
+                "start time of the Execution and the second representing the "
+                "end time of the Execution, as an array of strings."
+            ),
+        ),
+        Operation(
+            "getPR",
+            (
+                Parameter("metric", "xsd:string"),
+                Parameter("foci", "xsd:string[]"),
+                Parameter("startTime", "xsd:string"),
+                Parameter("endTime", "xsd:string"),
+                Parameter("resultType", "xsd:string"),
+            ),
+            "xsd:string[]",
+            doc=(
+                "Returns a list of Performance Results that meet the criteria "
+                "given by the parameter values as an array of strings."
+            ),
+        ),
+        # Extension beyond Table 2: the registry-callback query model the
+        # thesis proposes in §7 to replace per-call client threads.
+        Operation(
+            "getPRAsync",
+            (
+                Parameter("metric", "xsd:string"),
+                Parameter("foci", "xsd:string[]"),
+                Parameter("startTime", "xsd:string"),
+                Parameter("endTime", "xsd:string"),
+                Parameter("resultType", "xsd:string"),
+                Parameter("sinkHandle", "xsd:string"),
+            ),
+            "xsd:string",
+            doc=(
+                "Extension: like getPR, but results are delivered to the "
+                "given NotificationSink instead of being returned; the "
+                "call returns a query id immediately (the 'registry-"
+                "callback model' of future-work section 7)."
+            ),
+        ),
+    ),
+    extends=(GRID_SERVICE_PORTTYPE, NOTIFICATION_SOURCE_PORTTYPE),
+)
+
+MANAGER_PORTTYPE = PortType(
+    name="Manager",
+    namespace=PPERFGRID_NS,
+    doc=(
+        "Internal (non-transient) Grid service caching Execution service "
+        "instances and distributing their creation across replica hosts "
+        "(thesis §5.3.1.4)."
+    ),
+    operations=(
+        Operation(
+            "getExecs",
+            (Parameter("keys", "xsd:string[]"),),
+            "xsd:string[]",
+            doc=(
+                "Return one Execution-instance GSH per unique execution ID, "
+                "creating instances through the replica Execution Factories on "
+                "cache misses."
+            ),
+        ),
+    ),
+    extends=(GRID_SERVICE_PORTTYPE,),
+)
+
+
+def application_porttype_table() -> list[tuple[str, str]]:
+    """Rows of thesis Table 1: (Operation, Operation Semantics)."""
+    return [(op.name, op.doc) for op in APPLICATION_PORTTYPE.operations]
+
+
+def execution_porttype_table() -> list[tuple[str, str]]:
+    """Rows of thesis Table 2: (Operation, Operation Semantics)."""
+    return [(op.name, op.doc) for op in EXECUTION_PORTTYPE.operations]

@@ -1,0 +1,106 @@
+"""ASCII visualization of Performance Results (the Figure 11 analog).
+
+The thesis's Visualizer Panel plots "a metric value (e.g. gflops or
+runtimesec) ... for each Execution in a query" with JFreeChart; here the
+same chart renders as text so examples and experiment reports remain
+terminal-friendly.
+"""
+
+from __future__ import annotations
+
+from repro.core.semantic import PerformanceResult
+
+
+def render_metric_chart(
+    results_by_execution: dict[str, list[PerformanceResult]],
+    metric: str,
+    width: int = 60,
+    label_width: int = 28,
+) -> str:
+    """Horizontal bar chart: one bar per execution, value = first matching PR.
+
+    Executions with no result for *metric* are listed with an empty bar,
+    mirroring the GUI's blank data points.
+    """
+    rows: list[tuple[str, float | None]] = []
+    for gsh, results in results_by_execution.items():
+        value: float | None = None
+        for result in results:
+            if result.metric == metric:
+                value = result.value
+                break
+        rows.append((_short_label(gsh), value))
+    if not rows:
+        return f"(no executions to chart for metric {metric!r})"
+    values = [v for _, v in rows if v is not None]
+    peak = max(values) if values else 0.0
+    lines = [f"{metric} per Execution", "=" * (label_width + width + 12)]
+    for label, value in rows:
+        shown = label[:label_width].ljust(label_width)
+        if value is None:
+            lines.append(f"{shown} | {'(no data)'}")
+            continue
+        bar_len = int(round(width * (value / peak))) if peak > 0 else 0
+        lines.append(f"{shown} |{'#' * bar_len} {value:.4g}")
+    return "\n".join(lines)
+
+
+def render_series_table(
+    results: list[PerformanceResult], max_rows: int = 20
+) -> str:
+    """Tabulate PRs (focus, time span, value) — the drill-down view."""
+    lines = [f"{'focus':<48} {'span':>23} {'value':>12}"]
+    lines.append("-" * 86)
+    for result in results[:max_rows]:
+        span = f"{result.start:.3f}-{result.end:.3f}"
+        lines.append(f"{result.focus:<48} {span:>23} {result.value:>12.5g}")
+    if len(results) > max_rows:
+        lines.append(f"... ({len(results) - max_rows} more)")
+    return "\n".join(lines)
+
+
+def render_histogram(
+    results: list[PerformanceResult],
+    bins: int = 12,
+    width: int = 50,
+) -> str:
+    """Histogram of PR values — the distribution view for trace data.
+
+    SMG98-style stores return one PR per interval; the distribution of
+    interval durations (long tail of slow MPI calls, say) is what an
+    analyst looks at first.  Bins are equal-width over [min, max].
+    """
+    if not results:
+        return "(no results to histogram)"
+    values = [r.value for r in results]
+    lo, hi = min(values), max(values)
+    metric = results[0].metric
+    if lo == hi:
+        return f"{metric}: all {len(values)} values equal {lo:.6g}"
+    if bins < 1:
+        raise ValueError(f"bins must be >= 1, got {bins}")
+    counts = [0] * bins
+    span = hi - lo
+    for v in values:
+        index = min(bins - 1, int((v - lo) / span * bins))
+        counts[index] += 1
+    peak = max(counts)
+    lines = [f"{metric}: {len(values)} values in [{lo:.6g}, {hi:.6g}]"]
+    for i, count in enumerate(counts):
+        left = lo + span * i / bins
+        bar = "#" * int(round(width * count / peak)) if peak else ""
+        lines.append(f"{left:>12.6g} | {bar} {count}")
+    return "\n".join(lines)
+
+
+def _short_label(gsh: str) -> str:
+    """Compress a GSH to ``authority/.../instances/N`` for chart labels."""
+    text = gsh
+    for scheme in ("ppg://", "http://"):
+        if text.startswith(scheme):
+            text = text[len(scheme) :]
+            break
+    parts = text.split("/")
+    if len(parts) > 3:
+        return f"{parts[0]}/../{'/'.join(parts[-2:])}"
+    return text

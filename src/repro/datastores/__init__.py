@@ -1,0 +1,40 @@
+"""Data Layer: synthetic datasets and heterogeneous stores.
+
+The thesis's three test datasets are reproduced by seeded synthetic
+generators with the same shapes and storage formats:
+
+========  =======================================  =======================
+Dataset   Content                                  Storage (as in thesis)
+========  =======================================  =======================
+HPL       124 runs of the High-Performance         relational DB, 1 table;
+          Linpack benchmark (gflops, runtime, ...)  also an XML file (§7)
+SMG98     Vampir-style trace of a semicoarsening   relational DB, 5 tables
+          multigrid solver: processes, functions,
+          timed intervals, messages
+PRESTA    MPI-2 RMA latency/bandwidth sweeps       flat ASCII text files;
+RMA       across message sizes                      also relational (§7)
+========  =======================================  =======================
+
+Generators are deterministic given a seed; sizes are parameters so tests
+stay fast while benchmarks match the paper's proportions (HPL queries
+fast/tiny, RMA fast/large-payload, SMG98 slow/largest-payload).
+"""
+
+from repro.datastores.generators.hpl import HplDataset, generate_hpl
+from repro.datastores.generators.presta import PrestaDataset, PrestaExecution, generate_presta
+from repro.datastores.generators.smg98 import Smg98Dataset, generate_smg98
+from repro.datastores.textfiles import TextFileStore, parse_presta_file
+from repro.datastores.xmlstore import XmlStore
+
+__all__ = [
+    "HplDataset",
+    "PrestaDataset",
+    "PrestaExecution",
+    "Smg98Dataset",
+    "TextFileStore",
+    "XmlStore",
+    "generate_hpl",
+    "generate_presta",
+    "generate_smg98",
+    "parse_presta_file",
+]

@@ -1,0 +1,1 @@
+"""Synthetic dataset generators (seeded, deterministic)."""

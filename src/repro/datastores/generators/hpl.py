@@ -1,0 +1,114 @@
+"""Synthetic HPL (High-Performance Linpack) dataset.
+
+HPL solves a random dense linear system; a run is characterized by the
+problem size N, block size NB, process grid P x Q, and yields a runtime
+and a GFLOPS rate.  The synthetic model follows the benchmark's cost
+shape — ``flops = 2/3 N^3 + 2 N^2``, efficiency degrading with grid
+asymmetry and communication — with seeded noise.  The thesis's HPL store
+has 124 executions in a single relational table.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.minidb import Database
+from repro.xmlkit import Document, Element, serialize
+
+HPL_METRICS = ("gflops", "runtimesec", "resid")
+HPL_ATTRIBUTES = ("runid", "rundate", "n", "nb", "p", "q", "numprocs", "machine")
+
+_MACHINES = ("wyeast", "sisters", "jefferson")
+_N_CHOICES = (2000, 4000, 8000, 12000, 16000, 20000)
+_NB_CHOICES = (32, 64, 128, 256)
+_GRIDS = ((1, 1), (1, 2), (2, 2), (2, 4), (4, 4), (4, 8), (8, 8))
+
+
+@dataclass
+class HplDataset:
+    """Generated HPL runs; ``rows`` are column-name -> value dicts."""
+
+    rows: list[dict] = field(default_factory=list)
+
+    @property
+    def num_executions(self) -> int:
+        return len(self.rows)
+
+    def to_database(self) -> Database:
+        """Load into a fresh single-table minidb database (thesis layout)."""
+        db = Database("hpl")
+        db.execute(
+            """
+            CREATE TABLE hpl_runs (
+                runid INTEGER PRIMARY KEY,
+                rundate TEXT NOT NULL,
+                n INTEGER NOT NULL,
+                nb INTEGER NOT NULL,
+                p INTEGER NOT NULL,
+                q INTEGER NOT NULL,
+                numprocs INTEGER NOT NULL,
+                runtimesec REAL NOT NULL,
+                gflops REAL NOT NULL,
+                resid REAL NOT NULL,
+                machine TEXT NOT NULL
+            )
+            """
+        )
+        db.execute("CREATE INDEX idx_hpl_numprocs ON hpl_runs (numprocs)")
+        db.execute("CREATE INDEX idx_hpl_machine ON hpl_runs (machine)")
+        cols = (
+            "runid rundate n nb p q numprocs runtimesec gflops resid machine".split()
+        )
+        db.load_rows("hpl_runs", cols, [tuple(row[c] for c in cols) for row in self.rows])
+        return db
+
+    def to_xml(self) -> str:
+        """Render as the XML store proposed in the thesis's future work."""
+        root = Element("hplResults")
+        for row in self.rows:
+            run = root.subelement("run")
+            for key, value in row.items():
+                run.set(key, str(value))
+        return serialize(Document(root), indent=2)
+
+
+def generate_hpl(seed: int = 7, num_executions: int = 124) -> HplDataset:
+    """Generate *num_executions* HPL runs (the thesis dataset has 124)."""
+    rng = random.Random(seed)
+    rows: list[dict] = []
+    for runid in range(1, num_executions + 1):
+        n = rng.choice(_N_CHOICES)
+        nb = rng.choice(_NB_CHOICES)
+        p, q = rng.choice(_GRIDS)
+        numprocs = p * q
+        machine = rng.choice(_MACHINES)
+        # Peak per process ~1.2 GFLOPS (2004-era); efficiency decays with
+        # process count (communication) and grid asymmetry.
+        peak = 1.2 * numprocs
+        comm_eff = 1.0 / (1.0 + 0.04 * (numprocs - 1))
+        asym_eff = 1.0 - 0.05 * abs(p - q) / max(p, q)
+        size_eff = min(1.0, n / 8000.0)  # small problems underutilize
+        noise = rng.gauss(1.0, 0.03)
+        gflops = max(0.05, peak * comm_eff * asym_eff * (0.55 + 0.45 * size_eff) * noise)
+        flops = (2.0 / 3.0) * n**3 + 2.0 * n**2
+        runtimesec = flops / (gflops * 1e9)
+        resid = abs(rng.gauss(0, 1)) * 1e-12
+        month = 1 + (runid * 7) % 12
+        day = 1 + (runid * 13) % 28
+        rows.append(
+            {
+                "runid": runid,
+                "rundate": f"2004-{month:02d}-{day:02d}",
+                "n": n,
+                "nb": nb,
+                "p": p,
+                "q": q,
+                "numprocs": numprocs,
+                "runtimesec": round(runtimesec, 4),
+                "gflops": round(gflops, 4),
+                "resid": resid,
+                "machine": machine,
+            }
+        )
+    return HplDataset(rows=rows)

@@ -1,0 +1,153 @@
+"""Synthetic PRESTA RMA (MPI bandwidth/latency benchmark) dataset.
+
+PRESTA sweeps message sizes for standard MPI point-to-point and MPI-2
+one-sided (RMA) operations, reporting latency and bandwidth per size.
+The thesis stores it as flat ASCII text files, one per execution, parsed
+by a custom parser; a ``getPR`` query returns the whole sweep for an
+operation (one value per message size), giving the ~5.7 KB payloads of
+Table 4.
+
+The synthetic latency model is a standard alpha-beta fit:
+``latency = alpha + size / beta`` with per-operation alpha/beta and
+seeded noise.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.minidb import Database
+
+PRESTA_METRICS = ("latency_us", "bandwidth_mbps")
+PRESTA_ATTRIBUTES = ("execid", "rundate", "numprocs", "tasks_per_node", "network")
+
+PRESTA_OPERATIONS = ("MPI_Send", "MPI_Isend", "MPI_Put", "MPI_Get", "MPI_Accumulate")
+#: message sizes: 8 B .. 4 MiB in powers of two (20 points)
+PRESTA_MSG_SIZES = tuple(8 * 2**i for i in range(20))
+
+#: (alpha microseconds, beta MB/s asymptotic) per operation, 2004-era Elan3
+_OP_PARAMS = {
+    "MPI_Send": (5.0, 300.0),
+    "MPI_Isend": (4.5, 310.0),
+    "MPI_Put": (3.5, 340.0),
+    "MPI_Get": (6.0, 320.0),
+    "MPI_Accumulate": (8.0, 250.0),
+}
+
+
+@dataclass
+class PrestaExecution:
+    """One benchmark run: attributes plus the (op, size) measurement grid."""
+
+    execid: int
+    rundate: str
+    numprocs: int
+    tasks_per_node: int
+    network: str
+    start_time: float
+    end_time: float
+    #: rows of (operation, msgsize, iterations, latency_us, bandwidth_mbps)
+    measurements: list[tuple[str, int, int, float, float]] = field(default_factory=list)
+
+    def to_text(self) -> str:
+        """Render the flat ASCII file format the thesis's parser reads."""
+        lines = [
+            "# PRESTA RMA Benchmark results",
+            f"# execid: {self.execid}",
+            f"# rundate: {self.rundate}",
+            f"# numprocs: {self.numprocs}",
+            f"# tasks_per_node: {self.tasks_per_node}",
+            f"# network: {self.network}",
+            f"# start: {self.start_time}",
+            f"# end: {self.end_time}",
+            "op msgsize iters latency_us bandwidth_mbps",
+        ]
+        for op, size, iters, lat, bw in self.measurements:
+            lines.append(f"{op} {size} {iters} {lat:.3f} {bw:.3f}")
+        return "\n".join(lines) + "\n"
+
+
+@dataclass
+class PrestaDataset:
+    """All generated executions."""
+
+    executions: list[PrestaExecution] = field(default_factory=list)
+
+    @property
+    def num_executions(self) -> int:
+        return len(self.executions)
+
+    def write_files(self, directory) -> list[str]:
+        """Write one ``presta_rma_<id>.txt`` per execution; returns paths."""
+        import os
+
+        os.makedirs(directory, exist_ok=True)
+        paths: list[str] = []
+        for execution in self.executions:
+            path = os.path.join(str(directory), f"presta_rma_{execution.execid}.txt")
+            with open(path, "w", encoding="utf-8") as fh:
+                fh.write(execution.to_text())
+            paths.append(path)
+        return paths
+
+    def to_database(self) -> Database:
+        """Relational form (the thesis's future-work RMA-in-RDBMS test)."""
+        db = Database("presta")
+        db.execute(
+            "CREATE TABLE rma_execs (execid INTEGER PRIMARY KEY, rundate TEXT, "
+            "numprocs INTEGER, tasks_per_node INTEGER, network TEXT, "
+            "start_time REAL, end_time REAL)"
+        )
+        db.execute(
+            "CREATE TABLE rma_results (resultid INTEGER PRIMARY KEY, execid INTEGER, "
+            "op TEXT, msgsize INTEGER, iters INTEGER, latency_us REAL, "
+            "bandwidth_mbps REAL)"
+        )
+        db.execute("CREATE INDEX idx_rma_exec ON rma_results (execid)")
+        exec_cols = "execid rundate numprocs tasks_per_node network start_time end_time".split()
+        result_cols = "resultid execid op msgsize iters latency_us bandwidth_mbps".split()
+        exec_rows = [
+            (e.execid, e.rundate, e.numprocs, e.tasks_per_node, e.network, e.start_time, e.end_time)
+            for e in self.executions
+        ]
+        result_rows = []
+        resultid = 0
+        for execution in self.executions:
+            for op, size, iters, lat, bw in execution.measurements:
+                resultid += 1
+                result_rows.append((resultid, execution.execid, op, size, iters, lat, bw))
+        db.load_rows("rma_execs", exec_cols, exec_rows)
+        db.load_rows("rma_results", result_cols, result_rows)
+        return db
+
+
+def generate_presta(seed: int = 13, num_executions: int = 32) -> PrestaDataset:
+    """Generate *num_executions* benchmark runs."""
+    rng = random.Random(seed)
+    ds = PrestaDataset()
+    for execid in range(1, num_executions + 1):
+        numprocs = rng.choice((2, 4, 8, 16))
+        month = 1 + (execid * 3) % 12
+        day = 1 + (execid * 17) % 28
+        execution = PrestaExecution(
+            execid=execid,
+            rundate=f"2004-{month:02d}-{day:02d}",
+            numprocs=numprocs,
+            tasks_per_node=rng.choice((1, 2)),
+            network=rng.choice(("elan3", "myrinet", "fastethernet")),
+            start_time=0.0,
+            end_time=round(rng.uniform(120.0, 600.0), 3),
+        )
+        for op in PRESTA_OPERATIONS:
+            alpha, beta = _OP_PARAMS[op]
+            for size in PRESTA_MSG_SIZES:
+                noise = rng.gauss(1.0, 0.05)
+                latency_us = (alpha + size / beta) * max(0.5, noise)
+                bandwidth_mbps = size / latency_us  # MB/s = bytes/us
+                iters = max(10, 100000 // (1 + size // 64))
+                execution.measurements.append(
+                    (op, size, iters, round(latency_us, 3), round(bandwidth_mbps, 3))
+                )
+        ds.executions.append(execution)
+    return ds

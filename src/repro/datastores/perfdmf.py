@@ -1,0 +1,139 @@
+"""PerfDMF-style profile database (thesis §2.4 interoperability case).
+
+The thesis singles out one collaboration: "PPerfGrid could be used to
+expose a PerfDMF profile database for analysis with performance data
+from other locations."  PerfDMF (Huck et al., 2004) stores *profiles*
+(aggregated per-function data), not traces, in a relational schema with
+the entities APPLICATION, EXPERIMENT, TRIAL, METRIC, INTERVAL_EVENT —
+reproduced here as five tables:
+
+* ``application(app_id, name, version)``
+* ``experiment(exp_id, app_id, name)``
+* ``trial(trial_id, exp_id, name, date, node_count, contexts_per_node,
+  threads_per_context, total_time)``
+* ``metric(metric_id, trial_id, name)``
+* ``interval_event(event_id, trial_id, metric_id, event_name, event_group,
+  inclusive_value, exclusive_value, num_calls)``
+
+:func:`profile_from_trace` derives a PerfDMF profile from an SMG98
+trace dataset (the workflow PerfDMF's embedded translators perform), so
+the two stores hold the same runs at different granularities — which the
+parity tests exploit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.datastores.generators.smg98 import SMG98_FUNCTIONS, Smg98Dataset
+from repro.minidb import Database
+
+PERFDMF_METRICS = ("TIME", "CALLS")
+
+
+@dataclass
+class PerfDmfDataset:
+    """Row lists for the five PerfDMF tables."""
+
+    applications: list[dict] = field(default_factory=list)
+    experiments: list[dict] = field(default_factory=list)
+    trials: list[dict] = field(default_factory=list)
+    metrics: list[dict] = field(default_factory=list)
+    interval_events: list[dict] = field(default_factory=list)
+
+    def to_database(self) -> Database:
+        db = Database("perfdmf")
+        db.execute(
+            "CREATE TABLE application (app_id INTEGER PRIMARY KEY, name TEXT, version TEXT)"
+        )
+        db.execute(
+            "CREATE TABLE experiment (exp_id INTEGER PRIMARY KEY, app_id INTEGER, name TEXT)"
+        )
+        db.execute(
+            "CREATE TABLE trial (trial_id INTEGER PRIMARY KEY, exp_id INTEGER, "
+            "name TEXT, date TEXT, node_count INTEGER, contexts_per_node INTEGER, "
+            "threads_per_context INTEGER, total_time REAL)"
+        )
+        db.execute(
+            "CREATE TABLE metric (metric_id INTEGER PRIMARY KEY, trial_id INTEGER, name TEXT)"
+        )
+        db.execute(
+            "CREATE TABLE interval_event (event_id INTEGER PRIMARY KEY, trial_id INTEGER, "
+            "metric_id INTEGER, event_name TEXT, event_group TEXT, "
+            "inclusive_value REAL, exclusive_value REAL, num_calls INTEGER)"
+        )
+        db.execute("CREATE INDEX idx_ie_trial ON interval_event (trial_id)")
+
+        def load(table: str, rows: list[dict]) -> None:
+            if rows:
+                cols = list(rows[0].keys())
+                db.load_rows(table, cols, [tuple(r[c] for c in cols) for r in rows])
+
+        load("application", self.applications)
+        load("experiment", self.experiments)
+        load("trial", self.trials)
+        load("metric", self.metrics)
+        load("interval_event", self.interval_events)
+        return db
+
+
+def profile_from_trace(trace: Smg98Dataset, app_name: str = "SMG98") -> PerfDmfDataset:
+    """Aggregate a Vampir-style trace into a PerfDMF profile.
+
+    One TRIAL per traced execution; per (trial, function) one
+    INTERVAL_EVENT row per metric: TIME (summed interval durations;
+    inclusive == exclusive in this flat profile) and CALLS.
+    """
+    ds = PerfDmfDataset()
+    ds.applications.append({"app_id": 1, "name": app_name, "version": "1998"})
+    ds.experiments.append({"exp_id": 1, "app_id": 1, "name": f"{app_name}-scaling"})
+    func_by_id = {i + 1: (name, grp) for i, (name, grp) in enumerate(SMG98_FUNCTIONS)}
+
+    metric_id = 0
+    event_id = 0
+    metric_ids: dict[tuple[int, str], int] = {}
+    for execution in trace.executions:
+        trial_id = execution["execid"]
+        ds.trials.append(
+            {
+                "trial_id": trial_id,
+                "exp_id": 1,
+                "name": f"trial-{trial_id}",
+                "date": execution["rundate"],
+                "node_count": execution["numprocs"],
+                "contexts_per_node": 1,
+                "threads_per_context": 1,
+                "total_time": execution["runtime"],
+            }
+        )
+        for metric_name in PERFDMF_METRICS:
+            metric_id += 1
+            metric_ids[(trial_id, metric_name)] = metric_id
+            ds.metrics.append(
+                {"metric_id": metric_id, "trial_id": trial_id, "name": metric_name}
+            )
+
+    # Aggregate intervals: (execid, funcid) -> [time, calls]
+    totals: dict[tuple[int, int], list[float]] = {}
+    for row in trace.intervals:
+        key = (row["execid"], row["funcid"])
+        bucket = totals.setdefault(key, [0.0, 0.0])
+        bucket[0] += row["end_ts"] - row["start_ts"]
+        bucket[1] += 1
+    for (trial_id, funcid), (time_total, calls) in sorted(totals.items()):
+        name, grp = func_by_id[funcid]
+        for metric_name, value in (("TIME", time_total), ("CALLS", calls)):
+            event_id += 1
+            ds.interval_events.append(
+                {
+                    "event_id": event_id,
+                    "trial_id": trial_id,
+                    "metric_id": metric_ids[(trial_id, metric_name)],
+                    "event_name": name,
+                    "event_group": grp,
+                    "inclusive_value": value,
+                    "exclusive_value": value,
+                    "num_calls": int(calls),
+                }
+            )
+    return ds

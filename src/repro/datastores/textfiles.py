@@ -1,0 +1,132 @@
+"""Flat ASCII text-file store and its custom parser (the RMA data layer).
+
+The thesis accesses the PRESTA dataset "through a custom parser written
+in Java"; :func:`parse_presta_file` is that parser and
+:class:`TextFileStore` is the directory-of-files data store the wrapper
+queries.  Parsing happens on every query (unless the Semantic Layer's
+Performance-Result cache hits) — that is the cost Table 5 shows barely
+improving under caching for RMA.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.datastores.generators.presta import PrestaExecution
+
+
+class TextStoreError(ValueError):
+    """Raised on malformed files or unknown executions."""
+
+
+def parse_presta_file(path: str) -> PrestaExecution:
+    """Parse one ``presta_rma_<id>.txt`` file."""
+    header: dict[str, str] = {}
+    measurements: list[tuple[str, int, int, float, float]] = []
+    saw_columns = False
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, raw in enumerate(fh, 1):
+            line = raw.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                body = line[1:].strip()
+                if ":" in body:
+                    key, _, value = body.partition(":")
+                    header[key.strip()] = value.strip()
+                continue
+            if not saw_columns:
+                expected = "op msgsize iters latency_us bandwidth_mbps"
+                if line != expected:
+                    raise TextStoreError(
+                        f"{path}:{lineno}: expected column header {expected!r}"
+                    )
+                saw_columns = True
+                continue
+            parts = line.split()
+            if len(parts) != 5:
+                raise TextStoreError(f"{path}:{lineno}: expected 5 fields, got {len(parts)}")
+            try:
+                measurements.append(
+                    (parts[0], int(parts[1]), int(parts[2]), float(parts[3]), float(parts[4]))
+                )
+            except ValueError as exc:
+                raise TextStoreError(f"{path}:{lineno}: {exc}") from exc
+    required = ("execid", "rundate", "numprocs", "tasks_per_node", "network", "start", "end")
+    missing = [key for key in required if key not in header]
+    if missing:
+        raise TextStoreError(f"{path}: missing header field(s) {missing}")
+    try:
+        return PrestaExecution(
+            execid=int(header["execid"]),
+            rundate=header["rundate"],
+            numprocs=int(header["numprocs"]),
+            tasks_per_node=int(header["tasks_per_node"]),
+            network=header["network"],
+            start_time=float(header["start"]),
+            end_time=float(header["end"]),
+            measurements=measurements,
+        )
+    except ValueError as exc:
+        raise TextStoreError(f"{path}: bad header value: {exc}") from exc
+
+
+class TextFileStore:
+    """A directory of ``presta_rma_<id>.txt`` files.
+
+    The store scans the directory once for the id -> path map (cheap) but
+    re-parses file contents on every :meth:`load` — matching the thesis's
+    access pattern where only the Semantic Layer caches results.
+    """
+
+    def __init__(self, directory: str) -> None:
+        self.directory = str(directory)
+        self._paths: dict[int, str] = {}
+        self.parse_count = 0
+        self.refresh()
+
+    def refresh(self) -> None:
+        """Re-scan the directory for execution files."""
+        self._paths.clear()
+        if not os.path.isdir(self.directory):
+            raise TextStoreError(f"no such directory {self.directory!r}")
+        for name in sorted(os.listdir(self.directory)):
+            if not (name.startswith("presta_rma_") and name.endswith(".txt")):
+                continue
+            id_text = name[len("presta_rma_") : -len(".txt")]
+            try:
+                execid = int(id_text)
+            except ValueError:
+                continue
+            self._paths[execid] = os.path.join(self.directory, name)
+
+    def execution_ids(self) -> list[int]:
+        return sorted(self._paths)
+
+    def has_execution(self, execid: int) -> bool:
+        return execid in self._paths
+
+    def load(self, execid: int) -> PrestaExecution:
+        """Parse and return one execution (no caching here by design)."""
+        path = self._paths.get(execid)
+        if path is None:
+            raise TextStoreError(f"no execution {execid} in {self.directory!r}")
+        self.parse_count += 1
+        return parse_presta_file(path)
+
+    def load_header_only(self, execid: int) -> dict[str, str]:
+        """Parse only the ``#`` header of one file (attribute discovery)."""
+        path = self._paths.get(execid)
+        if path is None:
+            raise TextStoreError(f"no execution {execid} in {self.directory!r}")
+        header: dict[str, str] = {}
+        with open(path, "r", encoding="utf-8") as fh:
+            for raw in fh:
+                line = raw.strip()
+                if not line.startswith("#"):
+                    break
+                body = line[1:].strip()
+                if ":" in body:
+                    key, _, value = body.partition(":")
+                    header[key.strip()] = value.strip()
+        return header

@@ -1,0 +1,65 @@
+"""Native-XML data store (thesis §5.1: "in a text file as XML").
+
+Holds the HPL dataset in XML form and answers queries with the XPath
+subset — the alternative storage format used to compare overhead between
+"data stores of the same content but different formats" (future-work §7).
+"""
+
+from __future__ import annotations
+
+from repro.xmlkit import Element, parse, xpath_select
+
+
+class XmlStoreError(ValueError):
+    """Raised on malformed documents or queries."""
+
+
+class XmlStore:
+    """An XML document queried with XPath.
+
+    The document is parsed once at load (the file sits on disk in the
+    thesis; parsing per query would be strictly worse than the text
+    store, not representative).  Attribute access per query still walks
+    the tree, keeping per-query cost nonzero.
+    """
+
+    def __init__(self, text: str | bytes) -> None:
+        try:
+            self.document = parse(text)
+        except ValueError as exc:
+            raise XmlStoreError(f"cannot parse XML store: {exc}") from exc
+        self.query_count = 0
+
+    @staticmethod
+    def from_file(path: str) -> "XmlStore":
+        with open(path, "r", encoding="utf-8") as fh:
+            return XmlStore(fh.read())
+
+    @property
+    def root(self) -> Element:
+        return self.document.root
+
+    def select(self, xpath: str) -> list[Element] | list[str]:
+        """Run an XPath query against the document root."""
+        self.query_count += 1
+        return xpath_select(self.root, xpath)
+
+    # Convenience accessors shaped for the HPL XML layout -----------------
+    def runs(self) -> list[Element]:
+        self.query_count += 1
+        result = xpath_select(self.root, "/hplResults/run")
+        return [el for el in result if isinstance(el, Element)]
+
+    def run_by_id(self, runid: int) -> Element | None:
+        self.query_count += 1
+        hits = xpath_select(self.root, f"/hplResults/run[@runid='{runid}']")
+        for el in hits:
+            if isinstance(el, Element):
+                return el
+        return None
+
+    def attribute_values(self, attribute: str) -> list[str]:
+        """Distinct values of one run attribute, sorted."""
+        self.query_count += 1
+        values = xpath_select(self.root, f"/hplResults/run/@{attribute}")
+        return sorted({v for v in values if isinstance(v, str)})

@@ -1,0 +1,146 @@
+"""Table 5 — Performance-Result caching.
+
+Thesis method (§6.6): one representative ``getPR`` query per data source,
+run 30 times with caching off and 30 times with caching on; report mean
+query times, relative change, and speedup.  With caching on only the
+first query reaches the Mapping Layer; the rest are hash-table hits, so
+the speedup tracks how much of the total time the Mapping Layer was
+(huge for SMG98, ~2x for HPL, small for RMA where the text parse is
+cheap relative to the SOAP path).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.stats import mean, relative_change, speedup
+from repro.analysis.tables import format_table
+from repro.core.semantic import UNDEFINED_TYPE
+from repro.experiments.common import GridScale, TestGrid, build_grid
+
+_QUERY_PLANS = {
+    "HPL": ("gflops", ["/Run"]),
+    "PRESTA-RMA": (
+        "bandwidth_mbps",
+        ["/Op/MPI_Put", "/Op/MPI_Get", "/Op/MPI_Accumulate", "/Op/MPI_Send", "/Op/MPI_Isend"],
+    ),
+    "SMG98": ("time_spent", ["/Code/MPI/MPI_Allgather"]),
+}
+_STORE_KINDS = {"HPL": "RDBMS", "PRESTA-RMA": "ASCII text files", "SMG98": "RDBMS"}
+
+
+@dataclass
+class CachingRow:
+    source: str
+    store_kind: str
+    queries: int
+    mean_off_ms: float
+    mean_on_ms: float
+
+    @property
+    def speedup(self) -> float:
+        return speedup(self.mean_off_ms, self.mean_on_ms)
+
+    @property
+    def relative_change_pct(self) -> float:
+        return relative_change(self.mean_off_ms, self.mean_on_ms)
+
+
+@dataclass
+class CachingResult:
+    rows: list[CachingRow]
+
+    def to_table(self) -> str:
+        headers = [
+            "Data Source",
+            "Store",
+            "Mean query time, caching off (ms)",
+            "Mean query time, caching on (ms)",
+            "Relative Change",
+            "Speedup",
+        ]
+        rows = [
+            [
+                r.source,
+                r.store_kind,
+                r.mean_off_ms,
+                r.mean_on_ms,
+                f"{r.relative_change_pct:,.2f}%",
+                f"{r.speedup:,.2f}",
+            ]
+            for r in self.rows
+        ]
+        return format_table(headers, rows, title="Table 5: PPerfGrid Caching")
+
+    def row(self, source: str) -> CachingRow:
+        for r in self.rows:
+            if r.source == source:
+                return r
+        raise KeyError(source)
+
+
+#: a second metric per source, used only to warm code paths without
+#: touching the measured query's cache key
+_WARMUP_PLANS = {
+    "HPL": ("runtimesec", ["/Run"]),
+    "PRESTA-RMA": ("latency_us", ["/Op/MPI_Accumulate"]),
+    "SMG98": ("func_calls", ["/Code/MPI/MPI_Comm_rank"]),
+}
+
+
+def _measure_arm(grid: TestGrid, source: str, num_queries: int, warmup: int) -> float:
+    """Mean total getPR time (seconds) for one arm of one source."""
+    binding = grid.bind(source)
+    executions = binding.all_executions()
+    execution = executions[0]
+    metric, foci = _QUERY_PLANS[source]
+    warm_metric, warm_foci = _WARMUP_PLANS[source]
+    # Warm interpreter/code paths with a *different* query so the
+    # measured key still starts cold, exactly as in the thesis's runs.
+    for _ in range(warmup):
+        execution.get_pr(warm_metric, warm_foci, result_type=UNDEFINED_TYPE)
+    timer = grid.environment.recorder.timer("virtualization.getPR")
+    samples: list[float] = []
+    for _ in range(num_queries):
+        n = len(timer.samples)
+        execution.get_pr(metric, foci, result_type=UNDEFINED_TYPE)
+        samples.append(sum(timer.samples[n:]))
+    return mean(samples)
+
+
+def run_caching_experiment(
+    scale: GridScale | None = None,
+    num_queries: int = 30,
+    fast_source_queries: int | None = None,
+    warmup: int = 5,
+) -> CachingResult:
+    """Run both arms for all three sources.
+
+    ``num_queries`` matches the thesis (30 per arm) and applies to SMG98;
+    ``fast_source_queries`` (default ``10 * num_queries``) applies to HPL
+    and RMA, whose per-query times are ~100x smaller on this substrate
+    than on the 2004 testbed — at 30 samples their means would be
+    dominated by scheduler noise rather than the caching effect.
+    """
+    fast = fast_source_queries if fast_source_queries is not None else num_queries * 10
+    grid_off = build_grid(scale, caching=False)
+    grid_on = build_grid(scale, caching=True)
+    try:
+        rows: list[CachingRow] = []
+        for source in ("HPL", "PRESTA-RMA", "SMG98"):
+            queries = num_queries if source == "SMG98" else fast
+            off_s = _measure_arm(grid_off, source, queries, warmup)
+            on_s = _measure_arm(grid_on, source, queries, warmup)
+            rows.append(
+                CachingRow(
+                    source=source,
+                    store_kind=_STORE_KINDS[source],
+                    queries=queries,
+                    mean_off_ms=off_s * 1000,
+                    mean_on_ms=on_s * 1000,
+                )
+            )
+        return CachingResult(rows=rows)
+    finally:
+        grid_off.cleanup()
+        grid_on.cleanup()

@@ -1,0 +1,168 @@
+"""Shared experiment scaffolding: build a grid with the three data sources.
+
+Mirrors the thesis's testbed (§6.1-§6.3): the HPL and SMG98 stores in
+relational databases, PRESTA RMA in flat text files, all published
+through one UDDI registry.  ``GridScale`` controls dataset sizes so unit
+tests stay fast while benchmarks run at paper proportions.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import dataclass, field
+
+from repro.core.client import PPerfGridClient
+from repro.core.prcache import NullCache, UnboundedCache
+from repro.core.session import PPerfGridSite, SiteConfig
+from repro.datastores.generators.hpl import generate_hpl
+from repro.datastores.generators.presta import generate_presta
+from repro.datastores.generators.smg98 import generate_smg98
+from repro.datastores.textfiles import TextFileStore
+from repro.mapping.rdbms import HplRdbmsWrapper, Smg98RdbmsWrapper
+from repro.mapping.textfile import PrestaTextWrapper
+from repro.ogsi.container import GridEnvironment
+from repro.simnet.host import SimHost
+from repro.uddi.proxy import UddiClient
+from repro.uddi.registry_server import UddiRegistryServer
+
+
+@dataclass(frozen=True)
+class GridScale:
+    """Dataset sizes for one grid build."""
+
+    hpl_executions: int = 124
+    smg98_executions: int = 30
+    smg98_intervals: int = 12000
+    smg98_messages: int = 2000
+    presta_executions: int = 32
+    seed: int = 7
+
+    @staticmethod
+    def tiny() -> "GridScale":
+        """Unit-test scale: everything small."""
+        return GridScale(
+            hpl_executions=12,
+            smg98_executions=3,
+            smg98_intervals=400,
+            smg98_messages=100,
+            presta_executions=4,
+        )
+
+    @staticmethod
+    def paper() -> "GridScale":
+        """Benchmark scale (paper proportions)."""
+        return GridScale()
+
+
+@dataclass
+class TestGrid:
+    """A fully wired grid: three sites, registry, client."""
+
+    environment: GridEnvironment
+    uddi: UddiClient
+    uddi_gsh: str
+    hpl_site: PPerfGridSite
+    smg98_site: PPerfGridSite
+    presta_site: PPerfGridSite
+    client: PPerfGridClient
+    scale: GridScale
+    #: holds the presta temp directory alive for the grid's lifetime
+    _tempdir: tempfile.TemporaryDirectory | None = None
+    sites: dict[str, PPerfGridSite] = field(default_factory=dict)
+
+    def site(self, name: str) -> PPerfGridSite:
+        return self.sites[name]
+
+    def bind(self, app_name: str):
+        """Bind the client to one published application by name."""
+        for org in self.client.discover_organizations("%"):
+            for service in org.services():
+                if service.name == app_name:
+                    return self.client.bind(service)
+        raise KeyError(f"no published application {app_name!r}")
+
+    def cleanup(self) -> None:
+        if self._tempdir is not None:
+            self._tempdir.cleanup()
+            self._tempdir = None
+
+
+def build_grid(
+    scale: GridScale | None = None,
+    *,
+    caching: bool = True,
+    timed_mapping: bool = True,
+    with_hosts: bool = False,
+) -> TestGrid:
+    """Build the standard three-source grid.
+
+    ``caching=False`` gives every Execution instance a NullCache (the
+    Table 4 / Table 5 "caching off" arm).  ``with_hosts=True`` attaches
+    SimHosts to the site containers (needed by the scalability replay).
+    """
+    scale = scale or GridScale.paper()
+    environment = GridEnvironment()
+    registry_container = environment.create_container("registry.pdx.edu:9090")
+    uddi_gsh = registry_container.deploy("services/uddi", UddiRegistryServer())
+    uddi = UddiClient.connect(environment, uddi_gsh)
+    org_key = uddi.publish_organization(
+        "Portland State University", "pperfdb@cs.pdx.edu", "PPerfDB group test data"
+    )
+
+    cache_factory = UnboundedCache if caching else NullCache
+
+    def config(authority: str, app: str) -> SiteConfig:
+        return SiteConfig(
+            authority=authority,
+            app_name=app,
+            timed_mapping=timed_mapping,
+            cache_factory=cache_factory,
+        )
+
+    def host(name: str) -> SimHost | None:
+        return SimHost(name) if with_hosts else None
+
+    hpl_db = generate_hpl(seed=scale.seed, num_executions=scale.hpl_executions).to_database()
+    hpl_site = PPerfGridSite(
+        environment, config("hpl.pdx.edu:8080", "HPL"), HplRdbmsWrapper(hpl_db),
+        host=host("hpl-host"),
+    )
+    hpl_site.publish(uddi, org_key, "HPL runs in PostgreSQL-style RDBMS")
+
+    smg_db = generate_smg98(
+        seed=scale.seed + 1,
+        num_executions=scale.smg98_executions,
+        intervals_per_execution=scale.smg98_intervals,
+        messages_per_execution=scale.smg98_messages,
+    ).to_database()
+    smg98_site = PPerfGridSite(
+        environment, config("smg98.pdx.edu:8080", "SMG98"), Smg98RdbmsWrapper(smg_db),
+        host=host("smg98-host"),
+    )
+    smg98_site.publish(uddi, org_key, "SMG98 Vampir trace, 5-table RDBMS")
+
+    tempdir = tempfile.TemporaryDirectory(prefix="pperfgrid-presta-")
+    presta = generate_presta(seed=scale.seed + 2, num_executions=scale.presta_executions)
+    presta.write_files(tempdir.name)
+    presta_site = PPerfGridSite(
+        environment,
+        config("presta.pdx.edu:8080", "PRESTA-RMA"),
+        PrestaTextWrapper(TextFileStore(tempdir.name)),
+        host=host("presta-host"),
+    )
+    presta_site.publish(uddi, org_key, "PRESTA RMA flat ASCII text files")
+
+    client = PPerfGridClient(environment, uddi_gsh.url())
+    grid = TestGrid(
+        environment=environment,
+        uddi=uddi,
+        uddi_gsh=uddi_gsh.url(),
+        hpl_site=hpl_site,
+        smg98_site=smg98_site,
+        presta_site=presta_site,
+        client=client,
+        scale=scale,
+        _tempdir=tempdir,
+    )
+    grid.sites = {"HPL": hpl_site, "SMG98": smg98_site, "PRESTA-RMA": presta_site}
+    return grid

@@ -1,0 +1,37 @@
+"""GSI-style security (thesis future-work §7).
+
+The thesis notes the prototype "does not address security" and proposes
+GT3.2's Grid Security Infrastructure: public-key credentials, message
+protection, and single-sign-on proxy delegation.  This package provides
+an offline-friendly equivalent built on HMAC-SHA256:
+
+* a :class:`CertificateAuthority` issues :class:`Credential` objects
+  (identity + signing key, signed by the CA);
+* :class:`ProxyCredential` supports delegation chains with bounded
+  lifetimes (the "single sign-on" workflow);
+* :func:`sign_request` / :func:`make_verifier` put a signature header on
+  each SOAP request and verify it at the container ingress.
+
+HMAC replaces X.509 because no crypto backends exist offline; the
+*protocol shape* — who holds what secret, what travels in the message,
+what the server checks — matches GSI's.
+"""
+
+from repro.gsi.credentials import (
+    CertificateAuthority,
+    Credential,
+    CredentialError,
+    ProxyCredential,
+)
+from repro.gsi.messages import GSI_NS, make_verifier, sign_request, signature_header_provider
+
+__all__ = [
+    "CertificateAuthority",
+    "Credential",
+    "CredentialError",
+    "GSI_NS",
+    "ProxyCredential",
+    "make_verifier",
+    "sign_request",
+    "signature_header_provider",
+]

@@ -1,0 +1,167 @@
+"""Credentials, certificate authority, and proxy delegation."""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import secrets
+from dataclasses import dataclass, field
+
+
+class CredentialError(Exception):
+    """Raised on verification or delegation failures."""
+
+
+def _hmac_hex(key: bytes, payload: bytes) -> str:
+    return hmac.new(key, payload, hashlib.sha256).hexdigest()
+
+
+@dataclass
+class Credential:
+    """A long-lived identity credential.
+
+    ``identity`` is the distinguished name (e.g. ``"/O=PSU/CN=alice"``).
+    ``key`` is the secret signing key; ``ca_signature`` binds identity ->
+    key-fingerprint under the CA's key, playing the role of the X.509
+    certificate.
+    """
+
+    identity: str
+    key: bytes
+    ca_name: str
+    ca_signature: str
+
+    def fingerprint(self) -> str:
+        return hashlib.sha256(self.key).hexdigest()[:32]
+
+    def sign(self, payload: bytes) -> str:
+        return _hmac_hex(self.key, payload)
+
+    def delegate(self, lifetime: float, issued_at: float, depth_limit: int = 8) -> "ProxyCredential":
+        """Issue a proxy credential valid for *lifetime* seconds."""
+        if lifetime <= 0:
+            raise CredentialError("proxy lifetime must be positive")
+        proxy_key = secrets.token_bytes(32)
+        statement = _delegation_statement(
+            self.identity, proxy_key, issued_at, issued_at + lifetime, depth_limit
+        )
+        return ProxyCredential(
+            identity=self.identity + "/CN=proxy",
+            key=proxy_key,
+            issuer_identity=self.identity,
+            issuer_signature=self.sign(statement),
+            issued_at=issued_at,
+            expires_at=issued_at + lifetime,
+            depth_remaining=depth_limit,
+            ca_name=self.ca_name,
+        )
+
+
+def _delegation_statement(
+    issuer: str, proxy_key: bytes, issued_at: float, expires_at: float, depth: int
+) -> bytes:
+    fingerprint = hashlib.sha256(proxy_key).hexdigest()
+    return f"{issuer}|{fingerprint}|{issued_at!r}|{expires_at!r}|{depth}".encode()
+
+
+@dataclass
+class ProxyCredential:
+    """A delegated, short-lived credential (single-sign-on token)."""
+
+    identity: str
+    key: bytes
+    issuer_identity: str
+    issuer_signature: str
+    issued_at: float
+    expires_at: float
+    depth_remaining: int
+    ca_name: str
+
+    def fingerprint(self) -> str:
+        return hashlib.sha256(self.key).hexdigest()[:32]
+
+    def sign(self, payload: bytes) -> str:
+        return _hmac_hex(self.key, payload)
+
+    def is_expired(self, now: float) -> bool:
+        return now >= self.expires_at
+
+    def delegate(self, lifetime: float, issued_at: float) -> "ProxyCredential":
+        """Further delegation; the chain length is bounded by depth."""
+        if self.depth_remaining <= 0:
+            raise CredentialError("delegation depth exhausted")
+        if issued_at >= self.expires_at:
+            raise CredentialError("cannot delegate from an expired proxy")
+        lifetime = min(lifetime, self.expires_at - issued_at)
+        proxy_key = secrets.token_bytes(32)
+        statement = _delegation_statement(
+            self.identity, proxy_key, issued_at, issued_at + lifetime, self.depth_remaining - 1
+        )
+        return ProxyCredential(
+            identity=self.identity + "/CN=proxy",
+            key=proxy_key,
+            issuer_identity=self.identity,
+            issuer_signature=self.sign(statement),
+            issued_at=issued_at,
+            expires_at=issued_at + lifetime,
+            depth_remaining=self.depth_remaining - 1,
+            ca_name=self.ca_name,
+        )
+
+
+@dataclass
+class CertificateAuthority:
+    """Issues credentials and answers trust queries.
+
+    The CA retains issued keys (it is the single trust root of one grid);
+    verification of a message signature looks the claimed identity up and
+    recomputes the HMAC — the offline stand-in for certificate-path
+    validation.
+    """
+
+    name: str = "PPerfGrid-CA"
+    _key: bytes = field(default_factory=lambda: secrets.token_bytes(32))
+    _issued: dict[str, Credential] = field(default_factory=dict)
+    _proxies: dict[str, ProxyCredential] = field(default_factory=dict)
+
+    def issue(self, identity: str) -> Credential:
+        if identity in self._issued:
+            raise CredentialError(f"identity {identity!r} already issued")
+        key = secrets.token_bytes(32)
+        signature = _hmac_hex(self._key, f"{identity}|{hashlib.sha256(key).hexdigest()}".encode())
+        cred = Credential(identity=identity, key=key, ca_name=self.name, ca_signature=signature)
+        self._issued[identity] = cred
+        return cred
+
+    def register_proxy(self, proxy: ProxyCredential) -> None:
+        """Record a delegated proxy so its signatures can be verified."""
+        issuer = self._issued.get(proxy.issuer_identity) or self._proxies.get(
+            proxy.issuer_identity
+        )
+        if issuer is None:
+            raise CredentialError(f"unknown issuer {proxy.issuer_identity!r}")
+        statement = _delegation_statement(
+            proxy.issuer_identity,
+            proxy.key,
+            proxy.issued_at,
+            proxy.expires_at,
+            proxy.depth_remaining,
+        )
+        if not hmac.compare_digest(issuer.sign(statement), proxy.issuer_signature):
+            raise CredentialError("proxy delegation signature is invalid")
+        self._proxies[proxy.identity] = proxy
+
+    def key_for_identity(self, identity: str, now: float) -> bytes:
+        """Signing key for a known identity; raises for unknown/expired."""
+        cred = self._issued.get(identity)
+        if cred is not None:
+            return cred.key
+        proxy = self._proxies.get(identity)
+        if proxy is None:
+            raise CredentialError(f"unknown identity {identity!r}")
+        if proxy.is_expired(now):
+            raise CredentialError(f"proxy credential {identity!r} has expired")
+        return proxy.key
+
+    def knows(self, identity: str) -> bool:
+        return identity in self._issued or identity in self._proxies

@@ -1,0 +1,47 @@
+"""Mapping Layer: wrappers translating PPerfGrid semantics to data stores.
+
+A wrapper implements the operational semantics of Tables 1 and 2 against
+one concrete store (Figure 4 of the thesis shows the RDBMS case).  The
+Semantic Layer never sees SQL, file formats, or XPath — only the wrapper
+interface.
+
+Implementations provided (matching the thesis's three stores plus its
+future-work variants):
+
+* :class:`HplRdbmsWrapper` — HPL in a single relational table
+* :class:`Smg98RdbmsWrapper` — SMG98 Vampir trace in five tables
+* :class:`PrestaTextWrapper` — PRESTA RMA in flat ASCII files
+* :class:`HplXmlWrapper` — HPL in native XML (future-work §7)
+* :class:`PrestaRdbmsWrapper` — PRESTA RMA relational (future-work §7)
+* :class:`PerfDmfWrapper` — a PerfDMF profile database (§2.4
+  interoperability: "PPerfGrid could be used to expose a PerfDMF profile
+  database")
+"""
+
+from repro.mapping.base import (
+    ApplicationWrapper,
+    ExecutionWrapper,
+    MappingError,
+    TimedExecutionWrapper,
+)
+from repro.mapping.perfdmf import PerfDmfWrapper
+from repro.mapping.rdbms import (
+    HplRdbmsWrapper,
+    PrestaRdbmsWrapper,
+    Smg98RdbmsWrapper,
+)
+from repro.mapping.textfile import PrestaTextWrapper
+from repro.mapping.xmlwrap import HplXmlWrapper
+
+__all__ = [
+    "ApplicationWrapper",
+    "ExecutionWrapper",
+    "HplRdbmsWrapper",
+    "HplXmlWrapper",
+    "MappingError",
+    "PerfDmfWrapper",
+    "PrestaRdbmsWrapper",
+    "PrestaTextWrapper",
+    "Smg98RdbmsWrapper",
+    "TimedExecutionWrapper",
+]

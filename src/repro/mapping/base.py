@@ -1,0 +1,159 @@
+"""Wrapper interfaces (the Mapping Layer contract).
+
+``ApplicationWrapper`` mirrors Table 1, ``ExecutionWrapper`` mirrors
+Table 2, both in native Python types; the Semantic Layer services do the
+string packing/unpacking the wire format requires.
+
+A wrapper object covers one *published dataset*; execution wrappers are
+obtained per execution id via :meth:`ApplicationWrapper.execution`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.core.semantic import PerformanceResult
+from repro.simnet.metrics import Recorder
+
+#: comparison operators accepted by attribute queries
+OPERATORS = ("=", "!=", "<", "<=", ">", ">=")
+
+
+class MappingError(ValueError):
+    """Raised for unknown executions, attributes, metrics, or foci."""
+
+
+class ApplicationWrapper(ABC):
+    """Table 1 semantics against one data store."""
+
+    #: the tool type of results in this store (e.g. "vampir")
+    result_type: str = "unknown"
+
+    @abstractmethod
+    def get_app_info(self) -> list[tuple[str, str]]:
+        """(name, value) pairs describing the application."""
+
+    @abstractmethod
+    def get_exec_query_params(self) -> dict[str, list[str]]:
+        """attribute -> sorted unique values (as strings)."""
+
+    @abstractmethod
+    def get_all_exec_ids(self) -> list[str]:
+        """Unique execution ids, sorted."""
+
+    @abstractmethod
+    def get_exec_ids(self, attribute: str, value: str, operator: str = "=") -> list[str]:
+        """Execution ids whose *attribute* compares to *value*."""
+
+    @abstractmethod
+    def execution(self, exec_id: str) -> "ExecutionWrapper":
+        """An execution wrapper for one id (raises MappingError if unknown)."""
+
+    def get_num_execs(self) -> int:
+        return len(self.get_all_exec_ids())
+
+    @staticmethod
+    def check_operator(operator: str) -> None:
+        if operator not in OPERATORS:
+            raise MappingError(f"unsupported operator {operator!r} (use one of {OPERATORS})")
+
+
+def compare_attribute(stored: str, value: str, operator: str) -> bool:
+    """Attribute comparison: numeric when both sides parse as numbers."""
+    try:
+        a: float | str = float(stored)
+        b: float | str = float(value)
+    except ValueError:
+        a, b = stored, value
+    if operator == "=":
+        return a == b
+    if operator == "!=":
+        return a != b
+    if operator == "<":
+        return a < b  # type: ignore[operator]
+    if operator == "<=":
+        return a <= b  # type: ignore[operator]
+    if operator == ">":
+        return a > b  # type: ignore[operator]
+    if operator == ">=":
+        return a >= b  # type: ignore[operator]
+    raise MappingError(f"unsupported operator {operator!r}")
+
+
+class ExecutionWrapper(ABC):
+    """Table 2 semantics for one execution of one data store."""
+
+    @abstractmethod
+    def get_info(self) -> list[tuple[str, str]]:
+        """(name, value) pairs describing the execution."""
+
+    @abstractmethod
+    def get_foci(self) -> list[str]:
+        """All focus paths, sorted, no duplicates."""
+
+    @abstractmethod
+    def get_metrics(self) -> list[str]:
+        """All metric names, sorted, no duplicates."""
+
+    @abstractmethod
+    def get_types(self) -> list[str]:
+        """All tool types present, sorted, no duplicates."""
+
+    @abstractmethod
+    def get_time_start_end(self) -> tuple[float, float]:
+        """(start, end) of the execution."""
+
+    @abstractmethod
+    def get_pr(
+        self,
+        metric: str,
+        foci: list[str],
+        start: float,
+        end: float,
+        result_type: str,
+    ) -> list[PerformanceResult]:
+        """Performance Results matching the tuple (thesis §5.3.2.2).
+
+        ``result_type`` of ``"UNDEFINED"`` matches any tool type.
+        """
+
+
+class TimedExecutionWrapper(ExecutionWrapper):
+    """Decorator recording Mapping-Layer query time into a recorder.
+
+    This is the instrumentation point of the Table 4 experiment: "The
+    Mapping Layer class call to getPR was timed to measure elapsed time
+    for the local ... queries necessary to produce one Performance
+    Result."
+    """
+
+    def __init__(self, inner: ExecutionWrapper, recorder: Recorder, timer_name: str = "mapping.getPR") -> None:
+        self.inner = inner
+        self.recorder = recorder
+        self.timer_name = timer_name
+
+    def get_info(self) -> list[tuple[str, str]]:
+        return self.inner.get_info()
+
+    def get_foci(self) -> list[str]:
+        return self.inner.get_foci()
+
+    def get_metrics(self) -> list[str]:
+        return self.inner.get_metrics()
+
+    def get_types(self) -> list[str]:
+        return self.inner.get_types()
+
+    def get_time_start_end(self) -> tuple[float, float]:
+        return self.inner.get_time_start_end()
+
+    def get_pr(
+        self,
+        metric: str,
+        foci: list[str],
+        start: float,
+        end: float,
+        result_type: str,
+    ) -> list[PerformanceResult]:
+        with self.recorder.time(self.timer_name):
+            return self.inner.get_pr(metric, foci, start, end, result_type)

@@ -1,0 +1,521 @@
+"""RDBMS wrappers (the Figure 4 case, against minidb instead of JDBC).
+
+Each wrapper issues SQL through the DB-API cursor — the reproduction of
+``executeQuery("SELECT id FROM information")`` — and converts result rows
+into PPerfGrid types.
+"""
+
+from __future__ import annotations
+
+from repro.core.semantic import UNDEFINED_TYPE, PerformanceResult
+from repro.mapping.base import ApplicationWrapper, ExecutionWrapper, MappingError
+from repro.minidb import Connection, Database, connect
+
+_SQL_OPS = {"=": "=", "!=": "!=", "<": "<", "<=": "<=", ">": ">", ">=": ">="}
+
+
+def _sql_value(value: str, numeric: bool) -> object:
+    if not numeric:
+        return value
+    try:
+        f = float(value)
+    except ValueError as exc:
+        raise MappingError(f"attribute expects a number, got {value!r}") from exc
+    return int(f) if f.is_integer() else f
+
+
+def _type_matches(requested: str, actual: str) -> bool:
+    return requested in (UNDEFINED_TYPE, "", actual)
+
+
+# ------------------------------------------------------------------- HPL
+
+
+class HplRdbmsWrapper(ApplicationWrapper):
+    """HPL in a single relational table (``hpl_runs``)."""
+
+    result_type = "hpl"
+    NUMERIC_ATTRS = frozenset({"n", "nb", "p", "q", "numprocs"})
+    ATTRIBUTES = ("rundate", "n", "nb", "p", "q", "numprocs", "machine")
+    METRICS = ("gflops", "runtimesec", "resid")
+    FOCI = ("/Run",)
+
+    def __init__(self, database: Database) -> None:
+        self.conn: Connection = connect(database)
+
+    def get_app_info(self) -> list[tuple[str, str]]:
+        count = self.conn.execute("SELECT COUNT(*) FROM hpl_runs").scalar()
+        return [
+            ("name", "HPL"),
+            (
+                "description",
+                "HPL - A Portable Implementation of the High-Performance "
+                "Linpack Benchmark for Distributed-Memory Computers",
+            ),
+            ("version", "1.0"),
+            ("executions", str(count)),
+        ]
+
+    def get_exec_query_params(self) -> dict[str, list[str]]:
+        params: dict[str, list[str]] = {}
+        cursor = self.conn.cursor()
+        for attr in self.ATTRIBUTES:
+            cursor.execute(f"SELECT DISTINCT {attr} FROM hpl_runs ORDER BY {attr}")
+            params[attr] = [str(row[0]) for row in cursor.fetchall()]
+        return params
+
+    def get_all_exec_ids(self) -> list[str]:
+        cursor = self.conn.execute("SELECT runid FROM hpl_runs ORDER BY runid")
+        return [str(row[0]) for row in cursor.fetchall()]
+
+    def get_exec_ids(self, attribute: str, value: str, operator: str = "=") -> list[str]:
+        self.check_operator(operator)
+        attr = attribute.lower()
+        if attr == "runid":
+            pass
+        elif attr not in self.ATTRIBUTES:
+            raise MappingError(f"unknown attribute {attribute!r} for HPL")
+        numeric = attr in self.NUMERIC_ATTRS or attr == "runid"
+        cursor = self.conn.execute(
+            f"SELECT runid FROM hpl_runs WHERE {attr} {_SQL_OPS[operator]} ? ORDER BY runid",
+            [_sql_value(value, numeric)],
+        )
+        return [str(row[0]) for row in cursor.fetchall()]
+
+    def execution(self, exec_id: str) -> "HplRdbmsExecutionWrapper":
+        cursor = self.conn.execute(
+            "SELECT runtimesec FROM hpl_runs WHERE runid = ?", [int(exec_id)]
+        )
+        row = cursor.fetchone()
+        if row is None:
+            raise MappingError(f"no HPL execution {exec_id!r}")
+        return HplRdbmsExecutionWrapper(self.conn, int(exec_id), float(row[0]))
+
+
+class HplRdbmsExecutionWrapper(ExecutionWrapper):
+    """One HPL run: scalar metrics over the whole-run focus ``/Run``."""
+
+    def __init__(self, conn: Connection, runid: int, runtimesec: float) -> None:
+        self.conn = conn
+        self.runid = runid
+        self.runtimesec = runtimesec
+
+    def _refresh_runtime(self) -> float:
+        """Re-read the run's duration — the store may be live-updated.
+
+        (Caching stale durations here once made ``announce_update``
+        republish outdated time-range SDEs; the Data Layer is the source
+        of truth, the wrapper holds no state worth trusting.)
+        """
+        value = self.conn.execute(
+            "SELECT runtimesec FROM hpl_runs WHERE runid = ?", [self.runid]
+        ).scalar()
+        if value is None:
+            raise MappingError(f"HPL execution {self.runid} disappeared")
+        self.runtimesec = float(value)
+        return self.runtimesec
+
+    def get_info(self) -> list[tuple[str, str]]:
+        cursor = self.conn.execute("SELECT * FROM hpl_runs WHERE runid = ?", [self.runid])
+        row = cursor.fetchone()
+        assert row is not None and cursor.description is not None
+        return [(desc[0], str(value)) for desc, value in zip(cursor.description, row)]
+
+    def get_foci(self) -> list[str]:
+        return list(HplRdbmsWrapper.FOCI)
+
+    def get_metrics(self) -> list[str]:
+        return sorted(HplRdbmsWrapper.METRICS)
+
+    def get_types(self) -> list[str]:
+        return [HplRdbmsWrapper.result_type]
+
+    def get_time_start_end(self) -> tuple[float, float]:
+        return (0.0, self._refresh_runtime())
+
+    def get_pr(
+        self,
+        metric: str,
+        foci: list[str],
+        start: float,
+        end: float,
+        result_type: str,
+    ) -> list[PerformanceResult]:
+        if not _type_matches(result_type, HplRdbmsWrapper.result_type):
+            return []
+        if metric not in HplRdbmsWrapper.METRICS:
+            raise MappingError(f"unknown HPL metric {metric!r}")
+        results: list[PerformanceResult] = []
+        for focus in foci:
+            if focus != "/Run":
+                continue
+            cursor = self.conn.execute(
+                f"SELECT {metric} FROM hpl_runs WHERE runid = ?", [self.runid]
+            )
+            row = cursor.fetchone()
+            if row is None:
+                continue
+            results.append(
+                PerformanceResult(
+                    metric=metric,
+                    focus=focus,
+                    result_type=HplRdbmsWrapper.result_type,
+                    start=max(0.0, start),
+                    end=min(self.runtimesec, end) if end > 0 else self.runtimesec,
+                    value=float(row[0]),
+                )
+            )
+        return results
+
+
+# ----------------------------------------------------------------- SMG98
+
+
+class Smg98RdbmsWrapper(ApplicationWrapper):
+    """SMG98 Vampir trace in five relational tables."""
+
+    result_type = "vampir"
+    NUMERIC_ATTRS = frozenset({"numprocs", "nx", "ny", "nz"})
+    ATTRIBUTES = ("rundate", "numprocs", "nx", "ny", "nz")
+    CODE_METRICS = ("time_spent", "func_calls")
+    MESSAGE_METRICS = ("msg_count", "msg_bytes", "msg_deliv_time")
+
+    def __init__(self, database: Database) -> None:
+        self.conn: Connection = connect(database)
+
+    def get_app_info(self) -> list[tuple[str, str]]:
+        count = self.conn.execute("SELECT COUNT(*) FROM executions").scalar()
+        return [
+            ("name", "SMG98"),
+            (
+                "description",
+                "SMG98 - a semicoarsening multigrid solver; Vampir trace data",
+            ),
+            ("version", "1998"),
+            ("executions", str(count)),
+        ]
+
+    def get_exec_query_params(self) -> dict[str, list[str]]:
+        params: dict[str, list[str]] = {}
+        cursor = self.conn.cursor()
+        for attr in self.ATTRIBUTES:
+            cursor.execute(f"SELECT DISTINCT {attr} FROM executions ORDER BY {attr}")
+            params[attr] = [str(row[0]) for row in cursor.fetchall()]
+        return params
+
+    def get_all_exec_ids(self) -> list[str]:
+        cursor = self.conn.execute("SELECT execid FROM executions ORDER BY execid")
+        return [str(row[0]) for row in cursor.fetchall()]
+
+    def get_exec_ids(self, attribute: str, value: str, operator: str = "=") -> list[str]:
+        self.check_operator(operator)
+        attr = attribute.lower()
+        if attr != "execid" and attr not in self.ATTRIBUTES:
+            raise MappingError(f"unknown attribute {attribute!r} for SMG98")
+        numeric = attr in self.NUMERIC_ATTRS or attr == "execid"
+        cursor = self.conn.execute(
+            f"SELECT execid FROM executions WHERE {attr} {_SQL_OPS[operator]} ? ORDER BY execid",
+            [_sql_value(value, numeric)],
+        )
+        return [str(row[0]) for row in cursor.fetchall()]
+
+    def execution(self, exec_id: str) -> "Smg98ExecutionWrapper":
+        cursor = self.conn.execute(
+            "SELECT runtime, numprocs FROM executions WHERE execid = ?", [int(exec_id)]
+        )
+        row = cursor.fetchone()
+        if row is None:
+            raise MappingError(f"no SMG98 execution {exec_id!r}")
+        return Smg98ExecutionWrapper(self.conn, int(exec_id), float(row[0]), int(row[1]))
+
+
+class Smg98ExecutionWrapper(ExecutionWrapper):
+    """One SMG98 run.
+
+    ``get_pr`` semantics by focus shape:
+
+    * ``/Code/<grp>/<name>`` + ``time_spent`` — one PR *per interval* in
+      the window (trace granularity; this is what makes SMG98 transfers
+      the largest, as in Table 4);
+    * ``/Code/<grp>/<name>`` + ``func_calls`` — one PR per process rank
+      (call counts);
+    * ``/Process/<rank>`` + ``time_spent`` / ``func_calls`` — one PR per
+      function for that rank;
+    * ``/Messages`` + msg metrics — aggregate count/bytes, or one PR per
+      message for ``msg_deliv_time``.
+    """
+
+    def __init__(self, conn: Connection, execid: int, runtime: float, numprocs: int) -> None:
+        self.conn = conn
+        self.execid = execid
+        self.runtime = runtime
+        self.numprocs = numprocs
+
+    def get_info(self) -> list[tuple[str, str]]:
+        cursor = self.conn.execute(
+            "SELECT * FROM executions WHERE execid = ?", [self.execid]
+        )
+        row = cursor.fetchone()
+        assert row is not None and cursor.description is not None
+        return [(desc[0], str(value)) for desc, value in zip(cursor.description, row)]
+
+    def get_foci(self) -> list[str]:
+        cursor = self.conn.execute("SELECT grp, name FROM functions ORDER BY grp, name")
+        foci = [f"/Code/{grp}/{name}" for grp, name in cursor.fetchall()]
+        foci.extend(f"/Process/{rank}" for rank in range(self.numprocs))
+        foci.append("/Messages")
+        return foci
+
+    def get_metrics(self) -> list[str]:
+        return sorted(Smg98RdbmsWrapper.CODE_METRICS + Smg98RdbmsWrapper.MESSAGE_METRICS)
+
+    def get_types(self) -> list[str]:
+        return [Smg98RdbmsWrapper.result_type]
+
+    def get_time_start_end(self) -> tuple[float, float]:
+        return (0.0, self.runtime)
+
+    def _window(self, start: float, end: float) -> tuple[float, float]:
+        hi = self.runtime if end <= 0 else min(end, self.runtime)
+        return (max(0.0, start), hi)
+
+    def get_pr(
+        self,
+        metric: str,
+        foci: list[str],
+        start: float,
+        end: float,
+        result_type: str,
+    ) -> list[PerformanceResult]:
+        if not _type_matches(result_type, Smg98RdbmsWrapper.result_type):
+            return []
+        known = Smg98RdbmsWrapper.CODE_METRICS + Smg98RdbmsWrapper.MESSAGE_METRICS
+        if metric not in known:
+            raise MappingError(f"unknown SMG98 metric {metric!r}")
+        lo, hi = self._window(start, end)
+        results: list[PerformanceResult] = []
+        for focus in foci:
+            if focus.startswith("/Code/"):
+                results.extend(self._code_focus(metric, focus, lo, hi))
+            elif focus.startswith("/Process/"):
+                results.extend(self._process_focus(metric, focus, lo, hi))
+            elif focus == "/Messages":
+                results.extend(self._message_focus(metric, focus, lo, hi))
+            else:
+                raise MappingError(f"unknown SMG98 focus {focus!r}")
+        return results
+
+    def _code_focus(
+        self, metric: str, focus: str, lo: float, hi: float
+    ) -> list[PerformanceResult]:
+        parts = focus.split("/")
+        if len(parts) != 4:
+            raise MappingError(f"bad /Code focus {focus!r}")
+        _, _, grp, name = parts
+        if metric == "time_spent":
+            cursor = self.conn.execute(
+                "SELECT i.start_ts, i.end_ts FROM intervals i "
+                "JOIN functions f ON i.funcid = f.funcid "
+                "WHERE i.execid = ? AND f.grp = ? AND f.name = ? "
+                "AND i.start_ts >= ? AND i.end_ts <= ? ORDER BY i.start_ts",
+                [self.execid, grp, name, lo, hi],
+            )
+            return [
+                PerformanceResult(metric, focus, "vampir", s, e, e - s)
+                for s, e in cursor.fetchall()
+            ]
+        if metric == "func_calls":
+            cursor = self.conn.execute(
+                "SELECT p.rank, COUNT(*) FROM intervals i "
+                "JOIN functions f ON i.funcid = f.funcid "
+                "JOIN processes p ON i.procid = p.procid "
+                "WHERE i.execid = ? AND f.grp = ? AND f.name = ? "
+                "AND i.start_ts >= ? AND i.end_ts <= ? "
+                "GROUP BY p.rank ORDER BY p.rank",
+                [self.execid, grp, name, lo, hi],
+            )
+            return [
+                PerformanceResult(metric, f"{focus}/rank/{rank}", "vampir", lo, hi, float(n))
+                for rank, n in cursor.fetchall()
+            ]
+        return []  # message metrics do not apply to /Code foci
+
+    def _process_focus(
+        self, metric: str, focus: str, lo: float, hi: float
+    ) -> list[PerformanceResult]:
+        parts = focus.split("/")
+        if len(parts) != 3:
+            raise MappingError(f"bad /Process focus {focus!r}")
+        try:
+            rank = int(parts[2])
+        except ValueError as exc:
+            raise MappingError(f"bad /Process focus {focus!r}") from exc
+        if metric == "time_spent":
+            agg = "SUM(i.end_ts - i.start_ts)"
+        elif metric == "func_calls":
+            agg = "COUNT(*)"
+        else:
+            return []
+        cursor = self.conn.execute(
+            f"SELECT f.grp, f.name, {agg} FROM intervals i "
+            "JOIN functions f ON i.funcid = f.funcid "
+            "JOIN processes p ON i.procid = p.procid "
+            "WHERE i.execid = ? AND p.rank = ? "
+            "AND i.start_ts >= ? AND i.end_ts <= ? "
+            "GROUP BY f.grp, f.name ORDER BY f.grp, f.name",
+            [self.execid, rank, lo, hi],
+        )
+        return [
+            PerformanceResult(metric, f"{focus}/Code/{grp}/{name}", "vampir", lo, hi, float(v))
+            for grp, name, v in cursor.fetchall()
+        ]
+
+    def _message_focus(
+        self, metric: str, focus: str, lo: float, hi: float
+    ) -> list[PerformanceResult]:
+        if metric == "msg_count":
+            value = self.conn.execute(
+                "SELECT COUNT(*) FROM messages WHERE execid = ? "
+                "AND send_ts >= ? AND recv_ts <= ?",
+                [self.execid, lo, hi],
+            ).scalar()
+            return [PerformanceResult(metric, focus, "vampir", lo, hi, float(value or 0))]
+        if metric == "msg_bytes":
+            value = self.conn.execute(
+                "SELECT SUM(nbytes) FROM messages WHERE execid = ? "
+                "AND send_ts >= ? AND recv_ts <= ?",
+                [self.execid, lo, hi],
+            ).scalar()
+            return [PerformanceResult(metric, focus, "vampir", lo, hi, float(value or 0))]
+        if metric == "msg_deliv_time":
+            cursor = self.conn.execute(
+                "SELECT sender, receiver, send_ts, recv_ts FROM messages "
+                "WHERE execid = ? AND send_ts >= ? AND recv_ts <= ? ORDER BY send_ts",
+                [self.execid, lo, hi],
+            )
+            return [
+                PerformanceResult(
+                    metric, f"{focus}/{snd}-{rcv}", "vampir", s, r, r - s
+                )
+                for snd, rcv, s, r in cursor.fetchall()
+            ]
+        return []
+
+
+# ------------------------------------------------------------ PRESTA RMA
+
+
+class PrestaRdbmsWrapper(ApplicationWrapper):
+    """PRESTA RMA loaded into relational tables (future-work §7 variant)."""
+
+    result_type = "presta"
+    NUMERIC_ATTRS = frozenset({"numprocs", "tasks_per_node"})
+    ATTRIBUTES = ("rundate", "numprocs", "tasks_per_node", "network")
+    METRICS = ("latency_us", "bandwidth_mbps")
+
+    def __init__(self, database: Database) -> None:
+        self.conn: Connection = connect(database)
+
+    def get_app_info(self) -> list[tuple[str, str]]:
+        count = self.conn.execute("SELECT COUNT(*) FROM rma_execs").scalar()
+        return [
+            ("name", "PRESTA-RMA"),
+            ("description", "PRESTA MPI Bandwidth and Latency Benchmark (RMA), relational"),
+            ("executions", str(count)),
+        ]
+
+    def get_exec_query_params(self) -> dict[str, list[str]]:
+        params: dict[str, list[str]] = {}
+        cursor = self.conn.cursor()
+        for attr in self.ATTRIBUTES:
+            cursor.execute(f"SELECT DISTINCT {attr} FROM rma_execs ORDER BY {attr}")
+            params[attr] = [str(row[0]) for row in cursor.fetchall()]
+        return params
+
+    def get_all_exec_ids(self) -> list[str]:
+        cursor = self.conn.execute("SELECT execid FROM rma_execs ORDER BY execid")
+        return [str(row[0]) for row in cursor.fetchall()]
+
+    def get_exec_ids(self, attribute: str, value: str, operator: str = "=") -> list[str]:
+        self.check_operator(operator)
+        attr = attribute.lower()
+        if attr != "execid" and attr not in self.ATTRIBUTES:
+            raise MappingError(f"unknown attribute {attribute!r} for PRESTA")
+        numeric = attr in self.NUMERIC_ATTRS or attr == "execid"
+        cursor = self.conn.execute(
+            f"SELECT execid FROM rma_execs WHERE {attr} {_SQL_OPS[operator]} ? ORDER BY execid",
+            [_sql_value(value, numeric)],
+        )
+        return [str(row[0]) for row in cursor.fetchall()]
+
+    def execution(self, exec_id: str) -> "PrestaRdbmsExecutionWrapper":
+        cursor = self.conn.execute(
+            "SELECT start_time, end_time FROM rma_execs WHERE execid = ?", [int(exec_id)]
+        )
+        row = cursor.fetchone()
+        if row is None:
+            raise MappingError(f"no PRESTA execution {exec_id!r}")
+        return PrestaRdbmsExecutionWrapper(self.conn, int(exec_id), float(row[0]), float(row[1]))
+
+
+class PrestaRdbmsExecutionWrapper(ExecutionWrapper):
+    """One PRESTA run (relational): per-message-size sweeps per operation."""
+
+    def __init__(self, conn: Connection, execid: int, start: float, end: float) -> None:
+        self.conn = conn
+        self.execid = execid
+        self.start_time = start
+        self.end_time = end
+
+    def get_info(self) -> list[tuple[str, str]]:
+        cursor = self.conn.execute("SELECT * FROM rma_execs WHERE execid = ?", [self.execid])
+        row = cursor.fetchone()
+        assert row is not None and cursor.description is not None
+        return [(desc[0], str(value)) for desc, value in zip(cursor.description, row)]
+
+    def get_foci(self) -> list[str]:
+        cursor = self.conn.execute(
+            "SELECT DISTINCT op FROM rma_results WHERE execid = ? ORDER BY op", [self.execid]
+        )
+        return [f"/Op/{row[0]}" for row in cursor.fetchall()]
+
+    def get_metrics(self) -> list[str]:
+        return sorted(PrestaRdbmsWrapper.METRICS)
+
+    def get_types(self) -> list[str]:
+        return [PrestaRdbmsWrapper.result_type]
+
+    def get_time_start_end(self) -> tuple[float, float]:
+        return (self.start_time, self.end_time)
+
+    def get_pr(
+        self,
+        metric: str,
+        foci: list[str],
+        start: float,
+        end: float,
+        result_type: str,
+    ) -> list[PerformanceResult]:
+        if not _type_matches(result_type, PrestaRdbmsWrapper.result_type):
+            return []
+        if metric not in PrestaRdbmsWrapper.METRICS:
+            raise MappingError(f"unknown PRESTA metric {metric!r}")
+        lo = max(self.start_time, start)
+        hi = self.end_time if end <= 0 else min(self.end_time, end)
+        results: list[PerformanceResult] = []
+        for focus in foci:
+            if not focus.startswith("/Op/"):
+                raise MappingError(f"unknown PRESTA focus {focus!r}")
+            op = focus[len("/Op/") :]
+            cursor = self.conn.execute(
+                f"SELECT msgsize, {metric} FROM rma_results "
+                "WHERE execid = ? AND op = ? ORDER BY msgsize",
+                [self.execid, op],
+            )
+            for size, value in cursor.fetchall():
+                results.append(
+                    PerformanceResult(
+                        metric, f"{focus}/msgsize/{size}", "presta", lo, hi, float(value)
+                    )
+                )
+        return results

@@ -1,0 +1,253 @@
+"""Database facade: catalog of tables and statement dispatch."""
+
+from __future__ import annotations
+
+from repro.minidb.errors import ProgrammingError
+from repro.minidb.executor import ResultSet, SelectExecutor
+from repro.minidb.expr import BoundExpr, RowLayout, contains_aggregate
+from repro.minidb.schema import TableSchema
+from repro.minidb.sql_ast import (
+    CreateIndexStmt,
+    CreateTableStmt,
+    DeleteStmt,
+    DropIndexStmt,
+    DropTableStmt,
+    InsertStmt,
+    SelectStmt,
+    Statement,
+    UpdateStmt,
+)
+from repro.minidb.sql_parser import parse_sql
+from repro.minidb.storage import Table
+from repro.minidb.txn import TransactionLog
+from repro.minidb.types import SqlValue
+
+
+class Database:
+    """A named collection of tables.
+
+    ``execute(sql)`` parses and runs one statement; SELECT returns a
+    :class:`ResultSet`, DML returns the affected-row count, DDL returns 0.
+    """
+
+    def __init__(self, name: str = "db") -> None:
+        self.name = name
+        self.tables: dict[str, Table] = {}
+        self._index_owner: dict[str, str] = {}  # index name -> table name
+        self._txn: TransactionLog | None = None
+
+    # ------------------------------------------------------- transactions
+    @property
+    def in_transaction(self) -> bool:
+        return self._txn is not None and self._txn.active
+
+    def begin(self) -> None:
+        """Open a transaction (no nesting; autocommit otherwise)."""
+        if self.in_transaction:
+            raise ProgrammingError("a transaction is already open")
+        self._txn = TransactionLog()
+        for table in self.tables.values():
+            table.txn_log = self._txn
+
+    def commit(self) -> None:
+        if not self.in_transaction:
+            raise ProgrammingError("no open transaction to commit")
+        txn = self._txn
+        self._txn = None
+        for table in self.tables.values():
+            table.txn_log = None
+        assert txn is not None
+        txn.commit()
+
+    def rollback(self) -> None:
+        if not self.in_transaction:
+            raise ProgrammingError("no open transaction to roll back")
+        txn = self._txn
+        self._txn = None
+        for table in self.tables.values():
+            table.txn_log = None
+        assert txn is not None
+        txn.rollback()
+
+    # ------------------------------------------------------------ catalog
+    def table(self, name: str) -> Table:
+        low = name.lower()
+        if low not in self.tables:
+            raise ProgrammingError(f"no table {name!r} in database {self.name!r}")
+        return self.tables[low]
+
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self.tables
+
+    def create_table(self, schema: TableSchema) -> Table:
+        low = schema.name.lower()
+        if low in self.tables:
+            raise ProgrammingError(f"table {schema.name!r} already exists")
+        table = Table(schema)
+        self.tables[low] = table
+        return table
+
+    def drop_table(self, name: str) -> None:
+        low = name.lower()
+        if low not in self.tables:
+            raise ProgrammingError(f"no table {name!r}")
+        for index_name in list(self.tables[low].indexes):
+            self._index_owner.pop(index_name.lower(), None)
+        del self.tables[low]
+
+    def table_names(self) -> list[str]:
+        return sorted(t.schema.name for t in self.tables.values())
+
+    def total_rows(self) -> int:
+        return sum(len(t) for t in self.tables.values())
+
+    def load_rows(self, table: str, columns: list[str], rows: list[tuple] | list[list]) -> int:
+        """Bulk-load positional rows into *table* (ETL fast path)."""
+        return self.table(table).insert_many(columns, rows)
+
+    # ----------------------------------------------------------- dispatch
+    def execute(self, sql: str, params: tuple | list | None = None) -> ResultSet | int:
+        """Parse and execute; ``?`` placeholders are bound from *params*."""
+        if params:
+            sql = _bind_params(sql, list(params))
+        stmt = parse_sql(sql)
+        return self.execute_statement(stmt)
+
+    def execute_statement(self, stmt: Statement) -> ResultSet | int:
+        if isinstance(stmt, SelectStmt):
+            return SelectExecutor(self, stmt).run()
+        if self.in_transaction and isinstance(
+            stmt, (CreateTableStmt, CreateIndexStmt, DropTableStmt, DropIndexStmt)
+        ):
+            raise ProgrammingError("DDL is not allowed inside a transaction")
+        if isinstance(stmt, InsertStmt):
+            return self._insert(stmt)
+        if isinstance(stmt, UpdateStmt):
+            return self._update(stmt)
+        if isinstance(stmt, DeleteStmt):
+            return self._delete(stmt)
+        if isinstance(stmt, CreateTableStmt):
+            if stmt.if_not_exists and self.has_table(stmt.table):
+                return 0
+            self.create_table(TableSchema(stmt.table, list(stmt.columns)))
+            return 0
+        if isinstance(stmt, CreateIndexStmt):
+            low = stmt.name.lower()
+            if low in self._index_owner:
+                raise ProgrammingError(f"index {stmt.name!r} already exists")
+            self.table(stmt.table).create_index(stmt.name, stmt.column, unique=stmt.unique)
+            self._index_owner[low] = stmt.table.lower()
+            return 0
+        if isinstance(stmt, DropTableStmt):
+            if stmt.if_exists and not self.has_table(stmt.table):
+                return 0
+            self.drop_table(stmt.table)
+            return 0
+        if isinstance(stmt, DropIndexStmt):
+            low = stmt.name.lower()
+            owner = self._index_owner.pop(low, None)
+            if owner is None:
+                if stmt.if_exists:
+                    return 0
+                raise ProgrammingError(f"no index {stmt.name!r}")
+            self.tables[owner].drop_index(stmt.name)
+            return 0
+        raise ProgrammingError(f"unhandled statement {type(stmt).__name__}")  # pragma: no cover
+
+    def query(self, sql: str, params: tuple | list | None = None) -> ResultSet:
+        """Execute a statement that must be a SELECT."""
+        result = self.execute(sql, params)
+        if not isinstance(result, ResultSet):
+            raise ProgrammingError("query() requires a SELECT statement")
+        return result
+
+    def explain(self, sql: str, params: tuple | list | None = None) -> str:
+        """Describe the plan for a SELECT without executing it."""
+        if params:
+            sql = _bind_params(sql, list(params))
+        stmt = parse_sql(sql)
+        if not isinstance(stmt, SelectStmt):
+            raise ProgrammingError("explain() requires a SELECT statement")
+        lines = SelectExecutor(self, stmt).explain()
+        return "\n".join(f"{'  ' * i}-> {line}" if i else line for i, line in enumerate(lines))
+
+    # ---------------------------------------------------------------- DML
+    def _insert(self, stmt: InsertStmt) -> int:
+        table = self.table(stmt.table)
+        columns = list(stmt.columns) or table.schema.column_names()
+        empty_layout = RowLayout([])
+        count = 0
+        for row_exprs in stmt.rows:
+            if len(row_exprs) != len(columns):
+                raise ProgrammingError(
+                    f"INSERT has {len(row_exprs)} values for {len(columns)} columns"
+                )
+            values: dict[str, SqlValue] = {}
+            for col, expr in zip(columns, row_exprs):
+                if contains_aggregate(expr):
+                    raise ProgrammingError("aggregates are not allowed in INSERT values")
+                values[col] = BoundExpr(expr, empty_layout).eval(())
+            table.insert(values)
+            count += 1
+        return count
+
+    def _update(self, stmt: UpdateStmt) -> int:
+        table = self.table(stmt.table)
+        layout = RowLayout([(stmt.table, c.name) for c in table.schema.columns])
+        predicate = BoundExpr(stmt.where, layout) if stmt.where is not None else None
+        assignments = [(col, BoundExpr(expr, layout)) for col, expr in stmt.assignments]
+        to_update: list[tuple[int, dict[str, SqlValue]]] = []
+        for rowid, row in table.scan():
+            if predicate is None or predicate.eval(row):
+                to_update.append((rowid, {col: b.eval(row) for col, b in assignments}))
+        for rowid, updates in to_update:
+            table.update_row(rowid, updates)
+        return len(to_update)
+
+    def _delete(self, stmt: DeleteStmt) -> int:
+        table = self.table(stmt.table)
+        layout = RowLayout([(stmt.table, c.name) for c in table.schema.columns])
+        predicate = BoundExpr(stmt.where, layout) if stmt.where is not None else None
+        to_delete = [
+            rowid for rowid, row in table.scan() if predicate is None or predicate.eval(row)
+        ]
+        table.delete_rows(to_delete)
+        return len(to_delete)
+
+
+def _bind_params(sql: str, params: list[SqlValue]) -> str:
+    """Substitute ``?`` placeholders with SQL literals (string-safe)."""
+    out: list[str] = []
+    it = iter(params)
+    i, n = 0, len(sql)
+    in_string = False
+    while i < n:
+        ch = sql[i]
+        if ch == "'":
+            in_string = not in_string
+            out.append(ch)
+        elif ch == "?" and not in_string:
+            try:
+                value = next(it)
+            except StopIteration:
+                raise ProgrammingError("not enough parameters for placeholders") from None
+            out.append(_literal(value))
+        else:
+            out.append(ch)
+        i += 1
+    try:
+        next(it)
+    except StopIteration:
+        return "".join(out)
+    raise ProgrammingError("too many parameters for placeholders")
+
+
+def _literal(value: SqlValue) -> str:
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    escaped = str(value).replace("'", "''")
+    return f"'{escaped}'"

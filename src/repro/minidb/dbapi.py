@@ -1,0 +1,153 @@
+"""DB-API-style connection/cursor facade (the "JDBC" of this repo).
+
+The thesis's Mapping Layer calls ``executeQuery("SELECT id FROM ...")``
+through JDBC.  Wrappers here do the same through :class:`Cursor`, keeping
+the layering of Figure 4 intact.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.minidb.database import Database
+from repro.minidb.errors import ProgrammingError
+from repro.minidb.executor import ResultSet
+from repro.minidb.types import SqlValue
+
+
+class Cursor:
+    """A lightweight cursor over one connection."""
+
+    def __init__(self, connection: "Connection") -> None:
+        self.connection = connection
+        self.description: list[tuple[str]] | None = None
+        self.rowcount = -1
+        self._rows: list[tuple] = []
+        self._pos = 0
+        self._closed = False
+
+    def execute(self, sql: str, params: tuple | list | None = None) -> "Cursor":
+        if self._closed:
+            raise ProgrammingError("cursor is closed")
+        result = self.connection.database.execute(sql, params)
+        if isinstance(result, ResultSet):
+            self.description = [(name,) for name in result.columns]
+            self._rows = result.rows
+            self.rowcount = len(result.rows)
+        else:
+            self.description = None
+            self._rows = []
+            self.rowcount = result
+        self._pos = 0
+        return self
+
+    def executemany(self, sql: str, seq_of_params: list[tuple | list]) -> "Cursor":
+        total = 0
+        for params in seq_of_params:
+            self.execute(sql, params)
+            total += max(self.rowcount, 0)
+        self.rowcount = total
+        return self
+
+    def fetchone(self) -> tuple | None:
+        if self._pos >= len(self._rows):
+            return None
+        row = self._rows[self._pos]
+        self._pos += 1
+        return row
+
+    def fetchmany(self, size: int = 1) -> list[tuple]:
+        rows = self._rows[self._pos : self._pos + size]
+        self._pos += len(rows)
+        return rows
+
+    def fetchall(self) -> list[tuple]:
+        rows = self._rows[self._pos :]
+        self._pos = len(self._rows)
+        return rows
+
+    def scalar(self) -> SqlValue:
+        """First column of the first row (or None when empty)."""
+        row = self.fetchone()
+        return None if row is None else row[0]
+
+    def __iter__(self) -> Iterator[tuple]:
+        while True:
+            row = self.fetchone()
+            if row is None:
+                return
+            yield row
+
+    def close(self) -> None:
+        self._closed = True
+        self._rows = []
+
+    def __enter__(self) -> "Cursor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class Connection:
+    """A connection bound to one :class:`Database`."""
+
+    def __init__(self, database: Database) -> None:
+        self.database = database
+        self._closed = False
+
+    def cursor(self) -> Cursor:
+        if self._closed:
+            raise ProgrammingError("connection is closed")
+        return Cursor(self)
+
+    def execute(self, sql: str, params: tuple | list | None = None) -> Cursor:
+        return self.cursor().execute(sql, params)
+
+    # ------------------------------------------------------- transactions
+    def begin(self) -> None:
+        self.database.begin()
+
+    def commit(self) -> None:
+        self.database.commit()
+
+    def rollback(self) -> None:
+        self.database.rollback()
+
+    def transaction(self) -> "_Transaction":
+        """Context manager: commit on success, roll back on exception."""
+        return _Transaction(self)
+
+    def close(self) -> None:
+        self._closed = True
+
+    def __enter__(self) -> "Connection":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class _Transaction:
+    """Commit-on-success / rollback-on-error scope."""
+
+    def __init__(self, connection: Connection) -> None:
+        self.connection = connection
+
+    def __enter__(self) -> Connection:
+        self.connection.begin()
+        return self.connection
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is None:
+            self.connection.commit()
+        else:
+            self.connection.rollback()
+        return False  # never swallow the exception
+
+
+def connect(database: Database | str | None = None) -> Connection:
+    """Open a connection; a string/None creates a fresh named database."""
+    if isinstance(database, Database):
+        return Connection(database)
+    return Connection(Database(database or "db"))

@@ -1,0 +1,17 @@
+"""minidb exception hierarchy (DB-API style)."""
+
+
+class MiniDbError(Exception):
+    """Base class for all minidb errors."""
+
+
+class SqlSyntaxError(MiniDbError):
+    """Raised by the lexer/parser on malformed SQL."""
+
+
+class ProgrammingError(MiniDbError):
+    """Semantic errors: unknown table/column, type mismatch, bad usage."""
+
+
+class IntegrityError(MiniDbError):
+    """Constraint violations: primary key duplicates, NOT NULL."""

@@ -1,0 +1,640 @@
+"""Query planning and execution (iterator model).
+
+The planner is rule-based and small:
+
+* equality predicates of the form ``col = literal`` on the driving table
+  use a hash index when one exists;
+* joins whose ON condition contains an equality between one column from
+  each side become hash joins; everything else is a filtered nested loop;
+* aggregation materializes groups in a dict keyed by GROUP BY values.
+
+Results stream lazily where possible — the thesis notes Enosys-style
+"lazy evaluation ... using an adaptation of relational database iterator
+models", and the Mapping Layer benefits from LIMIT short-circuits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Iterator
+
+from repro.minidb.errors import ProgrammingError
+from repro.minidb.expr import (
+    AGGREGATE_FUNCS,
+    Between,
+    BinaryOp,
+    BoolOp,
+    BoundExpr,
+    ColumnRef,
+    Comparison,
+    Expr,
+    FuncCall,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    Negate,
+    NotOp,
+    RowLayout,
+    contains_aggregate,
+)
+from repro.minidb.sql_ast import JoinClause, OrderItem, SelectItem, SelectStmt, TableRef
+from repro.minidb.storage import Table
+from repro.minidb.types import SqlValue, sort_key
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.minidb.database import Database
+
+
+@dataclass
+class ResultSet:
+    """Materialized query result: column names plus row tuples."""
+
+    columns: list[str]
+    rows: list[tuple]
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def scalar(self) -> SqlValue:
+        """The single value of a 1x1 result."""
+        if len(self.rows) != 1 or len(self.columns) != 1:
+            raise ProgrammingError(
+                f"scalar() requires a 1x1 result, got {len(self.rows)}x{len(self.columns)}"
+            )
+        return self.rows[0][0]
+
+    def column(self, name: str) -> list[SqlValue]:
+        """All values of one output column."""
+        low = name.lower()
+        for i, col in enumerate(self.columns):
+            if col.lower() == low:
+                return [row[i] for row in self.rows]
+        raise ProgrammingError(f"no output column {name!r}")
+
+    def dicts(self) -> list[dict[str, SqlValue]]:
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+
+# ----------------------------------------------------------------- planner
+
+
+def _split_conjuncts(expr: Expr | None) -> list[Expr]:
+    if expr is None:
+        return []
+    if isinstance(expr, BoolOp) and expr.op == "AND":
+        return _split_conjuncts(expr.left) + _split_conjuncts(expr.right)
+    return [expr]
+
+
+def _join_conjuncts(conjuncts: list[Expr]) -> Expr | None:
+    if not conjuncts:
+        return None
+    expr = conjuncts[0]
+    for other in conjuncts[1:]:
+        expr = BoolOp("AND", expr, other)
+    return expr
+
+
+def _index_probe(
+    conjuncts: list[Expr], table: Table, alias: str
+) -> tuple[str, SqlValue, list[Expr]] | None:
+    """Find ``col = literal`` (either order) with an index on *col*.
+
+    Returns (index_name, probe_value, remaining_conjuncts) or None.
+    """
+    for i, conj in enumerate(conjuncts):
+        if not (isinstance(conj, Comparison) and conj.op == "="):
+            continue
+        for ref, lit in ((conj.left, conj.right), (conj.right, conj.left)):
+            if not (isinstance(ref, ColumnRef) and isinstance(lit, Literal)):
+                continue
+            if ref.table is not None and ref.table.lower() != alias.lower():
+                continue
+            try:
+                table.schema.column_index(ref.column)
+            except ProgrammingError:
+                continue
+            index = table.index_on(ref.column)
+            if index is None:
+                continue
+            remaining = conjuncts[:i] + conjuncts[i + 1 :]
+            return index.name, lit.value, remaining
+    return None
+
+
+def _equi_join_keys(
+    condition: Expr, left_layout: RowLayout, right_layout: RowLayout
+) -> tuple[Expr, Expr, Expr | None] | None:
+    """Split an ON condition into (left_key, right_key, residual).
+
+    Looks for one conjunct that is an equality with all column refs on one
+    side resolvable in the left layout and the other side in the right.
+    """
+
+    def side(expr: Expr) -> str | None:
+        refs = _refs(expr)
+        if not refs:
+            return None
+        sides = set()
+        for ref in refs:
+            if _resolvable(ref, left_layout):
+                sides.add("L")
+            elif _resolvable(ref, right_layout):
+                sides.add("R")
+            else:
+                return None
+        return sides.pop() if len(sides) == 1 else None
+
+    conjuncts = _split_conjuncts(condition)
+    for i, conj in enumerate(conjuncts):
+        if not (isinstance(conj, Comparison) and conj.op == "="):
+            continue
+        ls, rs = side(conj.left), side(conj.right)
+        if ls == "L" and rs == "R":
+            left_key, right_key = conj.left, conj.right
+        elif ls == "R" and rs == "L":
+            left_key, right_key = conj.right, conj.left
+        else:
+            continue
+        residual = _join_conjuncts(conjuncts[:i] + conjuncts[i + 1 :])
+        return left_key, right_key, residual
+    return None
+
+
+def _refs(expr: Expr) -> list[ColumnRef]:
+    from repro.minidb.expr import column_refs
+
+    return column_refs(expr)
+
+
+def _resolvable(ref: ColumnRef, layout: RowLayout) -> bool:
+    try:
+        layout.resolve(ref)
+        return True
+    except ProgrammingError:
+        return False
+
+
+# ---------------------------------------------------------------- executor
+
+
+class SelectExecutor:
+    """Executes one SELECT statement against a database."""
+
+    def __init__(self, db: "Database", stmt: SelectStmt) -> None:
+        self.db = db
+        self.stmt = stmt
+        self._residual_where: Expr | None = None
+
+    def run(self) -> ResultSet:
+        stmt = self.stmt
+        layout, rows = self._base_rows(stmt.table, stmt.where)
+        for join in stmt.joins:
+            layout, rows = self._apply_join(layout, rows, join)
+        residual = self._residual_where
+        if residual is not None:
+            bound = BoundExpr(residual, layout)
+            rows = (row for row in rows if bound.eval(row))
+
+        wants_aggregate = (
+            bool(stmt.group_by)
+            or stmt.having is not None
+            or any(not it.is_star and contains_aggregate(it.expr) for it in stmt.items)
+            or any(contains_aggregate(o.expr) for o in stmt.order_by)
+        )
+        if wants_aggregate:
+            columns, out_rows = self._aggregate(layout, rows)
+        else:
+            columns, out_rows = self._project(layout, rows)
+
+        if stmt.distinct:
+            seen: set[tuple] = set()
+            unique: list[tuple] = []
+            for row in out_rows:
+                key = tuple(sort_key(v) for v in row)
+                if key not in seen:
+                    seen.add(key)
+                    unique.append(row)
+            out_rows = unique
+        if stmt.offset:
+            out_rows = out_rows[stmt.offset :]
+        if stmt.limit is not None:
+            out_rows = out_rows[: stmt.limit]
+        return ResultSet(columns, out_rows)
+
+    def explain(self) -> list[str]:
+        """Describe the plan this executor would run, one line per stage.
+
+        Mirrors the decisions in :meth:`run` (index probe selection,
+        hash- vs nested-loop join) without touching any rows — used to
+        test the planner and to diagnose slow Mapping-Layer queries.
+        """
+        stmt = self.stmt
+        lines: list[str] = []
+        table = self.db.table(stmt.table.table)
+        layout = RowLayout([(stmt.table.alias, c.name) for c in table.schema.columns])
+        conjuncts = _split_conjuncts(stmt.where)
+        probe = _index_probe(conjuncts, table, stmt.table.alias) if conjuncts else None
+        if probe is not None:
+            index_name, value, remaining = probe
+            index = table.indexes[index_name]
+            lines.append(
+                f"IndexLookup {stmt.table.table} AS {stmt.table.alias} "
+                f"USING {index_name} ({index.column} = {value!r})"
+            )
+            residual = _join_conjuncts(remaining)
+        else:
+            lines.append(f"SeqScan {stmt.table.table} AS {stmt.table.alias}")
+            residual = stmt.where
+        for join in stmt.joins:
+            right_table = self.db.table(join.table.table)
+            right_layout = RowLayout(
+                [(join.table.alias, c.name) for c in right_table.schema.columns]
+            )
+            keys = _equi_join_keys(join.condition, layout, right_layout)
+            kind = "Left" if join.left_outer else "Inner"
+            if keys is not None:
+                lines.append(
+                    f"HashJoin ({kind}) {join.table.table} AS {join.table.alias}"
+                )
+            else:
+                lines.append(
+                    f"NestedLoopJoin ({kind}) {join.table.table} AS {join.table.alias}"
+                )
+            layout = layout.concat(right_layout)
+        if residual is not None:
+            lines.append("Filter")
+        wants_aggregate = (
+            bool(stmt.group_by)
+            or stmt.having is not None
+            or any(not it.is_star and contains_aggregate(it.expr) for it in stmt.items)
+            or any(contains_aggregate(o.expr) for o in stmt.order_by)
+        )
+        if wants_aggregate:
+            lines.append(f"Aggregate (group keys: {len(stmt.group_by)})")
+            if stmt.having is not None:
+                lines.append("Having")
+        if stmt.order_by:
+            lines.append(f"Sort ({len(stmt.order_by)} key(s))")
+        if stmt.distinct:
+            lines.append("Distinct")
+        if stmt.offset or stmt.limit is not None:
+            lines.append(f"Limit {stmt.limit} Offset {stmt.offset}")
+        return lines
+
+    # ------------------------------------------------------------- stages
+    def _base_rows(
+        self, ref: TableRef, where: Expr | None
+    ) -> tuple[RowLayout, Iterator[tuple]]:
+        table = self.db.table(ref.table)
+        layout = RowLayout([(ref.alias, col.name) for col in table.schema.columns])
+        conjuncts = _split_conjuncts(where)
+        probe = _index_probe(conjuncts, table, ref.alias) if conjuncts else None
+        if probe is not None:
+            index_name, value, remaining = probe
+            self._residual_where = _join_conjuncts(remaining)
+            index = table.indexes[index_name]
+            rowids = sorted(index.lookup(value))
+            rows: Iterator[tuple] = (
+                table.rows[rid] for rid in rowids if table.rows[rid] is not None
+            )
+            return layout, rows
+        self._residual_where = where
+        return layout, (row for _, row in table.scan())
+
+    def _apply_join(
+        self, left_layout: RowLayout, left_rows: Iterator[tuple], join: JoinClause
+    ) -> tuple[RowLayout, Iterator[tuple]]:
+        table = self.db.table(join.table.table)
+        right_layout = RowLayout(
+            [(join.table.alias, col.name) for col in table.schema.columns]
+        )
+        out_layout = left_layout.concat(right_layout)
+        right_width = len(right_layout.slots)
+        keys = _equi_join_keys(join.condition, left_layout, right_layout)
+
+        if keys is not None:
+            left_key_expr, right_key_expr, residual = keys
+            right_key = BoundExpr(right_key_expr, right_layout)
+            build: dict[SqlValue, list[tuple]] = {}
+            for _, row in table.scan():
+                k = right_key.eval(row)
+                if k is not None:
+                    build.setdefault(k, []).append(row)
+            left_key = BoundExpr(left_key_expr, left_layout)
+            bound_residual = BoundExpr(residual, out_layout) if residual is not None else None
+
+            def hash_join() -> Iterator[tuple]:
+                null_pad = (None,) * right_width
+                for lrow in left_rows:
+                    matched = False
+                    k = left_key.eval(lrow)
+                    if k is not None:
+                        for rrow in build.get(k, ()):
+                            combined = lrow + rrow
+                            if bound_residual is None or bound_residual.eval(combined):
+                                matched = True
+                                yield combined
+                    if join.left_outer and not matched:
+                        yield lrow + null_pad
+
+            return out_layout, hash_join()
+
+        bound = BoundExpr(join.condition, out_layout)
+        right_rows = [row for _, row in table.scan()]
+
+        def nested_loop() -> Iterator[tuple]:
+            null_pad = (None,) * right_width
+            for lrow in left_rows:
+                matched = False
+                for rrow in right_rows:
+                    combined = lrow + rrow
+                    if bound.eval(combined):
+                        matched = True
+                        yield combined
+                if join.left_outer and not matched:
+                    yield lrow + null_pad
+
+        return out_layout, nested_loop()
+
+    def _expand_items(self, layout: RowLayout) -> list[tuple[str, Expr]]:
+        """Expand stars; return (output_name, expr) pairs."""
+        out: list[tuple[str, Expr]] = []
+        for i, item in enumerate(self.stmt.items):
+            if item.is_star:
+                for alias, col in layout.slots:
+                    if item.star_table is None or alias.lower() == item.star_table.lower():
+                        out.append((col, ColumnRef(alias, col)))
+                if item.star_table is not None and not any(
+                    alias.lower() == item.star_table.lower() for alias, _ in layout.slots
+                ):
+                    raise ProgrammingError(f"unknown table alias {item.star_table!r} in select *")
+                continue
+            name = item.alias
+            if name is None:
+                name = item.expr.column if isinstance(item.expr, ColumnRef) else f"expr{i + 1}"
+            out.append((name, item.expr))
+        if not out:
+            raise ProgrammingError("empty select list")
+        return out
+
+    def _project(
+        self, layout: RowLayout, rows: Iterator[tuple]
+    ) -> tuple[list[str], list[tuple]]:
+        items = self._expand_items(layout)
+        columns = [name for name, _ in items]
+        bound = [BoundExpr(expr, layout) for _, expr in items]
+        order = self.stmt.order_by
+        if not order:
+            return columns, [tuple(b.eval(row) for b in bound) for row in rows]
+        order_bound = [self._bind_order(o, items, layout) for o in order]
+        decorated: list[tuple[tuple, tuple]] = []
+        for row in rows:
+            projected = tuple(b.eval(row) for b in bound)
+            key_parts = []
+            for ob, positional in order_bound:
+                value = projected[ob] if positional else ob.eval(row)  # type: ignore[index]
+                key_parts.append(sort_key(value))
+            decorated.append((tuple(key_parts), projected))
+        decorated.sort(key=lambda pair: self._order_cmp_key(pair[0]))
+        return columns, [projected for _, projected in decorated]
+
+    def _order_cmp_key(self, key_parts: tuple) -> tuple:
+        out = []
+        for part, item in zip(key_parts, self.stmt.order_by):
+            out.append(_Reversed(part) if item.descending else part)
+        return tuple(out)
+
+    def _bind_order(
+        self, item: OrderItem, items: list[tuple[str, Expr]], layout: RowLayout
+    ):
+        """Bind one ORDER BY item: positional int, output alias, or expression."""
+        expr = item.expr
+        if isinstance(expr, Literal) and isinstance(expr.value, int):
+            pos = expr.value
+            if not 1 <= pos <= len(items):
+                raise ProgrammingError(f"ORDER BY position {pos} out of range")
+            return pos - 1, True
+        if isinstance(expr, ColumnRef) and expr.table is None:
+            for i, (name, _) in enumerate(items):
+                if name.lower() == expr.column.lower():
+                    return i, True
+        return BoundExpr(expr, layout), False
+
+    # -------------------------------------------------------- aggregation
+    def _aggregate(
+        self, layout: RowLayout, rows: Iterator[tuple]
+    ) -> tuple[list[str], list[tuple]]:
+        stmt = self.stmt
+        items = self._expand_items(layout)
+        group_exprs = list(stmt.group_by)
+        # Collect every distinct aggregate call appearing anywhere.
+        agg_calls: list[FuncCall] = []
+
+        def collect(expr: Expr) -> None:
+            if isinstance(expr, FuncCall) and expr.name in AGGREGATE_FUNCS:
+                if expr not in agg_calls:
+                    agg_calls.append(expr)
+                return
+            for child in _children(expr):
+                collect(child)
+
+        for _, expr in items:
+            collect(expr)
+        if stmt.having is not None:
+            collect(stmt.having)
+        for order in stmt.order_by:
+            collect(order.expr)
+
+        # Validate: non-aggregate output expressions must be group keys.
+        for name, expr in items:
+            if not contains_aggregate(expr) and expr not in group_exprs:
+                if group_exprs or not agg_calls:
+                    raise ProgrammingError(
+                        f"output column {name!r} must appear in GROUP BY or an aggregate"
+                    )
+                # Implicit single-group aggregate (no GROUP BY): bare columns invalid.
+                raise ProgrammingError(
+                    f"output column {name!r} is not aggregated (no GROUP BY present)"
+                )
+
+        bound_groups = [BoundExpr(e, layout) for e in group_exprs]
+        bound_agg_args = [
+            BoundExpr(call.args[0], layout) if call.args else None for call in agg_calls
+        ]
+
+        groups: dict[tuple, list[_AggState]] = {}
+        group_values: dict[tuple, tuple] = {}
+        for row in rows:
+            key_values = tuple(b.eval(row) for b in bound_groups)
+            key = tuple(sort_key(v) for v in key_values)
+            states = groups.get(key)
+            if states is None:
+                states = [_AggState(call.name) for call in agg_calls]
+                groups[key] = states
+                group_values[key] = key_values
+            for state, arg, call in zip(states, bound_agg_args, agg_calls):
+                if call.star:
+                    state.update(1)
+                else:
+                    state.update(arg.eval(row))  # type: ignore[union-attr]
+
+        if not groups and not group_exprs:
+            # Aggregates over an empty input produce one row.
+            groups[()] = [_AggState(call.name) for call in agg_calls]
+            group_values[()] = ()
+
+        # Build the group-row layout: g0..gN-1 then a0..aM-1.
+        slots = [("__grp", f"g{i}") for i in range(len(group_exprs))]
+        slots += [("__agg", f"a{i}") for i in range(len(agg_calls))]
+        group_layout = RowLayout(slots)
+
+        def rewrite(expr: Expr) -> Expr:
+            for i, g in enumerate(group_exprs):
+                if expr == g:
+                    return ColumnRef("__grp", f"g{i}")
+            if isinstance(expr, FuncCall) and expr.name in AGGREGATE_FUNCS:
+                return ColumnRef("__agg", f"a{agg_calls.index(expr)}")
+            return _rebuild(expr, rewrite)
+
+        columns = [name for name, _ in items]
+        bound_items = [BoundExpr(rewrite(expr), group_layout) for _, expr in items]
+        bound_having = (
+            BoundExpr(rewrite(stmt.having), group_layout) if stmt.having is not None else None
+        )
+        alias_to_expr = {name.lower(): expr for name, expr in items}
+
+        def order_expr(expr: Expr) -> Expr:
+            """Resolve output aliases / positions before the aggregate rewrite."""
+            if isinstance(expr, Literal) and isinstance(expr.value, int):
+                pos = expr.value
+                if not 1 <= pos <= len(items):
+                    raise ProgrammingError(f"ORDER BY position {pos} out of range")
+                return rewrite(items[pos - 1][1])
+            if isinstance(expr, ColumnRef) and expr.table is None:
+                aliased = alias_to_expr.get(expr.column.lower())
+                if aliased is not None:
+                    return rewrite(aliased)
+            return rewrite(expr)
+
+        order_keys = [
+            (BoundExpr(order_expr(o.expr), group_layout), o.descending) for o in stmt.order_by
+        ]
+
+        out: list[tuple[tuple, tuple]] = []
+        for key, states in groups.items():
+            group_row = group_values[key] + tuple(s.result() for s in states)
+            if bound_having is not None and not bound_having.eval(group_row):
+                continue
+            projected = tuple(b.eval(group_row) for b in bound_items)
+            sort_parts = tuple(
+                _Reversed(sort_key(b.eval(group_row))) if desc else sort_key(b.eval(group_row))
+                for b, desc in order_keys
+            )
+            out.append((sort_parts, projected))
+        if order_keys:
+            out.sort(key=lambda pair: pair[0])
+        return columns, [projected for _, projected in out]
+
+
+class _Reversed:
+    """Inverts comparison order for DESC sort keys."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value) -> None:
+        self.value = value
+
+    def __lt__(self, other: "_Reversed") -> bool:
+        return other.value < self.value
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Reversed) and other.value == self.value
+
+
+class _AggState:
+    """Incremental state for one aggregate over one group."""
+
+    __slots__ = ("name", "count", "total", "minimum", "maximum")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total: float | int = 0
+        self.minimum: SqlValue = None
+        self.maximum: SqlValue = None
+
+    def update(self, value: SqlValue) -> None:
+        if value is None:
+            return
+        self.count += 1
+        if self.name in ("SUM", "AVG"):
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise ProgrammingError(f"{self.name} requires numeric input, got {value!r}")
+            self.total += value
+        elif self.name == "MIN":
+            if self.minimum is None or sort_key(value) < sort_key(self.minimum):
+                self.minimum = value
+        elif self.name == "MAX":
+            if self.maximum is None or sort_key(value) > sort_key(self.maximum):
+                self.maximum = value
+
+    def result(self) -> SqlValue:
+        if self.name == "COUNT":
+            return self.count
+        if self.count == 0:
+            return None
+        if self.name == "SUM":
+            return self.total
+        if self.name == "AVG":
+            return self.total / self.count
+        if self.name == "MIN":
+            return self.minimum
+        return self.maximum
+
+
+def _children(expr: Expr) -> list[Expr]:
+    if isinstance(expr, (BinaryOp, Comparison, BoolOp)):
+        return [expr.left, expr.right]
+    if isinstance(expr, (NotOp, Negate)):
+        return [expr.operand]
+    if isinstance(expr, IsNull):
+        return [expr.operand]
+    if isinstance(expr, InList):
+        return [expr.operand, *expr.items]
+    if isinstance(expr, Between):
+        return [expr.operand, expr.low, expr.high]
+    if isinstance(expr, Like):
+        return [expr.operand, expr.pattern]
+    if isinstance(expr, FuncCall):
+        return list(expr.args)
+    return []
+
+
+def _rebuild(expr: Expr, fn: Callable[[Expr], Expr]) -> Expr:
+    """Rebuild an expression applying *fn* to each child."""
+    if isinstance(expr, BinaryOp):
+        return BinaryOp(expr.op, fn(expr.left), fn(expr.right))
+    if isinstance(expr, Comparison):
+        return Comparison(expr.op, fn(expr.left), fn(expr.right))
+    if isinstance(expr, BoolOp):
+        return BoolOp(expr.op, fn(expr.left), fn(expr.right))
+    if isinstance(expr, NotOp):
+        return NotOp(fn(expr.operand))
+    if isinstance(expr, Negate):
+        return Negate(fn(expr.operand))
+    if isinstance(expr, IsNull):
+        return IsNull(fn(expr.operand), expr.negated)
+    if isinstance(expr, InList):
+        return InList(fn(expr.operand), tuple(fn(i) for i in expr.items), expr.negated)
+    if isinstance(expr, Between):
+        return Between(fn(expr.operand), fn(expr.low), fn(expr.high), expr.negated)
+    if isinstance(expr, Like):
+        return Like(fn(expr.operand), fn(expr.pattern), expr.negated)
+    if isinstance(expr, FuncCall):
+        return FuncCall(expr.name, tuple(fn(a) for a in expr.args), expr.star)
+    return expr

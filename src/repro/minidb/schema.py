@@ -1,0 +1,56 @@
+"""Table schema definitions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.minidb.errors import ProgrammingError
+from repro.minidb.types import SqlType
+
+
+@dataclass(frozen=True)
+class ColumnDef:
+    """One column: name, declared type, constraints."""
+
+    name: str
+    sql_type: SqlType
+    primary_key: bool = False
+    not_null: bool = False
+
+
+@dataclass
+class TableSchema:
+    """Schema of a table; column order is significant."""
+
+    name: str
+    columns: list[ColumnDef] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        seen: set[str] = set()
+        for col in self.columns:
+            low = col.name.lower()
+            if low in seen:
+                raise ProgrammingError(f"duplicate column {col.name!r} in table {self.name!r}")
+            seen.add(low)
+        if sum(1 for c in self.columns if c.primary_key) > 1:
+            raise ProgrammingError(f"table {self.name!r} declares multiple primary keys")
+
+    def column_index(self, name: str) -> int:
+        low = name.lower()
+        for i, col in enumerate(self.columns):
+            if col.name.lower() == low:
+                return i
+        raise ProgrammingError(f"no column {name!r} in table {self.name!r}")
+
+    def column(self, name: str) -> ColumnDef:
+        return self.columns[self.column_index(name)]
+
+    def column_names(self) -> list[str]:
+        return [c.name for c in self.columns]
+
+    @property
+    def primary_key(self) -> ColumnDef | None:
+        for col in self.columns:
+            if col.primary_key:
+                return col
+        return None

@@ -1,0 +1,294 @@
+"""Row storage and hash indexes.
+
+Rows live in a list of tuples; deleted rows become ``None`` tombstones and
+are compacted when more than half the slots are dead.  Indexes are hash
+maps from column value to a set of live row ids — equality lookups only,
+which covers every query the Mapping Layer issues (the thesis's wrappers
+query by id / attribute equality).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.minidb.errors import IntegrityError, ProgrammingError
+from repro.minidb.schema import TableSchema
+from repro.minidb.types import SqlValue, coerce
+
+
+class HashIndex:
+    """Equality index on one column."""
+
+    __slots__ = ("name", "column", "unique", "_map")
+
+    def __init__(self, name: str, column: str, unique: bool = False) -> None:
+        self.name = name
+        self.column = column
+        self.unique = unique
+        self._map: dict[SqlValue, set[int]] = {}
+
+    def add(self, value: SqlValue, rowid: int) -> None:
+        if value is None:
+            return  # NULLs are not indexed (SQL semantics: NULL != NULL)
+        bucket = self._map.setdefault(value, set())
+        if self.unique and bucket:
+            raise IntegrityError(
+                f"unique index {self.name!r} violated by duplicate value {value!r}"
+            )
+        bucket.add(rowid)
+
+    def remove(self, value: SqlValue, rowid: int) -> None:
+        if value is None:
+            return
+        bucket = self._map.get(value)
+        if bucket is not None:
+            bucket.discard(rowid)
+            if not bucket:
+                del self._map[value]
+
+    def lookup(self, value: SqlValue) -> set[int]:
+        if value is None:
+            return set()
+        return self._map.get(value, set())
+
+    def rebuild(self, rows: list[tuple | None], col_idx: int) -> None:
+        self._map.clear()
+        for rowid, row in enumerate(rows):
+            if row is not None:
+                self.add(row[col_idx], rowid)
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._map.values())
+
+
+class Table:
+    """A heap of rows plus its schema and indexes."""
+
+    def __init__(self, schema: TableSchema) -> None:
+        self.schema = schema
+        self.rows: list[tuple | None] = []
+        self.live_count = 0
+        self.indexes: dict[str, HashIndex] = {}
+        #: the open transaction's undo log, set by Database.begin()
+        self.txn_log = None
+        pk = schema.primary_key
+        if pk is not None:
+            self.create_index(f"__pk_{schema.name}", pk.name, unique=True)
+
+    # ------------------------------------------------------------ indexes
+    def create_index(self, name: str, column: str, unique: bool = False) -> HashIndex:
+        if name in self.indexes:
+            raise ProgrammingError(f"index {name!r} already exists")
+        col_idx = self.schema.column_index(column)
+        index = HashIndex(name, self.schema.columns[col_idx].name, unique)
+        index.rebuild(self.rows, col_idx)
+        self.indexes[name] = index
+        return index
+
+    def drop_index(self, name: str) -> None:
+        if name not in self.indexes:
+            raise ProgrammingError(f"no index {name!r}")
+        if name.startswith("__pk_"):
+            raise ProgrammingError("cannot drop the primary-key index")
+        del self.indexes[name]
+
+    def index_on(self, column: str) -> HashIndex | None:
+        """Any index whose key column matches *column* (case-insensitive)."""
+        low = column.lower()
+        for index in self.indexes.values():
+            if index.column.lower() == low:
+                return index
+        return None
+
+    # --------------------------------------------------------------- rows
+    def insert(self, values: dict[str, SqlValue]) -> int:
+        """Insert one row given a column->value mapping; returns the rowid."""
+        row: list[SqlValue] = []
+        provided = {k.lower() for k in values}
+        unknown = provided - {c.name.lower() for c in self.schema.columns}
+        if unknown:
+            raise ProgrammingError(
+                f"unknown column(s) {sorted(unknown)} for table {self.schema.name!r}"
+            )
+        for col in self.schema.columns:
+            value = None
+            for key, v in values.items():
+                if key.lower() == col.name.lower():
+                    value = v
+                    break
+            value = coerce(value, col.sql_type, col.name)
+            if value is None and (col.not_null or col.primary_key):
+                raise IntegrityError(
+                    f"column {col.name!r} of table {self.schema.name!r} may not be NULL"
+                )
+            row.append(value)
+        rowid = len(self.rows)
+        row_tuple = tuple(row)
+        # Validate all indexes before mutating any (atomicity of one insert).
+        for index in self.indexes.values():
+            col_idx = self.schema.column_index(index.column)
+            value = row_tuple[col_idx]
+            if index.unique and value is not None and index.lookup(value):
+                raise IntegrityError(
+                    f"duplicate value {value!r} for unique column "
+                    f"{index.column!r} of table {self.schema.name!r}"
+                )
+        self.rows.append(row_tuple)
+        self.live_count += 1
+        for index in self.indexes.values():
+            index.add(row_tuple[self.schema.column_index(index.column)], rowid)
+        if self.txn_log is not None:
+            self.txn_log.record_insert(self, rowid)
+        return rowid
+
+    def insert_many(self, columns: list[str], rows: list[tuple] | list[list]) -> int:
+        """Bulk insert positional rows (the ETL fast path).
+
+        Bypasses SQL parsing but applies the same coercion and constraint
+        checks as :meth:`insert`.  Returns the number of rows inserted.
+        """
+        col_indexes = [self.schema.column_index(c) for c in columns]
+        defs = self.schema.columns
+        width = len(defs)
+        count = 0
+        for values in rows:
+            if len(values) != len(columns):
+                raise ProgrammingError(
+                    f"row has {len(values)} values for {len(columns)} columns"
+                )
+            row: list[SqlValue] = [None] * width
+            for idx, value in zip(col_indexes, values):
+                col = defs[idx]
+                value = coerce(value, col.sql_type, col.name)
+                if value is None and (col.not_null or col.primary_key):
+                    raise IntegrityError(f"column {col.name!r} may not be NULL")
+                row[idx] = value
+            for i, col in enumerate(defs):
+                if row[i] is None and (col.not_null or col.primary_key):
+                    raise IntegrityError(f"column {col.name!r} may not be NULL")
+            row_tuple = tuple(row)
+            rowid = len(self.rows)
+            for index in self.indexes.values():
+                col_idx = self.schema.column_index(index.column)
+                value = row_tuple[col_idx]
+                if index.unique and value is not None and index.lookup(value):
+                    raise IntegrityError(
+                        f"duplicate value {value!r} for unique column {index.column!r}"
+                    )
+            self.rows.append(row_tuple)
+            self.live_count += 1
+            for index in self.indexes.values():
+                index.add(row_tuple[self.schema.column_index(index.column)], rowid)
+            if self.txn_log is not None:
+                self.txn_log.record_insert(self, rowid)
+            count += 1
+        return count
+
+    def delete_row(self, rowid: int) -> None:
+        self._tombstone(rowid)
+        self.maybe_compact()
+
+    def delete_rows(self, rowids: list[int]) -> None:
+        """Delete a batch, compacting once at the end.
+
+        Compaction renumbers rowids, so callers holding a rowid list must
+        use this instead of repeated :meth:`delete_row` calls.
+        """
+        for rowid in rowids:
+            self._tombstone(rowid)
+        self.maybe_compact()
+
+    def _tombstone(self, rowid: int) -> None:
+        row = self.rows[rowid]
+        if row is None:
+            raise ProgrammingError(f"row {rowid} already deleted")
+        for index in self.indexes.values():
+            index.remove(row[self.schema.column_index(index.column)], rowid)
+        self.rows[rowid] = None
+        self.live_count -= 1
+        if self.txn_log is not None:
+            self.txn_log.record_delete(self, rowid, row)
+
+    def maybe_compact(self) -> None:
+        if len(self.rows) > 64 and self.live_count < len(self.rows) // 2:
+            if self.txn_log is not None:
+                # Compaction renumbers rowids, which would invalidate the
+                # undo log — defer until the transaction ends.
+                self.txn_log.defer_compaction(self)
+                return
+            self._compact()
+
+    def update_row(self, rowid: int, updates: dict[str, SqlValue]) -> None:
+        row = self.rows[rowid]
+        if row is None:
+            raise ProgrammingError(f"row {rowid} is deleted")
+        new_row = list(row)
+        for name, value in updates.items():
+            col_idx = self.schema.column_index(name)
+            col = self.schema.columns[col_idx]
+            value = coerce(value, col.sql_type, col.name)
+            if value is None and (col.not_null or col.primary_key):
+                raise IntegrityError(f"column {col.name!r} may not be NULL")
+            new_row[col_idx] = value
+        new_tuple = tuple(new_row)
+        for index in self.indexes.values():
+            col_idx = self.schema.column_index(index.column)
+            old_v, new_v = row[col_idx], new_tuple[col_idx]
+            if old_v != new_v and index.unique and new_v is not None and index.lookup(new_v):
+                raise IntegrityError(
+                    f"duplicate value {new_v!r} for unique column {index.column!r}"
+                )
+        for index in self.indexes.values():
+            col_idx = self.schema.column_index(index.column)
+            if row[col_idx] != new_tuple[col_idx]:
+                index.remove(row[col_idx], rowid)
+                index.add(new_tuple[col_idx], rowid)
+        self.rows[rowid] = new_tuple
+        if self.txn_log is not None:
+            self.txn_log.record_update(self, rowid, row)
+
+    # ------------------------------------------------------ rollback hooks
+    def undo_insert(self, rowid: int) -> None:
+        """Reverse an insert (rollback path; never logged)."""
+        row = self.rows[rowid]
+        if row is None:
+            raise ProgrammingError(f"cannot undo insert of deleted row {rowid}")
+        for index in self.indexes.values():
+            index.remove(row[self.schema.column_index(index.column)], rowid)
+        self.rows[rowid] = None
+        self.live_count -= 1
+
+    def undo_delete(self, rowid: int, row: tuple) -> None:
+        """Reverse a delete (rollback path; never logged)."""
+        if self.rows[rowid] is not None:
+            raise ProgrammingError(f"cannot undo delete onto live row {rowid}")
+        self.rows[rowid] = row
+        self.live_count += 1
+        for index in self.indexes.values():
+            index.add(row[self.schema.column_index(index.column)], rowid)
+
+    def undo_update(self, rowid: int, old_row: tuple) -> None:
+        """Reverse an update (rollback path; never logged)."""
+        current = self.rows[rowid]
+        if current is None:
+            raise ProgrammingError(f"cannot undo update of deleted row {rowid}")
+        for index in self.indexes.values():
+            col_idx = self.schema.column_index(index.column)
+            if current[col_idx] != old_row[col_idx]:
+                index.remove(current[col_idx], rowid)
+                index.add(old_row[col_idx], rowid)
+        self.rows[rowid] = old_row
+
+    def _compact(self) -> None:
+        self.rows = [row for row in self.rows if row is not None]
+        for index in self.indexes.values():
+            index.rebuild(self.rows, self.schema.column_index(index.column))
+
+    def scan(self) -> Iterator[tuple[int, tuple]]:
+        """Yield (rowid, row) for live rows."""
+        for rowid, row in enumerate(self.rows):
+            if row is not None:
+                yield rowid, row
+
+    def __len__(self) -> int:
+        return self.live_count

@@ -1,0 +1,81 @@
+"""Transactions: an undo-log implementation of BEGIN/COMMIT/ROLLBACK.
+
+Single-connection, single-writer semantics (minidb is an embedded,
+in-process engine): a transaction collects undo records for every row
+mutation; rollback applies them in reverse.  Row compaction is deferred
+while a transaction is open so recorded rowids stay valid, and DDL is
+rejected inside transactions (undoing schema changes is out of scope —
+the engine raises rather than pretending).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.minidb.errors import ProgrammingError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.minidb.storage import Table
+
+
+class TransactionLog:
+    """Undo records for one open transaction."""
+
+    def __init__(self) -> None:
+        #: entries are ("insert", table, rowid) | ("delete", table, rowid, row)
+        #: | ("update", table, rowid, old_row)
+        self._entries: list[tuple] = []
+        #: tables that deferred a compaction during this transaction
+        self._compaction_pending: set["Table"] = set()
+        self.active = True
+
+    def record_insert(self, table: "Table", rowid: int) -> None:
+        self._entries.append(("insert", table, rowid))
+
+    def record_delete(self, table: "Table", rowid: int, row: tuple) -> None:
+        self._entries.append(("delete", table, rowid, row))
+
+    def record_update(self, table: "Table", rowid: int, old_row: tuple) -> None:
+        self._entries.append(("update", table, rowid, old_row))
+
+    def defer_compaction(self, table: "Table") -> None:
+        self._compaction_pending.add(table)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # ----------------------------------------------------------- lifecycle
+    def commit(self) -> None:
+        """Discard undo records and run deferred compactions."""
+        self._require_active()
+        self.active = False
+        self._entries.clear()
+        for table in self._compaction_pending:
+            table.txn_log = None
+            table.maybe_compact()
+        self._compaction_pending.clear()
+
+    def rollback(self) -> None:
+        """Apply undo records in reverse order."""
+        self._require_active()
+        self.active = False
+        for entry in reversed(self._entries):
+            kind = entry[0]
+            if kind == "insert":
+                _, table, rowid = entry
+                table.undo_insert(rowid)
+            elif kind == "delete":
+                _, table, rowid, row = entry
+                table.undo_delete(rowid, row)
+            else:
+                _, table, rowid, old_row = entry
+                table.undo_update(rowid, old_row)
+        self._entries.clear()
+        for table in self._compaction_pending:
+            table.txn_log = None
+            table.maybe_compact()
+        self._compaction_pending.clear()
+
+    def _require_active(self) -> None:
+        if not self.active:
+            raise ProgrammingError("transaction is no longer active")

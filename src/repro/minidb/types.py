@@ -1,0 +1,109 @@
+"""SQL value types and coercion rules.
+
+Values at runtime are plain Python objects: ``None`` (NULL), ``int``,
+``float``, ``str``, ``bool``.  Comparison follows SQL three-valued-logic
+conventions loosely: any comparison involving NULL is false (we do not
+model UNKNOWN — the thesis's queries never rely on it).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.minidb.errors import ProgrammingError
+
+SqlValue = None | int | float | str | bool
+
+
+class SqlType(str, Enum):
+    """Declared column types."""
+
+    INTEGER = "INTEGER"
+    REAL = "REAL"
+    TEXT = "TEXT"
+    BOOLEAN = "BOOLEAN"
+
+    @staticmethod
+    def parse(name: str) -> "SqlType":
+        upper = name.upper()
+        aliases = {
+            "INT": SqlType.INTEGER,
+            "INTEGER": SqlType.INTEGER,
+            "BIGINT": SqlType.INTEGER,
+            "SMALLINT": SqlType.INTEGER,
+            "REAL": SqlType.REAL,
+            "FLOAT": SqlType.REAL,
+            "DOUBLE": SqlType.REAL,
+            "NUMERIC": SqlType.REAL,
+            "TEXT": SqlType.TEXT,
+            "VARCHAR": SqlType.TEXT,
+            "CHAR": SqlType.TEXT,
+            "STRING": SqlType.TEXT,
+            "BOOLEAN": SqlType.BOOLEAN,
+            "BOOL": SqlType.BOOLEAN,
+        }
+        if upper not in aliases:
+            raise ProgrammingError(f"unknown column type {name!r}")
+        return aliases[upper]
+
+
+def coerce(value: SqlValue, sql_type: SqlType, column: str) -> SqlValue:
+    """Coerce *value* to the declared column type on insert/update.
+
+    NULL passes through (nullability is checked separately).  Numeric
+    widening (int -> REAL) is allowed; lossy or cross-kind coercions
+    raise :class:`ProgrammingError`.
+    """
+    if value is None:
+        return None
+    if sql_type is SqlType.INTEGER:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ProgrammingError(f"column {column!r} expects INTEGER, got {value!r}")
+        if isinstance(value, float):
+            if not value.is_integer():
+                raise ProgrammingError(f"column {column!r} expects INTEGER, got {value!r}")
+            return int(value)
+        return value
+    if sql_type is SqlType.REAL:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ProgrammingError(f"column {column!r} expects REAL, got {value!r}")
+        return float(value)
+    if sql_type is SqlType.TEXT:
+        if not isinstance(value, str):
+            raise ProgrammingError(f"column {column!r} expects TEXT, got {value!r}")
+        return value
+    if sql_type is SqlType.BOOLEAN:
+        if not isinstance(value, bool):
+            raise ProgrammingError(f"column {column!r} expects BOOLEAN, got {value!r}")
+        return value
+    raise ProgrammingError(f"unhandled type {sql_type}")  # pragma: no cover
+
+
+def compare_values(a: SqlValue, b: SqlValue) -> int | None:
+    """Three-way compare; ``None`` when either side is NULL or kinds differ.
+
+    Numbers compare numerically across int/float; strings with strings;
+    booleans with booleans.
+    """
+    if a is None or b is None:
+        return None
+    a_num = isinstance(a, (int, float)) and not isinstance(a, bool)
+    b_num = isinstance(b, (int, float)) and not isinstance(b, bool)
+    if a_num and b_num:
+        return (a > b) - (a < b)
+    if isinstance(a, str) and isinstance(b, str):
+        return (a > b) - (a < b)
+    if isinstance(a, bool) and isinstance(b, bool):
+        return (a > b) - (a < b)
+    return None
+
+
+def sort_key(value: SqlValue) -> tuple:
+    """Total-order key for ORDER BY / DISTINCT: NULLs first, then by kind."""
+    if value is None:
+        return (0, 0)
+    if isinstance(value, bool):
+        return (1, int(value))
+    if isinstance(value, (int, float)):
+        return (2, float(value))
+    return (3, value)

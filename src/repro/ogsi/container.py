@@ -1,0 +1,243 @@
+"""Service container and grid environment (the Axis/Tomcat analog).
+
+The container is the server half of the Architecture Adapter pattern:
+its ingress takes ``(path, request-bytes)``, parses the SOAP envelope,
+validates the operation against the target service's PortType, invokes
+the native method, and serializes the result (or a fault) back to bytes.
+
+A :class:`GridEnvironment` groups containers, wires them to a shared
+transport/clock, and builds client stubs — the whole "grid" of one
+PPerfGrid session lives in one environment object.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.ogsi.gsh import GridServiceHandle, GshError
+from repro.ogsi.porttypes import GRID_SERVICE_PORTTYPE
+from repro.ogsi.service import GridServiceBase, ServiceState
+from repro.simnet.clock import Clock, RealClock
+from repro.simnet.host import SimHost
+from repro.simnet.metrics import Recorder
+from repro.simnet.transport import LoopbackTransport, Transport
+from repro.soap.faults import SoapFault, fault_from_exception
+from repro.soap.rpc import decode_request, encode_fault, encode_response
+from repro.wsdl.porttype import Operation, PortType
+from repro.wsdl.stubgen import ClientStub, make_stub
+from repro.xmlkit import Element
+
+#: optional security check: (headers, request_bytes) -> None or raise
+SecurityVerifier = Callable[[list[Element], bytes], None]
+
+
+class ContainerError(RuntimeError):
+    """Deployment/routing errors inside a container."""
+
+
+class ServiceContainer:
+    """Hosts Grid services under one authority (one "host:port")."""
+
+    def __init__(
+        self,
+        authority: str,
+        environment: "GridEnvironment",
+        host: SimHost | None = None,
+    ) -> None:
+        self.authority = authority
+        self.environment = environment
+        self.host = host
+        self._services: dict[str, GridServiceBase] = {}
+        self._instance_counters: dict[str, int] = {}
+        self.verifier: SecurityVerifier | None = None
+        self.requests_handled = 0
+        # One request at a time per container: service implementations and
+        # the PR caches are not thread-safe, and the modeled hosts are
+        # single-CPU anyway — threaded clients (run_queries_parallel)
+        # serialize here exactly as they would on the thesis's hardware.
+        # Reentrant because dispatch nests: an Application operation calls
+        # the Manager, which calls an Execution Factory, all potentially
+        # hosted in this same container.
+        import threading
+
+        self._dispatch_lock = threading.RLock()
+
+    @property
+    def clock(self) -> Clock:
+        return self.environment.clock
+
+    # ---------------------------------------------------------- deployment
+    def deploy(self, path: str, service: GridServiceBase) -> GridServiceHandle:
+        """Deploy a persistent service at *path*; returns its GSH."""
+        if path in self._services:
+            raise ContainerError(f"path {path!r} already deployed on {self.authority}")
+        gsh = GridServiceHandle(self.authority, path)
+        self._services[path] = service
+        service.on_deployed(self, gsh)
+        return gsh
+
+    def deploy_instance(self, factory_path: str, instance: GridServiceBase) -> GridServiceHandle:
+        """Deploy a transient instance under a factory's path."""
+        count = self._instance_counters.get(factory_path, 0) + 1
+        self._instance_counters[factory_path] = count
+        path = f"{factory_path}/instances/{count}"
+        return self.deploy(path, instance)
+
+    def remove_service(self, gsh: GridServiceHandle) -> None:
+        self._services.pop(gsh.path, None)
+
+    def has_service(self, gsh: GridServiceHandle) -> bool:
+        service = self._services.get(gsh.path)
+        return service is not None and service.state is ServiceState.ACTIVE
+
+    def service_at(self, path: str) -> GridServiceBase | None:
+        return self._services.get(path)
+
+    def service_count(self) -> int:
+        return len(self._services)
+
+    def service_paths(self) -> list[str]:
+        return sorted(self._services)
+
+    def sweep_expired(self) -> int:
+        """Destroy instances whose termination time has passed."""
+        now = self.clock.now()
+        expired = [
+            svc
+            for svc in list(self._services.values())
+            if svc.state is ServiceState.ACTIVE and svc.is_expired(now)
+        ]
+        for service in expired:
+            service.Destroy()
+        return len(expired)
+
+    # ------------------------------------------------------------- ingress
+    def handle_request(self, path: str, request: bytes) -> bytes:
+        """The container ingress: bytes in, bytes out, faults on errors."""
+        with self._dispatch_lock:
+            return self._handle_request_locked(path, request)
+
+    def _handle_request_locked(self, path: str, request: bytes) -> bytes:
+        self.requests_handled += 1
+        try:
+            rpc = decode_request(request)
+        except SoapFault as fault:
+            return encode_fault(fault)
+        except Exception as exc:
+            return encode_fault(fault_from_exception(exc, caller_error=True))
+        try:
+            if self.verifier is not None:
+                self.verifier(rpc.headers, request)
+            service = self._services.get(path)
+            if service is None or service.state is not ServiceState.ACTIVE:
+                raise SoapFault("Client", f"no service at {self.authority}/{path}")
+            operation = self._find_operation(service, rpc.operation)
+            if len(rpc.params) != len(operation.parameters):
+                raise SoapFault(
+                    "Client",
+                    f"{rpc.operation} takes {len(operation.parameters)} "
+                    f"argument(s), got {len(rpc.params)}",
+                )
+            method = getattr(service, rpc.operation, None)
+            if method is None:
+                raise SoapFault(
+                    "Server",
+                    f"{type(service).__name__} declares but does not implement "
+                    f"{rpc.operation}",
+                )
+            result = method(*rpc.params)
+            return encode_response(
+                rpc.namespace,
+                rpc.operation,
+                result,
+                is_void=operation.returns == "void",
+            )
+        except SoapFault as fault:
+            return encode_fault(fault)
+        except Exception as exc:
+            return encode_fault(fault_from_exception(exc))
+
+    @staticmethod
+    def _find_operation(service: GridServiceBase, name: str) -> Operation:
+        if service.porttype.has_operation(name):
+            return service.porttype.operation(name)
+        if GRID_SERVICE_PORTTYPE.has_operation(name):
+            return GRID_SERVICE_PORTTYPE.operation(name)
+        raise SoapFault(
+            "Client",
+            f"PortType {service.porttype.name!r} has no operation {name!r}",
+        )
+
+
+class GridEnvironment:
+    """One grid: shared clock, shared transport, a set of containers."""
+
+    def __init__(self, clock: Clock | None = None, recorder: Recorder | None = None) -> None:
+        self.clock: Clock = clock or RealClock()
+        self.recorder = recorder if recorder is not None else Recorder(self.clock)
+        self.transport: Transport = LoopbackTransport(self.recorder)
+        self._containers: dict[str, ServiceContainer] = {}
+
+    def create_container(self, authority: str, host: SimHost | None = None) -> ServiceContainer:
+        if authority in self._containers:
+            raise ContainerError(f"a container is already bound at {authority!r}")
+        container = ServiceContainer(authority, self, host=host)
+        self._containers[authority] = container
+        # The loopback transport routes by authority to the container ingress.
+        self.transport.bind(authority, container.handle_request)  # type: ignore[attr-defined]
+        return container
+
+    def container_for(self, authority: str) -> ServiceContainer | None:
+        return self._containers.get(authority)
+
+    def containers(self) -> list[ServiceContainer]:
+        return [self._containers[a] for a in sorted(self._containers)]
+
+    # ---------------------------------------------------------------- stubs
+    def stub_for_handle(
+        self,
+        handle: str | GridServiceHandle,
+        porttype: PortType,
+        headers_provider=None,
+    ) -> ClientStub:
+        """Bind a stub to the service a GSH names (the Figure 1 'bind' step)."""
+        gsh = handle if isinstance(handle, GridServiceHandle) else GridServiceHandle.parse(handle)
+        container = self._containers.get(gsh.authority)
+        if container is None or not container.has_service(gsh):
+            raise GshError(f"handle {gsh} does not resolve to a live service")
+        return make_stub(porttype, gsh.endpoint_url(), self.transport, headers_provider)
+
+    def stub_for_endpoint(
+        self, endpoint_url: str, porttype: PortType, headers_provider=None
+    ) -> ClientStub:
+        return make_stub(porttype, endpoint_url, self.transport, headers_provider)
+
+    def stub_from_wsdl(
+        self, handle: str | GridServiceHandle, headers_provider=None
+    ) -> ClientStub:
+        """Bind with no compile-time PortType knowledge (Figure 1 flow).
+
+        Fetches the service's published WSDL through the GridService
+        PortType (always available), parses it, and builds the stub from
+        the parsed interface — the analog of WSDL2Java stub generation.
+        """
+        from repro.wsdl.document import parse_wsdl
+        from repro.xmlkit import parse as parse_xml
+
+        bootstrap = self.stub_for_handle(handle, GRID_SERVICE_PORTTYPE, headers_provider)
+        result_xml = bootstrap.FindServiceData("wsdl")
+        root = parse_xml(result_xml).root
+        sde = root.find("serviceDataElement")
+        if sde is None:
+            raise GshError(f"service {handle} publishes no WSDL service data")
+        value = sde.find("value")
+        wsdl_text = value.text() if value is not None else ""
+        porttype, endpoint = parse_wsdl(wsdl_text)
+        return make_stub(porttype, endpoint, self.transport, headers_provider)
+
+    def sweep_expired(self) -> int:
+        """Run lifetime sweeps on every container."""
+        return sum(c.sweep_expired() for c in self._containers.values())
+
+    def total_services(self) -> int:
+        return sum(c.service_count() for c in self._containers.values())

@@ -1,0 +1,83 @@
+"""Grid Service Handles.
+
+A GSH is a globally unique URL naming one Grid service or service
+instance: ``ppg://<authority>/<service-path>``.  The thesis requires that
+"there cannot be two Grid services or Grid service instances with the
+same GSH"; uniqueness is enforced per container by monotonic instance
+counters and checked again at deployment time.
+
+Resolving a GSH to an invocable endpoint (a Grid Service Reference) is
+the HandleMap's job; in this reproduction a GSH resolves to an ``http://``
+endpoint URL with the same authority and path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+SCHEME = "ppg://"
+
+
+class GshError(ValueError):
+    """Raised for malformed or unresolvable handles."""
+
+
+@dataclass(frozen=True)
+class GridServiceHandle:
+    """A parsed GSH."""
+
+    authority: str
+    path: str
+
+    def __post_init__(self) -> None:
+        if not self.authority:
+            raise GshError("GSH authority may not be empty")
+        if not self.path:
+            raise GshError("GSH path may not be empty")
+        if self.path.startswith("/") or self.path.endswith("/"):
+            raise GshError(f"GSH path may not start or end with '/': {self.path!r}")
+
+    @staticmethod
+    def parse(text: str) -> "GridServiceHandle":
+        if not text.startswith(SCHEME):
+            raise GshError(f"a GSH must start with {SCHEME!r}: {text!r}")
+        rest = text[len(SCHEME) :]
+        authority, sep, path = rest.partition("/")
+        if not sep:
+            raise GshError(f"GSH {text!r} has no service path")
+        return GridServiceHandle(authority=authority, path=path)
+
+    @staticmethod
+    def is_valid(text: str) -> bool:
+        try:
+            GridServiceHandle.parse(text)
+            return True
+        except GshError:
+            return False
+
+    def url(self) -> str:
+        """The GSH in URL form (what appears on the wire)."""
+        return f"{SCHEME}{self.authority}/{self.path}"
+
+    def endpoint_url(self) -> str:
+        """The Grid Service Reference this handle maps to."""
+        return f"http://{self.authority}/{self.path}"
+
+    @property
+    def instance_id(self) -> str | None:
+        """Trailing instance id for instance handles (``.../instances/<id>``)."""
+        parts = self.path.split("/")
+        if len(parts) >= 2 and parts[-2] == "instances":
+            return parts[-1]
+        return None
+
+    @property
+    def base_service(self) -> str:
+        """The path with any trailing ``instances/<id>`` removed."""
+        parts = self.path.split("/")
+        if len(parts) >= 2 and parts[-2] == "instances":
+            return "/".join(parts[:-2])
+        return self.path
+
+    def __str__(self) -> str:
+        return self.url()

@@ -1,0 +1,31 @@
+"""The HandleMap PortType: GSH -> Grid Service Reference resolution."""
+
+from __future__ import annotations
+
+from repro.ogsi.gsh import GridServiceHandle, GshError
+from repro.ogsi.porttypes import HANDLE_MAP_PORTTYPE
+from repro.ogsi.service import GridServiceBase
+
+
+class HandleMapService(GridServiceBase):
+    """Resolves handles for services deployed in a known environment.
+
+    The environment is injected at construction (a
+    :class:`~repro.ogsi.container.GridEnvironment`); handles naming
+    services that are not currently deployed raise, matching OGSI's
+    behaviour for stale GSHs.
+    """
+
+    porttype = HANDLE_MAP_PORTTYPE
+
+    def __init__(self, environment) -> None:
+        super().__init__()
+        self.environment = environment
+
+    def FindByHandle(self, handle: str) -> str:
+        self.require_active()
+        gsh = GridServiceHandle.parse(handle)
+        container = self.environment.container_for(gsh.authority)
+        if container is None or not container.has_service(gsh):
+            raise GshError(f"handle {handle!r} does not resolve to a live service")
+        return gsh.endpoint_url()

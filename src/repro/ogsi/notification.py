@@ -1,0 +1,133 @@
+"""Notification PortTypes (push and pull delivery).
+
+The thesis's future-work section proposes notifications for data-store
+updates, deliverable "using either a 'push' or a 'pull' model".  Both are
+implemented:
+
+* **push** — a :class:`NotificationSourceMixin` keeps subscriptions and,
+  on ``notify``, invokes ``DeliverNotification`` on each sink's stub
+  through the normal transport (real SOAP round trip per delivery);
+* **pull** — a :class:`PullNotificationSink` deployed next to the client
+  queues deliveries; the client drains it with ``poll()``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ogsi.gsh import GridServiceHandle
+from repro.ogsi.porttypes import NOTIFICATION_SINK_PORTTYPE, NOTIFICATION_SOURCE_PORTTYPE
+from repro.ogsi.service import GridServiceBase
+
+
+@dataclass
+class Subscription:
+    subscription_id: str
+    topic: str
+    sink_handle: str
+    expires_at: float
+
+
+class NotificationSourceMixin:
+    """Mixin adding NotificationSource operations to a Grid service.
+
+    The host class must be a :class:`GridServiceBase` (needs
+    ``container``/``require_active``).  Topics are plain strings; a
+    subscription to topic ``"*"`` receives everything.
+    """
+
+    def _init_notification_source(self) -> None:
+        self._subscriptions: dict[str, Subscription] = {}
+        self._subscription_counter = 0
+
+    def SubscribeToNotificationTopic(
+        self, topic: str, sinkHandle: str, expirationTime: float
+    ) -> str:
+        self.require_active()  # type: ignore[attr-defined]
+        if not topic:
+            raise ValueError("topic may not be empty")
+        GridServiceHandle.parse(sinkHandle)  # validate
+        self._subscription_counter += 1
+        sub_id = f"sub-{self._subscription_counter}"
+        expires = float("inf") if expirationTime <= 0 else float(expirationTime)
+        self._subscriptions[sub_id] = Subscription(sub_id, topic, sinkHandle, expires)
+        return sub_id
+
+    def UnsubscribeFromNotificationTopic(self, subscriptionId: str) -> None:
+        self.require_active()  # type: ignore[attr-defined]
+        self._subscriptions.pop(subscriptionId, None)
+
+    def notify(self, topic: str, message: str) -> int:
+        """Push *message* to all live subscribers of *topic*.
+
+        Returns the number of successful deliveries.  Dead sinks (handle
+        no longer resolvable) are unsubscribed rather than retried — the
+        soft-state convention.
+        """
+        container = self.container  # type: ignore[attr-defined]
+        if container is None:
+            raise RuntimeError("source is not deployed")
+        now = container.clock.now()
+        delivered = 0
+        for sub_id, sub in list(self._subscriptions.items()):
+            if sub.expires_at <= now:
+                del self._subscriptions[sub_id]
+                continue
+            if sub.topic not in ("*", topic):
+                continue
+            try:
+                stub = container.environment.stub_for_handle(
+                    sub.sink_handle, NOTIFICATION_SINK_PORTTYPE
+                )
+                stub.DeliverNotification(topic, message)
+                delivered += 1
+            except Exception:
+                del self._subscriptions[sub_id]
+        return delivered
+
+    def subscription_count(self) -> int:
+        return len(self._subscriptions)
+
+
+class NotificationSinkBase(GridServiceBase):
+    """A sink that hands deliveries to a callback."""
+
+    porttype = NOTIFICATION_SINK_PORTTYPE
+
+    def __init__(self, callback=None) -> None:
+        super().__init__()
+        self.callback = callback
+
+    def DeliverNotification(self, topic: str, message: str) -> None:
+        self.require_active()
+        if self.callback is not None:
+            self.callback(topic, message)
+
+
+class PullNotificationSink(NotificationSinkBase):
+    """A sink that queues deliveries for client polling (the pull model)."""
+
+    def __init__(self, max_queue: int = 1024) -> None:
+        super().__init__(callback=None)
+        self.max_queue = max_queue
+        self._queue: list[tuple[str, str]] = []
+        self.dropped = 0
+
+    def DeliverNotification(self, topic: str, message: str) -> None:
+        self.require_active()
+        if len(self._queue) >= self.max_queue:
+            self._queue.pop(0)
+            self.dropped += 1
+        self._queue.append((topic, message))
+
+    def poll(self, max_items: int | None = None) -> list[tuple[str, str]]:
+        """Drain up to *max_items* queued (topic, message) pairs."""
+        if max_items is None or max_items >= len(self._queue):
+            items, self._queue = self._queue, []
+            return items
+        items = self._queue[:max_items]
+        self._queue = self._queue[max_items:]
+        return items
+
+    def pending(self) -> int:
+        return len(self._queue)

@@ -1,0 +1,167 @@
+"""The standard OGSA PortTypes (thesis Table 3).
+
+Operation names match Table 3 verbatim (``FindServiceData``,
+``CreateService``, ...).  Application-level PortTypes (Tables 1 and 2)
+live with their implementations in :mod:`repro.core`.
+"""
+
+from __future__ import annotations
+
+from repro.wsdl.porttype import Operation, Parameter, PortType
+
+OGSI_NS = "http://www.gridforum.org/namespaces/2003/03/OGSI"
+
+GRID_SERVICE_PORTTYPE = PortType(
+    name="GridService",
+    namespace=OGSI_NS,
+    doc="The base interface implemented by every Grid service.",
+    operations=(
+        Operation(
+            "FindServiceData",
+            (Parameter("queryExpression", "xsd:string"),),
+            "xsd:string",
+            doc=(
+                "Query a variety of information about the Grid service instance, "
+                "including basic introspection information (handle, reference, "
+                "primary key), richer per-interface information, and "
+                "service-specific information. Extensible support for various "
+                "query languages."
+            ),
+        ),
+        Operation(
+            "SetTerminationTime",
+            (Parameter("terminationTime", "xsd:double"),),
+            "xsd:double",
+            doc="Set (and get) termination time for Grid service instance.",
+        ),
+        Operation(
+            "Destroy",
+            (),
+            "void",
+            doc="Terminate Grid service instance.",
+        ),
+    ),
+)
+
+NOTIFICATION_SOURCE_PORTTYPE = PortType(
+    name="NotificationSource",
+    namespace=OGSI_NS,
+    doc="Subscription management for service-related event notifications.",
+    operations=(
+        Operation(
+            "SubscribeToNotificationTopic",
+            (
+                Parameter("topic", "xsd:string"),
+                Parameter("sinkHandle", "xsd:string"),
+                Parameter("expirationTime", "xsd:double"),
+            ),
+            "xsd:string",
+            doc=(
+                "Subscribe to notifications of service-related events, based on "
+                "message type and interest statement. Allows for delivery via "
+                "third party messaging services."
+            ),
+        ),
+        Operation(
+            "UnsubscribeFromNotificationTopic",
+            (Parameter("subscriptionId", "xsd:string"),),
+            "void",
+            doc="Cancel a notification subscription.",
+        ),
+    ),
+)
+
+NOTIFICATION_SINK_PORTTYPE = PortType(
+    name="NotificationSink",
+    namespace=OGSI_NS,
+    doc="Receives asynchronous notification messages.",
+    operations=(
+        Operation(
+            "DeliverNotification",
+            (
+                Parameter("topic", "xsd:string"),
+                Parameter("message", "xsd:string"),
+            ),
+            "void",
+            doc="Carry out asynchronous delivery of notification messages.",
+        ),
+    ),
+)
+
+REGISTRY_PORTTYPE = PortType(
+    name="Registry",
+    namespace=OGSI_NS,
+    doc="Soft-state registration of Grid service handles.",
+    operations=(
+        Operation(
+            "RegisterService",
+            (
+                Parameter("handle", "xsd:string"),
+                Parameter("information", "xsd:string[]"),
+                Parameter("lifetime", "xsd:double"),
+            ),
+            "void",
+            doc="Conduct soft-state registration of Grid service handles.",
+        ),
+        Operation(
+            "UnregisterService",
+            (Parameter("handle", "xsd:string"),),
+            "void",
+            doc="Deregister a Grid service handle.",
+        ),
+        Operation(
+            "FindServices",
+            (Parameter("namePattern", "xsd:string"),),
+            "xsd:string[]",
+            doc="Return handles of registered services whose name matches a pattern.",
+        ),
+    ),
+)
+
+FACTORY_PORTTYPE = PortType(
+    name="Factory",
+    namespace=OGSI_NS,
+    doc="Creates new Grid service instances.",
+    operations=(
+        Operation(
+            "CreateService",
+            (Parameter("creationParameters", "xsd:string[]"),),
+            "xsd:string",
+            doc="Create new Grid service instance.",
+        ),
+    ),
+    extends=(GRID_SERVICE_PORTTYPE,),
+)
+
+HANDLE_MAP_PORTTYPE = PortType(
+    name="HandleMap",
+    namespace=OGSI_NS,
+    doc="Resolves Grid Service Handles to Grid Service References.",
+    operations=(
+        Operation(
+            "FindByHandle",
+            (Parameter("handle", "xsd:string"),),
+            "xsd:string",
+            doc=(
+                "Return Grid Service Reference currently associated with "
+                "supplied Grid Service Handle."
+            ),
+        ),
+    ),
+)
+
+
+def ogsi_porttype_table() -> list[tuple[str, str, str]]:
+    """Rows of thesis Table 3: (PortType, Operation, Description)."""
+    rows: list[tuple[str, str, str]] = []
+    for porttype in (
+        GRID_SERVICE_PORTTYPE,
+        NOTIFICATION_SOURCE_PORTTYPE,
+        NOTIFICATION_SINK_PORTTYPE,
+        REGISTRY_PORTTYPE,
+        FACTORY_PORTTYPE,
+        HANDLE_MAP_PORTTYPE,
+    ):
+        for op in porttype.operations:
+            rows.append((porttype.name, op.name, op.doc))
+    return rows

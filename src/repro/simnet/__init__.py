@@ -1,0 +1,46 @@
+"""Simulated grid substrate: clocks, hosts, network model, transports.
+
+The thesis ran on two Sun Ultra 5/10 workstations and a fast-Ethernet
+LAN.  This package replaces that hardware with:
+
+* :class:`~repro.simnet.clock.RealClock` / ``VirtualClock`` — time sources;
+* :class:`~repro.simnet.metrics.Recorder` — byte/time instrumentation used
+  by Table 4 ("total bytes transferred per query");
+* :class:`~repro.simnet.host.SimHost` — a single-CPU host whose work is
+  serialized on a timeline (the basis of the Figure 12 scalability replay);
+* :class:`~repro.simnet.network.NetworkModel` — latency + bandwidth costs;
+* :class:`~repro.simnet.transport` — the bytes-in/bytes-out boundary
+  between client stubs and service containers.
+"""
+
+from repro.simnet.clock import Clock, RealClock, VirtualClock
+from repro.simnet.events import EventScheduler, FifoResource, simulate_scalability_des
+from repro.simnet.host import HostTimeline, SimHost
+from repro.simnet.metrics import Recorder, TimerStats
+from repro.simnet.network import NetworkModel
+from repro.simnet.transport import (
+    Endpoint,
+    LoopbackTransport,
+    RequestHandler,
+    Transport,
+    TransportError,
+)
+
+__all__ = [
+    "Clock",
+    "Endpoint",
+    "EventScheduler",
+    "FifoResource",
+    "HostTimeline",
+    "simulate_scalability_des",
+    "LoopbackTransport",
+    "NetworkModel",
+    "RealClock",
+    "Recorder",
+    "RequestHandler",
+    "SimHost",
+    "TimerStats",
+    "Transport",
+    "TransportError",
+    "VirtualClock",
+]

@@ -1,0 +1,55 @@
+"""Time sources.
+
+``RealClock`` wraps ``time.perf_counter`` and backs the wall-clock
+measurements of Tables 4 and 5 (the analog of the thesis's
+``System.currentTimeMillis()``).  ``VirtualClock`` is an explicitly
+advanced clock used by the scalability replay and by service-lifetime
+tests, where determinism matters more than realism.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Protocol, runtime_checkable
+
+
+@runtime_checkable
+class Clock(Protocol):
+    """Anything with a monotonically non-decreasing ``now() -> float``."""
+
+    def now(self) -> float:  # pragma: no cover - protocol signature
+        ...
+
+
+class RealClock:
+    """Wall-clock seconds from ``time.perf_counter``."""
+
+    __slots__ = ()
+
+    def now(self) -> float:
+        return time.perf_counter()
+
+
+class VirtualClock:
+    """A manually advanced clock; never moves on its own."""
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, dt: float) -> float:
+        """Move forward by *dt* seconds (negative dt is rejected)."""
+        if dt < 0:
+            raise ValueError(f"cannot advance a clock by {dt}")
+        self._now += dt
+        return self._now
+
+    def advance_to(self, t: float) -> float:
+        """Move forward to absolute time *t* (no-op if already past it)."""
+        if t > self._now:
+            self._now = t
+        return self._now

@@ -1,0 +1,79 @@
+"""Network cost model.
+
+A message of *n* bytes between two distinct hosts costs
+``latency + n / bandwidth`` seconds; intra-host messages cost only a
+small loopback latency.  Defaults approximate the thesis's fast-Ethernet
+(10/100) LAN: 100 Mbit/s with sub-millisecond switch latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Latency/bandwidth parameters for one network."""
+
+    latency_s: float = 0.0005
+    bandwidth_bytes_per_s: float = 100e6 / 8  # 100 Mbit/s
+    loopback_latency_s: float = 0.00002
+
+    def __post_init__(self) -> None:
+        if self.latency_s < 0 or self.loopback_latency_s < 0:
+            raise ValueError("latencies must be non-negative")
+        if self.bandwidth_bytes_per_s <= 0:
+            raise ValueError("bandwidth must be positive")
+
+    def transfer_time(self, nbytes: int, *, same_host: bool = False) -> float:
+        """Seconds to move *nbytes* one way."""
+        if nbytes < 0:
+            raise ValueError(f"negative byte count {nbytes}")
+        if same_host:
+            return self.loopback_latency_s
+        return self.latency_s + nbytes / self.bandwidth_bytes_per_s
+
+    def round_trip_time(self, request_bytes: int, response_bytes: int, *, same_host: bool = False) -> float:
+        """Seconds for a request/response exchange."""
+        return self.transfer_time(request_bytes, same_host=same_host) + self.transfer_time(
+            response_bytes, same_host=same_host
+        )
+
+
+class SharedMediumNetwork:
+    """A shared-bus network: one transfer at a time on the wire.
+
+    The thesis's 10/100 LAN behaves like a switch with ample backplane at
+    its message rates, which :class:`NetworkModel` captures.  But the
+    scalability argument has a limit — once response payloads grow, the
+    replica hosts all feed the *same* link to the client, and transfers
+    serialize.  This model exposes that regime (ablation A4): each
+    transfer occupies the bus for ``latency + bytes/bandwidth`` seconds,
+    starting no earlier than both its ready time and the bus being free.
+    """
+
+    def __init__(self, model: NetworkModel | None = None) -> None:
+        self.model = model or NetworkModel()
+        self.busy_until = 0.0
+        self.total_busy = 0.0
+        self.transfers = 0
+
+    def schedule_transfer(self, nbytes: int, ready_at: float = 0.0) -> tuple[float, float]:
+        """Occupy the bus for one transfer; returns (start, end)."""
+        duration = self.model.transfer_time(nbytes)
+        start = max(self.busy_until, ready_at)
+        end = start + duration
+        self.busy_until = end
+        self.total_busy += duration
+        self.transfers += 1
+        return start, end
+
+    def reset(self) -> None:
+        self.busy_until = 0.0
+        self.total_busy = 0.0
+        self.transfers = 0
+
+    def utilization(self, horizon: float) -> float:
+        if horizon <= 0:
+            return 0.0
+        return min(1.0, self.total_busy / horizon)

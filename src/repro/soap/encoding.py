@@ -1,0 +1,158 @@
+"""Typed value encoding (SOAP section-5 style, simplified).
+
+Supported wire types and their Python mappings:
+
+==================  ==================
+XSD / SOAP-ENC      Python
+==================  ==================
+``xsd:string``      ``str``
+``xsd:int``         ``int``
+``xsd:long``        ``int``
+``xsd:double``      ``float``
+``xsd:boolean``     ``bool``
+``xsd:anyType``     ``None`` (nil only)
+``enc:Array``       ``list`` (homogeneous)
+``tns:struct``      ``dict[str, value]``
+==================  ==================
+
+Values carry an ``xsi:type`` attribute so the decoder is self-describing,
+mirroring Apache Axis's default RPC/encoded style.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.xmlkit import Element, QName
+
+XSD_NS = "http://www.w3.org/2001/XMLSchema"
+XSI_NS = "http://www.w3.org/2001/XMLSchema-instance"
+ENC_NS = "http://schemas.xmlsoap.org/soap/encoding/"
+
+_XSI_TYPE = QName(XSI_NS, "type")
+_XSI_NIL = QName(XSI_NS, "nil")
+_ARRAY_TYPE_ATTR = QName(ENC_NS, "arrayType")
+
+
+class SoapEncodingError(ValueError):
+    """Raised when a value cannot be encoded or decoded."""
+
+
+class XsdType(str, Enum):
+    """Wire-level type names used in ``xsi:type`` attributes."""
+
+    STRING = "xsd:string"
+    INT = "xsd:int"
+    LONG = "xsd:long"
+    DOUBLE = "xsd:double"
+    BOOLEAN = "xsd:boolean"
+    ANY = "xsd:anyType"
+    ARRAY = "enc:Array"
+    STRUCT = "tns:struct"
+
+
+def xsd_type_for(value: object) -> XsdType:
+    """Infer the wire type for a Python value."""
+    if value is None:
+        return XsdType.ANY
+    if isinstance(value, bool):  # bool before int: bool is an int subclass
+        return XsdType.BOOLEAN
+    if isinstance(value, int):
+        return XsdType.INT if -(2**31) <= value < 2**31 else XsdType.LONG
+    if isinstance(value, float):
+        return XsdType.DOUBLE
+    if isinstance(value, str):
+        return XsdType.STRING
+    if isinstance(value, (list, tuple)):
+        return XsdType.ARRAY
+    if isinstance(value, dict):
+        return XsdType.STRUCT
+    raise SoapEncodingError(f"cannot encode value of type {type(value).__name__}")
+
+
+def python_type_for(wire: str) -> type | None:
+    """Python type for a wire type string (``None`` for nil/any)."""
+    mapping: dict[str, type | None] = {
+        XsdType.STRING.value: str,
+        XsdType.INT.value: int,
+        XsdType.LONG.value: int,
+        XsdType.DOUBLE.value: float,
+        XsdType.BOOLEAN.value: bool,
+        XsdType.ANY.value: None,
+        XsdType.ARRAY.value: list,
+        XsdType.STRUCT.value: dict,
+    }
+    if wire not in mapping:
+        raise SoapEncodingError(f"unknown wire type {wire!r}")
+    return mapping[wire]
+
+
+def encode_value(name: str, value: object) -> Element:
+    """Encode a Python value as an element named *name* with ``xsi:type``."""
+    el = Element(QName("", name))
+    wire = xsd_type_for(value)
+    el.attrs[_XSI_TYPE] = wire.value
+    if value is None:
+        el.attrs[_XSI_NIL] = "true"
+        return el
+    if wire is XsdType.BOOLEAN:
+        el.children.append("true" if value else "false")
+    elif wire in (XsdType.INT, XsdType.LONG):
+        el.children.append(str(value))
+    elif wire is XsdType.DOUBLE:
+        el.children.append(repr(float(value)))
+    elif wire is XsdType.STRING:
+        el.children.append(str(value))
+    elif wire is XsdType.ARRAY:
+        items = list(value)  # type: ignore[arg-type]
+        el.attrs[_ARRAY_TYPE_ATTR] = f"{_item_wire_type(items)}[{len(items)}]"
+        for item in items:
+            el.children.append(encode_value("item", item))
+    elif wire is XsdType.STRUCT:
+        for key, item in value.items():  # type: ignore[union-attr]
+            if not isinstance(key, str) or not key:
+                raise SoapEncodingError("struct keys must be non-empty strings")
+            el.children.append(encode_value(key, item))
+    return el
+
+
+def _item_wire_type(items: list[object]) -> str:
+    """Element type for an array's ``arrayType`` attribute."""
+    kinds = {xsd_type_for(item) for item in items if item is not None}
+    if len(kinds) == 1:
+        return next(iter(kinds)).value
+    return XsdType.ANY.value
+
+
+def decode_value(el: Element) -> object:
+    """Decode an element produced by :func:`encode_value`."""
+    nil = el.attrs.get(_XSI_NIL)
+    if nil in ("true", "1"):
+        return None
+    wire = el.attrs.get(_XSI_TYPE)
+    if wire is None:
+        raise SoapEncodingError(f"element <{el.tag.local}> is missing xsi:type")
+    text = el.text()
+    try:
+        if wire == XsdType.BOOLEAN.value:
+            if text not in ("true", "false", "1", "0"):
+                raise SoapEncodingError(f"bad boolean literal {text!r}")
+            return text in ("true", "1")
+        if wire in (XsdType.INT.value, XsdType.LONG.value):
+            return int(text)
+        if wire == XsdType.DOUBLE.value:
+            return float(text)
+        if wire == XsdType.STRING.value:
+            return text
+        if wire == XsdType.ARRAY.value:
+            return [decode_value(c) for c in el.iter_elements()]
+        if wire == XsdType.STRUCT.value:
+            out: dict[str, object] = {}
+            for child in el.iter_elements():
+                out[child.tag.local] = decode_value(child)
+            return out
+        if wire == XsdType.ANY.value:
+            return None
+    except ValueError as exc:
+        raise SoapEncodingError(f"bad {wire} literal {text!r}") from exc
+    raise SoapEncodingError(f"unknown wire type {wire!r}")

@@ -1,0 +1,78 @@
+"""SOAP envelope construction and parsing."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.xmlkit import Document, Element, QName, parse, serialize
+
+SOAP_ENV_NS = "http://schemas.xmlsoap.org/soap/envelope/"
+
+_ENVELOPE = QName(SOAP_ENV_NS, "Envelope")
+_HEADER = QName(SOAP_ENV_NS, "Header")
+_BODY = QName(SOAP_ENV_NS, "Body")
+
+
+class SoapMessageError(ValueError):
+    """Raised when bytes do not form a valid SOAP envelope."""
+
+
+@dataclass
+class SoapEnvelope:
+    """A parsed or under-construction SOAP message.
+
+    ``headers``: header entry elements (e.g. GSI signatures, routing info).
+    ``body_entries``: body entry elements (RPC call or response or fault).
+    """
+
+    headers: list[Element] = field(default_factory=list)
+    body_entries: list[Element] = field(default_factory=list)
+
+    def to_element(self) -> Element:
+        env = Element(_ENVELOPE)
+        env.declare("soapenv", SOAP_ENV_NS)
+        if self.headers:
+            header = env.subelement(_HEADER)
+            header.children.extend(self.headers)
+        body = env.subelement(_BODY)
+        body.children.extend(self.body_entries)
+        return env
+
+    def to_bytes(self) -> bytes:
+        doc = Document(self.to_element())
+        return serialize(doc).encode("utf-8")
+
+    def first_body_entry(self) -> Element:
+        if not self.body_entries:
+            raise SoapMessageError("SOAP body is empty")
+        return self.body_entries[0]
+
+
+def build_envelope(body_entry: Element, headers: list[Element] | None = None) -> SoapEnvelope:
+    """Build an envelope around one body entry."""
+    return SoapEnvelope(headers=list(headers or []), body_entries=[body_entry])
+
+
+def parse_envelope(data: bytes | str) -> SoapEnvelope:
+    """Parse raw bytes into a :class:`SoapEnvelope`, validating structure."""
+    try:
+        doc = parse(data)
+    except ValueError as exc:
+        raise SoapMessageError(f"malformed XML: {exc}") from exc
+    root = doc.root
+    if root.tag != _ENVELOPE:
+        raise SoapMessageError(f"root element is {root.tag}, expected soapenv:Envelope")
+    headers: list[Element] = []
+    body: Element | None = None
+    for child in root.iter_elements():
+        if child.tag == _HEADER:
+            headers = list(child.iter_elements())
+        elif child.tag == _BODY:
+            if body is not None:
+                raise SoapMessageError("multiple soapenv:Body elements")
+            body = child
+        else:
+            raise SoapMessageError(f"unexpected envelope child {child.tag}")
+    if body is None:
+        raise SoapMessageError("missing soapenv:Body")
+    return SoapEnvelope(headers=headers, body_entries=list(body.iter_elements()))

@@ -1,0 +1,109 @@
+"""RPC call / response documents (RPC/encoded style).
+
+A request body entry is ``<{service-ns}opName>`` containing one encoded
+element per parameter, in order.  A response body entry is
+``<{service-ns}opNameResponse>`` containing a single ``<return>`` element
+(or nothing for void), or a SOAP fault.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.soap.encoding import decode_value, encode_value
+from repro.soap.envelope import SoapEnvelope, SoapMessageError, build_envelope, parse_envelope
+from repro.soap.faults import SoapFault
+from repro.xmlkit import Element, QName
+
+
+@dataclass
+class RpcRequest:
+    """A decoded RPC invocation."""
+
+    namespace: str
+    operation: str
+    params: list[object]
+    headers: list[Element]
+
+
+@dataclass
+class RpcResponse:
+    """A decoded RPC result (``value`` is None for void operations)."""
+
+    namespace: str
+    operation: str
+    value: object
+    is_void: bool
+
+
+def encode_request(
+    namespace: str,
+    operation: str,
+    params: list[object],
+    param_names: list[str] | None = None,
+    headers: list[Element] | None = None,
+) -> bytes:
+    """Encode a call into envelope bytes."""
+    names = param_names or [f"arg{i}" for i in range(len(params))]
+    if len(names) != len(params):
+        raise ValueError(f"{operation}: {len(params)} params but {len(names)} names")
+    entry = Element(QName(namespace, operation))
+    entry.declare("tns", namespace)
+    for name, value in zip(names, params):
+        entry.children.append(encode_value(name, value))
+    return build_envelope(entry, headers=headers).to_bytes()
+
+
+def decode_request(data: bytes) -> RpcRequest:
+    """Decode envelope bytes into an :class:`RpcRequest`."""
+    env = parse_envelope(data)
+    entry = env.first_body_entry()
+    if SoapFault.is_fault(entry):
+        raise SoapFault.from_element(entry)
+    params = [decode_value(child) for child in entry.iter_elements()]
+    return RpcRequest(
+        namespace=entry.tag.namespace,
+        operation=entry.tag.local,
+        params=params,
+        headers=env.headers,
+    )
+
+
+def encode_response(
+    namespace: str,
+    operation: str,
+    value: object,
+    *,
+    is_void: bool = False,
+    headers: list[Element] | None = None,
+) -> bytes:
+    """Encode a successful result into envelope bytes."""
+    entry = Element(QName(namespace, operation + "Response"))
+    entry.declare("tns", namespace)
+    if not is_void:
+        entry.children.append(encode_value("return", value))
+    return build_envelope(entry, headers=headers).to_bytes()
+
+
+def encode_fault(fault: SoapFault) -> bytes:
+    """Encode a fault into envelope bytes."""
+    return build_envelope(fault.to_element()).to_bytes()
+
+
+def decode_response(data: bytes) -> RpcResponse:
+    """Decode envelope bytes into an :class:`RpcResponse`.
+
+    Raises :class:`SoapFault` if the body carries a fault — this is the
+    client half of the architecture-adapter conversion.
+    """
+    env = parse_envelope(data)
+    entry = env.first_body_entry()
+    if SoapFault.is_fault(entry):
+        raise SoapFault.from_element(entry)
+    if not entry.tag.local.endswith("Response"):
+        raise SoapMessageError(f"unexpected response entry <{entry.tag.local}>")
+    operation = entry.tag.local[: -len("Response")]
+    ret = entry.find("return")
+    if ret is None:
+        return RpcResponse(entry.tag.namespace, operation, None, is_void=True)
+    return RpcResponse(entry.tag.namespace, operation, decode_value(ret), is_void=False)

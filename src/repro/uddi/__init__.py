@@ -1,0 +1,32 @@
+"""UDDI-style business registry (thesis §5.5.1, Figure 8).
+
+PPerfGrid publishers create an **Organization** entry (contact info) and
+one **Service** entry per published Application dataset; the Service
+entry carries the URL of the Application Grid service factory.  Consumers
+retrieve all Organizations or query them by name, then bind to the
+factories of the Services they select.
+
+:class:`UddiRegistryServer` is the registry itself (deployable as a Grid
+service); :class:`OrganizationProxy` / :class:`ServiceProxy` are the
+simplified client-side classes (the UDDI4J-analog mentioned in §5.5.1).
+"""
+
+from repro.uddi.registry_server import (
+    OrganizationEntry,
+    ServiceEntry,
+    UDDI_PORTTYPE,
+    UddiError,
+    UddiRegistryServer,
+)
+from repro.uddi.proxy import OrganizationProxy, ServiceProxy, UddiClient
+
+__all__ = [
+    "OrganizationEntry",
+    "OrganizationProxy",
+    "ServiceEntry",
+    "ServiceProxy",
+    "UDDI_PORTTYPE",
+    "UddiClient",
+    "UddiError",
+    "UddiRegistryServer",
+]

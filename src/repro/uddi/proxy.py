@@ -1,0 +1,86 @@
+"""Client-side UDDI proxy classes (the UDDI4J-analog of §5.5.1).
+
+``UddiClient`` wraps a registry stub; ``OrganizationProxy`` /
+``ServiceProxy`` give publishers and consumers typed views over the
+packed wire records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ogsi.container import GridEnvironment
+from repro.ogsi.gsh import GridServiceHandle
+from repro.uddi.registry_server import UDDI_PORTTYPE, OrganizationEntry, ServiceEntry
+from repro.wsdl.stubgen import ClientStub
+
+
+@dataclass
+class ServiceProxy:
+    """A consumer's view of one published Service entry."""
+
+    entry: ServiceEntry
+
+    @property
+    def name(self) -> str:
+        return self.entry.name
+
+    @property
+    def factory_url(self) -> str:
+        return self.entry.factory_url
+
+    @property
+    def description(self) -> str:
+        return self.entry.description
+
+
+@dataclass
+class OrganizationProxy:
+    """A consumer's view of one Organization and its Services."""
+
+    entry: OrganizationEntry
+    _client: "UddiClient"
+
+    @property
+    def name(self) -> str:
+        return self.entry.name
+
+    @property
+    def contact(self) -> str:
+        return self.entry.contact
+
+    def services(self) -> list[ServiceProxy]:
+        records = self._client.stub.getServices(self.entry.org_key)
+        return [ServiceProxy(ServiceEntry.unpack(r)) for r in records]
+
+
+class UddiClient:
+    """Typed facade over a UDDI registry stub."""
+
+    def __init__(self, stub: ClientStub) -> None:
+        self.stub = stub
+
+    @staticmethod
+    def connect(environment: GridEnvironment, registry_handle: str | GridServiceHandle) -> "UddiClient":
+        stub = environment.stub_for_handle(registry_handle, UDDI_PORTTYPE)
+        return UddiClient(stub)
+
+    # ----------------------------------------------------------- publisher
+    def publish_organization(self, name: str, contact: str = "", description: str = "") -> str:
+        return self.stub.publishOrganization(name, contact, description)
+
+    def publish_service(
+        self, org_key: str, name: str, factory_url: str, description: str = ""
+    ) -> str:
+        return self.stub.publishService(org_key, name, factory_url, description)
+
+    # ------------------------------------------------------------ consumer
+    def find_organizations(self, name_pattern: str = "%") -> list[OrganizationProxy]:
+        records = self.stub.findOrganizations(name_pattern)
+        return [OrganizationProxy(OrganizationEntry.unpack(r), self) for r in records]
+
+    def all_services(self) -> list[ServiceProxy]:
+        out: list[ServiceProxy] = []
+        for org in self.find_organizations("%"):
+            out.extend(org.services())
+        return out

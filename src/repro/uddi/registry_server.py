@@ -1,0 +1,187 @@
+"""The UDDI registry server.
+
+Entries are exchanged over the wire as packed strings (the thesis's
+PortTypes pass ``'|'``-delimited name/value arrays everywhere), keeping
+the SOAP layer to scalars and string arrays:
+
+* organization record: ``orgKey|name|contact|description``
+* service record: ``serviceKey|orgKey|name|factoryUrl|description``
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.minidb.expr import like_match
+from repro.ogsi.porttypes import OGSI_NS
+from repro.ogsi.service import GridServiceBase
+from repro.wsdl.porttype import Operation, Parameter, PortType
+
+
+class UddiError(ValueError):
+    """Raised for malformed records or unknown keys."""
+
+
+@dataclass(frozen=True)
+class OrganizationEntry:
+    org_key: str
+    name: str
+    contact: str = ""
+    description: str = ""
+
+    def pack(self) -> str:
+        return "|".join((self.org_key, self.name, self.contact, self.description))
+
+    @staticmethod
+    def unpack(record: str) -> "OrganizationEntry":
+        parts = record.split("|")
+        if len(parts) != 4:
+            raise UddiError(f"bad organization record {record!r}")
+        return OrganizationEntry(*parts)
+
+
+@dataclass(frozen=True)
+class ServiceEntry:
+    service_key: str
+    org_key: str
+    name: str
+    factory_url: str
+    description: str = ""
+
+    def pack(self) -> str:
+        return "|".join(
+            (self.service_key, self.org_key, self.name, self.factory_url, self.description)
+        )
+
+    @staticmethod
+    def unpack(record: str) -> "ServiceEntry":
+        parts = record.split("|")
+        if len(parts) != 5:
+            raise UddiError(f"bad service record {record!r}")
+        return ServiceEntry(*parts)
+
+
+UDDI_PORTTYPE = PortType(
+    name="UddiRegistry",
+    namespace=OGSI_NS,
+    doc="Publishing, storing, searching and retrieving service descriptions.",
+    operations=(
+        Operation(
+            "publishOrganization",
+            (
+                Parameter("name", "xsd:string"),
+                Parameter("contact", "xsd:string"),
+                Parameter("description", "xsd:string"),
+            ),
+            "xsd:string",
+            doc="Create a new Organization entry; returns its key.",
+        ),
+        Operation(
+            "publishService",
+            (
+                Parameter("orgKey", "xsd:string"),
+                Parameter("name", "xsd:string"),
+                Parameter("factoryUrl", "xsd:string"),
+                Parameter("description", "xsd:string"),
+            ),
+            "xsd:string",
+            doc="Create a Service entry under an Organization; returns its key.",
+        ),
+        Operation(
+            "findOrganizations",
+            (Parameter("namePattern", "xsd:string"),),
+            "xsd:string[]",
+            doc="Packed organization records whose name matches a LIKE pattern.",
+        ),
+        Operation(
+            "getServices",
+            (Parameter("orgKey", "xsd:string"),),
+            "xsd:string[]",
+            doc="Packed service records of one Organization.",
+        ),
+        Operation(
+            "removeService",
+            (Parameter("serviceKey", "xsd:string"),),
+            "void",
+            doc="Delete a Service entry.",
+        ),
+        Operation(
+            "removeOrganization",
+            (Parameter("orgKey", "xsd:string"),),
+            "void",
+            doc="Delete an Organization entry and its Services.",
+        ),
+    ),
+)
+
+
+class UddiRegistryServer(GridServiceBase):
+    """In-memory UDDI registry deployable in a container."""
+
+    porttype = UDDI_PORTTYPE
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._orgs: dict[str, OrganizationEntry] = {}
+        self._services: dict[str, ServiceEntry] = {}
+        self._counter = 0
+
+    def _next_key(self, prefix: str) -> str:
+        self._counter += 1
+        return f"{prefix}-{self._counter}"
+
+    # ---------------------------------------------------------- publishing
+    def publishOrganization(self, name: str, contact: str, description: str) -> str:
+        self.require_active()
+        if not name:
+            raise UddiError("organization name may not be empty")
+        if "|" in name or "|" in contact or "|" in description:
+            raise UddiError("'|' is reserved as the record delimiter")
+        key = self._next_key("org")
+        self._orgs[key] = OrganizationEntry(key, name, contact, description)
+        return key
+
+    def publishService(self, orgKey: str, name: str, factoryUrl: str, description: str) -> str:
+        self.require_active()
+        if orgKey not in self._orgs:
+            raise UddiError(f"unknown organization key {orgKey!r}")
+        if not name or not factoryUrl:
+            raise UddiError("service name and factory URL are required")
+        if any("|" in v for v in (name, factoryUrl, description)):
+            raise UddiError("'|' is reserved as the record delimiter")
+        key = self._next_key("svc")
+        self._services[key] = ServiceEntry(key, orgKey, name, factoryUrl, description)
+        return key
+
+    # ------------------------------------------------------------- queries
+    def findOrganizations(self, namePattern: str) -> list[str]:
+        self.require_active()
+        pattern = namePattern or "%"
+        return sorted(
+            org.pack() for org in self._orgs.values() if like_match(org.name, pattern)
+        )
+
+    def getServices(self, orgKey: str) -> list[str]:
+        self.require_active()
+        if orgKey not in self._orgs:
+            raise UddiError(f"unknown organization key {orgKey!r}")
+        return sorted(s.pack() for s in self._services.values() if s.org_key == orgKey)
+
+    # ------------------------------------------------------------- removal
+    def removeService(self, serviceKey: str) -> None:
+        self.require_active()
+        self._services.pop(serviceKey, None)
+
+    def removeOrganization(self, orgKey: str) -> None:
+        self.require_active()
+        self._orgs.pop(orgKey, None)
+        self._services = {
+            k: s for k, s in self._services.items() if s.org_key != orgKey
+        }
+
+    # ------------------------------------------------------------- local
+    def organization_count(self) -> int:
+        return len(self._orgs)
+
+    def service_count(self) -> int:
+        return len(self._services)

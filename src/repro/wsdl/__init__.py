@@ -1,0 +1,24 @@
+"""WSDL substrate: PortType definitions, document generation, stubs.
+
+A :class:`PortType` is the unit of interface description in the thesis
+(Tables 1–3 are PortType listings).  Service implementations declare the
+PortTypes they expose; the container uses them to validate dispatch, the
+client uses them to build dynamic stubs (the client half of the
+Architecture Adapter pattern), and :func:`generate_wsdl` renders a
+GWSDL-style document for publication in the UDDI registry.
+"""
+
+from repro.wsdl.porttype import Operation, Parameter, PortType
+from repro.wsdl.document import generate_wsdl, parse_wsdl
+from repro.wsdl.stubgen import ClientStub, StubError, make_stub
+
+__all__ = [
+    "ClientStub",
+    "Operation",
+    "Parameter",
+    "PortType",
+    "StubError",
+    "generate_wsdl",
+    "make_stub",
+    "parse_wsdl",
+]

@@ -1,0 +1,116 @@
+"""GWSDL-style document generation and parsing.
+
+The generated document is a simplified WSDL 1.1: ``definitions`` with
+``portType``/``operation``/``input``/``output`` children plus a
+``service`` element carrying the endpoint URL.  The client can rebuild a
+:class:`PortType` from the document and hand it to ``make_stub`` — the
+"download WSDL, generate stubs, bind" step of Figure 1.
+"""
+
+from __future__ import annotations
+
+from repro.wsdl.porttype import Operation, Parameter, PortType
+from repro.xmlkit import Document, Element, QName, parse, serialize
+
+WSDL_NS = "http://schemas.xmlsoap.org/wsdl/"
+GWSDL_NS = "http://www.gridforum.org/namespaces/2003/03/gridWSDLExtensions"
+
+
+def generate_wsdl(porttype: PortType, endpoint_url: str) -> str:
+    """Render a WSDL document for one PortType at one endpoint."""
+    definitions = Element(QName(WSDL_NS, "definitions"))
+    definitions.declare("wsdl", WSDL_NS)
+    definitions.declare("gwsdl", GWSDL_NS)
+    definitions.set("name", porttype.name)
+    definitions.set("targetNamespace", porttype.namespace)
+
+    pt_el = definitions.subelement(QName(WSDL_NS, "portType"))
+    pt_el.set("name", porttype.name)
+    if porttype.extends:
+        pt_el.set(
+            QName(GWSDL_NS, "extends"),
+            " ".join(base.name for base in porttype.extends),
+        )
+    if porttype.doc:
+        pt_el.subelement(QName(WSDL_NS, "documentation"), porttype.doc)
+    for op in porttype.all_operations():
+        op_el = pt_el.subelement(QName(WSDL_NS, "operation"))
+        op_el.set("name", op.name)
+        if op.doc:
+            op_el.subelement(QName(WSDL_NS, "documentation"), op.doc)
+        input_el = op_el.subelement(QName(WSDL_NS, "input"))
+        for param in op.parameters:
+            part = input_el.subelement(QName(WSDL_NS, "part"))
+            part.set("name", param.name)
+            part.set("type", param.wire_type)
+        output_el = op_el.subelement(QName(WSDL_NS, "output"))
+        if op.returns != "void":
+            part = output_el.subelement(QName(WSDL_NS, "part"))
+            part.set("name", "return")
+            part.set("type", op.returns)
+
+    service_el = definitions.subelement(QName(WSDL_NS, "service"))
+    service_el.set("name", porttype.name + "Service")
+    port_el = service_el.subelement(QName(WSDL_NS, "port"))
+    port_el.set("name", porttype.name + "Port")
+    address = port_el.subelement(QName(WSDL_NS, "address"))
+    address.set("location", endpoint_url)
+    return serialize(Document(definitions), indent=2)
+
+
+def parse_wsdl(text: str | bytes) -> tuple[PortType, str]:
+    """Parse a document produced by :func:`generate_wsdl`.
+
+    Returns (porttype, endpoint_url).  Extension hierarchies are
+    flattened — the parsed PortType owns every operation directly, which
+    is all a client stub needs.
+    """
+    doc = parse(text)
+    definitions = doc.root
+    if definitions.tag != QName(WSDL_NS, "definitions"):
+        raise ValueError(f"not a WSDL document (root is {definitions.tag})")
+    namespace = definitions.get("targetNamespace") or ""
+    pt_el = definitions.find(QName(WSDL_NS, "portType"))
+    if pt_el is None:
+        raise ValueError("WSDL document has no portType")
+    operations: list[Operation] = []
+    for op_el in pt_el.findall(QName(WSDL_NS, "operation")):
+        name = op_el.get("name") or ""
+        if not name:
+            raise ValueError("operation without a name")
+        doc_el = op_el.find(QName(WSDL_NS, "documentation"))
+        params: list[Parameter] = []
+        input_el = op_el.find(QName(WSDL_NS, "input"))
+        if input_el is not None:
+            for part in input_el.findall(QName(WSDL_NS, "part")):
+                params.append(
+                    Parameter(part.get("name") or "", part.get("type") or "xsd:string")
+                )
+        returns = "void"
+        output_el = op_el.find(QName(WSDL_NS, "output"))
+        if output_el is not None:
+            ret_part = output_el.find(QName(WSDL_NS, "part"))
+            if ret_part is not None:
+                returns = ret_part.get("type") or "xsd:string"
+        operations.append(
+            Operation(
+                name,
+                tuple(params),
+                returns,
+                doc=doc_el.text() if doc_el is not None else "",
+            )
+        )
+    porttype = PortType(
+        name=pt_el.get("name") or "Unnamed",
+        namespace=namespace,
+        operations=tuple(operations),
+    )
+    endpoint = ""
+    service_el = definitions.find(QName(WSDL_NS, "service"))
+    if service_el is not None:
+        port_el = service_el.find(QName(WSDL_NS, "port"))
+        if port_el is not None:
+            address = port_el.find(QName(WSDL_NS, "address"))
+            if address is not None:
+                endpoint = address.get("location") or ""
+    return porttype, endpoint

@@ -1,0 +1,196 @@
+"""Element-tree document model with namespace support.
+
+The model is deliberately small: elements, attributes, text, and namespace
+declarations.  Processing instructions and doctypes are not needed by SOAP
+1.1 / WSDL 1.1 payloads and are rejected by the parser (comments are
+skipped).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+
+@dataclass(frozen=True, slots=True)
+class QName:
+    """A qualified XML name: ``{namespace-uri}local``.
+
+    ``namespace`` may be ``""`` for names in no namespace.
+    """
+
+    namespace: str
+    local: str
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        if self.namespace:
+            return "{%s}%s" % (self.namespace, self.local)
+        return self.local
+
+    @staticmethod
+    def parse(text: str) -> "QName":
+        """Parse Clark notation (``{uri}local``) or a bare local name."""
+        if text.startswith("{"):
+            uri, _, local = text[1:].partition("}")
+            return QName(uri, local)
+        return QName("", text)
+
+
+class Element:
+    """A mutable XML element.
+
+    Children are either ``Element`` instances or ``str`` text chunks, kept
+    in document order.  Attribute keys and the tag are :class:`QName`.
+
+    Namespace *declarations* (``xmlns`` / ``xmlns:p``) are stored separately
+    in :attr:`nsdecls` (prefix -> uri, ``""`` for the default namespace) so
+    the writer can round-trip prefixes chosen by the caller or the parser.
+    """
+
+    __slots__ = ("tag", "attrs", "children", "nsdecls")
+
+    def __init__(
+        self,
+        tag: QName | str,
+        attrs: dict[QName, str] | None = None,
+        children: Iterable["Element | str"] | None = None,
+        nsdecls: dict[str, str] | None = None,
+    ) -> None:
+        self.tag = tag if isinstance(tag, QName) else QName.parse(tag)
+        self.attrs: dict[QName, str] = dict(attrs or {})
+        self.children: list[Element | str] = list(children or [])
+        self.nsdecls: dict[str, str] = dict(nsdecls or {})
+
+    # ------------------------------------------------------------- building
+    def append(self, child: "Element | str") -> "Element":
+        """Append a child; returns the child for chaining when an Element."""
+        self.children.append(child)
+        return child if isinstance(child, Element) else self
+
+    def subelement(self, tag: QName | str, text: str | None = None) -> "Element":
+        """Create, append, and return a child element (optionally with text)."""
+        el = Element(tag)
+        if text is not None:
+            el.children.append(text)
+        self.children.append(el)
+        return el
+
+    def set(self, name: QName | str, value: str) -> None:
+        key = name if isinstance(name, QName) else QName.parse(name)
+        self.attrs[key] = value
+
+    def get(self, name: QName | str, default: str | None = None) -> str | None:
+        key = name if isinstance(name, QName) else QName.parse(name)
+        return self.attrs.get(key, default)
+
+    def declare(self, prefix: str, uri: str) -> None:
+        """Declare a namespace prefix on this element (``""`` = default ns)."""
+        self.nsdecls[prefix] = uri
+
+    # ------------------------------------------------------------ traversal
+    def iter_elements(self) -> Iterator["Element"]:
+        """Yield direct element children (text chunks skipped)."""
+        for child in self.children:
+            if isinstance(child, Element):
+                yield child
+
+    def iter_all(self) -> Iterator["Element"]:
+        """Depth-first pre-order walk over this element and all descendants."""
+        yield self
+        for child in self.children:
+            if isinstance(child, Element):
+                yield from child.iter_all()
+
+    def find(self, tag: QName | str) -> "Element | None":
+        """First direct child with the given tag, or ``None``.
+
+        A bare local name matches regardless of namespace; a :class:`QName`
+        (or Clark notation containing ``{``) matches exactly.
+        """
+        want = tag if isinstance(tag, QName) else QName.parse(tag)
+        match_any_ns = not isinstance(tag, QName) and "{" not in str(tag)
+        for child in self.iter_elements():
+            if child.tag == want or (match_any_ns and child.tag.local == want.local):
+                return child
+        return None
+
+    def findall(self, tag: QName | str) -> list["Element"]:
+        """All direct children with the given tag (see :meth:`find`)."""
+        want = tag if isinstance(tag, QName) else QName.parse(tag)
+        match_any_ns = not isinstance(tag, QName) and "{" not in str(tag)
+        out = []
+        for child in self.iter_elements():
+            if child.tag == want or (match_any_ns and child.tag.local == want.local):
+                out.append(child)
+        return out
+
+    def text(self) -> str:
+        """Concatenated text of this element's *direct* text children."""
+        return "".join(c for c in self.children if isinstance(c, str))
+
+    def all_text(self) -> str:
+        """Concatenated text of this element and all descendants."""
+        parts: list[str] = []
+        for child in self.children:
+            if isinstance(child, str):
+                parts.append(child)
+            else:
+                parts.append(child.all_text())
+        return "".join(parts)
+
+    # ------------------------------------------------------------- equality
+    def structurally_equal(self, other: "Element") -> bool:
+        """Deep equality on tag, attrs, and normalized children.
+
+        Text chunks are compared after merging adjacent runs so that parse
+        artifacts (entity splits) do not break round-trip comparisons.
+        Namespace *declarations* are ignored: they affect serialization
+        prefixes, not infoset identity.
+        """
+        if self.tag != other.tag or self.attrs != other.attrs:
+            return False
+        a, b = _normalized_children(self), _normalized_children(other)
+        if len(a) != len(b):
+            return False
+        for ca, cb in zip(a, b):
+            if isinstance(ca, str) != isinstance(cb, str):
+                return False
+            if isinstance(ca, str):
+                if ca != cb:
+                    return False
+            elif not ca.structurally_equal(cb):  # type: ignore[union-attr]
+                return False
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Element {self.tag} attrs={len(self.attrs)} children={len(self.children)}>"
+
+
+def _normalized_children(el: Element) -> list[Element | str]:
+    """Merge adjacent text chunks and drop whitespace-only text between elements."""
+    merged: list[Element | str] = []
+    for child in el.children:
+        if isinstance(child, str) and not child:
+            continue  # empty text chunks are not part of the infoset
+        if isinstance(child, str) and merged and isinstance(merged[-1], str):
+            merged[-1] = merged[-1] + child
+        else:
+            merged.append(child)
+    has_elements = any(isinstance(c, Element) for c in merged)
+    if has_elements:
+        merged = [c for c in merged if not (isinstance(c, str) and not c.strip())]
+    return merged
+
+
+class Document:
+    """An XML document: declaration metadata plus a single root element."""
+
+    __slots__ = ("root", "version", "encoding")
+
+    def __init__(self, root: Element, version: str = "1.0", encoding: str = "utf-8") -> None:
+        self.root = root
+        self.version = version
+        self.encoding = encoding
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Document root={self.root.tag}>"

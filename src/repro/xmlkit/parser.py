@@ -1,0 +1,302 @@
+"""Recursive-descent XML parser.
+
+Supports the subset of XML 1.0 needed by SOAP/WSDL payloads and the XML
+data stores: elements, attributes, character data, the five predefined
+entities plus numeric character references, CDATA sections, comments
+(skipped), and namespace resolution.  DOCTYPE and processing instructions
+other than the XML declaration are rejected — accepting them would widen
+the attack surface for no benefit to the reproduction.
+"""
+
+from __future__ import annotations
+
+from repro.xmlkit.model import Document, Element, QName
+
+
+class XmlParseError(ValueError):
+    """Raised when input is not well-formed (for our subset)."""
+
+    def __init__(self, message: str, pos: int) -> None:
+        super().__init__(f"{message} (at offset {pos})")
+        self.pos = pos
+
+
+_PREDEFINED = {"lt": "<", "gt": ">", "amp": "&", "apos": "'", "quot": '"'}
+_NAME_START_EXTRA = set("_:")
+_NAME_EXTRA = set("_:-.")
+
+
+def _is_name_start(ch: str) -> bool:
+    return ch.isalpha() or ch in _NAME_START_EXTRA
+
+
+def _is_name_char(ch: str) -> bool:
+    return ch.isalnum() or ch in _NAME_EXTRA
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+        self.n = len(text)
+
+    # ------------------------------------------------------------- helpers
+    def error(self, message: str) -> XmlParseError:
+        return XmlParseError(message, self.pos)
+
+    def peek(self) -> str:
+        return self.text[self.pos] if self.pos < self.n else ""
+
+    def startswith(self, literal: str) -> bool:
+        return self.text.startswith(literal, self.pos)
+
+    def expect(self, literal: str) -> None:
+        if not self.startswith(literal):
+            raise self.error(f"expected {literal!r}")
+        self.pos += len(literal)
+
+    def skip_ws(self) -> None:
+        while self.pos < self.n and self.text[self.pos] in " \t\r\n":
+            self.pos += 1
+
+    def read_name(self) -> str:
+        start = self.pos
+        if self.pos >= self.n or not _is_name_start(self.text[self.pos]):
+            raise self.error("expected a name")
+        self.pos += 1
+        while self.pos < self.n and _is_name_char(self.text[self.pos]):
+            self.pos += 1
+        return self.text[start : self.pos]
+
+    def read_reference(self) -> str:
+        """Read an entity/char reference; cursor sits just past '&'."""
+        semi = self.text.find(";", self.pos)
+        if semi == -1 or semi - self.pos > 10:
+            raise self.error("unterminated entity reference")
+        body = self.text[self.pos : semi]
+        self.pos = semi + 1
+        if body.startswith("#x") or body.startswith("#X"):
+            try:
+                return chr(int(body[2:], 16))
+            except ValueError:
+                raise self.error(f"bad character reference &{body};") from None
+        if body.startswith("#"):
+            try:
+                return chr(int(body[1:]))
+            except ValueError:
+                raise self.error(f"bad character reference &{body};") from None
+        if body in _PREDEFINED:
+            return _PREDEFINED[body]
+        raise self.error(f"unknown entity &{body};")
+
+    # ------------------------------------------------------------- grammar
+    def parse_document(self) -> Document:
+        version, encoding = "1.0", "utf-8"
+        self.skip_ws()
+        if self.startswith("<?xml"):
+            version, encoding = self.parse_declaration()
+        self.skip_misc()
+        if self.pos >= self.n or self.peek() != "<":
+            raise self.error("expected root element")
+        root = self.parse_element(scope=[{"xml": "http://www.w3.org/XML/1998/namespace"}])
+        self.skip_misc()
+        if self.pos != self.n:
+            raise self.error("trailing content after root element")
+        return Document(root, version=version, encoding=encoding)
+
+    def parse_declaration(self) -> tuple[str, str]:
+        self.expect("<?xml")
+        end = self.text.find("?>", self.pos)
+        if end == -1:
+            raise self.error("unterminated XML declaration")
+        body = self.text[self.pos : end]
+        self.pos = end + 2
+        version = _pseudo_attr(body, "version") or "1.0"
+        encoding = _pseudo_attr(body, "encoding") or "utf-8"
+        return version, encoding
+
+    def skip_misc(self) -> None:
+        """Skip whitespace and comments between markup at document level."""
+        while True:
+            self.skip_ws()
+            if self.startswith("<!--"):
+                self.skip_comment()
+            elif self.startswith("<!DOCTYPE"):
+                raise self.error("DOCTYPE is not supported")
+            elif self.startswith("<?"):
+                raise self.error("processing instructions are not supported")
+            else:
+                return
+
+    def skip_comment(self) -> None:
+        self.expect("<!--")
+        end = self.text.find("-->", self.pos)
+        if end == -1:
+            raise self.error("unterminated comment")
+        self.pos = end + 3
+
+    def parse_element(self, scope: list[dict[str, str]]) -> Element:
+        self.expect("<")
+        raw_name = self.read_name()
+        raw_attrs: list[tuple[str, str]] = []
+        nsdecls: dict[str, str] = {}
+        while True:
+            before = self.pos
+            self.skip_ws()
+            if self.startswith("/>") or self.startswith(">"):
+                break
+            if self.pos == before:
+                raise self.error("expected whitespace before attribute")
+            attr_name = self.read_name()
+            self.skip_ws()
+            self.expect("=")
+            self.skip_ws()
+            value = self.read_attr_value()
+            if attr_name == "xmlns":
+                nsdecls[""] = value
+            elif attr_name.startswith("xmlns:"):
+                nsdecls[attr_name[6:]] = value
+            else:
+                if any(existing == attr_name for existing, _ in raw_attrs):
+                    raise self.error(f"duplicate attribute {attr_name!r}")
+                raw_attrs.append((attr_name, value))
+
+        scope.append(nsdecls)
+        try:
+            tag = self.resolve(raw_name, scope, is_attr=False)
+            attrs: dict[QName, str] = {}
+            for name, value in raw_attrs:
+                qn = self.resolve(name, scope, is_attr=True)
+                if qn in attrs:
+                    raise self.error(f"duplicate attribute {qn}")
+                attrs[qn] = value
+            element = Element(tag, attrs=attrs, nsdecls=nsdecls)
+
+            if self.startswith("/>"):
+                self.pos += 2
+                return element
+            self.expect(">")
+            self.parse_content(element, scope)
+            # parse_content consumed up to '</'
+            close_name = self.read_name()
+            if close_name != raw_name:
+                raise self.error(f"mismatched close tag </{close_name}> for <{raw_name}>")
+            self.skip_ws()
+            self.expect(">")
+            return element
+        finally:
+            scope.pop()
+
+    def parse_content(self, parent: Element, scope: list[dict[str, str]]) -> None:
+        """Parse children until the start of this element's close tag ('</' consumed)."""
+        text_parts: list[str] = []
+
+        def flush() -> None:
+            if text_parts:
+                parent.children.append("".join(text_parts))
+                text_parts.clear()
+
+        while True:
+            if self.pos >= self.n:
+                raise self.error(f"unterminated element <{parent.tag.local}>")
+            ch = self.peek()
+            if ch == "<":
+                if self.startswith("</"):
+                    flush()
+                    self.pos += 2
+                    return
+                if self.startswith("<!--"):
+                    self.skip_comment()
+                    continue
+                if self.startswith("<![CDATA["):
+                    self.pos += 9
+                    end = self.text.find("]]>", self.pos)
+                    if end == -1:
+                        raise self.error("unterminated CDATA section")
+                    text_parts.append(self.text[self.pos : end])
+                    self.pos = end + 3
+                    continue
+                if self.startswith("<?"):
+                    raise self.error("processing instructions are not supported")
+                flush()
+                parent.children.append(self.parse_element(scope))
+                continue
+            if ch == "&":
+                self.pos += 1
+                text_parts.append(self.read_reference())
+                continue
+            # Plain character run.
+            start = self.pos
+            while self.pos < self.n and self.text[self.pos] not in "<&":
+                self.pos += 1
+            text_parts.append(self.text[start : self.pos])
+
+    def read_attr_value(self) -> str:
+        quote = self.peek()
+        if quote not in ('"', "'"):
+            raise self.error("expected quoted attribute value")
+        self.pos += 1
+        parts: list[str] = []
+        while True:
+            if self.pos >= self.n:
+                raise self.error("unterminated attribute value")
+            ch = self.text[self.pos]
+            if ch == quote:
+                self.pos += 1
+                return "".join(parts)
+            if ch == "<":
+                raise self.error("'<' not allowed in attribute value")
+            if ch == "&":
+                self.pos += 1
+                parts.append(self.read_reference())
+                continue
+            start = self.pos
+            while self.pos < self.n and self.text[self.pos] not in (quote, "<", "&"):
+                self.pos += 1
+            parts.append(self.text[start : self.pos])
+
+    def resolve(self, raw: str, scope: list[dict[str, str]], *, is_attr: bool) -> QName:
+        prefix, sep, local = raw.partition(":")
+        if not sep:
+            if is_attr:
+                return QName("", raw)  # unprefixed attrs are in no namespace
+            uri = self._lookup("", scope) or ""
+            return QName(uri, raw)
+        if ":" in local:
+            raise self.error(f"invalid name {raw!r}")
+        uri = self._lookup(prefix, scope)
+        if uri is None:
+            raise self.error(f"undeclared namespace prefix {prefix!r}")
+        return QName(uri, local)
+
+    @staticmethod
+    def _lookup(prefix: str, scope: list[dict[str, str]]) -> str | None:
+        for frame in reversed(scope):
+            if prefix in frame:
+                return frame[prefix]
+        return None
+
+
+def _pseudo_attr(body: str, name: str) -> str | None:
+    """Extract ``name="value"`` from an XML-declaration body."""
+    idx = body.find(name)
+    if idx == -1:
+        return None
+    eq = body.find("=", idx)
+    if eq == -1:
+        return None
+    rest = body[eq + 1 :].lstrip()
+    if not rest or rest[0] not in "'\"":
+        return None
+    quote = rest[0]
+    end = rest.find(quote, 1)
+    if end == -1:
+        return None
+    return rest[1:end]
+
+
+def parse(data: str | bytes) -> Document:
+    """Parse an XML document from a string or UTF-8 bytes."""
+    if isinstance(data, bytes):
+        data = data.decode("utf-8")
+    return _Parser(data).parse_document()

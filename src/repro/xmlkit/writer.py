@@ -1,0 +1,160 @@
+"""XML serialization.
+
+The writer assigns namespace prefixes deterministically: declarations made
+explicitly on elements (``Element.declare``) are honored; any namespace in
+use without an in-scope declaration gets a generated ``ns<N>`` prefix
+declared at the element that first needs it.  Deterministic output matters
+here because byte counts feed the Table 4 "bytes transferred" column.
+"""
+
+from __future__ import annotations
+
+from repro.xmlkit.model import Document, Element, QName
+
+_TEXT_ESCAPES = {"&": "&amp;", "<": "&lt;", ">": "&gt;"}
+_ATTR_ESCAPES = {"&": "&amp;", "<": "&lt;", ">": "&gt;", '"': "&quot;", "\n": "&#10;", "\t": "&#9;"}
+
+
+def escape_text(value: str) -> str:
+    """Escape character data for element content."""
+    if not any(c in value for c in "&<>"):
+        return value
+    out = []
+    for ch in value:
+        out.append(_TEXT_ESCAPES.get(ch, ch))
+    return "".join(out)
+
+
+def escape_attr(value: str) -> str:
+    """Escape character data for a double-quoted attribute value."""
+    if not any(c in value for c in '&<>"\n\t'):
+        return value
+    out = []
+    for ch in value:
+        out.append(_ATTR_ESCAPES.get(ch, ch))
+    return "".join(out)
+
+
+class _PrefixScope:
+    """Tracks in-scope prefix->uri bindings while writing."""
+
+    def __init__(self) -> None:
+        # Stack of dicts; lookups walk from innermost out.
+        self._stack: list[dict[str, str]] = [{"xml": "http://www.w3.org/XML/1998/namespace"}]
+        self._counter = 0
+
+    def push(self, decls: dict[str, str]) -> None:
+        self._stack.append(dict(decls))
+
+    def pop(self) -> None:
+        self._stack.pop()
+
+    def uri_for_prefix(self, prefix: str) -> str | None:
+        for frame in reversed(self._stack):
+            if prefix in frame:
+                return frame[prefix]
+        return None
+
+    def prefix_for_uri(self, uri: str, *, allow_default: bool) -> str | None:
+        """Innermost prefix bound to *uri* that is not shadowed."""
+        seen_prefixes: set[str] = set()
+        for frame in reversed(self._stack):
+            for prefix, bound in frame.items():
+                if prefix in seen_prefixes:
+                    continue
+                seen_prefixes.add(prefix)
+                if bound == uri and (allow_default or prefix != ""):
+                    return prefix
+        return None
+
+    def fresh_prefix(self) -> str:
+        self._counter += 1
+        return f"ns{self._counter}"
+
+    def declare_here(self, prefix: str, uri: str) -> None:
+        self._stack[-1][prefix] = uri
+
+
+def serialize(node: Element | Document, *, indent: int | None = None) -> str:
+    """Serialize an element or document to a string.
+
+    ``indent``: when given, pretty-print with that many spaces per level.
+    Pretty-printing inserts whitespace only between element children (never
+    inside mixed content), so data round-trips.
+    """
+    if isinstance(node, Document):
+        header = f'<?xml version="{node.version}" encoding="{node.encoding}"?>'
+        body = serialize(node.root, indent=indent)
+        return header + ("\n" if indent is not None else "") + body
+    scope = _PrefixScope()
+    parts: list[str] = []
+    _write_element(node, scope, parts, indent, 0)
+    return "".join(parts)
+
+
+def serialize_bytes(node: Element | Document) -> bytes:
+    """Serialize compactly and encode to UTF-8 (the on-wire form)."""
+    return serialize(node).encode("utf-8")
+
+
+def _qname_str(name: QName, scope: _PrefixScope, extra_decls: dict[str, str], *, is_attr: bool) -> str:
+    """Render a QName, generating a declaration in *extra_decls* if needed."""
+    if not name.namespace:
+        return name.local
+    # Attributes cannot use the default (empty) prefix.
+    prefix = scope.prefix_for_uri(name.namespace, allow_default=not is_attr)
+    if prefix is None:
+        for p, uri in extra_decls.items():
+            if uri == name.namespace and (not is_attr or p != ""):
+                prefix = p
+                break
+    if prefix is None:
+        prefix = scope.fresh_prefix()
+        extra_decls[prefix] = name.namespace
+    return f"{prefix}:{name.local}" if prefix else name.local
+
+
+def _write_element(
+    el: Element,
+    scope: _PrefixScope,
+    parts: list[str],
+    indent: int | None,
+    depth: int,
+) -> None:
+    scope.push(el.nsdecls)
+    extra_decls: dict[str, str] = {}
+    tag = _qname_str(el.tag, scope, extra_decls, is_attr=False)
+    attr_parts: list[str] = []
+    for key in el.attrs:
+        rendered = _qname_str(key, scope, extra_decls, is_attr=True)
+        attr_parts.append(f' {rendered}="{escape_attr(el.attrs[key])}"')
+    # Register generated declarations so children can reuse them.
+    for prefix, uri in extra_decls.items():
+        scope.declare_here(prefix, uri)
+    decl_parts: list[str] = []
+    for prefix, uri in {**el.nsdecls, **extra_decls}.items():
+        if prefix:
+            decl_parts.append(f' xmlns:{prefix}="{escape_attr(uri)}"')
+        else:
+            decl_parts.append(f' xmlns="{escape_attr(uri)}"')
+
+    open_tag = f"<{tag}{''.join(decl_parts)}{''.join(attr_parts)}"
+    if not el.children:
+        parts.append(open_tag + "/>")
+        scope.pop()
+        return
+    parts.append(open_tag + ">")
+
+    only_elements = all(isinstance(c, Element) for c in el.children)
+    pretty = indent is not None and only_elements
+    for child in el.children:
+        if isinstance(child, str):
+            parts.append(escape_text(child))
+        else:
+            if pretty:
+                parts.append("\n" + " " * (indent * (depth + 1)))  # type: ignore[operator]
+            _write_element(child, scope, parts, indent, depth + 1)
+    if pretty:
+        parts.append("\n" + " " * (indent * depth))  # type: ignore[operator]
+    parts.append(f"</{tag}>")
+    scope.pop()

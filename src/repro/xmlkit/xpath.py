@@ -1,0 +1,336 @@
+"""An XPath 1.0 subset.
+
+The thesis's future-work section (§7) proposes exposing Execution service
+data (metrics, foci, types, times) as Service Data Elements queryable with
+XPath via GT3.2's WS Information Services.  This module implements the
+subset needed for that feature and for querying XML data stores:
+
+* absolute (``/a/b``) and relative (``a/b``) location paths
+* ``//`` descendant-or-self steps
+* name tests (matched on local name, or ``prefix:name`` with a namespace
+  map), ``*`` wildcards, ``@attr`` attribute steps, ``text()`` node tests,
+  and ``.`` / ``..`` steps
+* predicates: ``[n]`` positional, ``[last()]``, ``[@a]``, ``[@a='v']``,
+  ``[child]``, ``[child='v']``, ``[.='v']``, with ``=`` and ``!=``
+
+Results are lists of :class:`Element` for element paths and lists of
+``str`` for attribute / ``text()`` paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.xmlkit.model import Element
+
+
+class XPathError(ValueError):
+    """Raised on an expression outside the supported subset."""
+
+
+@dataclass(frozen=True)
+class _Step:
+    axis: str  # "child" | "descendant-or-self" | "self" | "parent" | "attribute"
+    test: str  # local name, "*", or "text()"
+    prefix: str | None = None
+    predicates: tuple[str, ...] = field(default_factory=tuple)
+
+
+def _tokenize_path(expr: str) -> tuple[bool, list[str]]:
+    """Split a path expression into step strings, tracking absoluteness.
+
+    Returns (absolute, raw_steps) where '//' is encoded as a '' raw step
+    preceding the step it modifies.
+    """
+    expr = expr.strip()
+    if not expr:
+        raise XPathError("empty expression")
+    absolute = expr.startswith("/")
+    steps: list[str] = []
+    i = 0
+    if absolute:
+        i = 1
+        if expr.startswith("//"):
+            steps.append("")  # descendant marker
+            i = 2
+    buf: list[str] = []
+    depth = 0
+    quote: str | None = None
+    while i < len(expr):
+        ch = expr[i]
+        if quote is not None:
+            buf.append(ch)
+            if ch == quote:
+                quote = None
+        elif ch in "'\"":
+            quote = ch
+            buf.append(ch)
+        elif ch == "[":
+            depth += 1
+            buf.append(ch)
+        elif ch == "]":
+            depth -= 1
+            buf.append(ch)
+        elif ch == "/" and depth == 0:
+            steps.append("".join(buf))
+            buf = []
+            if expr.startswith("//", i):
+                steps.append("")
+                i += 1
+        else:
+            buf.append(ch)
+        i += 1
+    if quote is not None or depth != 0:
+        raise XPathError(f"unbalanced expression: {expr!r}")
+    steps.append("".join(buf))
+    if any(s == "" for s in steps[-1:]):
+        raise XPathError("expression may not end with '/'")
+    return absolute, steps
+
+
+def _parse_step(raw: str) -> _Step:
+    raw = raw.strip()
+    predicates: list[str] = []
+    while raw.endswith("]"):
+        open_idx = _matching_open_bracket(raw)
+        predicates.insert(0, raw[open_idx + 1 : -1].strip())
+        raw = raw[:open_idx].strip()
+    if raw == ".":
+        return _Step("self", "*", predicates=tuple(predicates))
+    if raw == "..":
+        return _Step("parent", "*", predicates=tuple(predicates))
+    axis = "child"
+    if raw.startswith("@"):
+        axis = "attribute"
+        raw = raw[1:]
+    elif raw.startswith("attribute::"):
+        axis = "attribute"
+        raw = raw[len("attribute::") :]
+    elif raw.startswith("child::"):
+        raw = raw[len("child::") :]
+    elif raw.startswith("descendant-or-self::"):
+        axis = "descendant-or-self"
+        raw = raw[len("descendant-or-self::") :]
+    if raw == "text()":
+        if axis != "child":
+            raise XPathError("text() only supported on the child axis")
+        return _Step("child", "text()", predicates=tuple(predicates))
+    if not raw:
+        raise XPathError("empty step")
+    prefix: str | None = None
+    if ":" in raw:
+        prefix, _, raw = raw.partition(":")
+    if raw != "*" and not all(c.isalnum() or c in "_-." for c in raw):
+        raise XPathError(f"unsupported node test {raw!r}")
+    return _Step(axis, raw, prefix=prefix, predicates=tuple(predicates))
+
+
+def _matching_open_bracket(raw: str) -> int:
+    depth = 0
+    quote: str | None = None
+    for i in range(len(raw) - 1, -1, -1):
+        ch = raw[i]
+        if quote is not None:
+            if ch == quote:
+                quote = None
+        elif ch in "'\"":
+            quote = ch
+        elif ch == "]":
+            depth += 1
+        elif ch == "[":
+            depth -= 1
+            if depth == 0:
+                return i
+    raise XPathError(f"unbalanced predicate in step {raw!r}")
+
+
+def _name_matches(el: Element, step: _Step, ns: dict[str, str] | None) -> bool:
+    if step.test == "*":
+        return True
+    if el.tag.local != step.test:
+        return False
+    if step.prefix is not None:
+        if not ns or step.prefix not in ns:
+            raise XPathError(f"undeclared prefix {step.prefix!r} in expression")
+        return el.tag.namespace == ns[step.prefix]
+    return True
+
+
+class _Context:
+    """Evaluation context: nodes with parent links for '..' support."""
+
+    def __init__(self, root: Element) -> None:
+        self.parents: dict[int, Element | None] = {id(root): None}
+        for el in root.iter_all():
+            for child in el.iter_elements():
+                self.parents[id(child)] = el
+
+
+def _eval_predicate(pred: str, el: Element, position: int, size: int, ns: dict[str, str] | None) -> bool:
+    pred = pred.strip()
+    if not pred:
+        raise XPathError("empty predicate")
+    if pred.isdigit():
+        return position == int(pred)
+    if pred == "last()":
+        return position == size
+    for op in ("!=", "="):
+        idx = _find_top_level(pred, op)
+        if idx != -1:
+            lhs = pred[:idx].strip()
+            rhs = pred[idx + len(op) :].strip()
+            lval = _predicate_value(lhs, el, ns)
+            rval = _predicate_literal(rhs)
+            if lval is None:
+                return op == "!="
+            return (lval == rval) if op == "=" else (lval != rval)
+    # Existence tests.
+    if pred.startswith("@"):
+        name = pred[1:].strip()
+        return any(k.local == name for k in el.attrs)
+    sub = _Step("child", pred if ":" not in pred else pred.split(":", 1)[1],
+                prefix=pred.split(":", 1)[0] if ":" in pred else None)
+    return any(_name_matches(c, sub, ns) for c in el.iter_elements())
+
+
+def _find_top_level(text: str, needle: str) -> int:
+    quote: str | None = None
+    i = 0
+    while i <= len(text) - len(needle):
+        ch = text[i]
+        if quote is not None:
+            if ch == quote:
+                quote = None
+        elif ch in "'\"":
+            quote = ch
+        elif text.startswith(needle, i):
+            # Avoid matching '=' inside '!='.
+            if needle == "=" and i > 0 and text[i - 1] == "!":
+                i += 1
+                continue
+            return i
+        i += 1
+    return -1
+
+
+def _predicate_value(lhs: str, el: Element, ns: dict[str, str] | None) -> str | None:
+    if lhs == ".":
+        return el.all_text()
+    if lhs == "text()":
+        return el.text()
+    if lhs.startswith("@"):
+        name = lhs[1:].strip()
+        for k, v in el.attrs.items():
+            if k.local == name:
+                return v
+        return None
+    step = _parse_step(lhs)
+    for child in el.iter_elements():
+        if _name_matches(child, step, ns):
+            return child.all_text()
+    return None
+
+
+def _predicate_literal(rhs: str) -> str:
+    if len(rhs) >= 2 and rhs[0] in "'\"" and rhs[-1] == rhs[0]:
+        return rhs[1:-1]
+    if rhs.replace(".", "", 1).replace("-", "", 1).isdigit():
+        return rhs
+    raise XPathError(f"unsupported comparison operand {rhs!r}")
+
+
+def xpath_select(
+    root: Element,
+    expr: str,
+    namespaces: dict[str, str] | None = None,
+) -> list[Element] | list[str]:
+    """Evaluate *expr* with *root* as both the context node and document root.
+
+    For absolute paths the first name test must match the root element
+    itself (as if the document node were the context).
+    """
+    absolute, raw_steps = _tokenize_path(expr)
+    steps: list[_Step] = []
+    descend_next = False
+    for raw in raw_steps:
+        if raw == "":
+            descend_next = True
+            continue
+        step = _parse_step(raw)
+        if descend_next:
+            step = _Step("descendant-or-self", step.test, step.prefix, step.predicates)
+            descend_next = False
+        steps.append(step)
+    if not steps:
+        raise XPathError(f"no steps in {expr!r}")
+    # Prefix declarations are validated eagerly so a bad expression fails
+    # even when no node happens to match.
+    for step in steps:
+        if step.prefix is not None and (not namespaces or step.prefix not in namespaces):
+            raise XPathError(f"undeclared prefix {step.prefix!r} in expression")
+
+    ctx = _Context(root)
+    if absolute:
+        first = steps[0]
+        if first.axis == "attribute" or first.test == "text()":
+            raise XPathError("absolute path must start with an element step")
+        if first.axis == "descendant-or-self":
+            current: list[Element] = _apply_predicates(
+                [el for el in root.iter_all() if _name_matches(el, first, namespaces)],
+                first.predicates, namespaces,
+            )
+        else:
+            current = (
+                _apply_predicates([root], first.predicates, namespaces)
+                if _name_matches(root, first, namespaces)
+                else []
+            )
+        steps = steps[1:]
+    else:
+        current = [root]
+
+    for i, step in enumerate(steps):
+        is_last = i == len(steps) - 1
+        if step.axis == "attribute":
+            if not is_last:
+                raise XPathError("attribute step must be last")
+            values: list[str] = []
+            for el in current:
+                for k, v in el.attrs.items():
+                    if step.test == "*" or k.local == step.test:
+                        values.append(v)
+            return values
+        if step.test == "text()":
+            if not is_last:
+                raise XPathError("text() step must be last")
+            return [el.text() for el in current if el.text()]
+        next_nodes: list[Element] = []
+        seen: set[int] = set()
+        for el in current:
+            if step.axis == "self":
+                candidates = [el]
+            elif step.axis == "parent":
+                parent = ctx.parents.get(id(el))
+                candidates = [parent] if parent is not None else []
+            elif step.axis == "descendant-or-self":
+                candidates = [d for d in el.iter_all() if _name_matches(d, step, namespaces)]
+            else:
+                candidates = [c for c in el.iter_elements() if _name_matches(c, step, namespaces)]
+            if step.axis in ("self", "parent"):
+                candidates = [c for c in candidates if _name_matches(c, step, namespaces)]
+            candidates = _apply_predicates(candidates, step.predicates, namespaces)
+            for c in candidates:
+                if id(c) not in seen:
+                    seen.add(id(c))
+                    next_nodes.append(c)
+        current = next_nodes
+    return current
+
+
+def _apply_predicates(
+    nodes: list[Element], predicates: tuple[str, ...], ns: dict[str, str] | None
+) -> list[Element]:
+    for pred in predicates:
+        size = len(nodes)
+        nodes = [el for pos, el in enumerate(nodes, 1) if _eval_predicate(pred, el, pos, size, ns)]
+    return nodes

@@ -1,0 +1,59 @@
+"""Shared fixtures: tiny datasets and a wired grid."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datastores.generators.hpl import generate_hpl
+from repro.datastores.generators.presta import generate_presta
+from repro.datastores.generators.smg98 import generate_smg98
+from repro.datastores.textfiles import TextFileStore
+from repro.experiments.common import GridScale, build_grid
+
+
+@pytest.fixture(scope="session")
+def hpl_dataset():
+    return generate_hpl(seed=7, num_executions=20)
+
+
+@pytest.fixture(scope="session")
+def hpl_db(hpl_dataset):
+    return hpl_dataset.to_database()
+
+
+@pytest.fixture(scope="session")
+def smg98_dataset():
+    return generate_smg98(seed=11, num_executions=3, intervals_per_execution=400, messages_per_execution=80)
+
+
+@pytest.fixture(scope="session")
+def smg98_db(smg98_dataset):
+    return smg98_dataset.to_database()
+
+
+@pytest.fixture(scope="session")
+def presta_dataset():
+    return generate_presta(seed=13, num_executions=4)
+
+
+@pytest.fixture(scope="session")
+def presta_store(presta_dataset, tmp_path_factory):
+    directory = tmp_path_factory.mktemp("presta")
+    presta_dataset.write_files(directory)
+    return TextFileStore(str(directory))
+
+
+@pytest.fixture(scope="session")
+def shared_grid():
+    """A tiny three-source grid for read-only tests."""
+    grid = build_grid(GridScale.tiny())
+    yield grid
+    grid.cleanup()
+
+
+@pytest.fixture()
+def fresh_grid():
+    """A tiny grid for tests that mutate state."""
+    grid = build_grid(GridScale.tiny())
+    yield grid
+    grid.cleanup()

@@ -1,0 +1,143 @@
+"""Tests for statistics, tables, and charts."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    ascii_line_chart,
+    coefficient_of_variation,
+    confidence_interval,
+    format_markdown_table,
+    format_table,
+    geometric_mean,
+    mean,
+    relative_change,
+    speedup,
+    stdev,
+    summarize,
+)
+
+
+class TestStats:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+        with pytest.raises(ValueError):
+            mean([])
+
+    def test_stdev_sample_denominator(self):
+        assert stdev([2.0, 4.0]) == pytest.approx(math.sqrt(2))
+        assert stdev([5.0]) == 0.0
+
+    def test_cov(self):
+        assert coefficient_of_variation([1.0, 3.0]) == pytest.approx(math.sqrt(2) / 2)
+        assert coefficient_of_variation([0.0, 0.0]) == 0.0
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_confidence_interval_contains_mean(self):
+        samples = [1.0, 2.0, 3.0, 4.0] * 10
+        lo, hi = confidence_interval(samples, 0.95)
+        assert lo < mean(samples) < hi
+        lo90, hi90 = confidence_interval(samples, 0.90)
+        assert (hi90 - lo90) < (hi - lo)
+
+    def test_confidence_interval_bad_level(self):
+        with pytest.raises(ValueError):
+            confidence_interval([1.0, 2.0], 0.5)
+
+    def test_speedup_and_relative_change_match_thesis_convention(self):
+        # Thesis Table 5 HPL row: 107.39 off / 54.77 on -> 1.96x, 96.05%.
+        assert speedup(107.39, 54.77) == pytest.approx(1.96, abs=0.005)
+        assert relative_change(107.39, 54.77) == pytest.approx(96.05, abs=0.05)
+
+    def test_speedup_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            speedup(1.0, 0.0)
+        with pytest.raises(ValueError):
+            relative_change(1.0, -1.0)
+
+    def test_summarize(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert (s.n, s.mean, s.minimum, s.maximum) == (3, 2.0, 1.0, 3.0)
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=1e6), min_size=2, max_size=50))
+    @settings(max_examples=100, deadline=None)
+    def test_mean_between_min_and_max(self, samples):
+        m = mean(samples)
+        eps = 1e-9 * max(abs(x) for x in samples)
+        assert min(samples) - eps <= m <= max(samples) + eps
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=1e3), min_size=2, max_size=50))
+    @settings(max_examples=100, deadline=None)
+    def test_geometric_le_arithmetic(self, samples):
+        assert geometric_mean(samples) <= mean(samples) * (1 + 1e-9)
+
+    @given(
+        st.floats(min_value=0.1, max_value=1e3),
+        st.floats(min_value=0.1, max_value=1e3),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_relative_change_consistent_with_speedup(self, a, b):
+        assert relative_change(a, b) == pytest.approx((speedup(a, b) - 1) * 100)
+
+
+class TestTables:
+    def test_format_table_aligns(self):
+        out = format_table(["A", "Blong"], [["x", 1], ["yy", 2.5]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].startswith("A ")
+        assert all(len(line) <= len(max(lines, key=len)) for line in lines)
+
+    def test_format_table_row_width_checked(self):
+        with pytest.raises(ValueError):
+            format_table(["A"], [["x", "extra"]])
+
+    def test_float_formatting(self):
+        out = format_table(["v"], [[1234.5678], [0.000123], [12.3], [0]])
+        assert "1,234.57" in out
+        assert "0.000123" in out
+
+    def test_markdown_table(self):
+        out = format_markdown_table(["a", "b"], [[1, 2]])
+        lines = out.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| 1 | 2 |"
+
+    def test_markdown_row_width_checked(self):
+        with pytest.raises(ValueError):
+            format_markdown_table(["a"], [[1, 2]])
+
+
+class TestCharts:
+    def test_line_chart_contains_series_and_ticks(self):
+        chart = ascii_line_chart(
+            [2, 4, 8],
+            {"Opt": [1.0, 2.0, 4.0], "Non": [2.0, 4.0, 8.0]},
+            title="T",
+            y_label="ms",
+        )
+        assert "T" in chart
+        assert "o = Opt" in chart and "* = Non" in chart
+        assert "2" in chart and "8" in chart
+
+    def test_mismatched_series_length_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_line_chart([1, 2], {"s": [1.0]})
+
+    def test_empty_x_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_line_chart([], {})
+
+    def test_single_point(self):
+        chart = ascii_line_chart([1], {"s": [5.0]})
+        assert "s" in chart

@@ -1,0 +1,79 @@
+"""Tests for the registry-callback (async) query model (§7 extension)."""
+
+import pytest
+
+from repro.core import AsyncQueryCollector
+
+
+@pytest.fixture()
+def setup(fresh_grid):
+    app = fresh_grid.bind("HPL")
+    execution = app.all_executions()[0]
+    collector = AsyncQueryCollector(fresh_grid.environment)
+    return fresh_grid, execution, collector
+
+
+class TestAsyncQueries:
+    def test_submit_returns_query_id(self, setup):
+        _, execution, collector = setup
+        query_id = execution.get_pr_async("gflops", ["/Run"], collector.sink_handle)
+        assert query_id.startswith("query-")
+
+    def test_results_delivered_via_callback(self, setup):
+        _, execution, collector = setup
+        query_id = execution.get_pr_async("gflops", ["/Run"], collector.sink_handle)
+        results = collector.wait_for(query_id)
+        assert len(results) == 1
+        sync = execution.get_pr("gflops", ["/Run"])
+        assert results[0] == sync[0]
+
+    def test_multiple_outstanding_queries(self, setup):
+        _, execution, collector = setup
+        ids = [
+            execution.get_pr_async(metric, ["/Run"], collector.sink_handle)
+            for metric in ("gflops", "runtimesec", "resid")
+        ]
+        assert len(set(ids)) == 3
+        assert collector.collect() == 3
+        assert {collector.wait_for(i)[0].metric for i in ids} == {
+            "gflops",
+            "runtimesec",
+            "resid",
+        }
+
+    def test_empty_result_delivery(self, setup):
+        _, execution, collector = setup
+        query_id = execution.get_pr_async(
+            "gflops", ["/Run"], collector.sink_handle, result_type="vampir"
+        )
+        assert collector.wait_for(query_id) == []
+
+    def test_query_error_delivered_not_raised(self, setup):
+        _, execution, collector = setup
+        query_id = execution.get_pr_async("watts", ["/Run"], collector.sink_handle)
+        with pytest.raises(RuntimeError, match="async query"):
+            collector.wait_for(query_id)
+        assert query_id in collector.errors
+
+    def test_unknown_query_id(self, setup):
+        _, _, collector = setup
+        with pytest.raises(KeyError):
+            collector.wait_for("query-never-submitted")
+
+    def test_bad_sink_handle_faults_submit(self, setup):
+        from repro.soap import SoapFault
+
+        _, execution, _ = setup
+        with pytest.raises(SoapFault):
+            execution.get_pr_async("gflops", ["/Run"], "ppg://ghost:1/services/sink")
+
+    def test_two_collectors_coexist(self, fresh_grid):
+        app = fresh_grid.bind("HPL")
+        execution = app.all_executions()[0]
+        a = AsyncQueryCollector(fresh_grid.environment)
+        b = AsyncQueryCollector(fresh_grid.environment)
+        qa = execution.get_pr_async("gflops", ["/Run"], a.sink_handle)
+        qb = execution.get_pr_async("runtimesec", ["/Run"], b.sink_handle)
+        assert a.wait_for(qa)[0].metric == "gflops"
+        assert b.wait_for(qb)[0].metric == "runtimesec"
+        assert qb not in a.results

@@ -1,0 +1,255 @@
+"""Tests for the Virtualization Layer: client, panels, local bypass."""
+
+import pytest
+
+from repro.core import (
+    ApplicationQueryPanel,
+    ExecutionQuery,
+    ExecutionQueryPanel,
+    PPerfGridClient,
+    PPerfGridSite,
+    SiteConfig,
+)
+from repro.core.client import LocalApplicationBinding
+from repro.core.visualize import render_metric_chart, render_series_table
+from repro.datastores import generate_hpl
+from repro.mapping import HplRdbmsWrapper
+from repro.ogsi import GridEnvironment
+
+
+class TestDiscoveryAndBinding:
+    def test_discover_organizations(self, shared_grid):
+        orgs = shared_grid.client.discover_organizations("%")
+        assert [o.name for o in orgs] == ["Portland State University"]
+        services = orgs[0].services()
+        assert sorted(s.name for s in services) == ["HPL", "PRESTA-RMA", "SMG98"]
+
+    def test_bind_by_service_proxy(self, shared_grid):
+        app = shared_grid.bind("PRESTA-RMA")
+        assert app.app_info()["name"] == "PRESTA-RMA"
+
+    def test_bind_by_raw_factory_url(self, shared_grid):
+        app = shared_grid.client.bind(shared_grid.hpl_site.factory_url, "HPL")
+        assert app.num_executions() > 0
+
+    def test_bindings_tracked(self, fresh_grid):
+        assert fresh_grid.client.bindings == []
+        fresh_grid.bind("HPL")
+        fresh_grid.bind("SMG98")
+        assert len(fresh_grid.client.bindings) == 2
+
+    def test_unbind_all_destroys_instances(self, fresh_grid):
+        app = fresh_grid.bind("HPL")
+        gsh = app.gsh
+        fresh_grid.client.unbind_all()
+        assert fresh_grid.client.bindings == []
+        from repro.ogsi import GridServiceHandle
+
+        parsed = GridServiceHandle.parse(gsh)
+        container = fresh_grid.environment.container_for(parsed.authority)
+        assert not container.has_service(parsed)
+
+    def test_no_uddi_configured_raises(self):
+        env = GridEnvironment()
+        client = PPerfGridClient(env)
+        with pytest.raises(RuntimeError):
+            client.discover_organizations()
+
+    def test_unknown_app_name(self, shared_grid):
+        with pytest.raises(KeyError):
+            shared_grid.bind("NOPE")
+
+
+class TestApplicationQueryPanel:
+    def test_queries_across_sites_merge(self, shared_grid):
+        hpl = shared_grid.bind("HPL")
+        rma = shared_grid.bind("PRESTA-RMA")
+        panel = ApplicationQueryPanel()
+        hpl_value = hpl.exec_query_params()["numprocs"][0]
+        rma_value = rma.exec_query_params()["numprocs"][0]
+        panel.add_query(hpl, "numprocs", hpl_value)
+        panel.add_query(rma, "numprocs", rma_value)
+        merged = panel.run_queries()
+        expected = len(hpl.query_executions("numprocs", hpl_value)) + len(
+            rma.query_executions("numprocs", rma_value)
+        )
+        assert len(merged) == expected
+
+    def test_clear(self, shared_grid):
+        panel = ApplicationQueryPanel()
+        panel.add_query(shared_grid.bind("HPL"), "numprocs", "4")
+        panel.clear()
+        assert panel.run_queries() == []
+
+    def test_operator_queries(self, shared_grid):
+        hpl = shared_grid.bind("HPL")
+        panel = ApplicationQueryPanel()
+        panel.add_query(hpl, "numprocs", "4", ">")
+        results = panel.run_queries()
+        for execution in results:
+            assert int(execution.info()["numprocs"]) > 4
+
+
+class TestExecutionQueryPanel:
+    def test_batch_pr_queries(self, shared_grid):
+        hpl = shared_grid.bind("HPL")
+        executions = hpl.all_executions()[:3]
+        panel = ExecutionQueryPanel(executions=executions)
+        panel.add_query(ExecutionQuery("gflops", ["/Run"]))
+        results = panel.run_queries()
+        assert len(results) == 3
+        for prs in results.values():
+            assert len(prs) == 1 and prs[0].metric == "gflops"
+
+    def test_metric_value_filter(self, shared_grid):
+        hpl = shared_grid.bind("HPL")
+        executions = hpl.all_executions()
+        all_values = [
+            e.get_pr("gflops", ["/Run"])[0].value for e in executions
+        ]
+        cutoff = sorted(all_values)[len(all_values) // 2]
+        panel = ExecutionQueryPanel(executions=executions)
+        panel.add_query(ExecutionQuery("gflops", ["/Run"], min_value=cutoff))
+        results = panel.run_queries()
+        kept = [prs[0].value for prs in results.values() if prs]
+        assert kept and all(v >= cutoff for v in kept)
+        assert len(kept) == sum(1 for v in all_values if v >= cutoff)
+
+    def test_max_value_filter(self, shared_grid):
+        hpl = shared_grid.bind("HPL")
+        executions = hpl.all_executions()[:5]
+        panel = ExecutionQueryPanel(executions=executions)
+        panel.add_query(ExecutionQuery("gflops", ["/Run"], max_value=-1.0))
+        results = panel.run_queries()
+        assert all(prs == [] for prs in results.values())
+
+    def test_multiple_queries_concatenate(self, shared_grid):
+        hpl = shared_grid.bind("HPL")
+        executions = hpl.all_executions()[:2]
+        panel = ExecutionQueryPanel(executions=executions)
+        panel.add_query(ExecutionQuery("gflops", ["/Run"]))
+        panel.add_query(ExecutionQuery("runtimesec", ["/Run"]))
+        results = panel.run_queries()
+        for prs in results.values():
+            assert {p.metric for p in prs} == {"gflops", "runtimesec"}
+
+
+class TestLocalBypass:
+    @pytest.fixture()
+    def env_site_client(self):
+        env = GridEnvironment()
+        wrapper = HplRdbmsWrapper(generate_hpl(num_executions=6).to_database())
+        site = PPerfGridSite(env, SiteConfig("local:1", "HPL"), wrapper)
+        client = PPerfGridClient(env)
+        return env, site, wrapper, client
+
+    def test_bypass_binding_is_local(self, env_site_client):
+        env, site, wrapper, client = env_site_client
+        client.register_local_wrapper(site.factory_url, wrapper)
+        binding = client.bind(site.factory_url, "HPL")
+        assert isinstance(binding, LocalApplicationBinding)
+        assert binding.is_local
+
+    def test_bypass_skips_transport(self, env_site_client):
+        env, site, wrapper, client = env_site_client
+        client.register_local_wrapper(site.factory_url, wrapper)
+        binding = client.bind(site.factory_url, "HPL")
+        calls_before = env.recorder.count("transport.calls")
+        executions = binding.query_executions("numprocs", binding.exec_query_params()["numprocs"][0])
+        for execution in executions:
+            execution.get_pr("gflops", ["/Run"])
+        assert env.recorder.count("transport.calls") == calls_before
+
+    def test_bypass_results_match_remote(self, env_site_client):
+        env, site, wrapper, client = env_site_client
+        remote = client.bind(site.factory_url, "HPL")  # not registered yet
+        client.register_local_wrapper(site.factory_url, wrapper)
+        local = client.bind(site.factory_url, "HPL")
+        r = remote.all_executions()[0].get_pr("gflops", ["/Run"])[0]
+        l = local.all_executions()[0].get_pr("gflops", ["/Run"])[0]
+        assert r.value == l.value
+        assert remote.num_executions() == local.num_executions()
+        assert remote.exec_query_params() == local.exec_query_params()
+
+
+class TestVisualize:
+    def test_metric_chart_contains_values(self, shared_grid):
+        hpl = shared_grid.bind("HPL")
+        executions = hpl.all_executions()[:3]
+        results = {e.gsh: e.get_pr("gflops", ["/Run"]) for e in executions}
+        chart = render_metric_chart(results, "gflops")
+        assert "gflops per Execution" in chart
+        assert chart.count("|") >= 3
+
+    def test_metric_chart_handles_missing_data(self):
+        chart = render_metric_chart({"g1": []}, "gflops")
+        assert "(no data)" in chart
+
+    def test_metric_chart_empty(self):
+        assert "no executions" in render_metric_chart({}, "gflops")
+
+    def test_series_table_truncates(self, shared_grid):
+        rma = shared_grid.bind("PRESTA-RMA")
+        execution = rma.all_executions()[0]
+        prs = execution.get_pr("latency_us", ["/Op/MPI_Put"])
+        table = render_series_table(prs, max_rows=5)
+        assert "more)" in table
+        assert "/Op/MPI_Put/msgsize/8" in table
+
+
+class TestParallelQueryPanel:
+    def test_parallel_matches_serial(self, shared_grid):
+        hpl = shared_grid.bind("HPL")
+        executions = hpl.all_executions()[:6]
+        panel = ExecutionQueryPanel(executions=executions)
+        panel.add_query(ExecutionQuery("gflops", ["/Run"]))
+        serial = panel.run_queries()
+        parallel = panel.run_queries_parallel(max_workers=4)
+        assert serial.keys() == parallel.keys()
+        for gsh in serial:
+            assert serial[gsh] == parallel[gsh]
+
+    def test_parallel_single_worker(self, shared_grid):
+        hpl = shared_grid.bind("HPL")
+        panel = ExecutionQueryPanel(executions=hpl.all_executions()[:2])
+        panel.add_query(ExecutionQuery("runtimesec", ["/Run"]))
+        assert len(panel.run_queries_parallel(max_workers=1)) == 2
+
+    def test_parallel_invalid_workers(self, shared_grid):
+        panel = ExecutionQueryPanel()
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError):
+            panel.run_queries_parallel(max_workers=0)
+
+
+class TestHistogram:
+    def test_histogram_of_trace_intervals(self, shared_grid):
+        from repro.core.visualize import render_histogram
+
+        smg = shared_grid.bind("SMG98")
+        execution = smg.all_executions()[0]
+        results = execution.get_pr("time_spent", ["/Code/SMG/smg_relax"])
+        hist = render_histogram(results, bins=8)
+        assert "time_spent" in hist
+        # Every value is counted exactly once across the bins.
+        counts = [int(line.rsplit(" ", 1)[1]) for line in hist.splitlines()[1:]]
+        assert sum(counts) == len(results)
+
+    def test_histogram_empty_and_degenerate(self):
+        from repro.core.semantic import PerformanceResult
+        from repro.core.visualize import render_histogram
+
+        assert "no results" in render_histogram([])
+        same = [PerformanceResult("m", "/f", "t", 0, 1, 5.0)] * 3
+        assert "all 3 values equal 5" in render_histogram(same)
+
+    def test_histogram_invalid_bins(self):
+        from repro.core.semantic import PerformanceResult
+        from repro.core.visualize import render_histogram
+
+        prs = [PerformanceResult("m", "/f", "t", 0, 1, float(v)) for v in (1, 2)]
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError):
+            render_histogram(prs, bins=0)

@@ -1,0 +1,134 @@
+"""Tests for the multi-execution comparison analysis (PPerfDB layer)."""
+
+import pytest
+
+from repro.core.compare import (
+    aggregate_by_focus,
+    collect_metric,
+    compare_executions,
+    scaling_study,
+)
+from repro.core.semantic import PerformanceResult
+
+
+def _pr(focus: str, value: float, metric: str = "m") -> PerformanceResult:
+    return PerformanceResult(metric, focus, "t", 0.0, 1.0, value)
+
+
+class TestAggregateByFocus:
+    def test_sums_per_focus(self):
+        totals = aggregate_by_focus([_pr("/a", 1.0), _pr("/a", 2.0), _pr("/b", 5.0)])
+        assert totals == {"/a": 3.0, "/b": 5.0}
+
+    def test_empty(self):
+        assert aggregate_by_focus([]) == {}
+
+
+class TestCollectMetric:
+    def test_alignment_across_executions(self, shared_grid):
+        app = shared_grid.bind("HPL")
+        executions = app.all_executions()[:4]
+        table = collect_metric(executions, "gflops", ["/Run"])
+        assert len(table.labels()) == 4
+        assert table.foci() == ["/Run"]
+        for label in table.labels():
+            assert table.value(label, "/Run") > 0
+
+    def test_label_attribute_with_duplicates(self, shared_grid):
+        app = shared_grid.bind("HPL")
+        executions = app.all_executions()
+        table = collect_metric(executions, "gflops", ["/Run"], label_attribute="numprocs")
+        # 12 executions over few distinct numprocs values: suffixes keep
+        # every execution visible.
+        assert len(table.labels()) == len(executions)
+        assert any("#" in label for label in table.labels())
+
+    def test_column_slice(self, shared_grid):
+        app = shared_grid.bind("HPL")
+        table = collect_metric(app.all_executions()[:3], "gflops", ["/Run"])
+        column = table.column("/Run")
+        assert len(column) == 3
+
+
+class TestCompareExecutions:
+    def test_cross_store_comparison(self, shared_grid):
+        """Compare a trace store against itself across two runs."""
+        smg = shared_grid.bind("SMG98")
+        executions = smg.all_executions()
+        foci = ["/Code/MPI/MPI_Waitall", "/Code/SMG/smg_relax"]
+        comparison = compare_executions(executions[0], executions[1], "time_spent", foci)
+        assert {r.focus for r in comparison.rows} <= set(foci)
+        for row in comparison.rows:
+            if row.baseline is not None and row.candidate is not None:
+                assert row.delta == pytest.approx(row.candidate - row.baseline)
+                assert row.ratio == pytest.approx(row.candidate / row.baseline)
+
+    def test_regressions_and_improvements_partition(self):
+        from repro.core.compare import ExecutionComparison, FocusComparison
+
+        comparison = ExecutionComparison(
+            "m",
+            [
+                FocusComparison("/slow", 1.0, 2.0),
+                FocusComparison("/fast", 2.0, 1.0),
+                FocusComparison("/same", 1.0, 1.0),
+                FocusComparison("/new", None, 1.0),
+                FocusComparison("/gone", 1.0, None),
+            ],
+        )
+        assert [r.focus for r in comparison.regressions()] == ["/slow"]
+        assert [r.focus for r in comparison.improvements()] == ["/fast"]
+        assert comparison.only_in_candidate() == ["/new"]
+        assert comparison.only_in_baseline() == ["/gone"]
+
+    def test_ratio_none_for_zero_baseline(self):
+        from repro.core.compare import FocusComparison
+
+        row = FocusComparison("/f", 0.0, 1.0)
+        assert row.ratio is None
+        assert row.delta == 1.0
+
+    def test_to_table_renders(self, shared_grid):
+        hpl = shared_grid.bind("HPL")
+        executions = hpl.all_executions()[:2]
+        comparison = compare_executions(executions[0], executions[1], "gflops", ["/Run"])
+        table = comparison.to_table()
+        assert "Execution comparison: gflops" in table
+        assert "/Run" in table
+
+
+class TestScalingStudy:
+    def test_gflops_vs_numprocs(self, shared_grid):
+        app = shared_grid.bind("HPL")
+        study = scaling_study(
+            app.all_executions(), "gflops", ["/Run"], "numprocs", higher_is_better=True
+        )
+        attrs = [p.attribute_value for p in study.points]
+        assert attrs == sorted(attrs)
+        assert study.points[0].speedup == pytest.approx(1.0)
+        assert study.points[0].efficiency == pytest.approx(1.0)
+        # Synthetic HPL has communication decay: efficiency falls with
+        # process count.
+        assert study.points[-1].efficiency < 1.0
+
+    def test_lower_is_better_metric(self, shared_grid):
+        app = shared_grid.bind("HPL")
+        study = scaling_study(
+            app.all_executions(), "runtimesec", ["/Run"], "numprocs", higher_is_better=False
+        )
+        assert study.points[0].speedup == pytest.approx(1.0)
+
+    def test_missing_attribute_raises(self, shared_grid):
+        app = shared_grid.bind("HPL")
+        with pytest.raises(KeyError):
+            scaling_study(app.all_executions()[:1], "gflops", ["/Run"], "bogus")
+
+    def test_no_data_raises(self, shared_grid):
+        app = shared_grid.bind("HPL")
+        with pytest.raises(ValueError):
+            scaling_study(app.all_executions()[:1], "gflops", ["/Nothing"], "numprocs")
+
+    def test_to_table(self, shared_grid):
+        app = shared_grid.bind("HPL")
+        study = scaling_study(app.all_executions(), "gflops", ["/Run"], "numprocs")
+        assert "Scaling study" in study.to_table()

@@ -1,0 +1,105 @@
+"""Concurrency tests: threaded clients against shared containers."""
+
+import threading
+
+import pytest
+
+from repro.core import ExecutionQuery, ExecutionQueryPanel, PPerfGridClient, PPerfGridSite, SiteConfig
+from repro.datastores import generate_hpl
+from repro.mapping import HplRdbmsWrapper
+from repro.ogsi import GridEnvironment
+
+
+@pytest.fixture()
+def env_site():
+    env = GridEnvironment()
+    site = PPerfGridSite(
+        env,
+        SiteConfig("s:1", "HPL"),
+        HplRdbmsWrapper(generate_hpl(num_executions=12).to_database()),
+    )
+    return env, site
+
+
+class TestThreadedClients:
+    def test_many_threads_querying_one_site(self, env_site):
+        env, site = env_site
+        client = PPerfGridClient(env)
+        app = client.bind(site.factory_url, "HPL")
+        executions = app.all_executions()
+        errors: list[BaseException] = []
+        results: dict[int, float] = {}
+
+        def worker(thread_id: int) -> None:
+            try:
+                execution = executions[thread_id % len(executions)]
+                for _ in range(10):
+                    prs = execution.get_pr("gflops", ["/Run"])
+                    results[thread_id] = prs[0].value
+            except BaseException as exc:  # noqa: BLE001 - collected for assert
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(16)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(results) == 16
+
+    def test_threaded_binds_get_unique_instances(self, env_site):
+        env, site = env_site
+        client = PPerfGridClient(env)
+        bindings: list = []
+        lock = threading.Lock()
+        errors: list[BaseException] = []
+
+        def binder() -> None:
+            try:
+                binding = client.bind(site.factory_url, "HPL")
+                with lock:
+                    bindings.append(binding)
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=binder) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        gshs = [b.gsh for b in bindings]
+        assert len(set(gshs)) == 8  # GSH uniqueness held under contention
+
+    def test_parallel_panel_under_contention(self, env_site):
+        env, site = env_site
+        client = PPerfGridClient(env)
+        app = client.bind(site.factory_url, "HPL")
+        panel = ExecutionQueryPanel(executions=app.all_executions())
+        panel.add_query(ExecutionQuery("gflops", ["/Run"]))
+        panel.add_query(ExecutionQuery("runtimesec", ["/Run"]))
+        parallel = panel.run_queries_parallel(max_workers=12)
+        serial = panel.run_queries()
+        assert parallel == serial
+
+    def test_concurrent_manager_requests_share_instance_cache(self, env_site):
+        env, site = env_site
+        client = PPerfGridClient(env)
+        app = client.bind(site.factory_url, "HPL")
+        all_results: list[list[str]] = []
+        lock = threading.Lock()
+
+        def fetch() -> None:
+            gshs = [e.gsh for e in app.all_executions()]
+            with lock:
+                all_results.append(gshs)
+
+        threads = [threading.Thread(target=fetch) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # Dispatch serialization makes the Manager's cache coherent: every
+        # thread saw the same instance handles, and only 12 were created.
+        assert all(r == all_results[0] for r in all_results)
+        assert site.manager.creations == 12

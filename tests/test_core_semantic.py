@@ -1,0 +1,127 @@
+"""Tests for the PerformanceResult model, cache keys, and PortTypes."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.semantic import (
+    APPLICATION_PORTTYPE,
+    EXECUTION_PORTTYPE,
+    MANAGER_PORTTYPE,
+    PerformanceResult,
+    application_porttype_table,
+    execution_porttype_table,
+    pr_cache_key,
+)
+
+
+class TestPerformanceResult:
+    def test_pack_format(self):
+        pr = PerformanceResult("gflops", "/Run", "hpl", 0.0, 11.047856, 9.5)
+        packed = pr.pack()
+        assert packed.startswith("gflops|/Run|hpl|0.000000000-11.047856000|")
+
+    def test_unpack_roundtrip(self):
+        pr = PerformanceResult("m", "/f", "t", 1.25, 2.5, -3.75)
+        back = PerformanceResult.unpack(pr.pack())
+        assert back == pr
+
+    def test_tiny_value_roundtrip(self):
+        # Values with negative exponents must survive (the span uses
+        # fixed-point, the value uses repr).
+        pr = PerformanceResult("t", "/f", "x", 0.0, 1.0, 1.5e-7)
+        assert PerformanceResult.unpack(pr.pack()).value == 1.5e-7
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["", "a|b|c", "a|b|c|d|e|f", "m|f|t|nodash|1", "m|f|t|1-2|notafloat"],
+    )
+    def test_unpack_rejects_malformed(self, bad):
+        with pytest.raises(ValueError):
+            PerformanceResult.unpack(bad)
+
+    @given(
+        st.floats(min_value=0, max_value=1e6),
+        st.floats(min_value=0, max_value=1e6),
+        st.floats(allow_nan=False, allow_infinity=False, width=32),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_roundtrip_property(self, start, end, value):
+        pr = PerformanceResult("metric", "/focus/x", "tool", start, end, float(value))
+        back = PerformanceResult.unpack(pr.pack())
+        assert back.start == pytest.approx(start, abs=1e-9)
+        assert back.end == pytest.approx(end, abs=1e-9)
+        assert back.value == float(value)
+        assert (back.metric, back.focus, back.result_type) == ("metric", "/focus/x", "tool")
+
+
+class TestCacheKey:
+    def test_matches_thesis_format(self):
+        key = pr_cache_key(
+            "func_calls", ["/Code/MPI/MPI_Allgather"], "0.0", "11.047856", "UNDEFINED"
+        )
+        assert key == "func_calls | /Code/MPI/MPI_Allgather | UNDEFINED | 0.0-11.047856"
+
+    def test_multiple_foci_joined(self):
+        key = pr_cache_key("m", ["/a", "/b"], "0", "1", "t")
+        assert "/a;/b" in key
+
+    def test_distinct_queries_distinct_keys(self):
+        base = pr_cache_key("m", ["/a"], "0", "1", "t")
+        assert pr_cache_key("m2", ["/a"], "0", "1", "t") != base
+        assert pr_cache_key("m", ["/b"], "0", "1", "t") != base
+        assert pr_cache_key("m", ["/a"], "0", "2", "t") != base
+        assert pr_cache_key("m", ["/a"], "0", "1", "u") != base
+
+
+class TestPortTypes:
+    def test_table1_operations(self):
+        ops = [name for name, _ in application_porttype_table()]
+        # The five Table 1 operations plus the documented extension.
+        assert ops == [
+            "getAppInfo",
+            "getNumExecs",
+            "getExecQueryParams",
+            "getAllExecs",
+            "getExecs",
+            "getExecsOp",
+        ]
+
+    def test_table2_operations(self):
+        ops = [name for name, _ in execution_porttype_table()]
+        # The six Table 2 operations plus the documented §7 extension.
+        assert ops == [
+            "getInfo",
+            "getFoci",
+            "getMetrics",
+            "getTypes",
+            "getTimeStartEnd",
+            "getPR",
+            "getPRAsync",
+        ]
+
+    def test_every_operation_documented(self):
+        for _, doc in application_porttype_table() + execution_porttype_table():
+            assert doc.strip()
+
+    def test_getexecs_signature_matches_table1(self):
+        op = APPLICATION_PORTTYPE.operation("getExecs")
+        assert [p.name for p in op.parameters] == ["attribute", "value"]
+        assert op.returns == "xsd:string[]"
+
+    def test_getpr_signature_matches_table2(self):
+        op = EXECUTION_PORTTYPE.operation("getPR")
+        assert [p.wire_type for p in op.parameters] == [
+            "xsd:string",
+            "xsd:string[]",
+            "xsd:string",
+            "xsd:string",
+            "xsd:string",
+        ]
+
+    def test_execution_extends_notification_source(self):
+        assert EXECUTION_PORTTYPE.has_operation("SubscribeToNotificationTopic")
+        assert EXECUTION_PORTTYPE.has_operation("Destroy")
+
+    def test_manager_porttype(self):
+        assert MANAGER_PORTTYPE.operation("getExecs").returns == "xsd:string[]"

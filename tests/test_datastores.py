@@ -1,0 +1,213 @@
+"""Tests for the synthetic dataset generators and the text/XML stores."""
+
+import pytest
+
+from repro.datastores import (
+    TextFileStore,
+    XmlStore,
+    generate_hpl,
+    generate_presta,
+    generate_smg98,
+    parse_presta_file,
+)
+from repro.datastores.generators.presta import PRESTA_MSG_SIZES, PRESTA_OPERATIONS
+from repro.datastores.generators.smg98 import SMG98_FUNCTIONS
+from repro.datastores.textfiles import TextStoreError
+from repro.datastores.xmlstore import XmlStoreError
+
+
+class TestHplGenerator:
+    def test_determinism(self):
+        a = generate_hpl(seed=5, num_executions=10)
+        b = generate_hpl(seed=5, num_executions=10)
+        assert a.rows == b.rows
+
+    def test_seed_changes_output(self):
+        a = generate_hpl(seed=5, num_executions=10)
+        b = generate_hpl(seed=6, num_executions=10)
+        assert a.rows != b.rows
+
+    def test_row_invariants(self):
+        ds = generate_hpl(num_executions=50)
+        assert ds.num_executions == 50
+        for row in ds.rows:
+            assert row["numprocs"] == row["p"] * row["q"]
+            assert row["gflops"] > 0
+            assert row["runtimesec"] > 0
+            # gflops * time == flops(N) by construction
+            flops = (2.0 / 3.0) * row["n"] ** 3 + 2.0 * row["n"] ** 2
+            assert row["gflops"] * 1e9 * row["runtimesec"] == pytest.approx(
+                flops, rel=0.01
+            )
+
+    def test_unique_runids(self):
+        ds = generate_hpl(num_executions=124)
+        assert len({r["runid"] for r in ds.rows}) == 124
+
+    def test_to_database(self, hpl_db):
+        assert hpl_db.query("SELECT COUNT(*) FROM hpl_runs").scalar() == 20
+
+    def test_to_xml_roundtrip(self, hpl_dataset):
+        store = XmlStore(hpl_dataset.to_xml())
+        assert len(store.runs()) == hpl_dataset.num_executions
+        run = store.run_by_id(1)
+        assert run is not None
+        assert float(run.get("gflops")) == hpl_dataset.rows[0]["gflops"]
+
+
+class TestSmg98Generator:
+    def test_determinism(self):
+        kwargs = dict(seed=3, num_executions=2, intervals_per_execution=50, messages_per_execution=10)
+        assert generate_smg98(**kwargs).intervals == generate_smg98(**kwargs).intervals
+
+    def test_sizes(self, smg98_dataset):
+        assert smg98_dataset.num_executions == 3
+        assert len(smg98_dataset.intervals) == 3 * 400
+        assert len(smg98_dataset.messages) == 3 * 80
+        assert len(smg98_dataset.functions) == len(SMG98_FUNCTIONS)
+
+    def test_interval_invariants(self, smg98_dataset):
+        runtimes = {e["execid"]: e["runtime"] for e in smg98_dataset.executions}
+        valid_procs = {p["procid"]: p["execid"] for p in smg98_dataset.processes}
+        for row in smg98_dataset.intervals:
+            assert 0.0 <= row["start_ts"] <= row["end_ts"] <= runtimes[row["execid"]]
+            assert valid_procs[row["procid"]] == row["execid"]
+            assert 1 <= row["funcid"] <= len(SMG98_FUNCTIONS)
+
+    def test_message_invariants(self, smg98_dataset):
+        for row in smg98_dataset.messages:
+            assert row["send_ts"] <= row["recv_ts"]
+            assert row["sender"] != row["receiver"]
+
+    def test_processes_per_execution_match_numprocs(self, smg98_dataset):
+        by_exec: dict[int, int] = {}
+        for p in smg98_dataset.processes:
+            by_exec[p["execid"]] = by_exec.get(p["execid"], 0) + 1
+        for e in smg98_dataset.executions:
+            assert by_exec[e["execid"]] == e["numprocs"]
+
+    def test_to_database_tables(self, smg98_db):
+        assert smg98_db.table_names() == [
+            "executions",
+            "functions",
+            "intervals",
+            "messages",
+            "processes",
+        ]
+
+
+class TestPrestaGenerator:
+    def test_determinism(self):
+        a = generate_presta(seed=2, num_executions=3)
+        b = generate_presta(seed=2, num_executions=3)
+        assert [e.measurements for e in a.executions] == [
+            e.measurements for e in b.executions
+        ]
+
+    def test_measurement_grid_complete(self, presta_dataset):
+        for execution in presta_dataset.executions:
+            keys = {(op, size) for op, size, *_ in execution.measurements}
+            assert len(keys) == len(PRESTA_OPERATIONS) * len(PRESTA_MSG_SIZES)
+
+    def test_latency_monotone_in_size(self, presta_dataset):
+        # alpha-beta model with bounded noise: large sizes are always
+        # slower than tiny ones even if adjacent points jitter.
+        for execution in presta_dataset.executions:
+            by_op: dict[str, dict[int, float]] = {}
+            for op, size, _, lat, _ in execution.measurements:
+                by_op.setdefault(op, {})[size] = lat
+            for latencies in by_op.values():
+                assert latencies[PRESTA_MSG_SIZES[-1]] > latencies[PRESTA_MSG_SIZES[0]]
+
+    def test_bandwidth_consistent_with_latency(self, presta_dataset):
+        for execution in presta_dataset.executions:
+            for _, size, _, lat, bw in execution.measurements:
+                assert bw == pytest.approx(size / lat, rel=0.01)
+
+
+class TestTextStore:
+    def test_parse_roundtrip(self, presta_dataset, tmp_path):
+        presta_dataset.write_files(tmp_path)
+        execution = presta_dataset.executions[0]
+        parsed = parse_presta_file(str(tmp_path / f"presta_rma_{execution.execid}.txt"))
+        assert parsed.execid == execution.execid
+        assert parsed.numprocs == execution.numprocs
+        assert len(parsed.measurements) == len(execution.measurements)
+        assert parsed.measurements[0][0] == execution.measurements[0][0]
+
+    def test_store_listing(self, presta_store):
+        assert presta_store.execution_ids() == [1, 2, 3, 4]
+        assert presta_store.has_execution(2)
+        assert not presta_store.has_execution(99)
+
+    def test_load_counts_parses(self, presta_store):
+        before = presta_store.parse_count
+        presta_store.load(1)
+        presta_store.load(1)
+        assert presta_store.parse_count == before + 2
+
+    def test_header_only(self, presta_store):
+        header = presta_store.load_header_only(1)
+        assert "numprocs" in header and "rundate" in header
+
+    def test_unknown_execution_raises(self, presta_store):
+        with pytest.raises(TextStoreError):
+            presta_store.load(99)
+
+    def test_missing_directory_raises(self):
+        with pytest.raises(TextStoreError):
+            TextFileStore("/no/such/dir")
+
+    def test_malformed_file_raises(self, tmp_path):
+        bad = tmp_path / "presta_rma_1.txt"
+        bad.write_text("# execid: 1\nop msgsize iters latency_us bandwidth_mbps\nonly two\n")
+        store = TextFileStore(str(tmp_path))
+        with pytest.raises(TextStoreError):
+            store.load(1)
+
+    def test_missing_header_raises(self, tmp_path):
+        bad = tmp_path / "presta_rma_1.txt"
+        bad.write_text("op msgsize iters latency_us bandwidth_mbps\n")
+        store = TextFileStore(str(tmp_path))
+        with pytest.raises(TextStoreError):
+            store.load(1)
+
+    def test_bad_column_header_raises(self, tmp_path):
+        bad = tmp_path / "presta_rma_1.txt"
+        bad.write_text("# execid: 1\nwrong header line\n")
+        store = TextFileStore(str(tmp_path))
+        with pytest.raises(TextStoreError):
+            store.load(1)
+
+    def test_non_matching_files_ignored(self, tmp_path, presta_dataset):
+        presta_dataset.write_files(tmp_path)
+        (tmp_path / "README.txt").write_text("not a data file")
+        (tmp_path / "presta_rma_notanumber.txt").write_text("x")
+        store = TextFileStore(str(tmp_path))
+        assert store.execution_ids() == [1, 2, 3, 4]
+
+
+class TestXmlStore:
+    def test_select(self, hpl_dataset):
+        store = XmlStore(hpl_dataset.to_xml())
+        ids = store.select("/hplResults/run/@runid")
+        assert len(ids) == hpl_dataset.num_executions
+
+    def test_attribute_values_unique_sorted(self, hpl_dataset):
+        store = XmlStore(hpl_dataset.to_xml())
+        values = store.attribute_values("machine")
+        assert values == sorted(set(values))
+
+    def test_run_by_id_missing(self, hpl_dataset):
+        store = XmlStore(hpl_dataset.to_xml())
+        assert store.run_by_id(9999) is None
+
+    def test_malformed_document_raises(self):
+        with pytest.raises(XmlStoreError):
+            XmlStore("<oops")
+
+    def test_from_file(self, hpl_dataset, tmp_path):
+        path = tmp_path / "hpl.xml"
+        path.write_text(hpl_dataset.to_xml())
+        store = XmlStore.from_file(str(path))
+        assert len(store.runs()) == hpl_dataset.num_executions

@@ -1,0 +1,177 @@
+"""Tests for the discrete-event engine and the Figure 12 cross-check."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simnet.events import EventScheduler, FifoResource, simulate_scalability_des
+from repro.simnet.host import SimHost
+from repro.simnet.network import NetworkModel
+
+
+class TestEventScheduler:
+    def test_events_run_in_time_order(self):
+        scheduler = EventScheduler()
+        log: list[str] = []
+        scheduler.schedule_at(2.0, lambda: log.append("b"))
+        scheduler.schedule_at(1.0, lambda: log.append("a"))
+        scheduler.schedule_at(3.0, lambda: log.append("c"))
+        assert scheduler.run() == 3.0
+        assert log == ["a", "b", "c"]
+
+    def test_ties_break_in_schedule_order(self):
+        scheduler = EventScheduler()
+        log: list[int] = []
+        for i in range(5):
+            scheduler.schedule_at(1.0, lambda i=i: log.append(i))
+        scheduler.run()
+        assert log == [0, 1, 2, 3, 4]
+
+    def test_events_can_schedule_events(self):
+        scheduler = EventScheduler()
+        log: list[float] = []
+
+        def chain(n: int) -> None:
+            log.append(scheduler.now)
+            if n > 0:
+                scheduler.schedule_after(1.0, lambda: chain(n - 1))
+
+        scheduler.schedule_at(0.0, lambda: chain(3))
+        scheduler.run()
+        assert log == [0.0, 1.0, 2.0, 3.0]
+
+    def test_past_scheduling_rejected(self):
+        scheduler = EventScheduler()
+        scheduler.schedule_at(5.0, lambda: scheduler.schedule_at(1.0, lambda: None))
+        with pytest.raises(ValueError):
+            scheduler.run()
+
+    def test_run_until_stops_early(self):
+        scheduler = EventScheduler()
+        log: list[str] = []
+        scheduler.schedule_at(1.0, lambda: log.append("a"))
+        scheduler.schedule_at(10.0, lambda: log.append("b"))
+        scheduler.run(until=5.0)
+        assert log == ["a"]
+        assert scheduler.now == 5.0
+        assert scheduler.pending == 1
+
+    def test_event_budget(self):
+        scheduler = EventScheduler()
+
+        def forever() -> None:
+            scheduler.schedule_after(1.0, forever)
+
+        scheduler.schedule_at(0.0, forever)
+        with pytest.raises(RuntimeError):
+            scheduler.run(max_events=100)
+
+
+class TestFifoResource:
+    def test_serializes_tasks(self):
+        scheduler = EventScheduler()
+        resource = FifoResource(scheduler)
+        spans: list[tuple[float, float]] = []
+        resource.submit(2.0, lambda s, e: spans.append((s, e)))
+        resource.submit(3.0, lambda s, e: spans.append((s, e)))
+        scheduler.run()
+        assert spans == [(0.0, 2.0), (2.0, 5.0)]
+        assert resource.completed == 2
+        assert resource.utilization(5.0) == 1.0
+
+    def test_submission_mid_simulation(self):
+        scheduler = EventScheduler()
+        resource = FifoResource(scheduler)
+        spans: list[tuple[float, float]] = []
+        scheduler.schedule_at(
+            10.0, lambda: resource.submit(1.0, lambda s, e: spans.append((s, e)))
+        )
+        scheduler.run()
+        assert spans == [(10.0, 11.0)]
+
+    def test_negative_duration_rejected(self):
+        scheduler = EventScheduler()
+        with pytest.raises(ValueError):
+            FifoResource(scheduler).submit(-1.0)
+
+
+class TestScalabilityCrossCheck:
+    """The DES model and the timeline replay must tell the same story."""
+
+    @staticmethod
+    def _costs(num_executions: int, queries: int, seed: int = 5) -> list[list[float]]:
+        rng = random.Random(seed)
+        return [
+            [rng.uniform(0.0008, 0.0012) for _ in range(queries)]
+            for _ in range(num_executions)
+        ]
+
+    @staticmethod
+    def _replay_makespan(costs: list[list[float]], replicas: int) -> float:
+        hosts = [SimHost(f"h{i}") for i in range(replicas)]
+        for exec_index, per_query in enumerate(costs):
+            host = hosts[exec_index % replicas]
+            for cost in per_query:
+                host.charge(cost)
+        return max(h.timeline.busy_until for h in hosts)
+
+    @pytest.mark.parametrize("replicas", [1, 2, 4])
+    def test_des_matches_replay_cpu_bound(self, replicas):
+        # In the CPU-bound regime (no transfer cost) the two independent
+        # models must agree exactly: the makespan is each host's summed
+        # work, regardless of client-side serialization, because every
+        # host always has >= 2 executions feeding it.
+        costs = self._costs(num_executions=16, queries=10)
+        des = simulate_scalability_des(costs, replicas, latency_s=0.0)
+        replay = self._replay_makespan(costs, replicas)
+        assert des == pytest.approx(replay, rel=1e-9)
+
+    @pytest.mark.parametrize("replicas", [1, 2])
+    def test_des_with_transfers_is_within_replay_bound(self, replicas):
+        # With per-query transfers the replay (which charges transfer to
+        # the serving host) is an upper bound on the pipelined DES, and
+        # the gap is at most the total transfer time.
+        network = NetworkModel()
+        costs = self._costs(num_executions=16, queries=10)
+        transfer = network.transfer_time(0)
+        des = simulate_scalability_des(costs, replicas)
+        hosts = [SimHost(f"h{i}") for i in range(replicas)]
+        for exec_index, per_query in enumerate(costs):
+            for cost in per_query:
+                hosts[exec_index % replicas].charge(cost + transfer)
+        replay_upper = max(h.timeline.busy_until for h in hosts)
+        assert des <= replay_upper + 1e-9
+        total_transfers = sum(len(q) for q in costs) * transfer
+        assert replay_upper - des <= total_transfers / replicas + 1e-9
+
+    def test_des_speedup_near_two(self):
+        costs = self._costs(num_executions=32, queries=10)
+        one = simulate_scalability_des(costs, 1)
+        two = simulate_scalability_des(costs, 2)
+        assert one / two == pytest.approx(2.0, abs=0.15)
+
+    def test_des_shared_network_collapse(self):
+        # SMG98-sized responses on a shared link: distribution stops helping,
+        # independently confirming ablation A4's conclusion.
+        costs = self._costs(num_executions=16, queries=5)
+        kwargs = dict(response_bytes=500_000, shared_network=True)
+        one = simulate_scalability_des(costs, 1, **kwargs)
+        two = simulate_scalability_des(costs, 2, **kwargs)
+        assert one / two == pytest.approx(1.0, abs=0.1)
+
+    def test_des_dedicated_links_do_not_collapse(self):
+        costs = self._costs(num_executions=16, queries=5)
+        kwargs = dict(response_bytes=500_000, shared_network=False)
+        one = simulate_scalability_des(costs, 1, **kwargs)
+        two = simulate_scalability_des(costs, 2, **kwargs)
+        assert one / two == pytest.approx(2.0, abs=0.25)
+
+    @given(st.integers(2, 6), st.integers(1, 4))
+    @settings(max_examples=30, deadline=None)
+    def test_makespan_never_worse_with_more_replicas(self, executions, queries):
+        costs = [[0.001] * queries for _ in range(executions)]
+        one = simulate_scalability_des(costs, 1)
+        two = simulate_scalability_des(costs, 2)
+        assert two <= one + 1e-9

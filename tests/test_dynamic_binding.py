@@ -1,0 +1,89 @@
+"""Tests for WSDL-driven dynamic binding (the Figure 1 workflow)."""
+
+import pytest
+
+from repro.core.client import ApplicationBinding
+from repro.ogsi import GridEnvironment, GridServiceBase, GshError
+from repro.wsdl import parse_wsdl
+from repro.xmlkit import parse
+
+
+class TestWsdlServiceData:
+    def test_every_service_publishes_wsdl(self, shared_grid):
+        container = shared_grid.environment.container_for("hpl.pdx.edu:8080")
+        for path in container.service_paths():
+            service = container.service_at(path)
+            sde = service.service_data.get("wsdl")
+            assert sde is not None and sde.values
+
+    def test_published_wsdl_parses_to_own_porttype(self, shared_grid):
+        site = shared_grid.hpl_site
+        wsdl_text = site.application_factory.service_data.get("wsdl").values[0]
+        porttype, endpoint = parse_wsdl(wsdl_text)
+        assert porttype.has_operation("CreateService")
+        assert endpoint == site.application_factory_gsh.endpoint_url()
+
+    def test_wsdl_reachable_through_find_service_data(self, shared_grid):
+        app = shared_grid.bind("HPL")
+        result = app.stub.FindServiceData("wsdl")
+        sde = parse(result).root.find("serviceDataElement")
+        wsdl_text = sde.find("value").text()
+        porttype, _ = parse_wsdl(wsdl_text)
+        assert porttype.has_operation("getExecs")
+        assert porttype.has_operation("getPR") is False
+
+
+class TestBindDynamic:
+    def test_dynamic_binding_matches_static(self, fresh_grid):
+        services = {
+            s.name: s
+            for o in fresh_grid.client.discover_organizations()
+            for s in o.services()
+        }
+        static = fresh_grid.client.bind(services["HPL"])
+        dynamic = fresh_grid.client.bind_dynamic(services["HPL"])
+        assert isinstance(dynamic, ApplicationBinding)
+        assert dynamic.app_info() == static.app_info()
+        assert dynamic.num_executions() == static.num_executions()
+        assert dynamic.exec_query_params() == static.exec_query_params()
+
+    def test_dynamic_binding_end_to_end_query(self, fresh_grid):
+        services = {
+            s.name: s
+            for o in fresh_grid.client.discover_organizations()
+            for s in o.services()
+        }
+        app = fresh_grid.client.bind_dynamic(services["PRESTA-RMA"])
+        executions = app.all_executions()
+        results = executions[0].get_pr("latency_us", ["/Op/MPI_Put"])
+        assert len(results) == 20
+
+    def test_dynamic_binding_by_raw_url(self, fresh_grid):
+        app = fresh_grid.client.bind_dynamic(fresh_grid.hpl_site.factory_url, "HPL")
+        assert app.num_executions() > 0
+        assert app in fresh_grid.client.bindings
+
+    def test_dynamic_stub_unknown_op_fails_client_side(self, fresh_grid):
+        app = fresh_grid.client.bind_dynamic(fresh_grid.hpl_site.factory_url, "HPL")
+        with pytest.raises(AttributeError):
+            app.stub.getPR  # Execution op, not on the Application interface
+
+
+class TestStubFromWsdl:
+    def test_missing_wsdl_sde_raises(self):
+        env = GridEnvironment()
+        container = env.create_container("s:1")
+
+        class Bare(GridServiceBase):
+            pass
+
+        service = Bare()
+        gsh = container.deploy("services/bare", service)
+        service.service_data.remove("wsdl")
+        with pytest.raises(GshError):
+            env.stub_from_wsdl(gsh)
+
+    def test_stub_from_wsdl_grid_service_ops_work(self, fresh_grid):
+        stub = fresh_grid.environment.stub_from_wsdl(fresh_grid.hpl_site.factory_url)
+        xml = stub.FindServiceData("interfaces")
+        assert "Factory" in xml

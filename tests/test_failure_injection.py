@@ -1,0 +1,204 @@
+"""Failure-injection tests: corrupted messages, dying services,
+misbehaving wrappers, hostile inputs at every boundary."""
+
+import pytest
+
+from repro.core import PPerfGridClient, PPerfGridSite, SiteConfig
+from repro.core.execution import ExecutionService
+from repro.core.semantic import EXECUTION_PORTTYPE, UNDEFINED_TYPE
+from repro.datastores import generate_hpl
+from repro.mapping import HplRdbmsWrapper
+from repro.mapping.base import ExecutionWrapper
+from repro.ogsi import GridEnvironment, GridServiceHandle
+from repro.soap import SoapFault
+from repro.soap.rpc import decode_response, encode_request
+
+
+@pytest.fixture()
+def env_site():
+    env = GridEnvironment()
+    site = PPerfGridSite(
+        env,
+        SiteConfig("s:1", "HPL"),
+        HplRdbmsWrapper(generate_hpl(num_executions=4).to_database()),
+    )
+    return env, site
+
+
+class TestCorruptedMessages:
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            b"",
+            b"garbage",
+            b"<?xml version='1.0'?><notsoap/>",
+            b"<?xml version='1.0'?><Envelope/>",  # wrong namespace
+            "<a>é</a>".encode("utf-16"),  # wrong encoding
+        ],
+    )
+    def test_container_returns_fault_bytes(self, env_site, payload):
+        env, site = env_site
+        container = env.container_for("s:1")
+        response = container.handle_request("services/HPL/ApplicationFactory", payload)
+        with pytest.raises(SoapFault) as exc_info:
+            decode_response(response)
+        assert exc_info.value.code == "Client"
+
+    def test_request_to_nonexistent_path(self, env_site):
+        env, site = env_site
+        container = env.container_for("s:1")
+        request = encode_request("urn:x", "anything", [])
+        response = container.handle_request("no/such/path", request)
+        with pytest.raises(SoapFault) as exc_info:
+            decode_response(response)
+        assert "no service at" in exc_info.value.fault_message
+
+    def test_wrong_param_types_fault_not_crash(self, env_site):
+        env, site = env_site
+        container = env.container_for("s:1")
+        # getExecs(int, int) instead of (string, string): the service
+        # raises inside the wrapper; the container converts to a fault.
+        request = encode_request(
+            "http://pperfgrid.cs.pdx.edu/2004", "getNumExecs", []
+        )
+        path = "services/HPL/ApplicationFactory"
+        # Factory doesn't implement getNumExecs: client fault.
+        response = container.handle_request(path, request)
+        with pytest.raises(SoapFault):
+            decode_response(response)
+
+
+class _ExplodingWrapper(ExecutionWrapper):
+    """A wrapper whose data store fails mid-query."""
+
+    def __init__(self, fail_on: str = "get_pr") -> None:
+        self.fail_on = fail_on
+
+    def _maybe_fail(self, op: str):
+        if op == self.fail_on:
+            raise OSError("disk on fire")
+
+    def get_info(self):
+        self._maybe_fail("get_info")
+        return [("execid", "1")]
+
+    def get_foci(self):
+        self._maybe_fail("get_foci")
+        return ["/Run"]
+
+    def get_metrics(self):
+        self._maybe_fail("get_metrics")
+        return ["m"]
+
+    def get_types(self):
+        self._maybe_fail("get_types")
+        return ["t"]
+
+    def get_time_start_end(self):
+        self._maybe_fail("get_time_start_end")
+        return (0.0, 1.0)
+
+    def get_pr(self, metric, foci, start, end, result_type):
+        self._maybe_fail("get_pr")
+        return []
+
+
+class TestWrapperFailures:
+    def test_data_layer_failure_becomes_server_fault(self):
+        env = GridEnvironment()
+        container = env.create_container("s:1")
+        service = ExecutionService(_ExplodingWrapper(), "1")
+        gsh = container.deploy("services/exec", service)
+        stub = env.stub_for_handle(gsh, EXECUTION_PORTTYPE)
+        with pytest.raises(SoapFault) as exc_info:
+            stub.getPR("m", ["/Run"], "0", "1", UNDEFINED_TYPE)
+        assert exc_info.value.code == "Server"
+        assert "disk on fire" in exc_info.value.fault_message
+
+    def test_failed_query_not_cached(self):
+        env = GridEnvironment()
+        container = env.create_container("s:1")
+        wrapper = _ExplodingWrapper()
+        service = ExecutionService(wrapper, "1")
+        container.deploy("services/exec", service)
+        with pytest.raises(OSError):
+            service.getPR("m", ["/Run"], "0", "1", UNDEFINED_TYPE)
+        # The store recovers; the next query must reach it, not a cache.
+        wrapper.fail_on = "never"
+        assert service.getPR("m", ["/Run"], "0", "1", UNDEFINED_TYPE) == []
+        assert service.cache.stats.hits == 0
+
+    def test_discovery_failure_during_deploy_propagates(self):
+        env = GridEnvironment()
+        container = env.create_container("s:1")
+        with pytest.raises(OSError):
+            container.deploy(
+                "services/exec", ExecutionService(_ExplodingWrapper("get_metrics"), "1")
+            )
+
+
+class TestServiceDeathMidSession:
+    def test_client_sees_fault_after_remote_destroy(self, env_site):
+        env, site = env_site
+        client = PPerfGridClient(env)
+        app = client.bind(site.factory_url, "HPL")
+        execution = app.all_executions()[0]
+        execution.get_pr("gflops", ["/Run"])
+        # The site tears the instance down (lifetime expiry analog).
+        gsh = GridServiceHandle.parse(execution.gsh)
+        env.container_for("s:1").service_at(gsh.path).Destroy()
+        with pytest.raises(SoapFault):
+            execution.get_pr("runtimesec", ["/Run"])
+
+    def test_manager_heals_after_container_loses_instances(self, env_site):
+        env, site = env_site
+        client = PPerfGridClient(env)
+        app = client.bind(site.factory_url, "HPL")
+        first = app.all_executions()
+        for execution in first:
+            gsh = GridServiceHandle.parse(execution.gsh)
+            env.container_for("s:1").service_at(gsh.path).Destroy()
+        second = app.all_executions()
+        assert len(second) == len(first)
+        assert all(e.get_pr("gflops", ["/Run"]) for e in second)
+
+
+class TestHostileQueryInputs:
+    def test_sql_injection_via_attribute_value_is_inert(self, env_site):
+        env, site = env_site
+        client = PPerfGridClient(env)
+        app = client.bind(site.factory_url, "HPL")
+        # The value is bound as a literal; a quote cannot escape it.
+        result = app.query_executions("machine", "x'; DROP TABLE hpl_runs; --")
+        assert result == []
+        assert app.num_executions() == 4  # table intact
+
+    def test_injection_via_numeric_attribute_faults_cleanly(self, env_site):
+        env, site = env_site
+        client = PPerfGridClient(env)
+        app = client.bind(site.factory_url, "HPL")
+        with pytest.raises(SoapFault):
+            app.query_executions("numprocs", "1 OR 1=1")
+        assert app.num_executions() == 4
+
+    def test_pipe_in_query_value_handled(self, env_site):
+        env, site = env_site
+        client = PPerfGridClient(env)
+        app = client.bind(site.factory_url, "HPL")
+        assert app.query_executions("machine", "a|b") == []
+
+    def test_huge_foci_list_rejected_by_wrapper(self, env_site):
+        env, site = env_site
+        client = PPerfGridClient(env)
+        app = client.bind(site.factory_url, "HPL")
+        execution = app.all_executions()[0]
+        foci = [f"/Bogus/{i}" for i in range(50)]
+        # Unknown foci are skipped for HPL (returns nothing), not a crash.
+        assert execution.get_pr("gflops", foci) == []
+
+    def test_control_characters_in_strings_roundtrip(self, env_site):
+        env, site = env_site
+        client = PPerfGridClient(env)
+        app = client.bind(site.factory_url, "HPL")
+        # Query values with XML-hostile characters survive the SOAP trip.
+        assert app.query_executions("machine", "<>&\"'") == []

@@ -1,0 +1,188 @@
+"""Tests for GSI-style credentials, delegation, and message security."""
+
+import pytest
+
+from repro.gsi import (
+    CertificateAuthority,
+    CredentialError,
+    make_verifier,
+    sign_request,
+    signature_header_provider,
+)
+from repro.ogsi import GRID_SERVICE_PORTTYPE, GridEnvironment, GridServiceBase
+from repro.simnet.clock import VirtualClock
+from repro.soap import SoapFault
+from repro.wsdl import Operation, Parameter, PortType
+from repro.xmlkit import QName
+
+
+@pytest.fixture()
+def ca():
+    return CertificateAuthority("TestCA")
+
+
+class TestCredentials:
+    def test_issue_unique_identities(self, ca):
+        alice = ca.issue("/CN=alice")
+        assert alice.identity == "/CN=alice"
+        with pytest.raises(CredentialError):
+            ca.issue("/CN=alice")
+
+    def test_signing_is_deterministic_per_key(self, ca):
+        alice = ca.issue("/CN=alice")
+        bob = ca.issue("/CN=bob")
+        assert alice.sign(b"x") == alice.sign(b"x")
+        assert alice.sign(b"x") != bob.sign(b"x")
+
+    def test_key_lookup(self, ca):
+        alice = ca.issue("/CN=alice")
+        assert ca.key_for_identity("/CN=alice", 0.0) == alice.key
+        with pytest.raises(CredentialError):
+            ca.key_for_identity("/CN=ghost", 0.0)
+
+
+class TestDelegation:
+    def test_proxy_chain(self, ca):
+        alice = ca.issue("/CN=alice")
+        proxy = alice.delegate(lifetime=100.0, issued_at=0.0)
+        ca.register_proxy(proxy)
+        assert ca.key_for_identity(proxy.identity, 50.0) == proxy.key
+        proxy2 = proxy.delegate(lifetime=100.0, issued_at=10.0)
+        ca.register_proxy(proxy2)
+        # Child expiry clamps to the parent's.
+        assert proxy2.expires_at <= proxy.expires_at
+
+    def test_expired_proxy_rejected(self, ca):
+        alice = ca.issue("/CN=alice")
+        proxy = alice.delegate(lifetime=10.0, issued_at=0.0)
+        ca.register_proxy(proxy)
+        with pytest.raises(CredentialError):
+            ca.key_for_identity(proxy.identity, 20.0)
+
+    def test_tampered_proxy_rejected(self, ca):
+        alice = ca.issue("/CN=alice")
+        proxy = alice.delegate(lifetime=10.0, issued_at=0.0)
+        proxy.issuer_signature = "0" * 64
+        with pytest.raises(CredentialError):
+            ca.register_proxy(proxy)
+
+    def test_unknown_issuer_rejected(self, ca):
+        other_ca = CertificateAuthority("Other")
+        mallory = other_ca.issue("/CN=mallory")
+        proxy = mallory.delegate(lifetime=10.0, issued_at=0.0)
+        with pytest.raises(CredentialError):
+            ca.register_proxy(proxy)
+
+    def test_depth_exhaustion(self, ca):
+        alice = ca.issue("/CN=alice")
+        proxy = alice.delegate(lifetime=1000.0, issued_at=0.0, depth_limit=1)
+        child = proxy.delegate(lifetime=10.0, issued_at=0.0)
+        with pytest.raises(CredentialError):
+            child.delegate(lifetime=10.0, issued_at=0.0)
+
+    def test_bad_lifetimes_rejected(self, ca):
+        alice = ca.issue("/CN=alice")
+        with pytest.raises(CredentialError):
+            alice.delegate(lifetime=0.0, issued_at=0.0)
+        proxy = alice.delegate(lifetime=10.0, issued_at=0.0)
+        with pytest.raises(CredentialError):
+            proxy.delegate(lifetime=5.0, issued_at=20.0)
+
+
+class TestMessageSecurity:
+    def test_signature_header_shape(self, ca):
+        alice = ca.issue("/CN=alice")
+        header = sign_request(alice, "getExecs", b"payload")
+        assert header.tag == QName("urn:ppg:gsi", "Signature")
+        assert header.find("Identity").text() == "/CN=alice"
+
+    def test_verifier_accepts_valid(self, ca):
+        clock = VirtualClock()
+        alice = ca.issue("/CN=alice")
+        verify = make_verifier(ca, clock)
+        header = sign_request(alice, "op", b"body")
+        verify([header], b"body")  # should not raise
+
+    def test_verifier_rejects_unsigned(self, ca):
+        verify = make_verifier(ca, VirtualClock())
+        with pytest.raises(CredentialError):
+            verify([], b"body")
+
+    def test_optional_mode_admits_unsigned(self, ca):
+        verify = make_verifier(ca, VirtualClock(), required=False)
+        verify([], b"body")  # no exception
+
+    def test_verifier_rejects_forged_identity(self, ca):
+        clock = VirtualClock()
+        ca.issue("/CN=alice")
+        mallory_ca = CertificateAuthority("Evil")
+        mallory = mallory_ca.issue("/CN=alice-forger")
+        verify = make_verifier(ca, clock)
+        header = sign_request(mallory, "op", b"body")
+        with pytest.raises(CredentialError):
+            verify([header], b"body")
+
+    def test_verifier_rejects_operation_splice(self, ca):
+        clock = VirtualClock()
+        alice = ca.issue("/CN=alice")
+        verify = make_verifier(ca, clock)
+        header = sign_request(alice, "getExecs", b"body")
+        # Change the claimed operation without re-signing.
+        header.find("Operation").children = ["Destroy"]
+        with pytest.raises(CredentialError):
+            verify([header], b"body")
+
+
+SECURE_PT = PortType(
+    "Secure",
+    "urn:sec",
+    (Operation("whoami", (Parameter("name", "xsd:string"),), "xsd:string"),),
+    extends=(GRID_SERVICE_PORTTYPE,),
+)
+
+
+class SecureService(GridServiceBase):
+    porttype = SECURE_PT
+
+    def whoami(self, name: str) -> str:
+        return f"hello {name}"
+
+
+class TestEndToEndSecurity:
+    def test_signed_stub_passes_container_verifier(self):
+        clock = VirtualClock()
+        env = GridEnvironment(clock=clock)
+        ca = CertificateAuthority()
+        container = env.create_container("secure:1")
+        container.verifier = make_verifier(ca, clock)
+        gsh = container.deploy("services/secure", SecureService())
+
+        # Unsigned call fails.
+        plain = env.stub_for_handle(gsh, SECURE_PT)
+        with pytest.raises(SoapFault):
+            plain.whoami("x")
+
+        # Signed call succeeds.
+        alice = ca.issue("/CN=alice")
+        signed = env.stub_for_handle(
+            gsh, SECURE_PT, headers_provider=signature_header_provider(alice)
+        )
+        assert signed.whoami("alice") == "hello alice"
+
+    def test_proxy_expiry_end_to_end(self):
+        clock = VirtualClock()
+        env = GridEnvironment(clock=clock)
+        ca = CertificateAuthority()
+        container = env.create_container("secure:1")
+        container.verifier = make_verifier(ca, clock)
+        gsh = container.deploy("services/secure", SecureService())
+        alice = ca.issue("/CN=alice")
+        proxy = alice.delegate(lifetime=100.0, issued_at=clock.now())
+        ca.register_proxy(proxy)
+        stub = env.stub_for_handle(
+            gsh, SECURE_PT, headers_provider=signature_header_provider(proxy)
+        )
+        assert stub.whoami("p") == "hello p"
+        clock.advance(200.0)
+        with pytest.raises(SoapFault):
+            stub.whoami("p")

@@ -1,0 +1,145 @@
+"""Tests for the Manager service: GSH caching and replica distribution."""
+
+import pytest
+
+from repro.core import PPerfGridClient, PPerfGridSite, SiteConfig
+from repro.core.manager import (
+    BlockPolicy,
+    InterleavedPolicy,
+    LeastLoadedPolicy,
+    ManagerService,
+    RandomPolicy,
+)
+from repro.datastores import generate_hpl
+from repro.mapping import HplRdbmsWrapper
+from repro.ogsi import GridEnvironment, GridServiceHandle
+
+
+@pytest.fixture()
+def replicated_site():
+    env = GridEnvironment()
+    wrapper = HplRdbmsWrapper(generate_hpl(num_executions=8).to_database())
+    site = PPerfGridSite(env, SiteConfig("hostA:1", "HPL"), wrapper)
+    site.add_replica("hostB:1")
+    client = PPerfGridClient(env)
+    return env, site, client
+
+
+class TestDistribution:
+    def test_interleaving_alternates_hosts(self, replicated_site):
+        env, site, client = replicated_site
+        app = client.bind(site.factory_url, "HPL")
+        executions = app.all_executions()
+        authorities = [GridServiceHandle.parse(e.gsh).authority for e in executions]
+        assert authorities == ["hostA:1", "hostB:1"] * 4
+
+    def test_assignment_counts_balanced(self, replicated_site):
+        env, site, client = replicated_site
+        app = client.bind(site.factory_url, "HPL")
+        app.all_executions()
+        counts = list(site.manager.assignment_counts().values())
+        assert counts == [4, 4]
+
+    def test_gsh_cache_prevents_recreation(self, replicated_site):
+        env, site, client = replicated_site
+        app = client.bind(site.factory_url, "HPL")
+        first = [e.gsh for e in app.all_executions()]
+        created = site.manager.creations
+        second = [e.gsh for e in app.all_executions()]
+        assert first == second
+        assert site.manager.creations == created
+        assert site.manager.cache_hits >= len(first)
+
+    def test_subset_query_reuses_cached_instances(self, replicated_site):
+        env, site, client = replicated_site
+        app = client.bind(site.factory_url, "HPL")
+        all_gshs = {e.gsh for e in app.all_executions()}
+        subset = app.query_executions("runid", "3")
+        assert all(e.gsh in all_gshs for e in subset)
+
+    def test_destroyed_instance_recreated(self, replicated_site):
+        env, site, client = replicated_site
+        app = client.bind(site.factory_url, "HPL")
+        executions = app.all_executions()
+        executions[0].destroy()
+        refreshed = app.all_executions()
+        assert refreshed[0].gsh != executions[0].gsh
+        # The fresh instance is live.
+        assert refreshed[0].metrics()
+
+    def test_add_replica_duplicate_rejected(self, replicated_site):
+        env, site, client = replicated_site
+        handle = site.manager.replicas[0].factory_handle
+        with pytest.raises(ValueError):
+            site.manager.add_replica(handle)
+
+    def test_manager_requires_a_factory(self):
+        with pytest.raises(ValueError):
+            ManagerService([])
+
+    def test_evict_forces_recreation(self, replicated_site):
+        env, site, client = replicated_site
+        app = client.bind(site.factory_url, "HPL")
+        app.all_executions()
+        created = site.manager.creations
+        site.manager.evict("1")
+        app.all_executions()
+        assert site.manager.creations == created + 1
+
+
+class _Replica:
+    def __init__(self, assigned=0):
+        self.assigned = assigned
+
+
+class TestPolicies:
+    def test_interleaved_round_robin(self):
+        policy = InterleavedPolicy()
+        replicas = [_Replica(), _Replica(), _Replica()]
+        choices = [policy.choose(replicas, str(i), i) for i in range(6)]
+        assert choices == [0, 1, 2, 0, 1, 2]
+
+    def test_interleaved_reset(self):
+        policy = InterleavedPolicy()
+        replicas = [_Replica(), _Replica()]
+        policy.choose(replicas, "a", 0)
+        policy.reset()
+        assert policy.choose(replicas, "b", 0) == 0
+
+    def test_block_keeps_batch_together(self):
+        policy = BlockPolicy()
+        replicas = [_Replica(), _Replica()]
+        batch1 = [policy.choose(replicas, str(i), i) for i in range(4)]
+        assert len(set(batch1)) == 1
+        # A new batch (ordinal resets) rotates to the other replica.
+        batch2 = [policy.choose(replicas, str(i), i) for i in range(4)]
+        assert len(set(batch2)) == 1
+        assert set(batch1) != set(batch2)
+
+    def test_random_seeded_deterministic(self):
+        replicas = [_Replica(), _Replica(), _Replica()]
+        a = RandomPolicy(seed=1)
+        b = RandomPolicy(seed=1)
+        assert [a.choose(replicas, str(i), i) for i in range(10)] == [
+            b.choose(replicas, str(i), i) for i in range(10)
+        ]
+
+    def test_random_reset_restarts_sequence(self):
+        replicas = [_Replica(), _Replica(), _Replica()]
+        policy = RandomPolicy(seed=1)
+        first = [policy.choose(replicas, str(i), i) for i in range(5)]
+        policy.reset()
+        assert [policy.choose(replicas, str(i), i) for i in range(5)] == first
+
+    def test_least_loaded_balances(self):
+        policy = LeastLoadedPolicy()
+        replicas = [_Replica(), _Replica()]
+        for i in range(4):
+            index = policy.choose(replicas, str(i), i)
+            replicas[index].assigned += 1
+        assert [r.assigned for r in replicas] == [2, 2]
+
+    def test_least_loaded_prefers_idle_replica(self):
+        policy = LeastLoadedPolicy()
+        replicas = [_Replica(assigned=10), _Replica(assigned=0)]
+        assert policy.choose(replicas, "k", 0) == 1

@@ -1,0 +1,377 @@
+"""Tests for the Mapping Layer wrappers (Tables 1-2 semantics per store)."""
+
+import pytest
+
+from repro.core.semantic import UNDEFINED_TYPE
+from repro.datastores import XmlStore
+from repro.mapping import (
+    HplRdbmsWrapper,
+    HplXmlWrapper,
+    MappingError,
+    PrestaRdbmsWrapper,
+    PrestaTextWrapper,
+    Smg98RdbmsWrapper,
+    TimedExecutionWrapper,
+)
+from repro.mapping.base import compare_attribute
+from repro.simnet.metrics import Recorder
+
+
+# ------------------------------------------------------------------- HPL
+
+
+@pytest.fixture(scope="module")
+def hpl_wrapper(hpl_db):
+    return HplRdbmsWrapper(hpl_db)
+
+
+class TestHplWrapper:
+    def test_app_info(self, hpl_wrapper):
+        info = dict(hpl_wrapper.get_app_info())
+        assert info["name"] == "HPL"
+        assert info["executions"] == "20"
+
+    def test_num_execs(self, hpl_wrapper):
+        assert hpl_wrapper.get_num_execs() == 20
+
+    def test_query_params_cover_attributes(self, hpl_wrapper):
+        params = hpl_wrapper.get_exec_query_params()
+        assert set(params) == set(HplRdbmsWrapper.ATTRIBUTES)
+        for values in params.values():
+            assert values == sorted(set(values), key=values.index)  # unique
+
+    def test_all_exec_ids_sorted(self, hpl_wrapper):
+        ids = hpl_wrapper.get_all_exec_ids()
+        assert ids == [str(i) for i in range(1, 21)]
+
+    def test_query_by_attribute(self, hpl_wrapper, hpl_dataset):
+        expected = [str(r["runid"]) for r in hpl_dataset.rows if r["numprocs"] == 16]
+        assert hpl_wrapper.get_exec_ids("numprocs", "16") == expected
+
+    def test_query_with_operator(self, hpl_wrapper, hpl_dataset):
+        expected = [str(r["runid"]) for r in hpl_dataset.rows if r["numprocs"] >= 32]
+        assert hpl_wrapper.get_exec_ids("numprocs", "32", ">=") == expected
+
+    def test_query_by_string_attribute(self, hpl_wrapper, hpl_dataset):
+        machine = hpl_dataset.rows[0]["machine"]
+        ids = hpl_wrapper.get_exec_ids("machine", machine)
+        assert "1" in ids
+
+    def test_unknown_attribute_raises(self, hpl_wrapper):
+        with pytest.raises(MappingError):
+            hpl_wrapper.get_exec_ids("nonsense", "1")
+
+    def test_bad_operator_raises(self, hpl_wrapper):
+        with pytest.raises(MappingError):
+            hpl_wrapper.get_exec_ids("numprocs", "16", "~=")
+
+    def test_non_numeric_value_for_numeric_attr_raises(self, hpl_wrapper):
+        with pytest.raises(MappingError):
+            hpl_wrapper.get_exec_ids("numprocs", "many")
+
+    def test_execution_discovery(self, hpl_wrapper, hpl_dataset):
+        execution = hpl_wrapper.execution("1")
+        assert execution.get_foci() == ["/Run"]
+        assert execution.get_metrics() == ["gflops", "resid", "runtimesec"]
+        assert execution.get_types() == ["hpl"]
+        start, end = execution.get_time_start_end()
+        assert start == 0.0 and end == hpl_dataset.rows[0]["runtimesec"]
+
+    def test_execution_info_contains_row(self, hpl_wrapper, hpl_dataset):
+        info = dict(hpl_wrapper.execution("1").get_info())
+        assert info["runid"] == "1"
+        assert float(info["gflops"]) == hpl_dataset.rows[0]["gflops"]
+
+    def test_unknown_execution_raises(self, hpl_wrapper):
+        with pytest.raises(MappingError):
+            hpl_wrapper.execution("999")
+
+    def test_get_pr(self, hpl_wrapper, hpl_dataset):
+        execution = hpl_wrapper.execution("1")
+        results = execution.get_pr("gflops", ["/Run"], 0.0, -1.0, UNDEFINED_TYPE)
+        assert len(results) == 1
+        assert results[0].value == hpl_dataset.rows[0]["gflops"]
+        assert results[0].result_type == "hpl"
+
+    def test_get_pr_type_filter(self, hpl_wrapper):
+        execution = hpl_wrapper.execution("1")
+        assert execution.get_pr("gflops", ["/Run"], 0.0, -1.0, "vampir") == []
+        assert execution.get_pr("gflops", ["/Run"], 0.0, -1.0, "hpl") != []
+
+    def test_get_pr_unknown_metric_raises(self, hpl_wrapper):
+        with pytest.raises(MappingError):
+            hpl_wrapper.execution("1").get_pr("watts", ["/Run"], 0, -1, UNDEFINED_TYPE)
+
+    def test_get_pr_ignores_unknown_focus(self, hpl_wrapper):
+        execution = hpl_wrapper.execution("1")
+        assert execution.get_pr("gflops", ["/Other"], 0, -1, UNDEFINED_TYPE) == []
+
+
+# ------------------------------------------------------- HPL XML parity
+
+
+class TestHplXmlWrapperParity:
+    """The XML wrapper must agree with the RDBMS wrapper on everything."""
+
+    @pytest.fixture(scope="class")
+    def pair(self, hpl_db, hpl_dataset):
+        return HplRdbmsWrapper(hpl_db), HplXmlWrapper(XmlStore(hpl_dataset.to_xml()))
+
+    def test_exec_ids_agree(self, pair):
+        rdbms, xml = pair
+        assert rdbms.get_all_exec_ids() == xml.get_all_exec_ids()
+
+    def test_query_params_agree(self, pair):
+        rdbms, xml = pair
+        r = rdbms.get_exec_query_params()
+        x = xml.get_exec_query_params()
+        assert set(r) == set(x)
+        for attr in r:
+            assert sorted(r[attr]) == sorted(x[attr])
+
+    def test_attribute_queries_agree(self, pair):
+        rdbms, xml = pair
+        for attr, value, op in [
+            ("numprocs", "16", "="),
+            ("numprocs", "8", ">"),
+            ("machine", "wyeast", "="),
+            ("nb", "64", "<="),
+        ]:
+            assert sorted(rdbms.get_exec_ids(attr, value, op), key=int) == sorted(
+                xml.get_exec_ids(attr, value, op), key=int
+            ), (attr, value, op)
+
+    def test_pr_values_agree(self, pair):
+        rdbms, xml = pair
+        for exec_id in ("1", "5", "20"):
+            for metric in ("gflops", "runtimesec"):
+                rv = rdbms.execution(exec_id).get_pr(metric, ["/Run"], 0, -1, UNDEFINED_TYPE)
+                xv = xml.execution(exec_id).get_pr(metric, ["/Run"], 0, -1, UNDEFINED_TYPE)
+                assert rv[0].value == xv[0].value
+
+    def test_time_ranges_agree(self, pair):
+        rdbms, xml = pair
+        assert rdbms.execution("3").get_time_start_end() == pytest.approx(
+            xml.execution("3").get_time_start_end()
+        )
+
+
+# ----------------------------------------------------------------- SMG98
+
+
+@pytest.fixture(scope="module")
+def smg_wrapper(smg98_db):
+    return Smg98RdbmsWrapper(smg98_db)
+
+
+class TestSmg98Wrapper:
+    def test_exec_ids(self, smg_wrapper):
+        assert smg_wrapper.get_all_exec_ids() == ["1", "2", "3"]
+
+    def test_foci_structure(self, smg_wrapper, smg98_dataset):
+        execution = smg_wrapper.execution("1")
+        foci = execution.get_foci()
+        numprocs = smg98_dataset.executions[0]["numprocs"]
+        assert "/Code/MPI/MPI_Allgather" in foci
+        assert f"/Process/{numprocs - 1}" in foci
+        assert f"/Process/{numprocs}" not in foci
+        assert "/Messages" in foci
+
+    def test_metrics(self, smg_wrapper):
+        metrics = smg_wrapper.execution("1").get_metrics()
+        assert metrics == sorted(
+            ["time_spent", "func_calls", "msg_count", "msg_bytes", "msg_deliv_time"]
+        )
+
+    def test_time_spent_prs_are_intervals(self, smg_wrapper, smg98_db):
+        execution = smg_wrapper.execution("1")
+        results = execution.get_pr(
+            "time_spent", ["/Code/MPI/MPI_Irecv"], 0.0, -1.0, UNDEFINED_TYPE
+        )
+        expected = smg98_db.query(
+            "SELECT COUNT(*) FROM intervals i JOIN functions f ON i.funcid = f.funcid "
+            "WHERE i.execid = 1 AND f.name = 'MPI_Irecv'"
+        ).scalar()
+        assert len(results) == expected
+        for pr in results:
+            assert pr.value == pytest.approx(pr.end - pr.start)
+
+    def test_time_window_restricts(self, smg_wrapper, smg98_dataset):
+        execution = smg_wrapper.execution("1")
+        runtime = smg98_dataset.executions[0]["runtime"]
+        full = execution.get_pr("time_spent", ["/Code/SMG/smg_relax"], 0, -1, UNDEFINED_TYPE)
+        half = execution.get_pr(
+            "time_spent", ["/Code/SMG/smg_relax"], 0, runtime / 2, UNDEFINED_TYPE
+        )
+        assert 0 < len(half) < len(full)
+        assert all(pr.end <= runtime / 2 for pr in half)
+
+    def test_func_calls_per_rank(self, smg_wrapper):
+        execution = smg_wrapper.execution("1")
+        results = execution.get_pr(
+            "func_calls", ["/Code/MPI/MPI_Waitall"], 0.0, -1.0, UNDEFINED_TYPE
+        )
+        assert results
+        assert all("/rank/" in pr.focus for pr in results)
+        assert all(pr.value >= 1 for pr in results)
+
+    def test_process_focus(self, smg_wrapper):
+        execution = smg_wrapper.execution("1")
+        results = execution.get_pr("time_spent", ["/Process/0"], 0.0, -1.0, UNDEFINED_TYPE)
+        assert results
+        assert all(pr.focus.startswith("/Process/0/Code/") for pr in results)
+
+    def test_message_metrics(self, smg_wrapper, smg98_dataset):
+        execution = smg_wrapper.execution("1")
+        count_pr = execution.get_pr("msg_count", ["/Messages"], 0.0, -1.0, UNDEFINED_TYPE)
+        expected = sum(1 for m in smg98_dataset.messages if m["execid"] == 1)
+        assert count_pr[0].value == expected
+        bytes_pr = execution.get_pr("msg_bytes", ["/Messages"], 0.0, -1.0, UNDEFINED_TYPE)
+        assert bytes_pr[0].value == sum(
+            m["nbytes"] for m in smg98_dataset.messages if m["execid"] == 1
+        )
+        deliv = execution.get_pr("msg_deliv_time", ["/Messages"], 0.0, -1.0, UNDEFINED_TYPE)
+        assert len(deliv) == expected
+        assert all(pr.value >= 0 for pr in deliv)
+
+    def test_multiple_foci_concatenate(self, smg_wrapper):
+        execution = smg_wrapper.execution("1")
+        a = execution.get_pr("time_spent", ["/Code/MPI/MPI_Isend"], 0, -1, UNDEFINED_TYPE)
+        b = execution.get_pr("time_spent", ["/Code/MPI/MPI_Irecv"], 0, -1, UNDEFINED_TYPE)
+        both = execution.get_pr(
+            "time_spent", ["/Code/MPI/MPI_Isend", "/Code/MPI/MPI_Irecv"], 0, -1, UNDEFINED_TYPE
+        )
+        assert len(both) == len(a) + len(b)
+
+    def test_bad_focus_raises(self, smg_wrapper):
+        execution = smg_wrapper.execution("1")
+        with pytest.raises(MappingError):
+            execution.get_pr("time_spent", ["/Nope"], 0, -1, UNDEFINED_TYPE)
+        with pytest.raises(MappingError):
+            execution.get_pr("time_spent", ["/Process/notanint"], 0, -1, UNDEFINED_TYPE)
+
+    def test_attribute_query(self, smg_wrapper, smg98_dataset):
+        np0 = smg98_dataset.executions[0]["numprocs"]
+        ids = smg_wrapper.get_exec_ids("numprocs", str(np0))
+        assert "1" in ids
+
+
+# ------------------------------------------------------------ PRESTA RMA
+
+
+@pytest.fixture(scope="module")
+def presta_wrapper(presta_store):
+    return PrestaTextWrapper(presta_store)
+
+
+class TestPrestaTextWrapper:
+    def test_exec_ids(self, presta_wrapper):
+        assert presta_wrapper.get_all_exec_ids() == ["1", "2", "3", "4"]
+
+    def test_query_params(self, presta_wrapper):
+        params = presta_wrapper.get_exec_query_params()
+        assert set(params) == set(PrestaTextWrapper.ATTRIBUTES)
+
+    def test_attribute_query_numeric(self, presta_wrapper, presta_dataset):
+        expected = [str(e.execid) for e in presta_dataset.executions if e.numprocs >= 8]
+        assert presta_wrapper.get_exec_ids("numprocs", "8", ">=") == expected
+
+    def test_attribute_query_string(self, presta_wrapper, presta_dataset):
+        network = presta_dataset.executions[0].network
+        ids = presta_wrapper.get_exec_ids("network", network)
+        assert "1" in ids
+
+    def test_foci_are_ops(self, presta_wrapper):
+        foci = presta_wrapper.execution("1").get_foci()
+        assert "/Op/MPI_Put" in foci and len(foci) == 5
+
+    def test_get_pr_sweep(self, presta_wrapper, presta_dataset):
+        execution = presta_wrapper.execution("1")
+        results = execution.get_pr(
+            "bandwidth_mbps", ["/Op/MPI_Put"], 0.0, -1.0, UNDEFINED_TYPE
+        )
+        assert len(results) == 20  # one per message size
+        sizes = [int(pr.focus.rsplit("/", 1)[1]) for pr in results]
+        assert sizes == sorted(sizes)
+
+    def test_get_pr_reparses_file(self, presta_wrapper, presta_store):
+        before = presta_store.parse_count
+        execution = presta_wrapper.execution("2")
+        execution.get_pr("latency_us", ["/Op/MPI_Get"], 0.0, -1.0, UNDEFINED_TYPE)
+        execution.get_pr("latency_us", ["/Op/MPI_Get"], 0.0, -1.0, UNDEFINED_TYPE)
+        assert presta_store.parse_count == before + 2
+
+    def test_bad_metric_and_focus(self, presta_wrapper):
+        execution = presta_wrapper.execution("1")
+        with pytest.raises(MappingError):
+            execution.get_pr("watts", ["/Op/MPI_Put"], 0, -1, UNDEFINED_TYPE)
+        with pytest.raises(MappingError):
+            execution.get_pr("latency_us", ["/Wrong"], 0, -1, UNDEFINED_TYPE)
+
+
+class TestPrestaRdbmsParity:
+    """The relational RMA wrapper (§7) must agree with the text wrapper."""
+
+    @pytest.fixture(scope="class")
+    def pair(self, presta_store, presta_dataset):
+        return PrestaTextWrapper(presta_store), PrestaRdbmsWrapper(presta_dataset.to_database())
+
+    def test_exec_ids_agree(self, pair):
+        text, rdbms = pair
+        assert text.get_all_exec_ids() == rdbms.get_all_exec_ids()
+
+    def test_foci_agree(self, pair):
+        text, rdbms = pair
+        assert text.execution("1").get_foci() == rdbms.execution("1").get_foci()
+
+    def test_pr_values_agree(self, pair):
+        text, rdbms = pair
+        tv = text.execution("2").get_pr("latency_us", ["/Op/MPI_Get"], 0, -1, UNDEFINED_TYPE)
+        rv = rdbms.execution("2").get_pr("latency_us", ["/Op/MPI_Get"], 0, -1, UNDEFINED_TYPE)
+        assert [(p.focus, p.value) for p in tv] == [(p.focus, p.value) for p in rv]
+
+    def test_attribute_queries_agree(self, pair):
+        text, rdbms = pair
+        assert text.get_exec_ids("numprocs", "4", ">") == rdbms.get_exec_ids(
+            "numprocs", "4", ">"
+        )
+
+
+# -------------------------------------------------------------- utilities
+
+
+class TestCompareAttribute:
+    def test_numeric_comparison(self):
+        assert compare_attribute("16", "16", "=")
+        assert compare_attribute("8", "16", "<")
+        assert compare_attribute("16.0", "16", "=")  # numeric, not lexical
+
+    def test_string_comparison(self):
+        assert compare_attribute("beta", "alpha", ">")
+        assert not compare_attribute("beta", "beta", "!=")
+
+    def test_mixed_falls_back_to_string(self):
+        assert compare_attribute("abc", "16", ">")  # lexical
+
+
+class TestTimedWrapper:
+    def test_records_mapping_time(self, hpl_db):
+        recorder = Recorder()
+        wrapper = HplRdbmsWrapper(hpl_db)
+        timed = TimedExecutionWrapper(wrapper.execution("1"), recorder)
+        timed.get_pr("gflops", ["/Run"], 0.0, -1.0, UNDEFINED_TYPE)
+        assert recorder.timer("mapping.getPR").count == 1
+        # Non-PR calls are passed through untimed.
+        timed.get_foci()
+        assert recorder.timer("mapping.getPR").count == 1
+
+    def test_delegates_everything(self, hpl_db):
+        recorder = Recorder()
+        wrapper = HplRdbmsWrapper(hpl_db)
+        inner = wrapper.execution("1")
+        timed = TimedExecutionWrapper(inner, recorder)
+        assert timed.get_foci() == inner.get_foci()
+        assert timed.get_metrics() == inner.get_metrics()
+        assert timed.get_types() == inner.get_types()
+        assert timed.get_time_start_end() == inner.get_time_start_end()
+        assert timed.get_info() == inner.get_info()

@@ -1,0 +1,85 @@
+"""Tests for the DB-API facade (the JDBC analog)."""
+
+import pytest
+
+from repro.minidb import Database, ProgrammingError, connect
+
+
+@pytest.fixture()
+def conn():
+    connection = connect("t")
+    connection.execute("CREATE TABLE x (a INTEGER PRIMARY KEY, b TEXT)")
+    connection.execute("INSERT INTO x VALUES (1, 'one'), (2, 'two'), (3, 'three')")
+    return connection
+
+
+class TestCursor:
+    def test_description_set_for_select(self, conn):
+        cursor = conn.execute("SELECT a, b FROM x")
+        assert [d[0] for d in cursor.description] == ["a", "b"]
+        assert cursor.rowcount == 3
+
+    def test_description_none_for_dml(self, conn):
+        cursor = conn.execute("DELETE FROM x WHERE a = 1")
+        assert cursor.description is None
+        assert cursor.rowcount == 1
+
+    def test_fetchone_exhausts(self, conn):
+        cursor = conn.execute("SELECT a FROM x ORDER BY a")
+        assert cursor.fetchone() == (1,)
+        assert cursor.fetchone() == (2,)
+        assert cursor.fetchone() == (3,)
+        assert cursor.fetchone() is None
+
+    def test_fetchmany(self, conn):
+        cursor = conn.execute("SELECT a FROM x ORDER BY a")
+        assert cursor.fetchmany(2) == [(1,), (2,)]
+        assert cursor.fetchmany(2) == [(3,)]
+        assert cursor.fetchmany(2) == []
+
+    def test_fetchall_after_fetchone(self, conn):
+        cursor = conn.execute("SELECT a FROM x ORDER BY a")
+        cursor.fetchone()
+        assert cursor.fetchall() == [(2,), (3,)]
+
+    def test_iteration(self, conn):
+        cursor = conn.execute("SELECT a FROM x ORDER BY a")
+        assert [row[0] for row in cursor] == [1, 2, 3]
+
+    def test_scalar(self, conn):
+        assert conn.execute("SELECT COUNT(*) FROM x").scalar() == 3
+        assert conn.execute("SELECT a FROM x WHERE a = 99").scalar() is None
+
+    def test_executemany(self, conn):
+        cursor = conn.cursor()
+        cursor.executemany("INSERT INTO x VALUES (?, ?)", [(4, "four"), (5, "five")])
+        assert cursor.rowcount == 2
+        assert conn.execute("SELECT COUNT(*) FROM x").scalar() == 5
+
+    def test_closed_cursor_rejects(self, conn):
+        cursor = conn.cursor()
+        cursor.close()
+        with pytest.raises(ProgrammingError):
+            cursor.execute("SELECT 1 FROM x")
+
+    def test_context_managers(self):
+        with connect("t2") as connection:
+            with connection.cursor() as cursor:
+                cursor.execute("CREATE TABLE y (a INTEGER)")
+        with pytest.raises(ProgrammingError):
+            connection.cursor()
+
+
+class TestConnect:
+    def test_connect_wraps_existing_database(self):
+        db = Database("shared")
+        db.execute("CREATE TABLE t (a INTEGER)")
+        conn1 = connect(db)
+        conn2 = connect(db)
+        conn1.execute("INSERT INTO t VALUES (1)")
+        assert conn2.execute("SELECT COUNT(*) FROM t").scalar() == 1
+
+    def test_connect_creates_fresh(self):
+        conn = connect()
+        conn.execute("CREATE TABLE t (a INTEGER)")
+        assert conn.database.table_names() == ["t"]

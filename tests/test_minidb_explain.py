@@ -1,0 +1,88 @@
+"""Tests for EXPLAIN: plan descriptions must match planner decisions."""
+
+import pytest
+
+from repro.minidb import Database, ProgrammingError
+
+
+@pytest.fixture()
+def db():
+    database = Database("x")
+    database.execute(
+        "CREATE TABLE runs (runid INTEGER PRIMARY KEY, machine TEXT, numprocs INTEGER)"
+    )
+    database.execute("CREATE TABLE procs (pid INTEGER PRIMARY KEY, runid INTEGER)")
+    database.execute("CREATE INDEX idx_machine ON runs (machine)")
+    return database
+
+
+class TestExplain:
+    def test_pk_lookup_uses_index(self, db):
+        plan = db.explain("SELECT * FROM runs WHERE runid = 5")
+        assert "IndexLookup runs" in plan
+        assert "runid = 5" in plan
+        assert "Filter" not in plan  # single conjunct fully consumed
+
+    def test_secondary_index_chosen(self, db):
+        plan = db.explain("SELECT * FROM runs WHERE machine = ?", ["alpha"])
+        assert "USING idx_machine" in plan
+
+    def test_unindexed_predicate_scans(self, db):
+        plan = db.explain("SELECT * FROM runs WHERE numprocs = 4")
+        assert plan.startswith("SeqScan runs")
+        assert "Filter" in plan
+
+    def test_residual_filter_after_index(self, db):
+        plan = db.explain("SELECT * FROM runs WHERE runid = 5 AND numprocs = 4")
+        assert "IndexLookup" in plan and "Filter" in plan
+
+    def test_inequality_cannot_use_index(self, db):
+        plan = db.explain("SELECT * FROM runs WHERE runid > 5")
+        assert "SeqScan" in plan
+
+    def test_or_disables_index(self, db):
+        plan = db.explain("SELECT * FROM runs WHERE runid = 5 OR numprocs = 4")
+        assert "SeqScan" in plan
+
+    def test_equi_join_uses_hash_join(self, db):
+        plan = db.explain(
+            "SELECT * FROM runs r JOIN procs p ON r.runid = p.runid"
+        )
+        assert "HashJoin (Inner) procs" in plan
+
+    def test_left_join_annotated(self, db):
+        plan = db.explain(
+            "SELECT * FROM runs r LEFT JOIN procs p ON r.runid = p.runid"
+        )
+        assert "HashJoin (Left)" in plan
+
+    def test_non_equi_join_nested_loop(self, db):
+        plan = db.explain("SELECT * FROM runs r JOIN procs p ON r.runid < p.runid")
+        assert "NestedLoopJoin" in plan
+
+    def test_aggregate_sort_limit_stages(self, db):
+        plan = db.explain(
+            "SELECT machine, COUNT(*) FROM runs GROUP BY machine "
+            "HAVING COUNT(*) > 1 ORDER BY machine LIMIT 3 OFFSET 1"
+        )
+        for stage in ("Aggregate", "Having", "Sort", "Limit 3 Offset 1"):
+            assert stage in plan
+
+    def test_distinct_stage(self, db):
+        assert "Distinct" in db.explain("SELECT DISTINCT machine FROM runs")
+
+    def test_explain_rejects_non_select(self, db):
+        with pytest.raises(ProgrammingError):
+            db.explain("DELETE FROM runs")
+
+    def test_explain_matches_execution_for_smg98_query(self, smg98_db):
+        # The Table 4 SMG98 query: no execid index (by design), hash joins.
+        sql = (
+            "SELECT i.start_ts, i.end_ts FROM intervals i "
+            "JOIN functions f ON i.funcid = f.funcid "
+            "WHERE i.execid = 1 AND f.name = 'MPI_Irecv'"
+        )
+        plan = smg98_db.explain(sql)
+        assert "SeqScan intervals" in plan
+        assert "HashJoin" in plan
+        smg98_db.query(sql)  # and it actually runs

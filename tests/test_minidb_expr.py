@@ -1,0 +1,194 @@
+"""Unit tests for expression evaluation, coercion, and types."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.minidb import Database, ProgrammingError, SqlSyntaxError
+from repro.minidb.expr import (
+    BoundExpr,
+    ColumnRef,
+    Comparison,
+    Literal,
+    RowLayout,
+    contains_aggregate,
+    column_refs,
+    FuncCall,
+    BinaryOp,
+)
+from repro.minidb.schema import ColumnDef, TableSchema
+from repro.minidb.types import SqlType, coerce, compare_values, sort_key
+
+
+@pytest.fixture()
+def db():
+    database = Database("x")
+    database.execute("CREATE TABLE t (a INTEGER, s TEXT, r REAL, b BOOLEAN)")
+    database.execute("INSERT INTO t VALUES (1, 'x', 1.5, TRUE)")
+    return database
+
+
+def _eval(db, expr: str):
+    return db.query(f"SELECT {expr} FROM t").scalar()
+
+
+class TestArithmetic:
+    def test_integer_ops(self, db):
+        assert _eval(db, "7 + 3") == 10
+        assert _eval(db, "7 - 3") == 4
+        assert _eval(db, "7 * 3") == 21
+        assert _eval(db, "7 / 2") == 3.5
+        assert _eval(db, "7 % 3") == 1
+
+    def test_null_propagation(self, db):
+        assert _eval(db, "NULL + 1") is None
+        assert _eval(db, "1 * NULL") is None
+        assert _eval(db, "-(NULL)") is None
+        assert _eval(db, "NULL || 'x'") is None
+
+    def test_unary_minus_and_plus(self, db):
+        assert _eval(db, "-a") == -1
+        assert _eval(db, "+a") == 1
+        assert _eval(db, "-(-a)") == 1
+        # '--' starts a SQL line comment, so '--a' is not double negation.
+        with pytest.raises(SqlSyntaxError):
+            _eval(db, "--a")
+
+    def test_string_arithmetic_rejected(self, db):
+        with pytest.raises(ProgrammingError):
+            _eval(db, "s + 1")
+        with pytest.raises(ProgrammingError):
+            _eval(db, "1 || 'x'")
+
+    def test_modulo_by_zero(self, db):
+        with pytest.raises(ProgrammingError):
+            _eval(db, "1 % 0")
+
+
+class TestComparisonSemantics:
+    def test_cross_kind_comparison_is_false(self, db):
+        assert _eval(db, "s = 1") is False
+        assert _eval(db, "a = 'x'") is False
+        assert _eval(db, "b = 1") is False  # bool vs number
+
+    def test_int_float_compare_numerically(self, db):
+        assert _eval(db, "1 = 1.0") is True
+        assert _eval(db, "r > a") is True
+
+    def test_not_of_null_comparison(self, db):
+        # NULL = NULL is false, so NOT of it is true under 2VL.
+        assert _eval(db, "NOT (NULL = NULL)") is True
+
+
+class TestCompareValues:
+    def test_nulls(self):
+        assert compare_values(None, 1) is None
+        assert compare_values(1, None) is None
+
+    def test_numbers(self):
+        assert compare_values(1, 2) == -1
+        assert compare_values(2.5, 2.5) == 0
+        assert compare_values(3, 2.5) == 1
+
+    def test_strings(self):
+        assert compare_values("a", "b") == -1
+
+    def test_bools(self):
+        assert compare_values(False, True) == -1
+        assert compare_values(True, True) == 0
+
+    def test_mixed_kinds_none(self):
+        assert compare_values("1", 1) is None
+        assert compare_values(True, 1) is None
+
+
+class TestSortKey:
+    def test_total_order_across_kinds(self):
+        values = ["b", None, 2, True, "a", 1.5, False, None]
+        ordered = sorted(values, key=sort_key)
+        assert ordered[:2] == [None, None]
+        assert ordered[2:4] == [False, True]
+        assert ordered[4:6] == [1.5, 2]
+        assert ordered[6:] == ["a", "b"]
+
+    @given(st.lists(st.one_of(st.none(), st.booleans(), st.integers(), st.text(max_size=5))))
+    @settings(max_examples=100, deadline=None)
+    def test_sort_key_is_total(self, values):
+        sorted(values, key=sort_key)  # must never raise
+
+
+class TestCoercion:
+    def test_int_widens_to_real(self):
+        assert coerce(3, SqlType.REAL, "c") == 3.0
+        assert isinstance(coerce(3, SqlType.REAL, "c"), float)
+
+    def test_integral_float_narrows_to_int(self):
+        assert coerce(4.0, SqlType.INTEGER, "c") == 4
+
+    def test_fractional_float_to_int_rejected(self):
+        with pytest.raises(ProgrammingError):
+            coerce(4.5, SqlType.INTEGER, "c")
+
+    def test_bool_is_not_a_number(self):
+        with pytest.raises(ProgrammingError):
+            coerce(True, SqlType.INTEGER, "c")
+        with pytest.raises(ProgrammingError):
+            coerce(1, SqlType.BOOLEAN, "c")
+
+    def test_null_passes(self):
+        assert coerce(None, SqlType.TEXT, "c") is None
+
+    def test_type_parse_aliases(self):
+        assert SqlType.parse("bigint") is SqlType.INTEGER
+        assert SqlType.parse("Double") is SqlType.REAL
+        with pytest.raises(ProgrammingError):
+            SqlType.parse("blob")
+
+
+class TestRowLayout:
+    def test_qualified_and_unqualified(self):
+        layout = RowLayout([("t", "a"), ("t", "b"), ("u", "c")])
+        assert layout.resolve(ColumnRef("t", "b")) == 1
+        assert layout.resolve(ColumnRef(None, "c")) == 2
+
+    def test_ambiguous_unqualified_raises(self):
+        layout = RowLayout([("t", "a"), ("u", "a")])
+        with pytest.raises(ProgrammingError):
+            layout.resolve(ColumnRef(None, "a"))
+        assert layout.resolve(ColumnRef("u", "a")) == 1
+
+    def test_case_insensitive(self):
+        layout = RowLayout([("T", "Col")])
+        assert layout.resolve(ColumnRef("t", "COL")) == 0
+
+    def test_concat(self):
+        left = RowLayout([("t", "a")])
+        right = RowLayout([("u", "b")])
+        combined = left.concat(right)
+        assert combined.resolve(ColumnRef("u", "b")) == 1
+
+
+class TestAggregateDetection:
+    def test_direct(self):
+        assert contains_aggregate(FuncCall("COUNT", (), star=True))
+
+    def test_nested_in_arithmetic(self):
+        expr = BinaryOp("+", Literal(1), FuncCall("SUM", (ColumnRef(None, "x"),)))
+        assert contains_aggregate(expr)
+
+    def test_scalar_function_is_not_aggregate(self):
+        assert not contains_aggregate(FuncCall("LOWER", (ColumnRef(None, "x"),)))
+
+    def test_column_refs_collects_in_order(self):
+        expr = Comparison(
+            "=",
+            BinaryOp("+", ColumnRef("t", "a"), ColumnRef(None, "b")),
+            ColumnRef("u", "c"),
+        )
+        refs = column_refs(expr)
+        assert [(r.table, r.column) for r in refs] == [("t", "a"), (None, "b"), ("u", "c")]
+
+    def test_aggregate_outside_group_context_rejected(self):
+        layout = RowLayout([("t", "a")])
+        with pytest.raises(ProgrammingError):
+            BoundExpr(FuncCall("SUM", (ColumnRef(None, "a"),)), layout)

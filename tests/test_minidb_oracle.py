@@ -1,0 +1,140 @@
+"""Property-based minidb testing against a plain-Python oracle.
+
+Random row sets are loaded into a table, then queries whose results can
+be computed independently in Python are compared against the engine.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.minidb import Database
+
+_COLS = ("id", "grp", "x", "flag")
+
+_rows = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=30),  # grp
+        st.integers(min_value=-100, max_value=100),  # x
+        st.booleans(),
+    ),
+    min_size=0,
+    max_size=60,
+)
+
+
+def _load(rows) -> tuple[Database, list[tuple]]:
+    db = Database("oracle")
+    db.execute(
+        "CREATE TABLE t (id INTEGER PRIMARY KEY, grp INTEGER, x INTEGER, flag BOOLEAN)"
+    )
+    table = [(i + 1, grp, x, flag) for i, (grp, x, flag) in enumerate(rows)]
+    if table:
+        db.load_rows("t", list(_COLS), table)
+    return db, table
+
+
+class TestSelectOracle:
+    @given(_rows, st.integers(min_value=-100, max_value=100))
+    @settings(max_examples=120, deadline=None)
+    def test_where_filter(self, rows, threshold):
+        db, table = _load(rows)
+        got = db.query("SELECT id FROM t WHERE x > ? ORDER BY id", [threshold])
+        expected = [r[0] for r in table if r[2] > threshold]
+        assert got.column("id") == expected
+
+    @given(_rows)
+    @settings(max_examples=120, deadline=None)
+    def test_group_by_aggregates(self, rows):
+        db, table = _load(rows)
+        got = db.query(
+            "SELECT grp, COUNT(*), SUM(x), MIN(x), MAX(x) FROM t GROUP BY grp ORDER BY grp"
+        )
+        expected = {}
+        for _, grp, x, _ in table:
+            bucket = expected.setdefault(grp, [0, 0, None, None])
+            bucket[0] += 1
+            bucket[1] += x
+            bucket[2] = x if bucket[2] is None else min(bucket[2], x)
+            bucket[3] = x if bucket[3] is None else max(bucket[3], x)
+        rows_expected = [
+            (grp, c, s, lo, hi) for grp, (c, s, lo, hi) in sorted(expected.items())
+        ]
+        assert got.rows == rows_expected
+
+    @given(_rows)
+    @settings(max_examples=120, deadline=None)
+    def test_order_by_stable_against_sorted(self, rows):
+        db, table = _load(rows)
+        got = db.query("SELECT x FROM t ORDER BY x DESC")
+        assert got.column("x") == sorted((r[2] for r in table), reverse=True)
+
+    @given(_rows)
+    @settings(max_examples=120, deadline=None)
+    def test_distinct(self, rows):
+        db, table = _load(rows)
+        got = db.query("SELECT DISTINCT grp FROM t ORDER BY grp")
+        assert got.column("grp") == sorted({r[1] for r in table})
+
+    @given(_rows, st.integers(min_value=0, max_value=10), st.integers(min_value=0, max_value=10))
+    @settings(max_examples=120, deadline=None)
+    def test_limit_offset(self, rows, limit, offset):
+        db, table = _load(rows)
+        got = db.query(f"SELECT id FROM t ORDER BY id LIMIT {limit} OFFSET {offset}")
+        expected = [r[0] for r in table][offset : offset + limit]
+        assert got.column("id") == expected
+
+    @given(_rows)
+    @settings(max_examples=100, deadline=None)
+    def test_boolean_column_filter(self, rows):
+        db, table = _load(rows)
+        got = db.query("SELECT COUNT(*) FROM t WHERE flag = TRUE")
+        assert got.scalar() == sum(1 for r in table if r[3])
+
+    @given(_rows)
+    @settings(max_examples=100, deadline=None)
+    def test_self_join_count(self, rows):
+        db, table = _load(rows)
+        got = db.query("SELECT COUNT(*) FROM t a JOIN t b ON a.grp = b.grp")
+        from collections import Counter
+
+        counts = Counter(r[1] for r in table)
+        assert got.scalar() == sum(n * n for n in counts.values())
+
+    @given(_rows, st.integers(min_value=-100, max_value=100))
+    @settings(max_examples=100, deadline=None)
+    def test_delete_then_count(self, rows, threshold):
+        db, table = _load(rows)
+        deleted = db.execute("DELETE FROM t WHERE x < ?", [threshold])
+        expected_deleted = sum(1 for r in table if r[2] < threshold)
+        assert deleted == expected_deleted
+        assert db.query("SELECT COUNT(*) FROM t").scalar() == len(table) - expected_deleted
+
+    @given(_rows)
+    @settings(max_examples=100, deadline=None)
+    def test_update_everything(self, rows):
+        db, table = _load(rows)
+        db.execute("UPDATE t SET x = x + 1000")
+        got = db.query("SELECT SUM(x) FROM t")
+        expected = sum(r[2] for r in table) + 1000 * len(table) if table else None
+        assert got.scalar() == expected
+
+    @given(_rows)
+    @settings(max_examples=80, deadline=None)
+    def test_index_agrees_with_scan(self, rows):
+        db, table = _load(rows)
+        db.execute("CREATE INDEX idx_grp ON t (grp)")
+        for grp in {r[1] for r in table} | {999}:
+            indexed = db.query("SELECT id FROM t WHERE grp = ? ORDER BY id", [grp])
+            expected = [r[0] for r in table if r[1] == grp]
+            assert indexed.column("id") == expected
+
+    @given(_rows)
+    @settings(max_examples=80, deadline=None)
+    def test_avg_matches_python(self, rows):
+        db, table = _load(rows)
+        got = db.query("SELECT AVG(x) FROM t").scalar()
+        if not table:
+            assert got is None
+        else:
+            assert got == pytest.approx(sum(r[2] for r in table) / len(table))

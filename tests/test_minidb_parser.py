@@ -1,0 +1,262 @@
+"""Tests for the SQL lexer and parser."""
+
+import pytest
+
+from repro.minidb.errors import SqlSyntaxError
+from repro.minidb.expr import (
+    Between,
+    BinaryOp,
+    BoolOp,
+    ColumnRef,
+    Comparison,
+    FuncCall,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    Negate,
+    NotOp,
+)
+from repro.minidb.sql_ast import (
+    CreateIndexStmt,
+    CreateTableStmt,
+    DeleteStmt,
+    DropIndexStmt,
+    DropTableStmt,
+    InsertStmt,
+    SelectStmt,
+    UpdateStmt,
+)
+from repro.minidb.sql_lexer import TokenKind, tokenize
+from repro.minidb.sql_parser import parse_sql
+from repro.minidb.types import SqlType
+
+
+class TestLexer:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("select From WHERE")
+        assert [t.value for t in tokens[:-1]] == ["SELECT", "FROM", "WHERE"]
+        assert all(t.kind is TokenKind.KEYWORD for t in tokens[:-1])
+
+    def test_identifiers_preserve_case(self):
+        tokens = tokenize("MyTable")
+        assert tokens[0].kind is TokenKind.IDENT
+        assert tokens[0].value == "MyTable"
+
+    def test_string_with_escaped_quote(self):
+        tokens = tokenize("'it''s'")
+        assert tokens[0].kind is TokenKind.STRING
+        assert tokens[0].value == "it's"
+
+    def test_numbers(self):
+        values = [t.value for t in tokenize("1 2.5 1e3 2.5E-2 .5")[:-1]]
+        assert values == ["1", "2.5", "1e3", "2.5E-2", ".5"]
+
+    def test_line_comment_skipped(self):
+        tokens = tokenize("SELECT -- comment\n 1")
+        assert [t.value for t in tokens[:-1]] == ["SELECT", "1"]
+
+    def test_quoted_identifier(self):
+        tokens = tokenize('"Weird Name"')
+        assert tokens[0].kind is TokenKind.IDENT
+        assert tokens[0].value == "Weird Name"
+
+    def test_two_char_operators(self):
+        values = [t.value for t in tokenize("<= >= != <> ||")[:-1]]
+        assert values == ["<=", ">=", "!=", "<>", "||"]
+
+    @pytest.mark.parametrize("bad", ["'unterminated", '"unterminated', "1e", "@"])
+    def test_lex_errors(self, bad):
+        with pytest.raises(SqlSyntaxError):
+            tokenize(bad)
+
+    def test_eof_token_always_present(self):
+        assert tokenize("")[-1].kind is TokenKind.EOF
+
+
+class TestSelectParsing:
+    def test_minimal(self):
+        stmt = parse_sql("SELECT * FROM t")
+        assert isinstance(stmt, SelectStmt)
+        assert stmt.items[0].is_star
+        assert stmt.table.table == "t" and stmt.table.alias == "t"
+
+    def test_alias_forms(self):
+        assert parse_sql("SELECT * FROM t AS x").table.alias == "x"
+        assert parse_sql("SELECT * FROM t x").table.alias == "x"
+
+    def test_select_items_with_aliases(self):
+        stmt = parse_sql("SELECT a, b AS bee, a + 1 plus FROM t")
+        assert stmt.items[0].alias is None
+        assert stmt.items[1].alias == "bee"
+        assert stmt.items[2].alias == "plus"
+        assert isinstance(stmt.items[2].expr, BinaryOp)
+
+    def test_qualified_star(self):
+        stmt = parse_sql("SELECT t.*, u.x FROM t JOIN u ON t.id = u.id")
+        assert stmt.items[0].is_star and stmt.items[0].star_table == "t"
+
+    def test_where_precedence(self):
+        stmt = parse_sql("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3")
+        assert isinstance(stmt.where, BoolOp) and stmt.where.op == "OR"
+        assert isinstance(stmt.where.right, BoolOp) and stmt.where.right.op == "AND"
+
+    def test_not_binds_tighter_than_and(self):
+        stmt = parse_sql("SELECT * FROM t WHERE NOT a = 1 AND b = 2")
+        assert isinstance(stmt.where, BoolOp) and stmt.where.op == "AND"
+        assert isinstance(stmt.where.left, NotOp)
+
+    def test_arithmetic_precedence(self):
+        stmt = parse_sql("SELECT a + b * c FROM t")
+        expr = stmt.items[0].expr
+        assert isinstance(expr, BinaryOp) and expr.op == "+"
+        assert isinstance(expr.right, BinaryOp) and expr.right.op == "*"
+
+    def test_parentheses(self):
+        stmt = parse_sql("SELECT (a + b) * c FROM t")
+        expr = stmt.items[0].expr
+        assert expr.op == "*" and expr.left.op == "+"
+
+    def test_predicates(self):
+        stmt = parse_sql(
+            "SELECT * FROM t WHERE a IS NULL AND b IS NOT NULL AND c IN (1, 2) "
+            "AND d NOT IN (3) AND e BETWEEN 1 AND 5 AND f NOT BETWEEN 2 AND 3 "
+            "AND g LIKE 'x%' AND h NOT LIKE '_y'"
+        )
+        kinds = []
+        def walk(e):
+            if isinstance(e, BoolOp):
+                walk(e.left); walk(e.right)
+            else:
+                kinds.append(type(e).__name__ + (":neg" if getattr(e, "negated", False) else ""))
+        walk(stmt.where)
+        assert kinds == [
+            "IsNull", "IsNull:neg", "InList", "InList:neg",
+            "Between", "Between:neg", "Like", "Like:neg",
+        ]
+
+    def test_group_by_having_order_limit(self):
+        stmt = parse_sql(
+            "SELECT a, COUNT(*) n FROM t GROUP BY a HAVING COUNT(*) > 2 "
+            "ORDER BY n DESC, a ASC LIMIT 5 OFFSET 2"
+        )
+        assert len(stmt.group_by) == 1
+        assert isinstance(stmt.having, Comparison)
+        assert stmt.order_by[0].descending and not stmt.order_by[1].descending
+        assert stmt.limit == 5 and stmt.offset == 2
+
+    def test_joins(self):
+        stmt = parse_sql(
+            "SELECT * FROM a JOIN b ON a.x = b.x LEFT JOIN c ON b.y = c.y "
+            "INNER JOIN d ON c.z = d.z"
+        )
+        assert len(stmt.joins) == 3
+        assert not stmt.joins[0].left_outer
+        assert stmt.joins[1].left_outer
+        assert not stmt.joins[2].left_outer
+
+    def test_distinct(self):
+        assert parse_sql("SELECT DISTINCT a FROM t").distinct
+
+    def test_count_star(self):
+        stmt = parse_sql("SELECT COUNT(*) FROM t")
+        call = stmt.items[0].expr
+        assert isinstance(call, FuncCall) and call.star
+
+    def test_star_only_for_count(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_sql("SELECT SUM(*) FROM t")
+
+    def test_literals(self):
+        stmt = parse_sql("SELECT 1, 2.5, 'x', NULL, TRUE, FALSE, -3 FROM t")
+        values = [it.expr for it in stmt.items]
+        assert values[0] == Literal(1)
+        assert values[1] == Literal(2.5)
+        assert values[2] == Literal("x")
+        assert values[3] == Literal(None)
+        assert values[4] == Literal(True)
+        assert values[5] == Literal(False)
+        assert isinstance(values[6], Negate)
+
+    def test_trailing_semicolon_ok(self):
+        parse_sql("SELECT * FROM t;")
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "SELECT",
+            "SELECT FROM t",
+            "SELECT * FROM",
+            "SELECT * FROM t WHERE",
+            "SELECT * FROM t LIMIT -1",
+            "SELECT * FROM t LIMIT x",
+            "SELECT * FROM t GROUP a",
+            "SELECT * FROM t extra garbage",
+            "FROB x",
+            "SELECT * FROM t JOIN u",
+        ],
+    )
+    def test_syntax_errors(self, bad):
+        with pytest.raises(SqlSyntaxError):
+            parse_sql(bad)
+
+
+class TestOtherStatements:
+    def test_insert(self):
+        stmt = parse_sql("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')")
+        assert isinstance(stmt, InsertStmt)
+        assert stmt.columns == ("a", "b")
+        assert len(stmt.rows) == 2
+
+    def test_insert_without_columns(self):
+        stmt = parse_sql("INSERT INTO t VALUES (1)")
+        assert stmt.columns == ()
+
+    def test_update(self):
+        stmt = parse_sql("UPDATE t SET a = 1, b = b + 1 WHERE c = 2")
+        assert isinstance(stmt, UpdateStmt)
+        assert [col for col, _ in stmt.assignments] == ["a", "b"]
+        assert stmt.where is not None
+
+    def test_delete(self):
+        stmt = parse_sql("DELETE FROM t")
+        assert isinstance(stmt, DeleteStmt)
+        assert stmt.where is None
+
+    def test_create_table(self):
+        stmt = parse_sql(
+            "CREATE TABLE t (id INTEGER PRIMARY KEY, name TEXT NOT NULL, score REAL)"
+        )
+        assert isinstance(stmt, CreateTableStmt)
+        assert stmt.columns[0].primary_key
+        assert stmt.columns[1].not_null
+        assert stmt.columns[2].sql_type is SqlType.REAL
+
+    def test_create_table_if_not_exists(self):
+        assert parse_sql("CREATE TABLE IF NOT EXISTS t (a INT)").if_not_exists
+
+    def test_type_aliases(self):
+        stmt = parse_sql("CREATE TABLE t (a INT, b DOUBLE, c VARCHAR, d BOOL)")
+        assert [c.sql_type for c in stmt.columns] == [
+            SqlType.INTEGER,
+            SqlType.REAL,
+            SqlType.TEXT,
+            SqlType.BOOLEAN,
+        ]
+
+    def test_create_index(self):
+        stmt = parse_sql("CREATE UNIQUE INDEX idx ON t (col)")
+        assert isinstance(stmt, CreateIndexStmt)
+        assert stmt.unique and stmt.column == "col"
+
+    def test_drop_statements(self):
+        assert isinstance(parse_sql("DROP TABLE t"), DropTableStmt)
+        assert parse_sql("DROP TABLE IF EXISTS t").if_exists
+        assert isinstance(parse_sql("DROP INDEX i"), DropIndexStmt)
+        assert parse_sql("DROP INDEX IF EXISTS i").if_exists
+
+    def test_unknown_column_type_rejected(self):
+        from repro.minidb.errors import ProgrammingError
+
+        with pytest.raises(ProgrammingError):
+            parse_sql("CREATE TABLE t (a BLOB)")

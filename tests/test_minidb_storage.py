@@ -1,0 +1,193 @@
+"""Unit tests for row storage, indexes, constraints, and bulk load."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.minidb.errors import IntegrityError, ProgrammingError
+from repro.minidb.schema import ColumnDef, TableSchema
+from repro.minidb.storage import HashIndex, Table
+from repro.minidb.types import SqlType
+
+
+def _schema(name="t"):
+    return TableSchema(
+        name,
+        [
+            ColumnDef("id", SqlType.INTEGER, primary_key=True),
+            ColumnDef("grp", SqlType.TEXT),
+            ColumnDef("x", SqlType.REAL),
+        ],
+    )
+
+
+class TestSchema:
+    def test_duplicate_column_rejected(self):
+        with pytest.raises(ProgrammingError):
+            TableSchema("t", [ColumnDef("a", SqlType.TEXT), ColumnDef("A", SqlType.TEXT)])
+
+    def test_multiple_pks_rejected(self):
+        with pytest.raises(ProgrammingError):
+            TableSchema(
+                "t",
+                [
+                    ColumnDef("a", SqlType.INTEGER, primary_key=True),
+                    ColumnDef("b", SqlType.INTEGER, primary_key=True),
+                ],
+            )
+
+    def test_column_lookup_case_insensitive(self):
+        schema = _schema()
+        assert schema.column_index("GRP") == 1
+        assert schema.column("ID").primary_key
+        with pytest.raises(ProgrammingError):
+            schema.column_index("nope")
+
+    def test_primary_key_property(self):
+        assert _schema().primary_key.name == "id"
+        no_pk = TableSchema("t", [ColumnDef("a", SqlType.TEXT)])
+        assert no_pk.primary_key is None
+
+
+class TestHashIndex:
+    def test_nulls_not_indexed(self):
+        index = HashIndex("i", "c")
+        index.add(None, 1)
+        assert len(index) == 0
+        assert index.lookup(None) == set()
+
+    def test_add_remove(self):
+        index = HashIndex("i", "c")
+        index.add("v", 1)
+        index.add("v", 2)
+        assert index.lookup("v") == {1, 2}
+        index.remove("v", 1)
+        assert index.lookup("v") == {2}
+        index.remove("v", 2)
+        assert index.lookup("v") == set()
+
+    def test_unique_violation(self):
+        index = HashIndex("i", "c", unique=True)
+        index.add("v", 1)
+        with pytest.raises(IntegrityError):
+            index.add("v", 2)
+
+
+class TestTable:
+    def test_pk_index_created_automatically(self):
+        table = Table(_schema())
+        assert any(name.startswith("__pk_") for name in table.indexes)
+
+    def test_insert_with_missing_optional_columns(self):
+        table = Table(_schema())
+        table.insert({"id": 1})
+        assert table.rows[0] == (1, None, None)
+
+    def test_insert_unknown_column_rejected(self):
+        table = Table(_schema())
+        with pytest.raises(ProgrammingError):
+            table.insert({"id": 1, "ghost": 2})
+
+    def test_pk_required(self):
+        table = Table(_schema())
+        with pytest.raises(IntegrityError):
+            table.insert({"grp": "a"})
+
+    def test_not_null_enforced_on_update(self):
+        schema = TableSchema(
+            "t",
+            [
+                ColumnDef("id", SqlType.INTEGER, primary_key=True),
+                ColumnDef("req", SqlType.TEXT, not_null=True),
+            ],
+        )
+        table = Table(schema)
+        table.insert({"id": 1, "req": "x"})
+        with pytest.raises(IntegrityError):
+            table.update_row(0, {"req": None})
+
+    def test_unique_enforced_on_update(self):
+        table = Table(_schema())
+        table.insert({"id": 1})
+        table.insert({"id": 2})
+        with pytest.raises(IntegrityError):
+            table.update_row(1, {"id": 1})
+
+    def test_update_same_value_allowed(self):
+        table = Table(_schema())
+        table.insert({"id": 1, "grp": "a"})
+        table.update_row(0, {"id": 1, "grp": "b"})
+        assert table.rows[0] == (1, "b", None)
+
+    def test_cannot_drop_pk_index(self):
+        table = Table(_schema())
+        with pytest.raises(ProgrammingError):
+            table.drop_index(f"__pk_t")
+
+    def test_secondary_index_maintained(self):
+        table = Table(_schema())
+        table.create_index("by_grp", "grp")
+        rid = table.insert({"id": 1, "grp": "a"})
+        assert table.index_on("grp").lookup("a") == {rid}
+        table.update_row(rid, {"grp": "b"})
+        assert table.index_on("grp").lookup("a") == set()
+        assert table.index_on("grp").lookup("b") == {rid}
+        table.delete_row(rid)
+        assert table.index_on("grp").lookup("b") == set()
+
+    def test_index_built_over_existing_rows(self):
+        table = Table(_schema())
+        for i in range(5):
+            table.insert({"id": i, "grp": "g"})
+        index = table.create_index("late", "grp")
+        assert len(index.lookup("g")) == 5
+
+    def test_double_delete_rejected(self):
+        table = Table(_schema())
+        rid = table.insert({"id": 1})
+        table.delete_row(rid)
+        with pytest.raises(ProgrammingError):
+            table.delete_row(rid)
+
+    def test_compaction_preserves_content_and_indexes(self):
+        table = Table(_schema())
+        for i in range(200):
+            table.insert({"id": i, "grp": f"g{i % 3}"})
+        table.create_index("by_grp", "grp")
+        # Delete just over half so the live count drops strictly below
+        # len(rows)//2, which is what triggers compaction.
+        table.delete_rows([rid for rid, row in table.scan() if row[0] % 2 == 0 or row[0] == 1])
+        assert len(table) == 99
+        # Compaction happened (tombstones cleared).
+        assert all(row is not None for row in table.rows)
+        survivors = {row[0] for _, row in table.scan()}
+        assert survivors == {i for i in range(200) if i % 2 == 1 and i != 1}
+        # Indexes point at valid post-compaction rowids.
+        for rid in table.index_on("grp").lookup("g1"):
+            assert table.rows[rid] is not None
+
+    def test_insert_many_validates(self):
+        table = Table(_schema())
+        with pytest.raises(ProgrammingError):
+            table.insert_many(["id", "grp"], [(1,)])
+        with pytest.raises(IntegrityError):
+            table.insert_many(["grp"], [("orphan",)])  # missing PK
+        table.insert_many(["id", "x"], [(1, 2), (2, 3.5)])
+        assert table.rows[0] == (1, None, 2.0)
+
+    def test_insert_many_unique_check(self):
+        table = Table(_schema())
+        table.insert_many(["id"], [(1,), (2,)])
+        with pytest.raises(IntegrityError):
+            table.insert_many(["id"], [(2,)])
+
+    @given(st.lists(st.integers(0, 500), unique=True, max_size=80))
+    @settings(max_examples=60, deadline=None)
+    def test_pk_lookup_invariant(self, ids):
+        table = Table(_schema())
+        table.insert_many(["id"], [(i,) for i in ids])
+        pk = table.index_on("id")
+        for i in ids:
+            hits = pk.lookup(i)
+            assert len(hits) == 1
+            assert table.rows[next(iter(hits))][0] == i

@@ -1,0 +1,196 @@
+"""Tests for minidb transactions (undo-log BEGIN/COMMIT/ROLLBACK)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.minidb import Database, ProgrammingError, connect
+
+
+@pytest.fixture()
+def conn():
+    connection = connect("txn")
+    connection.execute(
+        "CREATE TABLE t (id INTEGER PRIMARY KEY, grp TEXT, x INTEGER)"
+    )
+    connection.execute(
+        "INSERT INTO t VALUES (1, 'a', 10), (2, 'a', 20), (3, 'b', 30)"
+    )
+    return connection
+
+
+def _snapshot(conn):
+    return conn.execute("SELECT * FROM t ORDER BY id").fetchall()
+
+
+class TestBasics:
+    def test_commit_keeps_changes(self, conn):
+        conn.begin()
+        conn.execute("INSERT INTO t VALUES (4, 'c', 40)")
+        conn.execute("UPDATE t SET x = 99 WHERE id = 1")
+        conn.commit()
+        assert conn.execute("SELECT COUNT(*) FROM t").scalar() == 4
+        assert conn.execute("SELECT x FROM t WHERE id = 1").scalar() == 99
+
+    def test_rollback_insert(self, conn):
+        before = _snapshot(conn)
+        conn.begin()
+        conn.execute("INSERT INTO t VALUES (4, 'c', 40)")
+        conn.rollback()
+        assert _snapshot(conn) == before
+        # The PK is free again after rollback.
+        conn.execute("INSERT INTO t VALUES (4, 'c', 41)")
+        assert conn.execute("SELECT x FROM t WHERE id = 4").scalar() == 41
+
+    def test_rollback_delete(self, conn):
+        before = _snapshot(conn)
+        conn.begin()
+        conn.execute("DELETE FROM t WHERE grp = 'a'")
+        assert conn.execute("SELECT COUNT(*) FROM t").scalar() == 1
+        conn.rollback()
+        assert _snapshot(conn) == before
+
+    def test_rollback_update(self, conn):
+        before = _snapshot(conn)
+        conn.begin()
+        conn.execute("UPDATE t SET x = x + 1000, grp = 'z'")
+        conn.rollback()
+        assert _snapshot(conn) == before
+
+    def test_rollback_mixed_sequence(self, conn):
+        before = _snapshot(conn)
+        conn.begin()
+        conn.execute("DELETE FROM t WHERE id = 2")
+        conn.execute("INSERT INTO t VALUES (2, 'new', 0)")  # reuse freed PK
+        conn.execute("UPDATE t SET x = -1 WHERE id = 2")
+        conn.execute("INSERT INTO t VALUES (9, 'x', 9)")
+        conn.rollback()
+        assert _snapshot(conn) == before
+
+    def test_rollback_restores_indexes(self, conn):
+        conn.execute("CREATE INDEX idx_grp ON t (grp)")
+        conn.begin()
+        conn.execute("UPDATE t SET grp = 'moved' WHERE id = 1")
+        conn.execute("DELETE FROM t WHERE id = 3")
+        conn.rollback()
+        assert conn.execute("SELECT id FROM t WHERE grp = 'a' ORDER BY id").fetchall() == [
+            (1,),
+            (2,),
+        ]
+        assert conn.execute("SELECT id FROM t WHERE grp = 'b'").fetchall() == [(3,)]
+        assert conn.execute("SELECT id FROM t WHERE grp = 'moved'").fetchall() == []
+
+
+class TestLifecycle:
+    def test_nested_begin_rejected(self, conn):
+        conn.begin()
+        with pytest.raises(ProgrammingError):
+            conn.begin()
+        conn.rollback()
+
+    def test_commit_without_begin_rejected(self, conn):
+        with pytest.raises(ProgrammingError):
+            conn.commit()
+        with pytest.raises(ProgrammingError):
+            conn.rollback()
+
+    def test_ddl_inside_transaction_rejected(self, conn):
+        conn.begin()
+        with pytest.raises(ProgrammingError):
+            conn.execute("CREATE TABLE u (a INTEGER)")
+        with pytest.raises(ProgrammingError):
+            conn.execute("DROP TABLE t")
+        with pytest.raises(ProgrammingError):
+            conn.execute("CREATE INDEX i ON t (grp)")
+        conn.rollback()
+
+    def test_selects_allowed_inside_transaction(self, conn):
+        conn.begin()
+        conn.execute("INSERT INTO t VALUES (7, 'q', 7)")
+        # The transaction reads its own writes.
+        assert conn.execute("SELECT COUNT(*) FROM t").scalar() == 4
+        conn.rollback()
+
+    def test_context_manager_commits(self, conn):
+        with conn.transaction():
+            conn.execute("INSERT INTO t VALUES (5, 'c', 50)")
+        assert conn.execute("SELECT COUNT(*) FROM t").scalar() == 4
+
+    def test_context_manager_rolls_back_on_error(self, conn):
+        before = _snapshot(conn)
+        with pytest.raises(RuntimeError):
+            with conn.transaction():
+                conn.execute("DELETE FROM t")
+                raise RuntimeError("abort")
+        assert _snapshot(conn) == before
+
+    def test_autocommit_outside_transaction(self, conn):
+        conn.execute("INSERT INTO t VALUES (8, 'auto', 8)")
+        # Nothing to roll back — the insert is already durable.
+        with pytest.raises(ProgrammingError):
+            conn.rollback()
+        assert conn.execute("SELECT COUNT(*) FROM t").scalar() == 4
+
+
+class TestCompactionInteraction:
+    def test_compaction_deferred_until_commit(self):
+        conn = connect("big")
+        conn.execute("CREATE TABLE t (id INTEGER PRIMARY KEY)")
+        conn.execute(
+            "INSERT INTO t VALUES " + ", ".join(f"({i})" for i in range(200))
+        )
+        conn.begin()
+        conn.execute("DELETE FROM t WHERE id < 150")
+        table = conn.database.table("t")
+        # Tombstones still present: compaction must not run mid-txn.
+        assert any(row is None for row in table.rows)
+        conn.commit()
+        # Commit runs the deferred compaction.
+        assert all(row is not None for row in table.rows)
+        assert conn.execute("SELECT COUNT(*) FROM t").scalar() == 50
+
+    def test_rollback_after_mass_delete(self):
+        conn = connect("big2")
+        conn.execute("CREATE TABLE t (id INTEGER PRIMARY KEY)")
+        conn.execute(
+            "INSERT INTO t VALUES " + ", ".join(f"({i})" for i in range(200))
+        )
+        conn.begin()
+        conn.execute("DELETE FROM t")
+        conn.rollback()
+        assert conn.execute("SELECT COUNT(*) FROM t").scalar() == 200
+        assert conn.execute("SELECT id FROM t WHERE id = 137").scalar() == 137
+
+
+class TestTransactionProperty:
+    @given(
+        st.lists(
+            st.one_of(
+                st.tuples(st.just("insert"), st.integers(100, 140), st.integers(-5, 5)),
+                st.tuples(st.just("delete"), st.integers(0, 30), st.integers(0, 0)),
+                st.tuples(st.just("update"), st.integers(0, 30), st.integers(-5, 5)),
+            ),
+            max_size=25,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_rollback_is_always_a_no_op(self, operations):
+        db = Database("prop")
+        db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, x INTEGER)")
+        db.load_rows("t", ["id", "x"], [(i, i) for i in range(30)])
+        before = db.query("SELECT * FROM t ORDER BY id").rows
+        db.begin()
+        inserted: set[int] = set()
+        for kind, key, value in operations:
+            try:
+                if kind == "insert" and key not in inserted:
+                    db.execute("INSERT INTO t VALUES (?, ?)", [key, value])
+                    inserted.add(key)
+                elif kind == "delete":
+                    db.execute("DELETE FROM t WHERE id = ?", [key])
+                elif kind == "update":
+                    db.execute("UPDATE t SET x = x + ? WHERE id = ?", [value, key])
+            except Exception:
+                pass  # duplicate PKs etc. — irrelevant to the invariant
+        db.rollback()
+        assert db.query("SELECT * FROM t ORDER BY id").rows == before

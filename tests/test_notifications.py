@@ -1,0 +1,125 @@
+"""Tests for push/pull notifications."""
+
+import pytest
+
+from repro.ogsi import (
+    GRID_SERVICE_PORTTYPE,
+    GridEnvironment,
+    GridServiceBase,
+    NotificationSinkBase,
+    PullNotificationSink,
+)
+from repro.ogsi.notification import NotificationSourceMixin
+from repro.ogsi.porttypes import NOTIFICATION_SOURCE_PORTTYPE
+from repro.simnet.clock import VirtualClock
+from repro.wsdl import PortType
+
+
+class SourceService(GridServiceBase, NotificationSourceMixin):
+    porttype = PortType(
+        "Source", "urn:src", (), extends=(GRID_SERVICE_PORTTYPE, NOTIFICATION_SOURCE_PORTTYPE)
+    )
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._init_notification_source()
+
+
+@pytest.fixture()
+def env():
+    return GridEnvironment(clock=VirtualClock())
+
+
+@pytest.fixture()
+def setup(env):
+    container = env.create_container("site:1")
+    source = SourceService()
+    source_gsh = container.deploy("services/source", source)
+    received: list[tuple[str, str]] = []
+    sink = NotificationSinkBase(callback=lambda t, m: received.append((t, m)))
+    sink_gsh = container.deploy("services/sink", sink)
+    return container, source, source_gsh, sink, sink_gsh, received
+
+
+class TestPush:
+    def test_subscribe_and_notify(self, setup):
+        _, source, _, _, sink_gsh, received = setup
+        sub = source.SubscribeToNotificationTopic("updates", sink_gsh.url(), 0.0)
+        assert sub.startswith("sub-")
+        assert source.notify("updates", "hello") == 1
+        assert received == [("updates", "hello")]
+
+    def test_topic_filtering(self, setup):
+        _, source, _, _, sink_gsh, received = setup
+        source.SubscribeToNotificationTopic("a", sink_gsh.url(), 0.0)
+        assert source.notify("b", "nope") == 0
+        assert received == []
+
+    def test_wildcard_topic(self, setup):
+        _, source, _, _, sink_gsh, received = setup
+        source.SubscribeToNotificationTopic("*", sink_gsh.url(), 0.0)
+        assert source.notify("anything", "msg") == 1
+
+    def test_unsubscribe(self, setup):
+        _, source, _, _, sink_gsh, received = setup
+        sub = source.SubscribeToNotificationTopic("t", sink_gsh.url(), 0.0)
+        source.UnsubscribeFromNotificationTopic(sub)
+        assert source.notify("t", "m") == 0
+
+    def test_expired_subscription_dropped(self, env, setup):
+        _, source, _, _, sink_gsh, received = setup
+        source.SubscribeToNotificationTopic("t", sink_gsh.url(), 5.0)
+        env.clock.advance(10.0)
+        assert source.notify("t", "late") == 0
+        assert source.subscription_count() == 0
+
+    def test_dead_sink_unsubscribed(self, setup):
+        _, source, _, sink, sink_gsh, received = setup
+        source.SubscribeToNotificationTopic("t", sink_gsh.url(), 0.0)
+        sink.Destroy()
+        assert source.notify("t", "m") == 0
+        assert source.subscription_count() == 0
+
+    def test_empty_topic_rejected(self, setup):
+        _, source, _, _, sink_gsh, _ = setup
+        with pytest.raises(ValueError):
+            source.SubscribeToNotificationTopic("", sink_gsh.url(), 0.0)
+
+    def test_bad_sink_handle_rejected(self, setup):
+        _, source, _, _, _, _ = setup
+        with pytest.raises(Exception):
+            source.SubscribeToNotificationTopic("t", "not-a-gsh", 0.0)
+
+    def test_multiple_sinks(self, env, setup):
+        container, source, _, _, sink_gsh, received = setup
+        other: list = []
+        sink2 = NotificationSinkBase(callback=lambda t, m: other.append(m))
+        sink2_gsh = container.deploy("services/sink2", sink2)
+        source.SubscribeToNotificationTopic("t", sink_gsh.url(), 0.0)
+        source.SubscribeToNotificationTopic("t", sink2_gsh.url(), 0.0)
+        assert source.notify("t", "m") == 2
+        assert received == [("t", "m")] and other == ["m"]
+
+
+class TestPull:
+    def test_queue_and_poll(self, setup):
+        container, source, _, _, _, _ = setup
+        pull = PullNotificationSink()
+        gsh = container.deploy("services/pull", pull)
+        source.SubscribeToNotificationTopic("t", gsh.url(), 0.0)
+        source.notify("t", "one")
+        source.notify("t", "two")
+        assert pull.pending() == 2
+        assert pull.poll(1) == [("t", "one")]
+        assert pull.poll() == [("t", "two")]
+        assert pull.pending() == 0
+
+    def test_bounded_queue_drops_oldest(self, setup):
+        container, source, _, _, _, _ = setup
+        pull = PullNotificationSink(max_queue=2)
+        gsh = container.deploy("services/pull", pull)
+        source.SubscribeToNotificationTopic("t", gsh.url(), 0.0)
+        for i in range(4):
+            source.notify("t", str(i))
+        assert pull.dropped == 2
+        assert [m for _, m in pull.poll()] == ["2", "3"]

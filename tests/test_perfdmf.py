@@ -1,0 +1,145 @@
+"""Tests for the PerfDMF profile store and its wrapper (§2.4)."""
+
+import pytest
+
+from repro.core import PPerfGridClient, PPerfGridSite, SiteConfig, compare_executions
+from repro.core.semantic import UNDEFINED_TYPE
+from repro.datastores.perfdmf import PERFDMF_METRICS, profile_from_trace
+from repro.mapping import MappingError, PerfDmfWrapper, Smg98RdbmsWrapper
+from repro.ogsi import GridEnvironment
+
+
+@pytest.fixture(scope="module")
+def profile(smg98_dataset):
+    return profile_from_trace(smg98_dataset)
+
+
+@pytest.fixture(scope="module")
+def perfdmf_db(profile):
+    return profile.to_database()
+
+
+@pytest.fixture(scope="module")
+def wrapper(perfdmf_db):
+    return PerfDmfWrapper(perfdmf_db)
+
+
+class TestProfileDerivation:
+    def test_one_trial_per_execution(self, profile, smg98_dataset):
+        assert len(profile.trials) == smg98_dataset.num_executions
+
+    def test_metrics_per_trial(self, profile, smg98_dataset):
+        assert len(profile.metrics) == smg98_dataset.num_executions * len(PERFDMF_METRICS)
+
+    def test_event_totals_match_trace(self, profile, smg98_dataset):
+        # Sum of all TIME events == sum of all interval durations.
+        time_ids = {m["metric_id"] for m in profile.metrics if m["name"] == "TIME"}
+        time_sum = sum(
+            e["exclusive_value"] for e in profile.interval_events if e["metric_id"] in time_ids
+        )
+        expected = sum(i["end_ts"] - i["start_ts"] for i in smg98_dataset.intervals)
+        assert time_sum == pytest.approx(expected, rel=1e-9)
+
+    def test_call_counts_match_trace(self, profile, smg98_dataset):
+        calls_ids = {m["metric_id"] for m in profile.metrics if m["name"] == "CALLS"}
+        calls = sum(
+            e["num_calls"] for e in profile.interval_events if e["metric_id"] in calls_ids
+        )
+        assert calls == len(smg98_dataset.intervals)
+
+
+class TestPerfDmfWrapper:
+    def test_app_info(self, wrapper, smg98_dataset):
+        info = dict(wrapper.get_app_info())
+        assert info["name"] == "SMG98"
+        assert int(info["executions"]) == smg98_dataset.num_executions
+
+    def test_exec_ids(self, wrapper, smg98_dataset):
+        assert wrapper.get_all_exec_ids() == [
+            str(e["execid"]) for e in smg98_dataset.executions
+        ]
+
+    def test_attribute_query(self, wrapper, smg98_dataset):
+        np0 = smg98_dataset.executions[0]["numprocs"]
+        ids = wrapper.get_exec_ids("node_count", str(np0))
+        assert "1" in ids
+
+    def test_foci_are_aggregated_functions(self, wrapper):
+        execution = wrapper.execution("1")
+        foci = execution.get_foci()
+        assert all(f.startswith("/Code/") for f in foci)
+        assert "/Code/MPI/MPI_Irecv" in foci
+
+    def test_profile_pr_is_single_total(self, wrapper):
+        execution = wrapper.execution("1")
+        results = execution.get_pr(
+            "time_spent", ["/Code/MPI/MPI_Irecv"], 0.0, -1.0, UNDEFINED_TYPE
+        )
+        assert len(results) == 1
+        assert results[0].result_type == "perfdmf"
+
+    def test_subrange_query_returns_nothing(self, wrapper):
+        execution = wrapper.execution("1")
+        t0, t1 = execution.get_time_start_end()
+        assert (
+            execution.get_pr("time_spent", ["/Code/MPI/MPI_Irecv"], 0.0, t1 / 2, UNDEFINED_TYPE)
+            == []
+        )
+
+    def test_unknown_metric_and_focus(self, wrapper):
+        execution = wrapper.execution("1")
+        with pytest.raises(MappingError):
+            execution.get_pr("watts", ["/Code/MPI/MPI_Irecv"], 0, -1, UNDEFINED_TYPE)
+        with pytest.raises(MappingError):
+            execution.get_pr("time_spent", ["/Process/0"], 0, -1, UNDEFINED_TYPE)
+
+    def test_unknown_application_id(self, perfdmf_db):
+        with pytest.raises(MappingError):
+            PerfDmfWrapper(perfdmf_db, app_id=99)
+
+
+class TestTraceProfileParity:
+    """The profile store must agree with the trace store it was derived from."""
+
+    def test_time_spent_totals_agree(self, smg98_db, perfdmf_db):
+        trace = Smg98RdbmsWrapper(smg98_db).execution("1")
+        profile = PerfDmfWrapper(perfdmf_db).execution("1")
+        focus = "/Code/MPI/MPI_Waitall"
+        trace_total = sum(
+            pr.value
+            for pr in trace.get_pr("time_spent", [focus], 0.0, -1.0, UNDEFINED_TYPE)
+        )
+        profile_total = profile.get_pr("time_spent", [focus], 0.0, -1.0, UNDEFINED_TYPE)[0].value
+        assert profile_total == pytest.approx(trace_total, rel=1e-9)
+
+    def test_func_calls_agree(self, smg98_db, perfdmf_db):
+        trace = Smg98RdbmsWrapper(smg98_db).execution("2")
+        profile = PerfDmfWrapper(perfdmf_db).execution("2")
+        focus = "/Code/SMG/smg_relax"
+        trace_calls = sum(
+            pr.value
+            for pr in trace.get_pr("func_calls", [focus], 0.0, -1.0, UNDEFINED_TYPE)
+        )
+        profile_calls = profile.get_pr("func_calls", [focus], 0.0, -1.0, UNDEFINED_TYPE)[0].value
+        assert profile_calls == trace_calls
+
+    def test_federated_cross_granularity_comparison(self, smg98_db, perfdmf_db):
+        """The §2.4 scenario end to end: PerfDMF + Vampir trace, one client."""
+        env = GridEnvironment()
+        trace_site = PPerfGridSite(
+            env, SiteConfig("trace:1", "SMG98"), Smg98RdbmsWrapper(smg98_db)
+        )
+        profile_site = PPerfGridSite(
+            env, SiteConfig("profile:1", "SMG98-PerfDMF"), PerfDmfWrapper(perfdmf_db)
+        )
+        client = PPerfGridClient(env)
+        trace_app = client.bind(trace_site.factory_url, "SMG98")
+        profile_app = client.bind(profile_site.factory_url, "SMG98-PerfDMF")
+        trace_exec = trace_app.all_executions()[0]
+        profile_exec = profile_app.all_executions()[0]
+        comparison = compare_executions(
+            trace_exec, profile_exec, "time_spent", ["/Code/MPI/MPI_Isend"]
+        )
+        row = comparison.rows[0]
+        # Same run through two tools: the aggregated values coincide.
+        assert row.ratio == pytest.approx(1.0, rel=1e-9)

@@ -1,0 +1,165 @@
+"""Tests for the Performance-Result cache policies."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.prcache import AdaptiveCache, LruCache, NullCache, UnboundedCache
+
+
+class TestNullCache:
+    def test_never_hits(self):
+        cache = NullCache()
+        cache.put("k", ["v"])
+        assert cache.get("k") is None
+        assert len(cache) == 0
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_rate == 0.0
+
+
+class TestUnboundedCache:
+    def test_put_get(self):
+        cache = UnboundedCache()
+        cache.put("k", ["a", "b"])
+        assert cache.get("k") == ["a", "b"]
+        assert cache.stats.hits == 1
+
+    def test_stores_copy(self):
+        cache = UnboundedCache()
+        value = ["a"]
+        cache.put("k", value)
+        value.append("mutated")
+        assert cache.get("k") == ["a"]
+
+    def test_overwrite(self):
+        cache = UnboundedCache()
+        cache.put("k", ["1"])
+        cache.put("k", ["2"])
+        assert cache.get("k") == ["2"]
+        assert len(cache) == 1
+
+    def test_never_evicts(self):
+        cache = UnboundedCache()
+        for i in range(1000):
+            cache.put(str(i), [])
+        assert len(cache) == 1000
+        assert cache.stats.evictions == 0
+
+    def test_clear(self):
+        cache = UnboundedCache()
+        cache.put("k", ["v"])
+        cache.clear()
+        assert cache.get("k") is None
+
+
+class TestLruCache:
+    def test_capacity_enforced(self):
+        cache = LruCache(2)
+        for key in ("a", "b", "c"):
+            cache.put(key, [key])
+        assert len(cache) == 2
+        assert cache.get("a") is None  # oldest evicted
+        assert cache.get("c") == ["c"]
+        assert cache.stats.evictions == 1
+
+    def test_get_refreshes_recency(self):
+        cache = LruCache(2)
+        cache.put("a", ["a"])
+        cache.put("b", ["b"])
+        cache.get("a")
+        cache.put("c", ["c"])
+        assert cache.get("a") == ["a"]  # survived because touched
+        assert cache.get("b") is None
+
+    def test_put_refreshes_recency(self):
+        cache = LruCache(2)
+        cache.put("a", ["a"])
+        cache.put("b", ["b"])
+        cache.put("a", ["a2"])
+        cache.put("c", ["c"])
+        assert cache.get("a") == ["a2"]
+        assert cache.get("b") is None
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            LruCache(0)
+
+    @given(st.lists(st.sampled_from("abcdefgh"), max_size=200), st.integers(1, 5))
+    @settings(max_examples=100, deadline=None)
+    def test_size_never_exceeds_capacity(self, keys, capacity):
+        cache = LruCache(capacity)
+        for key in keys:
+            if cache.get(key) is None:
+                cache.put(key, [key])
+            assert len(cache) <= capacity
+
+
+class TestAdaptiveCache:
+    def test_full_memory_behaves_like_max_capacity(self):
+        cache = AdaptiveCache(
+            stats_provider=lambda: {"memory_free_fraction": 1.0},
+            max_capacity=10,
+            min_capacity=2,
+        )
+        for i in range(20):
+            cache.put(str(i), [])
+        assert len(cache) == 10
+
+    def test_shrinks_under_pressure(self):
+        free = {"value": 1.0}
+        cache = AdaptiveCache(
+            stats_provider=lambda: {"memory_free_fraction": free["value"]},
+            max_capacity=100,
+            min_capacity=5,
+        )
+        for i in range(50):
+            cache.put(str(i), [])
+        assert len(cache) == 50
+        free["value"] = 0.0
+        cache.put("trigger", [])
+        assert len(cache) == 5  # clamped to min_capacity
+
+    def test_evicts_lru_order(self):
+        free = {"value": 1.0}
+        cache = AdaptiveCache(
+            stats_provider=lambda: {"memory_free_fraction": free["value"]},
+            max_capacity=10,
+            min_capacity=2,
+        )
+        for key in ("a", "b", "c"):
+            cache.put(key, [key])
+        cache.get("a")
+        free["value"] = 0.0
+        cache.put("d", [])
+        # capacity 2: keeps the two most recent (a was touched, then d added)
+        assert cache.get("d") is not None
+        assert cache.get("b") is None
+
+    def test_clamps_bad_fractions(self):
+        cache = AdaptiveCache(
+            stats_provider=lambda: {"memory_free_fraction": 99.0},
+            max_capacity=10,
+            min_capacity=2,
+        )
+        assert cache.effective_capacity() == 10
+        cache.stats_provider = lambda: {"memory_free_fraction": -1.0}
+        assert cache.effective_capacity() == 2
+
+    def test_invalid_capacities(self):
+        with pytest.raises(ValueError):
+            AdaptiveCache(max_capacity=1, min_capacity=5)
+        with pytest.raises(ValueError):
+            AdaptiveCache(max_capacity=5, min_capacity=0)
+
+
+class TestStats:
+    def test_hit_rate(self):
+        cache = UnboundedCache()
+        cache.put("k", [])
+        cache.get("k")
+        cache.get("miss")
+        assert cache.stats.lookups == 2
+        assert cache.stats.hit_rate == 0.5
+
+    def test_hit_rate_empty(self):
+        assert UnboundedCache().stats.hit_rate == 0.0

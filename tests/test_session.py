@@ -1,0 +1,117 @@
+"""Tests for site wiring (PPerfGridSite) and the grid builder."""
+
+import pytest
+
+from repro.core import PPerfGridClient, PPerfGridSite, SiteConfig
+from repro.core.prcache import NullCache
+from repro.datastores import generate_hpl
+from repro.mapping import HplRdbmsWrapper
+from repro.ogsi import GridEnvironment, GridServiceHandle
+from repro.simnet.host import SimHost
+
+
+@pytest.fixture()
+def env():
+    return GridEnvironment()
+
+
+@pytest.fixture()
+def wrapper():
+    return HplRdbmsWrapper(generate_hpl(num_executions=5).to_database())
+
+
+class TestSiteWiring:
+    def test_deploys_factories_and_manager(self, env, wrapper):
+        site = PPerfGridSite(env, SiteConfig("s:1", "HPL"), wrapper)
+        container = env.container_for("s:1")
+        paths = container.service_paths()
+        assert "services/HPL/ApplicationFactory" in paths
+        assert "services/HPL/ExecutionFactory" in paths
+        assert "services/HPL/Manager" in paths
+
+    def test_two_apps_share_a_container(self, env, wrapper):
+        PPerfGridSite(env, SiteConfig("s:1", "HPL"), wrapper)
+        other = HplRdbmsWrapper(generate_hpl(seed=9, num_executions=3).to_database())
+        PPerfGridSite(env, SiteConfig("s:1", "HPL2"), other)
+        container = env.container_for("s:1")
+        assert "services/HPL2/ApplicationFactory" in container.service_paths()
+
+    def test_factory_url_points_at_application_factory(self, env, wrapper):
+        site = PPerfGridSite(env, SiteConfig("s:1", "HPL"), wrapper)
+        gsh = GridServiceHandle.parse(site.factory_url)
+        assert gsh.path == "services/HPL/ApplicationFactory"
+
+    def test_instance_lifetime_propagates(self, env, wrapper):
+        from repro.simnet.clock import VirtualClock
+
+        venv = GridEnvironment(clock=VirtualClock())
+        site = PPerfGridSite(
+            venv, SiteConfig("s:1", "HPL", instance_lifetime=30.0), wrapper
+        )
+        client = PPerfGridClient(venv)
+        app = client.bind(site.factory_url, "HPL")
+        executions = app.all_executions()
+        venv.clock.advance(31.0)
+        assert venv.sweep_expired() >= len(executions)
+
+    def test_cache_factory_used(self, env, wrapper):
+        site = PPerfGridSite(
+            env, SiteConfig("s:1", "HPL", cache_factory=NullCache), wrapper
+        )
+        client = PPerfGridClient(env)
+        app = client.bind(site.factory_url, "HPL")
+        execution = app.all_executions()[0]
+        container = env.container_for("s:1")
+        gsh = GridServiceHandle.parse(execution.gsh)
+        service = container.service_at(gsh.path)
+        assert isinstance(service.cache, NullCache)
+
+    def test_timed_mapping_flag(self, env, wrapper):
+        site = PPerfGridSite(
+            env, SiteConfig("s:1", "HPL", timed_mapping=False), wrapper
+        )
+        client = PPerfGridClient(env)
+        app = client.bind(site.factory_url, "HPL")
+        app.all_executions()[0].get_pr("gflops", ["/Run"])
+        assert env.recorder.timer("mapping.getPR").count == 0
+
+    def test_replica_on_simhost(self, env, wrapper):
+        host_a, host_b = SimHost("A"), SimHost("B")
+        site = PPerfGridSite(env, SiteConfig("a:1", "HPL"), wrapper, host=host_a)
+        site.add_replica("b:1", host=host_b)
+        assert env.container_for("a:1").host is host_a
+        assert env.container_for("b:1").host is host_b
+
+    def test_replica_with_own_wrapper(self, env, wrapper):
+        # A replicated data store has its own local copy.
+        replica_wrapper = HplRdbmsWrapper(generate_hpl(num_executions=5).to_database())
+        site = PPerfGridSite(env, SiteConfig("a:1", "HPL"), wrapper)
+        site.add_replica("b:1", wrapper=replica_wrapper)
+        client = PPerfGridClient(env)
+        app = client.bind(site.factory_url, "HPL")
+        executions = app.all_executions()
+        values = {e.get_pr("gflops", ["/Run"])[0].value for e in executions}
+        # Same seed -> identical data regardless of which replica serves.
+        expected = {r["gflops"] for r in generate_hpl(num_executions=5).rows}
+        assert values <= expected
+
+
+class TestGridBuilder:
+    def test_three_sites_published(self, shared_grid):
+        services = shared_grid.uddi.all_services()
+        assert sorted(s.name for s in services) == ["HPL", "PRESTA-RMA", "SMG98"]
+
+    def test_scales(self, shared_grid):
+        assert shared_grid.bind("HPL").num_executions() == 12
+        assert shared_grid.bind("SMG98").num_executions() == 3
+        assert shared_grid.bind("PRESTA-RMA").num_executions() == 4
+
+    def test_sites_index(self, shared_grid):
+        assert shared_grid.site("HPL") is shared_grid.hpl_site
+
+    def test_cleanup_idempotent(self):
+        from repro.experiments.common import GridScale, build_grid
+
+        grid = build_grid(GridScale.tiny())
+        grid.cleanup()
+        grid.cleanup()

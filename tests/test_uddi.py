@@ -1,0 +1,102 @@
+"""Tests for the UDDI registry server and client proxies."""
+
+import pytest
+
+from repro.ogsi import GridEnvironment
+from repro.uddi import (
+    OrganizationEntry,
+    ServiceEntry,
+    UddiClient,
+    UddiError,
+    UddiRegistryServer,
+)
+
+
+@pytest.fixture()
+def env_and_client():
+    env = GridEnvironment()
+    container = env.create_container("registry:9090")
+    gsh = container.deploy("services/uddi", UddiRegistryServer())
+    return env, UddiClient.connect(env, gsh)
+
+
+class TestRecords:
+    def test_organization_pack_roundtrip(self):
+        entry = OrganizationEntry("org-1", "PSU", "x@pdx.edu", "desc")
+        assert OrganizationEntry.unpack(entry.pack()) == entry
+
+    def test_service_pack_roundtrip(self):
+        entry = ServiceEntry("svc-1", "org-1", "HPL", "ppg://h:1/f", "d")
+        assert ServiceEntry.unpack(entry.pack()) == entry
+
+    @pytest.mark.parametrize("bad", ["", "a|b", "a|b|c|d|e|f"])
+    def test_bad_organization_records(self, bad):
+        with pytest.raises(UddiError):
+            OrganizationEntry.unpack(bad)
+
+
+class TestPublishing:
+    def test_publish_and_find(self, env_and_client):
+        _, client = env_and_client
+        key = client.publish_organization("PSU", "a@pdx.edu", "lab")
+        client.publish_service(key, "HPL", "ppg://h:1/services/f", "runs")
+        orgs = client.find_organizations("PS%")
+        assert len(orgs) == 1 and orgs[0].name == "PSU"
+        services = orgs[0].services()
+        assert services[0].name == "HPL"
+        assert services[0].factory_url == "ppg://h:1/services/f"
+
+    def test_find_by_pattern(self, env_and_client):
+        _, client = env_and_client
+        client.publish_organization("Alpha Lab", "", "")
+        client.publish_organization("Beta Lab", "", "")
+        assert [o.name for o in client.find_organizations("%Lab")] == [
+            "Alpha Lab",
+            "Beta Lab",
+        ]
+        assert [o.name for o in client.find_organizations("Beta%")] == ["Beta Lab"]
+
+    def test_all_services(self, env_and_client):
+        _, client = env_and_client
+        k1 = client.publish_organization("One", "", "")
+        k2 = client.publish_organization("Two", "", "")
+        client.publish_service(k1, "A", "ppg://h:1/a")
+        client.publish_service(k2, "B", "ppg://h:1/b")
+        assert sorted(s.name for s in client.all_services()) == ["A", "B"]
+
+    def test_unknown_org_key_rejected(self, env_and_client):
+        _, client = env_and_client
+        with pytest.raises(Exception):
+            client.publish_service("org-999", "X", "ppg://h:1/x")
+
+    def test_pipe_in_name_rejected(self, env_and_client):
+        _, client = env_and_client
+        with pytest.raises(Exception):
+            client.publish_organization("bad|name", "", "")
+
+    def test_empty_name_rejected(self, env_and_client):
+        _, client = env_and_client
+        with pytest.raises(Exception):
+            client.publish_organization("", "", "")
+
+
+class TestRemoval:
+    def test_remove_service(self, env_and_client):
+        _, client = env_and_client
+        key = client.publish_organization("Org", "", "")
+        svc_key = client.publish_service(key, "A", "ppg://h:1/a")
+        client.stub.removeService(svc_key)
+        assert client.find_organizations("Org")[0].services() == []
+
+    def test_remove_organization_cascades(self, env_and_client):
+        _, client = env_and_client
+        key = client.publish_organization("Org", "", "")
+        client.publish_service(key, "A", "ppg://h:1/a")
+        client.stub.removeOrganization(key)
+        assert client.find_organizations("%") == []
+
+    def test_counts(self):
+        server = UddiRegistryServer()
+        # Exercise the server directly (no container needed for counts).
+        assert server.organization_count() == 0
+        assert server.service_count() == 0

@@ -1,0 +1,65 @@
+"""Property-based WSDL round trips and extra adapter edge cases."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.soap.encoding import XsdType
+from repro.wsdl import Operation, Parameter, PortType, generate_wsdl, parse_wsdl
+
+_names = st.from_regex(r"[a-zA-Z][a-zA-Z0-9_]{0,10}", fullmatch=True)
+_scalar_types = st.sampled_from(
+    [t.value for t in XsdType if t not in (XsdType.ARRAY, XsdType.STRUCT)]
+)
+_param_types = st.one_of(_scalar_types, _scalar_types.map(lambda t: t + "[]")).filter(
+    lambda t: t != "void[]"
+)
+
+
+@st.composite
+def _operations(draw):
+    name = draw(_names)
+    param_names = draw(st.lists(_names, max_size=4, unique=True))
+    params = tuple(Parameter(p, draw(_param_types)) for p in param_names)
+    returns = draw(st.one_of(st.just("void"), _param_types))
+    doc = draw(st.text(alphabet=st.characters(codec="ascii", exclude_categories=("Cc",)), max_size=60))
+    return Operation(name, params, returns, doc=doc)
+
+
+@st.composite
+def _porttypes(draw):
+    ops = draw(st.lists(_operations(), min_size=1, max_size=5))
+    seen: set[str] = set()
+    unique_ops = []
+    for op in ops:
+        if op.name not in seen:
+            seen.add(op.name)
+            unique_ops.append(op)
+    return PortType(draw(_names), "urn:" + draw(_names), tuple(unique_ops))
+
+
+class TestWsdlProperties:
+    @given(_porttypes())
+    @settings(max_examples=80, deadline=None)
+    def test_generate_parse_roundtrip(self, porttype):
+        text = generate_wsdl(porttype, "http://h:1/services/x")
+        parsed, endpoint = parse_wsdl(text)
+        assert endpoint == "http://h:1/services/x"
+        assert parsed.name == porttype.name
+        assert parsed.namespace == porttype.namespace
+        for op in porttype.operations:
+            back = parsed.operation(op.name)
+            assert [p.name for p in back.parameters] == [p.name for p in op.parameters]
+            assert [p.wire_type for p in back.parameters] == [
+                p.wire_type for p in op.parameters
+            ]
+            assert back.returns == op.returns
+            assert " ".join(back.doc.split()) == " ".join(op.doc.split())
+
+    @given(_porttypes())
+    @settings(max_examples=40, deadline=None)
+    def test_double_roundtrip_is_stable(self, porttype):
+        once = generate_wsdl(porttype, "http://h:1/s")
+        parsed, _ = parse_wsdl(once)
+        twice = generate_wsdl(parsed, "http://h:1/s")
+        assert parse_wsdl(twice)[0].operations == parsed.operations

@@ -1,0 +1,107 @@
+"""Tests for the XML element model."""
+
+import pytest
+
+from repro.xmlkit import Element, QName
+from repro.xmlkit.model import Document, _normalized_children
+
+
+class TestQName:
+    def test_parse_clark_notation(self):
+        qn = QName.parse("{urn:x}local")
+        assert qn.namespace == "urn:x"
+        assert qn.local == "local"
+
+    def test_parse_bare_name(self):
+        qn = QName.parse("local")
+        assert qn.namespace == ""
+        assert qn.local == "local"
+
+    def test_str_roundtrip(self):
+        assert str(QName("urn:x", "a")) == "{urn:x}a"
+        assert str(QName("", "a")) == "a"
+
+    def test_equality_and_hash(self):
+        assert QName("u", "a") == QName("u", "a")
+        assert QName("u", "a") != QName("v", "a")
+        assert len({QName("u", "a"), QName("u", "a")}) == 1
+
+
+class TestElement:
+    def test_subelement_appends_and_returns_child(self):
+        root = Element("root")
+        child = root.subelement("child", "text")
+        assert child.tag.local == "child"
+        assert child.text() == "text"
+        assert root.children == [child]
+
+    def test_set_get_attr_by_string(self):
+        el = Element("e")
+        el.set("a", "1")
+        assert el.get("a") == "1"
+        assert el.get("missing") is None
+        assert el.get("missing", "dflt") == "dflt"
+
+    def test_set_get_attr_by_qname(self):
+        el = Element("e")
+        key = QName("urn:x", "a")
+        el.set(key, "v")
+        assert el.get(key) == "v"
+        # Bare name does not match a namespaced attribute.
+        assert el.get("a") is None
+
+    def test_find_matches_any_namespace_for_bare_names(self):
+        root = Element("root")
+        root.append(Element(QName("urn:x", "child")))
+        assert root.find("child") is not None
+        assert root.find(QName("urn:y", "child")) is None
+
+    def test_findall_returns_all_matches_in_order(self):
+        root = Element("root")
+        a1 = root.subelement("a")
+        root.subelement("b")
+        a2 = root.subelement("a")
+        assert root.findall("a") == [a1, a2]
+
+    def test_text_only_direct_children(self):
+        root = Element("root", children=["a", Element("x", children=["inner"]), "b"])
+        assert root.text() == "ab"
+        assert root.all_text() == "ainnerb"
+
+    def test_iter_all_preorder(self):
+        root = Element("r")
+        a = root.subelement("a")
+        b = a.subelement("b")
+        c = root.subelement("c")
+        assert list(root.iter_all()) == [root, a, b, c]
+
+    def test_structurally_equal_ignores_text_chunking(self):
+        one = Element("r", children=["ab"])
+        two = Element("r", children=["a", "b"])
+        assert one.structurally_equal(two)
+
+    def test_structurally_equal_ignores_interelement_whitespace(self):
+        one = Element("r", children=[Element("a"), "\n  ", Element("b")])
+        two = Element("r", children=[Element("a"), Element("b")])
+        assert one.structurally_equal(two)
+
+    def test_structurally_unequal_on_attrs(self):
+        one = Element("r", attrs={QName("", "a"): "1"})
+        two = Element("r", attrs={QName("", "a"): "2"})
+        assert not one.structurally_equal(two)
+
+    def test_structurally_unequal_on_child_count(self):
+        one = Element("r", children=[Element("a")])
+        two = Element("r", children=[Element("a"), Element("a")])
+        assert not one.structurally_equal(two)
+
+    def test_normalized_children_keeps_text_in_text_only_element(self):
+        el = Element("r", children=["  spaced  "])
+        assert _normalized_children(el) == ["  spaced  "]
+
+
+class TestDocument:
+    def test_defaults(self):
+        doc = Document(Element("root"))
+        assert doc.version == "1.0"
+        assert doc.encoding == "utf-8"

@@ -1,0 +1,191 @@
+"""Writer/parser tests, including property-based round trips."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.xmlkit import (
+    Element,
+    QName,
+    XmlParseError,
+    escape_attr,
+    escape_text,
+    parse,
+    serialize,
+)
+
+
+class TestEscaping:
+    def test_text_escapes(self):
+        assert escape_text("a<b>&c") == "a&lt;b&gt;&amp;c"
+
+    def test_text_no_copy_when_clean(self):
+        s = "plain text"
+        assert escape_text(s) == s
+
+    def test_attr_escapes_quotes_and_whitespace(self):
+        assert escape_attr('a"b') == "a&quot;b"
+        assert escape_attr("a\nb") == "a&#10;b"
+        assert escape_attr("a\tb") == "a&#9;b"
+
+
+class TestSerialize:
+    def test_empty_element_self_closes(self):
+        assert serialize(Element("e")) == "<e/>"
+
+    def test_attributes_and_text(self):
+        el = Element("e", attrs={QName("", "a"): "1"}, children=["hi"])
+        assert serialize(el) == '<e a="1">hi</e>'
+
+    def test_namespace_declaration_honored(self):
+        el = Element(QName("urn:x", "e"))
+        el.declare("x", "urn:x")
+        assert serialize(el) == '<x:e xmlns:x="urn:x"/>'
+
+    def test_default_namespace(self):
+        el = Element(QName("urn:x", "e"))
+        el.declare("", "urn:x")
+        assert serialize(el) == '<e xmlns="urn:x"/>'
+
+    def test_generated_prefix_for_undeclared_namespace(self):
+        el = Element(QName("urn:x", "e"))
+        out = serialize(el)
+        assert 'xmlns:ns1="urn:x"' in out and out.startswith("<ns1:e")
+
+    def test_attr_never_uses_default_namespace(self):
+        el = Element(QName("urn:x", "e"), attrs={QName("urn:x", "a"): "1"})
+        el.declare("", "urn:x")
+        out = serialize(el)
+        # The element may use the default prefix, the attribute may not.
+        assert "ns1:a=" in out
+
+    def test_pretty_print_roundtrips(self):
+        root = Element("r")
+        root.subelement("a", "x")
+        root.subelement("b")
+        pretty = serialize(root, indent=2)
+        assert "\n" in pretty
+        assert parse(pretty).root.structurally_equal(root)
+
+    def test_mixed_content_not_prettified(self):
+        root = Element("r", children=["text", Element("a")])
+        assert serialize(root, indent=2) == "<r>text<a/></r>"
+
+
+class TestParse:
+    def test_declaration_parsed(self):
+        doc = parse('<?xml version="1.1" encoding="UTF-8"?><r/>')
+        assert doc.version == "1.1"
+        assert doc.encoding == "UTF-8"
+
+    def test_entities_decoded(self):
+        doc = parse("<r>&lt;&gt;&amp;&apos;&quot;&#65;&#x42;</r>")
+        assert doc.root.text() == "<>&'\"AB"
+
+    def test_cdata(self):
+        doc = parse("<r><![CDATA[<not & parsed>]]></r>")
+        assert doc.root.text() == "<not & parsed>"
+
+    def test_comments_skipped(self):
+        doc = parse("<r><!-- hello -->x<!-- bye --></r>")
+        assert doc.root.text() == "x"
+
+    def test_namespace_resolution(self):
+        doc = parse('<a xmlns="urn:d" xmlns:p="urn:p"><p:b/><c/></a>')
+        root = doc.root
+        assert root.tag == QName("urn:d", "a")
+        children = list(root.iter_elements())
+        assert children[0].tag == QName("urn:p", "b")
+        assert children[1].tag == QName("urn:d", "c")
+
+    def test_namespace_shadowing(self):
+        doc = parse('<a xmlns:p="urn:1"><b xmlns:p="urn:2"><p:c/></b><p:d/></a>')
+        b = doc.root.find("b")
+        assert b.find("c").tag.namespace == "urn:2"
+        assert doc.root.find("d").tag.namespace == "urn:1"
+
+    def test_unprefixed_attr_has_no_namespace(self):
+        doc = parse('<a xmlns="urn:d" x="1"/>')
+        assert doc.root.get(QName("", "x")) == "1"
+
+    def test_bytes_input(self):
+        assert parse(b"<r>\xc3\xa9</r>").root.text() == "é"
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "<a>",
+            "<a></b>",
+            "<a",
+            "<a x=1/>",
+            "<a x='1' x='2'/>",
+            "<a>&unknown;</a>",
+            "<a>&#xZZ;</a>",
+            "<p:a/>",
+            "<a/><b/>",
+            "<a><!DOCTYPE x></a>",
+            "<!DOCTYPE html><a/>",
+            "<a><?pi ?></a>",
+            "<a 'x'/>",
+            "<a x='<'/>",
+        ],
+    )
+    def test_malformed_inputs_raise(self, bad):
+        with pytest.raises(XmlParseError):
+            parse(bad)
+
+    def test_error_carries_offset(self):
+        with pytest.raises(XmlParseError) as exc_info:
+            parse("<a></b>")
+        assert exc_info.value.pos > 0
+
+
+# ----------------------------------------------------------- property tests
+
+_name = st.from_regex(r"[A-Za-z_][A-Za-z0-9_.-]{0,8}", fullmatch=True).filter(
+    lambda s: not s.lower().startswith("xml")
+)
+_text = st.text(
+    alphabet=st.characters(
+        codec="utf-8", exclude_characters="\r", exclude_categories=("Cs", "Cc")
+    ),
+    max_size=40,
+)
+
+
+@st.composite
+def _elements(draw, depth=0):
+    el = Element(draw(_name))
+    for attr in draw(st.lists(_name, max_size=3, unique=True)):
+        el.set(attr, draw(_text))
+    if depth < 3:
+        children = draw(
+            st.lists(
+                st.one_of(_text, _elements(depth=depth + 1)),  # type: ignore[arg-type]
+                max_size=3,
+            )
+        )
+        for child in children:
+            el.append(child)
+    return el
+
+
+class TestRoundtripProperties:
+    @given(_elements())
+    @settings(max_examples=150, deadline=None)
+    def test_serialize_parse_roundtrip(self, el):
+        assert parse(serialize(el)).root.structurally_equal(el)
+
+    @given(_text)
+    @settings(max_examples=150, deadline=None)
+    def test_text_roundtrip(self, text):
+        el = Element("e", children=[text] if text else [])
+        assert parse(serialize(el)).root.all_text() == text
+
+    @given(_text)
+    @settings(max_examples=150, deadline=None)
+    def test_attr_roundtrip(self, value):
+        el = Element("e")
+        el.set("a", value)
+        assert parse(serialize(el)).root.get("a") == value

@@ -1,0 +1,142 @@
+"""Tests for the XPath subset."""
+
+import pytest
+
+from repro.xmlkit import Element, XPathError, parse, xpath_select
+
+DOC = """
+<catalog>
+  <book id="1" lang="en"><title>Dune</title><price>9</price></book>
+  <book id="2" lang="de"><title>Faust</title><price>12</price></book>
+  <book id="3" lang="en"><title>Emma</title><price>7</price>
+    <notes><note>classic</note><note>romance</note></notes>
+  </book>
+  <magazine id="4"><title>Wired</title></magazine>
+</catalog>
+"""
+
+
+@pytest.fixture(scope="module")
+def root():
+    return parse(DOC).root
+
+
+class TestPaths:
+    def test_absolute_child_path(self, root):
+        books = xpath_select(root, "/catalog/book")
+        assert len(books) == 3
+
+    def test_absolute_root_mismatch(self, root):
+        assert xpath_select(root, "/other/book") == []
+
+    def test_relative_path(self, root):
+        assert len(xpath_select(root, "book/title")) == 3
+
+    def test_wildcard(self, root):
+        assert len(xpath_select(root, "/catalog/*")) == 4
+
+    def test_descendant_or_self(self, root):
+        notes = xpath_select(root, "//note")
+        assert [n.text() for n in notes] == ["classic", "romance"]
+
+    def test_descendant_in_middle(self, root):
+        assert len(xpath_select(root, "/catalog//title")) == 4
+
+    def test_dot_and_dotdot(self, root):
+        up = xpath_select(root, "book/title/..")
+        assert all(el.tag.local == "book" for el in up)
+        selves = xpath_select(root, "book/.")
+        assert len(selves) == 3
+
+    def test_text_step(self, root):
+        titles = xpath_select(root, "/catalog/book/title/text()")
+        assert titles == ["Dune", "Faust", "Emma"]
+
+    def test_attribute_step(self, root):
+        ids = xpath_select(root, "/catalog/book/@id")
+        assert ids == ["1", "2", "3"]
+
+    def test_attribute_wildcard(self, root):
+        values = xpath_select(root, "/catalog/magazine/@*")
+        assert values == ["4"]
+
+
+class TestPredicates:
+    def test_positional(self, root):
+        second = xpath_select(root, "/catalog/book[2]")
+        assert second[0].get("id") == "2"
+
+    def test_last(self, root):
+        last = xpath_select(root, "/catalog/book[last()]")
+        assert last[0].get("id") == "3"
+
+    def test_attr_equality(self, root):
+        en = xpath_select(root, "/catalog/book[@lang='en']")
+        assert [b.get("id") for b in en] == ["1", "3"]
+
+    def test_attr_inequality(self, root):
+        not_en = xpath_select(root, "/catalog/book[@lang!='en']")
+        assert [b.get("id") for b in not_en] == ["2"]
+
+    def test_attr_existence(self, root):
+        with_lang = xpath_select(root, "/catalog/*[@lang]")
+        assert len(with_lang) == 3
+
+    def test_child_value(self, root):
+        dune = xpath_select(root, "/catalog/book[title='Dune']")
+        assert [b.get("id") for b in dune] == ["1"]
+
+    def test_child_existence(self, root):
+        with_notes = xpath_select(root, "/catalog/book[notes]")
+        assert [b.get("id") for b in with_notes] == ["3"]
+
+    def test_dot_value(self, root):
+        hits = xpath_select(root, "//note[.='classic']")
+        assert len(hits) == 1
+
+    def test_chained_predicates(self, root):
+        hits = xpath_select(root, "/catalog/book[@lang='en'][2]")
+        assert [b.get("id") for b in hits] == ["3"]
+
+    def test_numeric_literal_comparison(self, root):
+        hits = xpath_select(root, "/catalog/book[price=12]")
+        assert [b.get("id") for b in hits] == ["2"]
+
+
+class TestNamespaces:
+    def test_prefixed_name_test(self):
+        root = parse('<a xmlns:n="urn:n"><n:b/><b/></a>').root
+        hits = xpath_select(root, "n:b", namespaces={"n": "urn:n"})
+        assert len(hits) == 1
+        assert hits[0].tag.namespace == "urn:n"
+
+    def test_undeclared_prefix_raises(self):
+        root = Element("a")
+        with pytest.raises(XPathError):
+            xpath_select(root, "n:b")
+
+    def test_bare_name_matches_any_namespace(self):
+        root = parse('<a xmlns:n="urn:n"><n:b/><b/></a>').root
+        assert len(xpath_select(root, "b")) == 2
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "expr",
+        ["", "/", "a/", "a[", "a]", "//", "a/@x/b", "a/text()/b", "/@x"],
+    )
+    def test_unsupported_expressions_raise(self, expr):
+        root = Element("a")
+        with pytest.raises(XPathError):
+            xpath_select(root, expr)
+
+    def test_unsupported_predicate_function_raises_on_match(self):
+        root = parse("<r><a/></r>").root
+        with pytest.raises(XPathError):
+            xpath_select(root, "a[foo() = 1]")
+
+    def test_dedup_across_branches(self):
+        # //x//x must not return the same node twice via different paths.
+        root = parse("<r><x><x/></x></r>").root
+        hits = xpath_select(root, "//x")
+        assert len(hits) == 2

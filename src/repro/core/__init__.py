@@ -21,9 +21,12 @@ from repro.core.semantic import (
     MANAGER_PORTTYPE,
     PPERFGRID_NS,
     UNDEFINED_TYPE,
+    AggregateRecord,
     PerformanceResult,
     application_porttype_table,
     execution_porttype_table,
+    pr_agg_cache_key,
+    pr_cache_key,
 )
 from repro.core.prcache import (
     AdaptiveCache,
@@ -68,6 +71,7 @@ from repro.core.visualize import render_metric_chart
 __all__ = [
     "APPLICATION_PORTTYPE",
     "AdaptiveCache",
+    "AggregateRecord",
     "ApplicationBinding",
     "ApplicationQuery",
     "ApplicationQueryPanel",
@@ -105,5 +109,7 @@ __all__ = [
     "UnboundedCache",
     "application_porttype_table",
     "execution_porttype_table",
+    "pr_agg_cache_key",
+    "pr_cache_key",
     "render_metric_chart",
 ]

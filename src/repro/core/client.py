@@ -94,6 +94,41 @@ class ExecutionBinding:
             packed = self.stub.getPR(metric, list(foci), repr(start), repr(end), result_type)
         return [PerformanceResult.unpack(p) for p in packed]
 
+    def get_pr_agg(
+        self,
+        metric: str,
+        foci: list[str],
+        start: float | None = None,
+        end: float | None = None,
+        result_type: str = UNDEFINED_TYPE,
+        min_value: float | None = None,
+        max_value: float | None = None,
+        group_by: str = "",
+    ):
+        """Server-side aggregation (the federated-query push-down path).
+
+        Returns :class:`~repro.core.semantic.AggregateRecord` buckets;
+        only those cross the wire, not the individual results.
+        """
+        from repro.core.semantic import AggregateRecord
+
+        if start is None or end is None:
+            t0, t1 = self.time_range()
+            start = t0 if start is None else start
+            end = t1 if end is None else end
+        with self.environment.recorder.time("virtualization.getPRAgg"):
+            packed = self.stub.getPRAgg(
+                metric,
+                list(foci),
+                repr(start),
+                repr(end),
+                result_type,
+                "" if min_value is None else repr(min_value),
+                "" if max_value is None else repr(max_value),
+                group_by,
+            )
+        return [AggregateRecord.unpack(p) for p in packed]
+
     def find_service_data(self, query: str) -> str:
         """FindServiceData passthrough (supports the ``xpath:`` dialect)."""
         return self.stub.FindServiceData(query)
@@ -168,6 +203,28 @@ class LocalExecutionBinding:
             end = t1 if end is None else end
         with self.environment.recorder.time("virtualization.getPR.local"):
             return self.wrapper.get_pr(metric, list(foci), start, end, result_type)
+
+    def get_pr_agg(
+        self,
+        metric: str,
+        foci: list[str],
+        start: float | None = None,
+        end: float | None = None,
+        result_type: str = UNDEFINED_TYPE,
+        min_value: float | None = None,
+        max_value: float | None = None,
+        group_by: str = "",
+    ):
+        """Server-side aggregation via the wrapper directly (local bypass)."""
+        if start is None or end is None:
+            t0, t1 = self.time_range()
+            start = t0 if start is None else start
+            end = t1 if end is None else end
+        with self.environment.recorder.time("virtualization.getPRAgg.local"):
+            return self.wrapper.get_pr_aggregate(
+                metric, list(foci), start, end, result_type,
+                min_value, max_value, group_by,
+            )
 
 
 class ApplicationBinding:
@@ -334,6 +391,8 @@ class PPerfGridClient:
         self.bindings: list[ApplicationBinding | LocalApplicationBinding] = []
         #: factory URL -> wrapper, for the local-bypass optimization
         self._local_wrappers: dict[str, ApplicationWrapper] = {}
+        #: FederatedQuery service stub, set by :meth:`use_federation`
+        self._fed_stub = None
 
     # ------------------------------------------------------------ discovery
     def discover_organizations(self, name_pattern: str = "%") -> list[OrganizationProxy]:
@@ -389,6 +448,36 @@ class PPerfGridClient:
         binding = ApplicationBinding(self.environment, instance_gsh, name, stub=instance_stub)
         self.bindings.append(binding)
         return binding
+
+    # ---------------------------------------------------- federated queries
+    def use_federation(self, handle: str) -> None:
+        """Point this client at a deployed FederatedQuery service."""
+        from repro.fedquery.service import FEDERATED_QUERY_PORTTYPE
+
+        self._fed_stub = self.environment.stub_for_handle(
+            handle, FEDERATED_QUERY_PORTTYPE
+        )
+
+    def query(self, text: str):
+        """Run a federated query; returns a list of ResultRow objects.
+
+        Requires :meth:`use_federation` first — the query text travels
+        to the FederatedQuery service over SOAP and packed result rows
+        come back (see README "Federated queries" for the grammar).
+        """
+        from repro.fedquery.merge import ResultRow
+
+        if self._fed_stub is None:
+            raise RuntimeError("no federation configured; call use_federation() first")
+        with self.environment.recorder.time("virtualization.fedquery"):
+            packed = self._fed_stub.query(text)
+        return [ResultRow.unpack(p) for p in packed]
+
+    def explain_query(self, text: str) -> str:
+        """The FederatedQuery service's plan description for *text*."""
+        if self._fed_stub is None:
+            raise RuntimeError("no federation configured; call use_federation() first")
+        return "\n".join(self._fed_stub.explainQuery(text))
 
     def unbind_all(self) -> None:
         for binding in self.bindings:

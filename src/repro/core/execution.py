@@ -9,7 +9,12 @@ NotificationSource so clients can subscribe to data-store updates.
 from __future__ import annotations
 
 from repro.core.prcache import PrCache, UnboundedCache
-from repro.core.semantic import EXECUTION_PORTTYPE, PerformanceResult, pr_cache_key
+from repro.core.semantic import (
+    EXECUTION_PORTTYPE,
+    PerformanceResult,
+    pr_agg_cache_key,
+    pr_cache_key,
+)
 from repro.mapping.base import ExecutionWrapper
 from repro.ogsi.notification import NotificationSourceMixin
 from repro.ogsi.service import GridServiceBase
@@ -39,6 +44,7 @@ class ExecutionService(GridServiceBase, NotificationSourceMixin):
     def on_deployed(self, container, gsh) -> None:
         super().on_deployed(container, gsh)
         self.service_data.set("execId", self.exec_id)
+        self._publish_cache_stats()
         # Future-work §7: expose metrics/foci/types/time as SDEs so an
         # XPath FindServiceData query can answer discovery questions.
         self.service_data.set("metrics", self.wrapper.get_metrics())
@@ -95,6 +101,54 @@ class ExecutionService(GridServiceBase, NotificationSourceMixin):
             self.container.host.allocate_memory(_CACHE_ENTRY_MB)
         return packed
 
+    def getPRAgg(
+        self,
+        metric: str,
+        foci: list[str],
+        startTime: str,
+        endTime: str,
+        resultType: str,
+        minValue: str,
+        maxValue: str,
+        groupBy: str,
+    ) -> list[str]:
+        """Server-side aggregation (the federated push-down operation).
+
+        Matching Performance Results are reduced to combinable
+        count/total/min/max buckets at the store — RDBMS wrappers answer
+        with real SQL, others reduce in the Mapping Layer — so only the
+        buckets cross the wire.  ``minValue``/``maxValue`` are inclusive
+        value bounds (empty string = unbounded); ``groupBy`` is ``""`` or
+        ``"focus"``.  Results share the Execution's PR cache under a
+        distinct key space, so Table 5 caching applies here too.
+        """
+        self.require_active()
+        if groupBy not in ("", "focus"):
+            raise ValueError(f"unsupported groupBy {groupBy!r}")
+        key = pr_agg_cache_key(
+            metric, list(foci), startTime, endTime, resultType,
+            minValue, maxValue, groupBy,
+        )
+        cached = self.cache.get(key)
+        if cached is not None:
+            return list(cached)
+        try:
+            start = float(startTime)
+            end = float(endTime)
+            min_value = float(minValue) if minValue else None
+            max_value = float(maxValue) if maxValue else None
+        except ValueError as exc:
+            raise ValueError(f"bad getPRAgg bound: {exc}") from exc
+        records = self.wrapper.get_pr_aggregate(
+            metric, list(foci), start, end, resultType,
+            min_value, max_value, groupBy,
+        )
+        packed = [record.pack() for record in records]
+        self.cache.put(key, packed)
+        if self.container is not None and self.container.host is not None:
+            self.container.host.allocate_memory(_CACHE_ENTRY_MB)
+        return packed
+
     def getPRAsync(
         self,
         metric: str,
@@ -130,6 +184,24 @@ class ExecutionService(GridServiceBase, NotificationSourceMixin):
             return query_id
         stub.DeliverNotification(f"pr-result/{query_id}", "\n".join(packed))
         return query_id
+
+    # ---------------------------------------------------- cache stats SDE
+    def _publish_cache_stats(self) -> None:
+        """Publish the PR cache's counters as the ``cacheStats`` SDE."""
+        records = self.cache.stats.as_records()
+        records.append(f"entries|{len(self.cache)}")
+        self.service_data.set("cacheStats", records)
+
+    def FindServiceData(self, queryExpression: str) -> str:
+        """GridService query, with cache counters refreshed lazily.
+
+        The counters change on every ``getPR``; re-rendering the SDE per
+        lookup (rather than per cache access) keeps the hot query path
+        free of bookkeeping while ``findServiceData`` always sees current
+        hit/miss/eviction numbers.
+        """
+        self._publish_cache_stats()
+        return super().FindServiceData(queryExpression)
 
     # -------------------------------------------------------- lifecycle
     def on_destroyed(self) -> None:

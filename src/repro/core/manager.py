@@ -182,6 +182,30 @@ class ManagerService(GridServiceBase):
     def cached_count(self) -> int:
         return len(self._instance_cache)
 
+    def stats(self) -> dict[str, object]:
+        """Snapshot of the Manager's caching and distribution state.
+
+        Used by the federated-query executor to size its fan-out (one
+        slot per replica container keeps requests truly concurrent; more
+        just queue on the container dispatch locks), and useful on its
+        own for capacity dashboards.
+        """
+        lookups = self.cache_hits + self.creations
+        per_host: dict[str, int] = {}
+        for replica in self.replicas:
+            authority = replica.gsh.authority
+            per_host[authority] = per_host.get(authority, 0) + replica.assigned
+        return {
+            "policy": self.policy.name,
+            "replicas": len(self.replicas),
+            "creations": self.creations,
+            "cache_hits": self.cache_hits,
+            "lookups": lookups,
+            "hit_rate": self.cache_hits / lookups if lookups else 0.0,
+            "cached_instances": len(self._instance_cache),
+            "instances_per_host": per_host,
+        }
+
     def assignment_counts(self) -> dict[str, int]:
         """factory handle -> instances created there (for tests/ablation)."""
         return {r.factory_handle: r.assigned for r in self.replicas}

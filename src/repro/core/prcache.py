@@ -32,6 +32,16 @@ class CacheStats:
     def hit_rate(self) -> float:
         return self.hits / self.lookups if self.lookups else 0.0
 
+    def as_records(self) -> list[str]:
+        """``name|value`` wire records, for SDE publication."""
+        return [
+            f"hits|{self.hits}",
+            f"misses|{self.misses}",
+            f"evictions|{self.evictions}",
+            f"lookups|{self.lookups}",
+            f"hitRate|{self.hit_rate:.6f}",
+        ]
+
 
 class PrCache(ABC):
     """Cache interface: string key -> list of packed PR strings."""

@@ -78,6 +78,65 @@ def pr_cache_key(metric: str, foci: list[str], start: str, end: str, result_type
     return f"{metric} | {';'.join(foci)} | {result_type} | {start}-{end}"
 
 
+@dataclass(frozen=True)
+class AggregateRecord:
+    """One server-side aggregation bucket (the ``getPRAgg`` wire unit).
+
+    Instead of shipping every Performance Result to the client, a store
+    can reduce them to combinable accumulator fields: ``count``, ``total``,
+    ``minimum``, ``maximum``.  Any of count/sum/mean/min/max can be
+    recovered from these after merging buckets across executions, which
+    is what makes partial aggregation at the store safe.  ``group`` is
+    the bucket key (``""`` for a global aggregate, a focus path when
+    grouping by focus).
+    """
+
+    group: str
+    count: int
+    total: float
+    minimum: float
+    maximum: float
+
+    def pack(self) -> str:
+        """Wire form: ``group|count|total|min|max`` (group has no '|')."""
+        return (
+            f"{self.group}|{self.count}|{self.total!r}|"
+            f"{self.minimum!r}|{self.maximum!r}"
+        )
+
+    @staticmethod
+    def unpack(text: str) -> "AggregateRecord":
+        parts = text.split("|")
+        if len(parts) != 5:
+            raise ValueError(f"bad AggregateRecord {text!r}")
+        group, count, total, minimum, maximum = parts
+        try:
+            return AggregateRecord(
+                group=group,
+                count=int(count),
+                total=float(total),
+                minimum=float(minimum),
+                maximum=float(maximum),
+            )
+        except ValueError as exc:
+            raise ValueError(f"bad AggregateRecord {text!r}: {exc}") from exc
+
+
+def pr_agg_cache_key(
+    metric: str,
+    foci: list[str],
+    start: str,
+    end: str,
+    result_type: str,
+    min_value: str,
+    max_value: str,
+    group_by: str,
+) -> str:
+    """Cache key for server-side aggregate queries (distinct key space)."""
+    base = pr_cache_key(metric, foci, start, end, result_type)
+    return f"agg: {base} | {min_value},{max_value} | {group_by}"
+
+
 APPLICATION_PORTTYPE = PortType(
     name="Application",
     namespace=PPERFGRID_NS,
@@ -230,6 +289,31 @@ EXECUTION_PORTTYPE = PortType(
             doc=(
                 "Returns a list of Performance Results that meet the criteria "
                 "given by the parameter values as an array of strings."
+            ),
+        ),
+        # Extension beyond Table 2: server-side aggregation for the
+        # federated query planner — predicates and GROUP BY are pushed
+        # down to the store so only accumulator buckets cross the wire.
+        Operation(
+            "getPRAgg",
+            (
+                Parameter("metric", "xsd:string"),
+                Parameter("foci", "xsd:string[]"),
+                Parameter("startTime", "xsd:string"),
+                Parameter("endTime", "xsd:string"),
+                Parameter("resultType", "xsd:string"),
+                Parameter("minValue", "xsd:string"),
+                Parameter("maxValue", "xsd:string"),
+                Parameter("groupBy", "xsd:string"),
+            ),
+            "xsd:string[]",
+            doc=(
+                "Extension: like getPR, but the store reduces matching "
+                "Performance Results to combinable aggregation buckets "
+                "(count/total/min/max), optionally filtered by a value "
+                "range and grouped by focus.  RDBMS-backed stores answer "
+                "with real SQL WHERE/GROUP BY; others aggregate in the "
+                "Mapping Layer.  Returns packed AggregateRecord strings."
             ),
         ),
         # Extension beyond Table 2: the registry-callback query model the

@@ -69,9 +69,39 @@ class TestGrid:
     #: holds the presta temp directory alive for the grid's lifetime
     _tempdir: tempfile.TemporaryDirectory | None = None
     sites: dict[str, PPerfGridSite] = field(default_factory=dict)
+    #: set by deploy_federation()
+    fed_gsh: str | None = None
+    fed_engine: object | None = None
 
     def site(self, name: str) -> PPerfGridSite:
         return self.sites[name]
+
+    def deploy_federation(self, authority: str = "fed.pdx.edu:9090"):
+        """Deploy a FederatedQuery service over this grid's members.
+
+        The federation endpoint is itself a Grid-service *client* of the
+        member Applications: it gets its own PPerfGridClient against the
+        registry, and the site Managers feed its fan-out sizing.  The
+        grid's main client is pointed at the deployed service, so
+        ``grid.client.query(...)`` works afterwards.  Returns the engine
+        (useful for local, in-process execution in tests).
+        """
+        from repro.fedquery.executor import FederationEngine
+        from repro.fedquery.service import FederatedQueryService
+
+        engine_client = PPerfGridClient(self.environment, self.uddi_gsh)
+        engine = FederationEngine(
+            engine_client,
+            managers={name: site.manager for name, site in self.sites.items()},
+        )
+        container = self.environment.container_for(authority)
+        if container is None:
+            container = self.environment.create_container(authority)
+        gsh = container.deploy("services/FederatedQuery", FederatedQueryService(engine))
+        self.fed_gsh = gsh.url()
+        self.fed_engine = engine
+        self.client.use_federation(self.fed_gsh)
+        return engine
 
     def bind(self, app_name: str):
         """Bind the client to one published application by name."""

@@ -1,0 +1,84 @@
+"""repro.fedquery — federated query planner/executor for PPerfGrid.
+
+A declarative query language over the whole federation of published
+Applications, compiled into per-store sub-queries with push-down
+(``getExecsOp`` selection, focused ``getPR`` parameters, server-side
+``getPRAgg`` aggregation with real SQL in the RDBMS wrappers), executed
+with a replica-aware parallel fan-out, merged streamingly, and memoized
+per canonical query fingerprint.
+
+Entry points:
+
+* :func:`parse_query` — text -> validated :class:`Query`;
+* :func:`plan_query` — :class:`Query` + member catalog -> :class:`Plan`;
+* :class:`FederationEngine` — plan + execute against live members;
+* :class:`FederatedQueryService` — the OGSI PortType wrapping an engine;
+* :func:`naive_query` — the push-down-free reference implementation.
+"""
+
+from repro.fedquery.ast import (
+    AGG_FUNCS,
+    RESERVED_FIELDS,
+    Predicate,
+    Query,
+    QueryError,
+    SelectItem,
+)
+from repro.fedquery.executor import FederationEngine, QueryResult, choose_fanout
+from repro.fedquery.merge import (
+    Accumulator,
+    ResultRow,
+    StreamingMerger,
+    TaskContext,
+    order_rows,
+)
+from repro.fedquery.naive import naive_query
+from repro.fedquery.parser import parse_query
+from repro.fedquery.planner import (
+    ExecSelector,
+    MemberPlan,
+    Plan,
+    PrunedMember,
+    SubQuery,
+    plan_query,
+)
+from repro.fedquery.pushdown import (
+    PredicateSplit,
+    ValueBounds,
+    derive_value_bounds,
+    derive_window,
+    split_predicates,
+)
+from repro.fedquery.service import FEDERATED_QUERY_PORTTYPE, FederatedQueryService
+
+__all__ = [
+    "AGG_FUNCS",
+    "Accumulator",
+    "ExecSelector",
+    "FEDERATED_QUERY_PORTTYPE",
+    "FederatedQueryService",
+    "FederationEngine",
+    "MemberPlan",
+    "Plan",
+    "Predicate",
+    "PredicateSplit",
+    "PrunedMember",
+    "Query",
+    "QueryError",
+    "QueryResult",
+    "RESERVED_FIELDS",
+    "ResultRow",
+    "SelectItem",
+    "StreamingMerger",
+    "SubQuery",
+    "TaskContext",
+    "ValueBounds",
+    "choose_fanout",
+    "derive_value_bounds",
+    "derive_window",
+    "naive_query",
+    "order_rows",
+    "parse_query",
+    "plan_query",
+    "split_predicates",
+]

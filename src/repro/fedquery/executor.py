@@ -1,0 +1,279 @@
+"""Federated query execution: discovery, fan-out, merge, plan cache.
+
+:class:`FederationEngine` is the run-time half of the planner:
+
+1. **Catalog** — members are discovered once through the UDDI registry
+   (every published Application) and bound lazily; their query-param
+   vocabularies feed the planner.
+2. **Fan-out** — each selected execution becomes one task; tasks run on
+   a thread pool whose width follows the Managers' replica topology
+   (container dispatch is serialized per container, so useful
+   concurrency ≈ a couple of slots per replica container).  The merge
+   itself happens on the calling thread as futures complete.
+3. **Plan cache** — whole query results are memoized on the query's
+   canonical fingerprint (an LRU of packed rows), so repeated dashboards
+   cost one cache probe instead of a federation sweep.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
+from dataclasses import dataclass, field
+
+from repro.core.prcache import LruCache, PrCache
+from repro.fedquery.ast import Query, QueryError
+from repro.fedquery.merge import ResultRow, StreamingMerger, TaskContext, order_rows
+from repro.fedquery.parser import parse_query
+from repro.fedquery.planner import MemberPlan, Plan, plan_query
+from repro.fedquery.pushdown import filter_foci
+from repro.xmlkit import parse as parse_xml
+
+#: fan-out defaults: *default* when no Manager topology is known, *cap*
+#: so a large federation cannot spawn an unbounded thread pool
+DEFAULT_FANOUT = 8
+FANOUT_CAP = 32
+
+
+def choose_fanout(
+    manager_stats: list[dict[str, object]],
+    default: int = DEFAULT_FANOUT,
+    cap: int = FANOUT_CAP,
+) -> int:
+    """Pool width from the Managers' replica topology.
+
+    Two slots per replica container keeps every container busy while one
+    request is being dispatched and another is on the (serialized)
+    container lock; beyond that, threads just queue.
+    """
+    replicas = sum(int(stats.get("replicas", 0)) for stats in manager_stats)
+    if replicas <= 0:
+        return default
+    return max(2, min(cap, 2 * replicas))
+
+
+def _sde_values(xml: str) -> list[str]:
+    """Extract ``<value>`` texts from a FindServiceData result document."""
+    root = parse_xml(xml).root
+    return [el.text() for el in root.iter_all() if el.tag.local == "value"]
+
+
+@dataclass
+class QueryResult:
+    """One answered federated query."""
+
+    rows: list[ResultRow]
+    columns: tuple[str, ...]
+    cached: bool
+    plan: Plan | None
+    stats: dict[str, int] = field(default_factory=dict)
+
+
+class FederationEngine:
+    """Plans and executes federated queries over published Applications.
+
+    ``client`` is a :class:`repro.core.client.PPerfGridClient` (or any
+    object with ``discover_organizations``/``bind``); ``managers`` maps
+    member name to its site's :class:`ManagerService` for fan-out sizing
+    (optional — remote deployments fall back to the default width).
+    """
+
+    def __init__(
+        self,
+        client,
+        managers: dict[str, object] | None = None,
+        plan_cache: PrCache | None = None,
+        max_workers: int | None = None,
+    ) -> None:
+        self.client = client
+        self.managers = dict(managers or {})
+        self.plan_cache = plan_cache if plan_cache is not None else LruCache(256)
+        self.max_workers = max_workers
+        self._bindings: dict[str, object] | None = None
+        self._params: dict[str, dict[str, list[str]]] = {}
+        self._metrics: dict[str, list[str]] = {}
+        self._exec_ids: dict[str, str] = {}
+
+    # ------------------------------------------------------------ catalog
+    def members(self) -> dict[str, object]:
+        """name -> Application binding for every published member."""
+        if self._bindings is None:
+            bindings: dict[str, object] = {}
+            for org in self.client.discover_organizations("%"):
+                for service in org.services():
+                    if service.name not in bindings:
+                        bindings[service.name] = self.client.bind(service)
+            self._bindings = dict(sorted(bindings.items()))
+        return self._bindings
+
+    def refresh_members(self) -> None:
+        """Forget discovery results (e.g. after new members publish)."""
+        self._bindings = None
+        self._params.clear()
+        self._metrics.clear()
+
+    def _member_params(self, name: str, binding) -> dict[str, list[str]]:
+        params = self._params.get(name)
+        if params is None:
+            params = self._params[name] = binding.exec_query_params()
+        return params
+
+    def _member_metrics(self, name: str, probe) -> list[str]:
+        metrics = self._metrics.get(name)
+        if metrics is None:
+            metrics = self._metrics[name] = probe.metrics()
+        return metrics
+
+    def _execution_id(self, binding) -> str:
+        if binding.is_local:
+            return binding.exec_id
+        cached = self._exec_ids.get(binding.gsh)
+        if cached is None:
+            values = _sde_values(binding.find_service_data("name:execId"))
+            if not values:
+                raise QueryError(f"execution {binding.gsh} publishes no execId")
+            cached = self._exec_ids[binding.gsh] = values[0]
+        return cached
+
+    # ------------------------------------------------------------ queries
+    def explain(self, query: str | Query) -> str:
+        return self._plan(self._parse(query)).explain()
+
+    def execute(self, query: str | Query) -> QueryResult:
+        query = self._parse(query)
+        fingerprint = query.fingerprint()
+        cached = self.plan_cache.get(fingerprint)
+        if cached is not None:
+            return QueryResult(
+                rows=[ResultRow.unpack(r) for r in cached],
+                columns=query.output_columns,
+                cached=True,
+                plan=None,
+            )
+        plan = self._plan(query)
+        merger = StreamingMerger(query)
+        stats = {"executions": 0, "calls": 0, "records": 0, "skipped_metrics": 0}
+        tasks = self._collect_tasks(plan, stats)
+        width = self.max_workers or choose_fanout(
+            [m.stats() for m in self.managers.values()]
+        )
+        if tasks:
+            with ThreadPoolExecutor(max_workers=width) as pool:
+                pending = {pool.submit(task) for task in tasks}
+                # merge on this thread as completions stream in
+                while pending:
+                    done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        self._merge_payloads(merger, future, stats)
+        rows = order_rows(merger.rows(), query)
+        self.plan_cache.put(fingerprint, [row.pack() for row in rows])
+        return QueryResult(
+            rows=rows,
+            columns=query.output_columns,
+            cached=False,
+            plan=plan,
+            stats=stats,
+        )
+
+    def invalidate_cache(self) -> int:
+        """Drop all memoized query results; returns how many were dropped."""
+        dropped = len(self.plan_cache)
+        self.plan_cache.clear()
+        return dropped
+
+    # ----------------------------------------------------------- internals
+    def _parse(self, query: str | Query) -> Query:
+        if isinstance(query, Query):
+            return query.validate()
+        return parse_query(query)
+
+    def _plan(self, query: Query) -> Plan:
+        members = self.members()
+        unknown = [name for name in query.sources if name not in members]
+        if unknown:
+            raise QueryError(
+                f"unknown application(s) {unknown} "
+                f"(published: {', '.join(members)})"
+            )
+        catalog = {
+            name: self._member_params(name, binding)
+            for name, binding in members.items()
+        }
+        return plan_query(query, catalog)
+
+    def _select_executions(self, member: MemberPlan, binding, stats) -> list:
+        if member.selector is None:
+            executions = binding.all_executions()
+            stats["calls"] += 1
+            return executions
+        selected: dict[str, object] | None = None
+        for alternatives in member.selector.conjuncts:
+            term: dict[str, object] = {}
+            for attribute, value, operator in alternatives:
+                for execution in binding.query_executions(attribute, value, operator):
+                    term.setdefault(execution.gsh, execution)
+                stats["calls"] += 1
+            if selected is None:
+                selected = term
+            else:
+                selected = {g: e for g, e in selected.items() if g in term}
+            if not selected:
+                return []
+        return list(selected.values()) if selected else []
+
+    def _collect_tasks(self, plan: Plan, stats) -> list:
+        tasks = []
+        for member in plan.members:
+            binding = self.members()[member.app]
+            executions = self._select_executions(member, binding, stats)
+            if not executions:
+                continue
+            metrics = self._member_metrics(member.app, executions[0])
+            subqueries = [sq for sq in member.subqueries if sq.metric in metrics]
+            stats["skipped_metrics"] += len(member.subqueries) - len(subqueries)
+            if not subqueries:
+                continue
+            stats["executions"] += len(executions)
+            for execution in executions:
+                tasks.append(self._make_task(member, execution, subqueries))
+        return tasks
+
+    def _make_task(self, member: MemberPlan, execution, subqueries):
+        def run():
+            exec_id = self._execution_id(execution) if member.needs_exec_id else ""
+            info = dict(execution.info()) if member.needs_info else None
+            ctx = TaskContext(app=member.app, exec_id=exec_id, info=info)
+            foci = filter_foci(execution.foci(), member.foci)
+            payloads: list[tuple[str, str, list]] = []
+            if not foci:
+                return ctx, payloads
+            for sub in subqueries:
+                if sub.mode == "aggregate":
+                    records = execution.get_pr_agg(
+                        sub.metric,
+                        foci,
+                        sub.start,
+                        sub.end,
+                        sub.result_type,
+                        min_value=sub.min_value,
+                        max_value=sub.max_value,
+                        group_by="focus" if sub.group_by_focus else "",
+                    )
+                    payloads.append((sub.metric, "aggregate", records))
+                else:
+                    results = execution.get_pr(
+                        sub.metric, foci, sub.start, sub.end, sub.result_type
+                    )
+                    payloads.append((sub.metric, "raw", results))
+            return ctx, payloads
+
+        return run
+
+    def _merge_payloads(self, merger: StreamingMerger, future: Future, stats) -> None:
+        ctx, payloads = future.result()
+        for metric, kind, payload in payloads:
+            stats["calls"] += 1
+            stats["records"] += len(payload)
+            if kind == "aggregate":
+                merger.absorb_aggregates(ctx, metric, payload)
+            else:
+                merger.absorb_results(ctx, metric, payload)

@@ -1,0 +1,265 @@
+"""Parser for the federated query language.
+
+Grammar (keywords are case-insensitive; identifiers and literals are
+case-sensitive):
+
+.. code-block:: text
+
+    query     := SELECT items [FROM sources] [WHERE conj]
+                 [GROUP BY keys] [ORDER BY ident [ASC|DESC]] [LIMIT int]
+    items     := item ("," item)*
+    item      := ident | func "(" ident ")"
+    func      := count | sum | mean | min | max
+    sources   := ident ("," ident)*
+    conj      := pred (AND pred)*
+    pred      := ident op literal | ident IN "(" literal ("," literal)* ")"
+    op        := "=" | "!=" | "<" | "<=" | ">" | ">="
+    keys      := ident ("," ident)*
+    literal   := 'quoted string' | number | ident
+
+Identifiers may contain ``.``, ``-``, ``/`` and ``:`` after the first
+character so application names (``PRESTA-RMA``), metric names
+(``msg_deliv_time``) and focus paths can be written without quotes;
+anything else (spaces, leading digits) needs single quotes.
+"""
+
+from __future__ import annotations
+
+from repro.fedquery.ast import AGG_FUNCS, Predicate, Query, QueryError, SelectItem
+
+_KEYWORDS = frozenset(
+    {"select", "from", "where", "and", "group", "by", "order", "asc", "desc", "limit", "in"}
+)
+_OPERATOR_CHARS = "=!<>"
+_IDENT_START = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_/"
+)
+_IDENT_TAIL = _IDENT_START | frozenset("0123456789.-:")
+
+
+class _Token:
+    __slots__ = ("kind", "text")
+
+    def __init__(self, kind: str, text: str) -> None:
+        self.kind = kind  # ident | string | number | op | punct | end
+        self.text = text
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"_Token({self.kind}, {self.text!r})"
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+        elif ch == "'":
+            j = text.find("'", i + 1)
+            if j < 0:
+                raise QueryError(f"unterminated string at offset {i}")
+            tokens.append(_Token("string", text[i + 1 : j]))
+            i = j + 1
+        elif ch in "(),*":
+            tokens.append(_Token("punct", ch))
+            i += 1
+        elif ch in _OPERATOR_CHARS:
+            j = i + 1
+            if j < n and text[j] == "=":
+                j += 1
+            op = text[i:j]
+            if op not in ("=", "!=", "<", "<=", ">", ">="):
+                raise QueryError(f"bad operator {op!r} at offset {i}")
+            tokens.append(_Token("op", op))
+            i = j
+        elif ch.isdigit() or (ch == "-" and i + 1 < n and text[i + 1].isdigit()):
+            j = i + 1
+            while j < n and (text[j].isdigit() or text[j] in ".eE+-"):
+                # stop a trailing +/- that isn't an exponent sign
+                if text[j] in "+-" and text[j - 1] not in "eE":
+                    break
+                j += 1
+            number = text[i:j]
+            try:
+                float(number)
+            except ValueError as exc:
+                raise QueryError(f"bad number {number!r} at offset {i}") from exc
+            tokens.append(_Token("number", number))
+            i = j
+        elif ch in _IDENT_START:
+            j = i + 1
+            while j < n and text[j] in _IDENT_TAIL:
+                j += 1
+            tokens.append(_Token("ident", text[i:j]))
+            i = j
+        else:
+            raise QueryError(f"unexpected character {ch!r} at offset {i}")
+    tokens.append(_Token("end", ""))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.pos = 0
+
+    # ------------------------------------------------------------ helpers
+    @property
+    def current(self) -> _Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> _Token:
+        token = self.tokens[self.pos]
+        self.pos += 1
+        return token
+
+    def at_keyword(self, word: str) -> bool:
+        token = self.current
+        return token.kind == "ident" and token.text.lower() == word
+
+    def eat_keyword(self, word: str) -> None:
+        if not self.at_keyword(word):
+            raise QueryError(f"expected {word.upper()}, got {self.current.text!r}")
+        self.advance()
+
+    def eat_punct(self, ch: str) -> None:
+        if not (self.current.kind == "punct" and self.current.text == ch):
+            raise QueryError(f"expected {ch!r}, got {self.current.text!r}")
+        self.advance()
+
+    def eat_ident(self, what: str) -> str:
+        token = self.current
+        if token.kind != "ident" or token.text.lower() in _KEYWORDS:
+            raise QueryError(f"expected {what}, got {token.text!r}")
+        self.advance()
+        return token.text
+
+    def eat_literal(self) -> str:
+        token = self.current
+        if token.kind in ("string", "number"):
+            self.advance()
+            return token.text
+        if token.kind == "ident" and token.text.lower() not in _KEYWORDS:
+            self.advance()
+            return token.text
+        raise QueryError(f"expected a literal, got {token.text!r}")
+
+    # ------------------------------------------------------------ grammar
+    def parse(self) -> Query:
+        self.eat_keyword("select")
+        select = self._select_items()
+        sources: tuple[str, ...] = ()
+        if self.at_keyword("from"):
+            self.advance()
+            sources = self._ident_list("source name")
+        where: tuple[Predicate, ...] = ()
+        if self.at_keyword("where"):
+            self.advance()
+            where = self._conjunction()
+        group_by: tuple[str, ...] = ()
+        if self.at_keyword("group"):
+            self.advance()
+            self.eat_keyword("by")
+            group_by = self._ident_list("group key")
+        order_by: str | None = None
+        order_desc = False
+        if self.at_keyword("order"):
+            self.advance()
+            self.eat_keyword("by")
+            token = self.current
+            if token.kind != "ident":
+                raise QueryError(f"expected ORDER BY column, got {token.text!r}")
+            self.advance()
+            order_by = token.text
+            # allow ORDER BY count(x): label syntax re-assembled from tokens
+            if self.current.kind == "punct" and self.current.text == "(":
+                self.advance()
+                inner = self.eat_ident("metric name")
+                self.eat_punct(")")
+                order_by = f"{order_by}({inner})"
+            if self.at_keyword("asc"):
+                self.advance()
+            elif self.at_keyword("desc"):
+                self.advance()
+                order_desc = True
+        limit: int | None = None
+        if self.at_keyword("limit"):
+            self.advance()
+            token = self.current
+            if token.kind != "number" or not token.text.isdigit():
+                raise QueryError(f"expected LIMIT integer, got {token.text!r}")
+            self.advance()
+            limit = int(token.text)
+        if self.current.kind != "end":
+            raise QueryError(f"unexpected trailing input {self.current.text!r}")
+        return Query(
+            select=select,
+            sources=sources,
+            where=where,
+            group_by=group_by,
+            order_by=order_by,
+            order_desc=order_desc,
+            limit=limit,
+        ).validate()
+
+    def _select_items(self) -> tuple[SelectItem, ...]:
+        items = [self._select_item()]
+        while self.current.kind == "punct" and self.current.text == ",":
+            self.advance()
+            items.append(self._select_item())
+        return tuple(items)
+
+    def _select_item(self) -> SelectItem:
+        name = self.eat_ident("metric or aggregate")
+        if self.current.kind == "punct" and self.current.text == "(":
+            func = name.lower()
+            if func not in AGG_FUNCS:
+                raise QueryError(
+                    f"unknown aggregate function {name!r} "
+                    f"(expected one of {', '.join(AGG_FUNCS)})"
+                )
+            self.advance()
+            metric = self.eat_ident("metric name")
+            self.eat_punct(")")
+            return SelectItem(metric=metric, func=func)
+        return SelectItem(metric=name)
+
+    def _ident_list(self, what: str) -> tuple[str, ...]:
+        names = [self.eat_ident(what)]
+        while self.current.kind == "punct" and self.current.text == ",":
+            self.advance()
+            names.append(self.eat_ident(what))
+        return tuple(names)
+
+    def _conjunction(self) -> tuple[Predicate, ...]:
+        preds = [self._predicate()]
+        while self.at_keyword("and"):
+            self.advance()
+            preds.append(self._predicate())
+        return tuple(preds)
+
+    def _predicate(self) -> Predicate:
+        field = self.eat_ident("predicate field")
+        token = self.current
+        if token.kind == "ident" and token.text.lower() == "in":
+            self.advance()
+            self.eat_punct("(")
+            values = [self.eat_literal()]
+            while self.current.kind == "punct" and self.current.text == ",":
+                self.advance()
+                values.append(self.eat_literal())
+            self.eat_punct(")")
+            return Predicate(field=field, op="in", value=tuple(values))
+        if token.kind != "op":
+            raise QueryError(f"expected comparison after {field!r}, got {token.text!r}")
+        self.advance()
+        return Predicate(field=field, op=token.text, value=self.eat_literal())
+
+
+def parse_query(text: str) -> Query:
+    """Parse and validate query *text*, raising :class:`QueryError` on issues."""
+    if not text or not text.strip():
+        raise QueryError("empty query")
+    return _Parser(text).parse()

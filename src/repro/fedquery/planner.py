@@ -1,0 +1,240 @@
+"""Query planner: one federated query -> per-member sub-queries.
+
+The planner is pure analysis — it sees the query AST plus each member's
+published metadata (``getExecQueryParams``) and decides:
+
+* which members can contribute at all (``app`` predicates, attribute
+  vocabulary, GROUP BY attributes it must be able to resolve);
+* how each member selects executions (``getExecsOp`` push-down terms,
+  ANDed by intersecting the returned handle sets; ``IN`` decomposes
+  into a union of equality calls);
+* one :class:`SubQuery` per metric, carrying the time window, tool
+  type, focus allowlist, and — in aggregate mode — inclusive value
+  bounds and the focus grouping flag for ``getPRAgg``.
+
+**Aggregate mode** is chosen when the SELECT list is all aggregates and
+every value predicate is expressible as inclusive bounds; the stores
+then return combinable count/total/min/max buckets (RDBMS members via
+real SQL).  Otherwise the plan runs in **raw mode**: ``getPR`` rows come
+back and the executor filters/reduces client-side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.semantic import UNDEFINED_TYPE
+from repro.fedquery.ast import Query
+from repro.fedquery.pushdown import (
+    PredicateSplit,
+    ValueBounds,
+    app_matches,
+    derive_value_bounds,
+    derive_window,
+    focus_allowlist,
+    split_predicates,
+)
+
+#: the attribute name every store answers for unique-execution-id queries
+EXEC_ID_ATTRIBUTE = "execid"
+
+
+@dataclass(frozen=True)
+class SubQuery:
+    """One store-side call shape for one metric."""
+
+    metric: str
+    mode: str  # "aggregate" -> getPRAgg, "raw" -> getPR
+    start: float
+    end: float
+    result_type: str
+    min_value: float | None = None
+    max_value: float | None = None
+    group_by_focus: bool = False
+
+    def describe(self) -> str:
+        op = "getPRAgg" if self.mode == "aggregate" else "getPR"
+        extras = []
+        if self.min_value is not None:
+            extras.append(f"value>={self.min_value!r}")
+        if self.max_value is not None:
+            extras.append(f"value<={self.max_value!r}")
+        if self.group_by_focus:
+            extras.append("group-by-focus")
+        suffix = f" [{', '.join(extras)}]" if extras else ""
+        return f"{op}({self.metric}, type={self.result_type}){suffix}"
+
+
+@dataclass(frozen=True)
+class ExecSelector:
+    """Execution selection pushed to the store via ``getExecsOp``.
+
+    ``conjuncts`` is an AND of OR-terms: each inner tuple holds
+    ``(attribute, value, operator)`` alternatives whose result sets
+    union (an ``IN`` predicate), and the outer sets intersect.
+    """
+
+    conjuncts: tuple[tuple[tuple[str, str, str], ...], ...]
+
+    def describe(self) -> str:
+        ands = []
+        for alternatives in self.conjuncts:
+            ors = " ∪ ".join(f"getExecsOp({a}, {v!r}, {op})" for a, v, op in alternatives)
+            ands.append(f"({ors})" if len(alternatives) > 1 else ors)
+        return " ∩ ".join(ands)
+
+
+@dataclass(frozen=True)
+class MemberPlan:
+    """Everything the executor needs for one federation member."""
+
+    app: str
+    selector: ExecSelector | None  # None -> getAllExecs
+    subqueries: tuple[SubQuery, ...]
+    foci: frozenset[str] | None  # None -> all of each execution's foci
+    group_attrs: tuple[str, ...]
+    needs_info: bool
+    needs_exec_id: bool
+
+    def describe(self) -> list[str]:
+        lines = [f"member {self.app}:"]
+        lines.append(
+            "  execs: "
+            + (self.selector.describe() if self.selector else "getAllExecs()")
+        )
+        if self.foci is not None:
+            lines.append(f"  foci ∩ {{{', '.join(sorted(self.foci))}}}")
+        for sub in self.subqueries:
+            lines.append(f"  {sub.describe()}")
+        if self.needs_info:
+            lines.append(f"  getInfo() for group keys {self.group_attrs}")
+        return lines
+
+
+@dataclass(frozen=True)
+class PrunedMember:
+    app: str
+    reason: str
+
+
+@dataclass(frozen=True)
+class Plan:
+    """The compiled federated query."""
+
+    query: Query
+    split: PredicateSplit
+    window: tuple[float, float]
+    bounds: ValueBounds
+    mode: str  # "aggregate" | "raw"
+    members: tuple[MemberPlan, ...]
+    pruned: tuple[PrunedMember, ...]
+
+    @property
+    def fingerprint(self) -> str:
+        return self.query.fingerprint()
+
+    def explain(self) -> str:
+        lines = [f"plan: {self.fingerprint}"]
+        if self.mode == "aggregate":
+            lines.append("mode: aggregate (stores return count/total/min/max buckets)")
+        else:
+            lines.append("mode: raw (getPR rows reduced client-side)")
+        lines.append(f"window: [{self.window[0]!r}, {self.window[1]!r}]")
+        if self.split.value and not self.bounds.pushable:
+            lines.append("value predicates: strict comparison, filtered client-side")
+        for member in self.members:
+            lines.extend(member.describe())
+        for pruned in self.pruned:
+            lines.append(f"pruned {pruned.app}: {pruned.reason}")
+        return "\n".join(lines)
+
+
+def _build_selector(split: PredicateSplit, params: dict[str, list[str]]) -> ExecSelector | None:
+    conjuncts: list[tuple[tuple[str, str, str], ...]] = []
+    for pred in split.exec_ids:
+        if pred.op == "in":
+            conjuncts.append(
+                tuple((EXEC_ID_ATTRIBUTE, v, "=") for v in pred.values())
+            )
+        else:
+            conjuncts.append(((EXEC_ID_ATTRIBUTE, str(pred.value), pred.op),))
+    for pred in split.attrs:
+        if pred.op == "in":
+            conjuncts.append(tuple((pred.field, v, "=") for v in pred.values()))
+        else:
+            conjuncts.append(((pred.field, str(pred.value), pred.op),))
+    if not conjuncts:
+        return None
+    return ExecSelector(conjuncts=tuple(conjuncts))
+
+
+def plan_query(query: Query, catalog: dict[str, dict[str, list[str]]]) -> Plan:
+    """Compile *query* against *catalog* (member name -> query params).
+
+    Semantics note: execution-attribute predicates and GROUP BY keys
+    refer to the member's *published* query parameters — a member that
+    does not publish a referenced attribute contributes no rows, exactly
+    as its own ``getExecs`` would reject the attribute.
+    """
+    split = split_predicates(query)
+    window = derive_window(split.time)
+    bounds = derive_value_bounds(split.value)
+    allowlist = focus_allowlist(split.focus)
+    result_type = str(split.type.value) if split.type is not None else UNDEFINED_TYPE
+    aggregate = query.is_aggregate and bounds.pushable
+    mode = "aggregate" if aggregate else "raw"
+    group_attrs = query.group_attributes()
+    group_by_focus = "focus" in query.group_by
+    needs_exec_id = (not query.is_aggregate) or ("exec" in query.group_by)
+
+    members: list[MemberPlan] = []
+    pruned: list[PrunedMember] = []
+    for app in sorted(catalog):
+        if query.sources and app not in query.sources:
+            pruned.append(PrunedMember(app, "not in FROM clause"))
+            continue
+        if not app_matches(app, split.app):
+            pruned.append(PrunedMember(app, "app predicate excludes it"))
+            continue
+        params = catalog[app]
+        missing = [
+            p.field for p in split.attrs if p.field not in params
+        ] + [k for k in group_attrs if k not in params]
+        if missing:
+            pruned.append(
+                PrunedMember(app, f"does not publish attribute(s) {sorted(set(missing))}")
+            )
+            continue
+        subqueries = tuple(
+            SubQuery(
+                metric=metric,
+                mode=mode,
+                start=window[0],
+                end=window[1],
+                result_type=result_type,
+                min_value=bounds.minimum if aggregate else None,
+                max_value=bounds.maximum if aggregate else None,
+                group_by_focus=aggregate and group_by_focus,
+            )
+            for metric in query.metrics
+        )
+        members.append(
+            MemberPlan(
+                app=app,
+                selector=_build_selector(split, params),
+                subqueries=subqueries,
+                foci=allowlist,
+                group_attrs=group_attrs,
+                needs_info=bool(group_attrs),
+                needs_exec_id=needs_exec_id,
+            )
+        )
+    return Plan(
+        query=query,
+        split=split,
+        window=window,
+        bounds=bounds,
+        mode=mode,
+        members=tuple(members),
+        pruned=tuple(pruned),
+    )

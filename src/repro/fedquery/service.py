@@ -1,0 +1,114 @@
+"""The FederatedQuery Grid service.
+
+Exposes the federation engine as an OGSI PortType, so any SOAP client
+can run declarative queries over every published Application without
+binding them one by one — the natural extension of the thesis's "single
+interface to heterogeneous stores" to a *single interface to the whole
+federation*.
+"""
+
+from __future__ import annotations
+
+from repro.core.semantic import PPERFGRID_NS
+from repro.fedquery.executor import FederationEngine
+from repro.ogsi.porttypes import GRID_SERVICE_PORTTYPE
+from repro.ogsi.service import GridServiceBase
+from repro.wsdl.porttype import Operation, Parameter, PortType
+
+FEDERATED_QUERY_PORTTYPE = PortType(
+    name="FederatedQuery",
+    namespace=PPERFGRID_NS,
+    doc=(
+        "Declarative queries over the federation of published "
+        "Applications: predicates push down to the member stores, "
+        "sub-queries fan out in parallel, and whole-query results are "
+        "memoized on a canonical query fingerprint."
+    ),
+    operations=(
+        Operation(
+            "query",
+            (Parameter("queryText", "xsd:string"),),
+            "xsd:string[]",
+            doc=(
+                "Plan and execute a federated query (SELECT ... FROM ... "
+                "WHERE ... GROUP BY ...). Returns one string per result "
+                "row, each a '|'-delimited list of column=value fields."
+            ),
+        ),
+        Operation(
+            "explainQuery",
+            (Parameter("queryText", "xsd:string"),),
+            "xsd:string[]",
+            doc=(
+                "Compile a federated query and return the plan as text "
+                "lines — push-down terms per member, chosen mode, and "
+                "pruned members — without executing it."
+            ),
+        ),
+        Operation(
+            "getCacheStats",
+            (),
+            "xsd:string[]",
+            doc=(
+                "Plan-cache counters as 'name|value' records: hits, "
+                "misses, evictions, lookups, hitRate, entries."
+            ),
+        ),
+        Operation(
+            "invalidateCache",
+            (),
+            "xsd:int",
+            doc=(
+                "Drop all memoized query results (e.g. after a member "
+                "data store is updated). Returns the number of entries "
+                "dropped."
+            ),
+        ),
+    ),
+    extends=(GRID_SERVICE_PORTTYPE,),
+)
+
+
+class FederatedQueryService(GridServiceBase):
+    """One federation endpoint backed by a :class:`FederationEngine`."""
+
+    porttype = FEDERATED_QUERY_PORTTYPE
+
+    def __init__(self, engine: FederationEngine) -> None:
+        super().__init__()
+        self.engine = engine
+
+    def on_deployed(self, container, gsh) -> None:
+        super().on_deployed(container, gsh)
+        self._publish_cache_stats()
+
+    # --------------------------------------------------------- operations
+    def query(self, queryText: str) -> list[str]:
+        self.require_active()
+        result = self.engine.execute(queryText)
+        return [row.pack() for row in result.rows]
+
+    def explainQuery(self, queryText: str) -> list[str]:
+        self.require_active()
+        return self.engine.explain(queryText).splitlines()
+
+    def getCacheStats(self) -> list[str]:
+        self.require_active()
+        return self._cache_records()
+
+    def invalidateCache(self) -> int:
+        self.require_active()
+        return self.engine.invalidate_cache()
+
+    # ---------------------------------------------------------------- SDEs
+    def _cache_records(self) -> list[str]:
+        records = self.engine.plan_cache.stats.as_records()
+        records.append(f"entries|{len(self.engine.plan_cache)}")
+        return records
+
+    def _publish_cache_stats(self) -> None:
+        self.service_data.set("planCacheStats", self._cache_records())
+
+    def FindServiceData(self, queryExpression: str) -> str:
+        self._publish_cache_stats()
+        return super().FindServiceData(queryExpression)

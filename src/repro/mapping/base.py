@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 
-from repro.core.semantic import PerformanceResult
+from repro.core.semantic import AggregateRecord, PerformanceResult
 from repro.simnet.metrics import Recorder
 
 #: comparison operators accepted by attribute queries
@@ -117,6 +117,54 @@ class ExecutionWrapper(ABC):
         ``result_type`` of ``"UNDEFINED"`` matches any tool type.
         """
 
+    def get_pr_aggregate(
+        self,
+        metric: str,
+        foci: list[str],
+        start: float,
+        end: float,
+        result_type: str,
+        min_value: float | None = None,
+        max_value: float | None = None,
+        group_by: str = "",
+    ) -> list[AggregateRecord]:
+        """Aggregate matching Performance Results at the store.
+
+        Generic fallback: evaluates :meth:`get_pr` and reduces the rows
+        in the Mapping Layer — still server-side, so only accumulator
+        buckets cross the Services Layer.  RDBMS wrappers override this
+        with real SQL ``WHERE``/``GROUP BY`` push-down.
+
+        ``min_value``/``max_value`` filter rows by value (inclusive);
+        ``group_by`` is ``""`` (one global bucket) or ``"focus"`` (one
+        bucket per result focus).  Buckets are only emitted for non-empty
+        groups — a query matching nothing returns no records.
+        """
+        if group_by not in ("", "focus"):
+            raise MappingError(f"unsupported aggregate group_by {group_by!r}")
+        buckets: dict[str, list[float]] = {}
+        for result in self.get_pr(metric, foci, start, end, result_type):
+            value = result.value
+            if min_value is not None and value < min_value:
+                continue
+            if max_value is not None and value > max_value:
+                continue
+            key = result.focus if group_by == "focus" else ""
+            acc = buckets.get(key)
+            if acc is None:
+                buckets[key] = [1.0, value, value, value]
+            else:
+                acc[0] += 1.0
+                acc[1] += value
+                if value < acc[2]:
+                    acc[2] = value
+                if value > acc[3]:
+                    acc[3] = value
+        return [
+            AggregateRecord(key, int(acc[0]), acc[1], acc[2], acc[3])
+            for key, acc in sorted(buckets.items())
+        ]
+
 
 class TimedExecutionWrapper(ExecutionWrapper):
     """Decorator recording Mapping-Layer query time into a recorder.
@@ -157,3 +205,21 @@ class TimedExecutionWrapper(ExecutionWrapper):
     ) -> list[PerformanceResult]:
         with self.recorder.time(self.timer_name):
             return self.inner.get_pr(metric, foci, start, end, result_type)
+
+    def get_pr_aggregate(
+        self,
+        metric: str,
+        foci: list[str],
+        start: float,
+        end: float,
+        result_type: str,
+        min_value: float | None = None,
+        max_value: float | None = None,
+        group_by: str = "",
+    ) -> list[AggregateRecord]:
+        # Forward to the inner wrapper so its SQL push-down (if any) is
+        # used; inheriting the default would silently aggregate in Python.
+        with self.recorder.time(f"{self.timer_name}.agg"):
+            return self.inner.get_pr_aggregate(
+                metric, foci, start, end, result_type, min_value, max_value, group_by
+            )

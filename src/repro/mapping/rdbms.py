@@ -7,11 +7,55 @@ into PPerfGrid types.
 
 from __future__ import annotations
 
-from repro.core.semantic import UNDEFINED_TYPE, PerformanceResult
+from repro.core.semantic import UNDEFINED_TYPE, AggregateRecord, PerformanceResult
 from repro.mapping.base import ApplicationWrapper, ExecutionWrapper, MappingError
 from repro.minidb import Connection, Database, connect
 
 _SQL_OPS = {"=": "=", "!=": "!=", "<": "<", "<=": "<=", ">": ">", ">=": ">="}
+
+
+def _value_bounds_sql(expr: str, min_value: float | None, max_value: float | None):
+    """WHERE fragments (and params) filtering *expr* to [min, max]."""
+    clauses: list[str] = []
+    params: list[float] = []
+    if min_value is not None:
+        clauses.append(f"({expr}) >= ?")
+        params.append(min_value)
+    if max_value is not None:
+        clauses.append(f"({expr}) <= ?")
+        params.append(max_value)
+    return clauses, params
+
+
+class _Bucket:
+    """Combinable aggregation state shared by the SQL push-down paths."""
+
+    __slots__ = ("count", "total", "minimum", "maximum")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.minimum = 0.0
+        self.maximum = 0.0
+
+    def absorb(self, count: int, total: float, minimum: float, maximum: float) -> None:
+        if count <= 0:
+            return
+        if self.count == 0:
+            self.minimum, self.maximum = minimum, maximum
+        else:
+            self.minimum = min(self.minimum, minimum)
+            self.maximum = max(self.maximum, maximum)
+        self.count += count
+        self.total += total
+
+
+def _bucket_records(buckets: dict[str, _Bucket]) -> list[AggregateRecord]:
+    return [
+        AggregateRecord(key, b.count, b.total, b.minimum, b.maximum)
+        for key, b in sorted(buckets.items())
+        if b.count > 0
+    ]
 
 
 def _sql_value(value: str, numeric: bool) -> object:
@@ -71,6 +115,8 @@ class HplRdbmsWrapper(ApplicationWrapper):
     def get_exec_ids(self, attribute: str, value: str, operator: str = "=") -> list[str]:
         self.check_operator(operator)
         attr = attribute.lower()
+        if attr == "execid":
+            attr = "runid"  # uniform alias: every store answers execid queries
         if attr == "runid":
             pass
         elif attr not in self.ATTRIBUTES:
@@ -166,6 +212,43 @@ class HplRdbmsExecutionWrapper(ExecutionWrapper):
                 )
             )
         return results
+
+    def get_pr_aggregate(
+        self,
+        metric: str,
+        foci: list[str],
+        start: float,
+        end: float,
+        result_type: str,
+        min_value: float | None = None,
+        max_value: float | None = None,
+        group_by: str = "",
+    ) -> list[AggregateRecord]:
+        """SQL push-down: the value filter runs inside minidb's WHERE."""
+        if group_by not in ("", "focus"):
+            raise MappingError(f"unsupported aggregate group_by {group_by!r}")
+        if not _type_matches(result_type, HplRdbmsWrapper.result_type):
+            return []
+        if metric not in HplRdbmsWrapper.METRICS:
+            raise MappingError(f"unknown HPL metric {metric!r}")
+        if "/Run" not in foci:
+            return []
+        where = ["runid = ?"]
+        params: list[object] = [self.runid]
+        clauses, bound_params = _value_bounds_sql(metric, min_value, max_value)
+        where.extend(clauses)
+        params.extend(bound_params)
+        row = self.conn.execute(
+            f"SELECT COUNT(*), SUM({metric}), MIN({metric}), MAX({metric}) "
+            f"FROM hpl_runs WHERE {' AND '.join(where)}",
+            params,
+        ).fetchone()
+        assert row is not None
+        count = int(row[0])
+        if count == 0:
+            return []
+        group = "/Run" if group_by == "focus" else ""
+        return [AggregateRecord(group, count, float(row[1]), float(row[2]), float(row[3]))]
 
 
 # ----------------------------------------------------------------- SMG98
@@ -304,6 +387,94 @@ class Smg98ExecutionWrapper(ExecutionWrapper):
             else:
                 raise MappingError(f"unknown SMG98 focus {focus!r}")
         return results
+
+    def get_pr_aggregate(
+        self,
+        metric: str,
+        foci: list[str],
+        start: float,
+        end: float,
+        result_type: str,
+        min_value: float | None = None,
+        max_value: float | None = None,
+        group_by: str = "",
+    ) -> list[AggregateRecord]:
+        """SQL push-down for the trace-granularity metrics.
+
+        ``time_spent`` on ``/Code`` foci and ``msg_deliv_time`` on
+        ``/Messages`` — the payloads that dominate Table 4 — reduce to a
+        single ``SELECT COUNT/SUM/MIN/MAX`` with the value filter in the
+        ``WHERE`` clause, so thousands of interval rows never leave the
+        store.  Shapes minidb cannot express in one statement (per-rank
+        subaggregates) fall back to the generic Mapping-Layer reduction,
+        which is still server-side.
+        """
+        if group_by not in ("", "focus"):
+            raise MappingError(f"unsupported aggregate group_by {group_by!r}")
+        if not _type_matches(result_type, Smg98RdbmsWrapper.result_type):
+            return []
+        known = Smg98RdbmsWrapper.CODE_METRICS + Smg98RdbmsWrapper.MESSAGE_METRICS
+        if metric not in known:
+            raise MappingError(f"unknown SMG98 metric {metric!r}")
+        lo, hi = self._window(start, end)
+        buckets: dict[str, _Bucket] = {}
+
+        def absorb(key: str, count: int, total: float, mn: float, mx: float) -> None:
+            buckets.setdefault(key, _Bucket()).absorb(count, total, mn, mx)
+
+        for focus in foci:
+            key = focus if group_by == "focus" else ""
+            if focus.startswith("/Code/") and metric == "time_spent":
+                parts = focus.split("/")
+                if len(parts) != 4:
+                    raise MappingError(f"bad /Code focus {focus!r}")
+                _, _, grp, name = parts
+                expr = "i.end_ts - i.start_ts"
+                where = [
+                    "i.execid = ?", "f.grp = ?", "f.name = ?",
+                    "i.start_ts >= ?", "i.end_ts <= ?",
+                ]
+                params: list[object] = [self.execid, grp, name, lo, hi]
+                clauses, bound_params = _value_bounds_sql(expr, min_value, max_value)
+                where.extend(clauses)
+                params.extend(bound_params)
+                row = self.conn.execute(
+                    f"SELECT COUNT(*), SUM({expr}), MIN({expr}), MAX({expr}) "
+                    "FROM intervals i JOIN functions f ON i.funcid = f.funcid "
+                    f"WHERE {' AND '.join(where)}",
+                    params,
+                ).fetchone()
+                assert row is not None
+                if int(row[0]):
+                    absorb(key, int(row[0]), float(row[1]), float(row[2]), float(row[3]))
+            elif focus == "/Messages" and metric == "msg_deliv_time" and group_by != "focus":
+                # Focus grouping cannot use this shape: delivery-time
+                # results carry per-message foci (/Messages/<snd>-<rcv>),
+                # so those buckets come from the generic path below.
+                expr = "recv_ts - send_ts"
+                where = ["execid = ?", "send_ts >= ?", "recv_ts <= ?"]
+                params = [self.execid, lo, hi]
+                clauses, bound_params = _value_bounds_sql(expr, min_value, max_value)
+                where.extend(clauses)
+                params.extend(bound_params)
+                row = self.conn.execute(
+                    f"SELECT COUNT(*), SUM({expr}), MIN({expr}), MAX({expr}) "
+                    f"FROM messages WHERE {' AND '.join(where)}",
+                    params,
+                ).fetchone()
+                assert row is not None
+                if int(row[0]):
+                    absorb(key, int(row[0]), float(row[1]), float(row[2]), float(row[3]))
+            else:
+                # Per-rank / per-function subaggregates need a derived
+                # table; reduce those foci through the generic path.
+                for record in super().get_pr_aggregate(
+                    metric, [focus], start, end, result_type,
+                    min_value, max_value, group_by,
+                ):
+                    absorb(record.group, record.count, record.total,
+                           record.minimum, record.maximum)
+        return _bucket_records(buckets)
 
     def _code_focus(
         self, metric: str, focus: str, lo: float, hi: float
@@ -519,3 +690,57 @@ class PrestaRdbmsExecutionWrapper(ExecutionWrapper):
                     )
                 )
         return results
+
+    def get_pr_aggregate(
+        self,
+        metric: str,
+        foci: list[str],
+        start: float,
+        end: float,
+        result_type: str,
+        min_value: float | None = None,
+        max_value: float | None = None,
+        group_by: str = "",
+    ) -> list[AggregateRecord]:
+        """SQL push-down; grouping by focus becomes a real SQL GROUP BY."""
+        if group_by not in ("", "focus"):
+            raise MappingError(f"unsupported aggregate group_by {group_by!r}")
+        if not _type_matches(result_type, PrestaRdbmsWrapper.result_type):
+            return []
+        if metric not in PrestaRdbmsWrapper.METRICS:
+            raise MappingError(f"unknown PRESTA metric {metric!r}")
+        buckets: dict[str, _Bucket] = {}
+        for focus in foci:
+            if not focus.startswith("/Op/"):
+                raise MappingError(f"unknown PRESTA focus {focus!r}")
+            op = focus[len("/Op/") :]
+            where = ["execid = ?", "op = ?"]
+            params: list[object] = [self.execid, op]
+            clauses, bound_params = _value_bounds_sql(metric, min_value, max_value)
+            where.extend(clauses)
+            params.extend(bound_params)
+            aggs = f"COUNT(*), SUM({metric}), MIN({metric}), MAX({metric})"
+            if group_by == "focus":
+                # get_pr renders one result per message size, so the focus
+                # grouping is a per-msgsize GROUP BY inside the store.
+                cursor = self.conn.execute(
+                    f"SELECT msgsize, {aggs} FROM rma_results "
+                    f"WHERE {' AND '.join(where)} GROUP BY msgsize ORDER BY msgsize",
+                    params,
+                )
+                for size, count, total, mn, mx in cursor.fetchall():
+                    if int(count):
+                        buckets.setdefault(
+                            f"{focus}/msgsize/{size}", _Bucket()
+                        ).absorb(int(count), float(total), float(mn), float(mx))
+            else:
+                row = self.conn.execute(
+                    f"SELECT {aggs} FROM rma_results WHERE {' AND '.join(where)}",
+                    params,
+                ).fetchone()
+                assert row is not None
+                if int(row[0]):
+                    buckets.setdefault("", _Bucket()).absorb(
+                        int(row[0]), float(row[1]), float(row[2]), float(row[3])
+                    )
+        return _bucket_records(buckets)

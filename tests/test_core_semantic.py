@@ -89,7 +89,8 @@ class TestPortTypes:
 
     def test_table2_operations(self):
         ops = [name for name, _ in execution_porttype_table()]
-        # The six Table 2 operations plus the documented §7 extension.
+        # The six Table 2 operations plus the documented extensions:
+        # getPRAgg (federated push-down) and getPRAsync (§7 callbacks).
         assert ops == [
             "getInfo",
             "getFoci",
@@ -97,6 +98,7 @@ class TestPortTypes:
             "getTypes",
             "getTimeStartEnd",
             "getPR",
+            "getPRAgg",
             "getPRAsync",
         ]
 

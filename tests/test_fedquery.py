@@ -1,0 +1,505 @@
+"""Tests for the federated query subsystem (repro.fedquery)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.experiments.common import GridScale, build_grid
+from repro.fedquery import (
+    Accumulator,
+    FEDERATED_QUERY_PORTTYPE,
+    Predicate,
+    Query,
+    QueryError,
+    ResultRow,
+    SelectItem,
+    choose_fanout,
+    naive_query,
+    order_rows,
+    parse_query,
+    plan_query,
+)
+from repro.fedquery.merge import StreamingMerger, TaskContext
+from repro.core.semantic import AggregateRecord, PerformanceResult
+
+
+@pytest.fixture(scope="module")
+def fed_grid():
+    """A tiny grid with a deployed FederatedQuery service.
+
+    Module-scoped (not the session ``shared_grid``) because
+    ``deploy_federation`` repoints the grid's client at the service.
+    """
+    grid = build_grid(GridScale.tiny())
+    grid.deploy_federation()
+    yield grid
+    grid.cleanup()
+
+
+def rows_equal(left: list[ResultRow], right: list[ResultRow]) -> bool:
+    if len(left) != len(right):
+        return False
+    for a, b in zip(left, right):
+        if a.columns != b.columns:
+            return False
+        for va, vb in zip(a.values, b.values):
+            if isinstance(va, float) or isinstance(vb, float):
+                if not math.isclose(float(va), float(vb), rel_tol=1e-9, abs_tol=1e-12):
+                    return False
+            elif va != vb:
+                return False
+    return True
+
+
+class TestParser:
+    def test_full_grammar(self):
+        q = parse_query(
+            "SELECT mean(time_spent), count(time_spent) FROM SMG98 "
+            "WHERE numprocs >= 16 AND focus = '/Code/MPI' "
+            "GROUP BY numprocs ORDER BY numprocs DESC LIMIT 3"
+        )
+        assert q.select == (
+            SelectItem("time_spent", "mean"),
+            SelectItem("time_spent", "count"),
+        )
+        assert q.sources == ("SMG98",)
+        assert q.where == (
+            Predicate("numprocs", ">=", "16"),
+            Predicate("focus", "=", "/Code/MPI"),
+        )
+        assert q.group_by == ("numprocs",)
+        assert q.order_by == "numprocs"
+        assert q.order_desc is True
+        assert q.limit == 3
+
+    def test_minimal_query(self):
+        q = parse_query("SELECT gflops")
+        assert q.select == (SelectItem("gflops"),)
+        assert q.sources == () and q.where == () and q.limit is None
+        assert not q.is_aggregate
+
+    def test_keywords_case_insensitive(self):
+        q = parse_query("select Count(x) from HPL group by app order by app asc")
+        assert q.aggregates[0].func == "count"
+        assert q.order_desc is False
+
+    def test_in_list(self):
+        q = parse_query("SELECT gflops WHERE numprocs IN (2, 8, 16)")
+        assert q.where == (Predicate("numprocs", "in", ("2", "8", "16")),)
+
+    def test_order_by_aggregate_label(self):
+        q = parse_query("SELECT count(gflops) GROUP BY app ORDER BY count(gflops)")
+        assert q.order_by == "count(gflops)"
+
+    def test_quoted_literals(self):
+        q = parse_query("SELECT gflops WHERE machine = 'jefferson node'")
+        assert q.where[0].value == "jefferson node"
+
+    def test_unquoted_path_literals(self):
+        q = parse_query("SELECT time_spent WHERE focus = /Code/MPI/MPI_Allreduce")
+        assert q.where[0].value == "/Code/MPI/MPI_Allreduce"
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "   ",
+            "SELECT",
+            "gflops",  # no SELECT keyword
+            "SELECT gflops WHERE",
+            "SELECT gflops WHERE machine = 'unterminated",
+            "SELECT gflops LIMIT many",
+            "SELECT gflops LIMIT -1",
+            "SELECT gflops trailing",
+            "SELECT median(gflops)",  # unknown aggregate
+            "SELECT gflops, count(gflops)",  # raw + aggregate mix
+            "SELECT gflops GROUP BY numprocs",  # GROUP BY without aggregate
+            "SELECT count(gflops) ORDER BY nothere",  # not an output column
+            "SELECT count(gflops) GROUP BY value",  # reserved group key
+            "SELECT gflops WHERE value = notanumber",
+            "SELECT gflops WHERE focus > '/a'",  # focus only supports = / IN
+            "SELECT gflops WHERE type != hpl",  # type only supports =
+            "SELECT gflops WHERE start <= 5",  # start only supports >=
+            "SELECT gflops WHERE numprocs ? 4",
+        ],
+    )
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(QueryError):
+            parse_query(bad)
+
+
+class TestFingerprint:
+    def test_where_and_from_order_normalized(self):
+        a = parse_query("SELECT count(x) FROM A, B WHERE p = 1 AND q = 2 GROUP BY app")
+        b = parse_query("SELECT count(x) FROM B, A WHERE q = 2 AND p = 1 GROUP BY app")
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_in_values_normalized(self):
+        a = parse_query("SELECT count(x) WHERE p IN (1, 2)")
+        b = parse_query("SELECT count(x) WHERE p IN (2, 1)")
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_select_order_preserved(self):
+        a = parse_query("SELECT count(x), mean(x)")
+        b = parse_query("SELECT mean(x), count(x)")
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_group_order_preserved(self):
+        a = parse_query("SELECT count(x) GROUP BY app, numprocs")
+        b = parse_query("SELECT count(x) GROUP BY numprocs, app")
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_limit_and_order_distinguish(self):
+        base = parse_query("SELECT count(x) GROUP BY app").fingerprint()
+        assert parse_query("SELECT count(x) GROUP BY app LIMIT 5").fingerprint() != base
+        assert (
+            parse_query("SELECT count(x) GROUP BY app ORDER BY app DESC").fingerprint()
+            != base
+        )
+
+
+CATALOG = {
+    "HPL": {"numprocs": ["1", "2"], "machine": ["wyeast"]},
+    "SMG98": {"numprocs": ["8", "16"], "nx": ["32"]},
+    "PRESTA-RMA": {"numprocs": ["16"], "network": ["myrinet"]},
+}
+
+
+class TestPlanner:
+    def test_prunes_by_from_clause(self):
+        plan = plan_query(parse_query("SELECT count(gflops) FROM HPL GROUP BY app"), CATALOG)
+        assert [m.app for m in plan.members] == ["HPL"]
+        assert sorted(p.app for p in plan.pruned) == ["PRESTA-RMA", "SMG98"]
+        assert all("FROM" in p.reason for p in plan.pruned)
+
+    def test_prunes_by_app_predicate(self):
+        plan = plan_query(parse_query("SELECT count(x) WHERE app != HPL GROUP BY app"), CATALOG)
+        assert sorted(m.app for m in plan.members) == ["PRESTA-RMA", "SMG98"]
+
+    def test_prunes_unpublished_attribute(self):
+        plan = plan_query(parse_query("SELECT count(x) WHERE nx = 32 GROUP BY app"), CATALOG)
+        assert [m.app for m in plan.members] == ["SMG98"]
+        reasons = {p.app: p.reason for p in plan.pruned}
+        assert "nx" in reasons["HPL"]
+
+    def test_prunes_unpublished_group_attribute(self):
+        plan = plan_query(parse_query("SELECT count(x) GROUP BY network"), CATALOG)
+        assert [m.app for m in plan.members] == ["PRESTA-RMA"]
+
+    def test_aggregate_mode_with_inclusive_bounds(self):
+        plan = plan_query(
+            parse_query("SELECT mean(x) WHERE value >= 1 AND value <= 9 GROUP BY app"),
+            CATALOG,
+        )
+        assert plan.mode == "aggregate"
+        sub = plan.members[0].subqueries[0]
+        assert (sub.min_value, sub.max_value) == (1.0, 9.0)
+
+    def test_raw_mode_on_strict_value_predicate(self):
+        plan = plan_query(parse_query("SELECT mean(x) WHERE value > 1 GROUP BY app"), CATALOG)
+        assert plan.mode == "raw"
+        assert plan.members[0].subqueries[0].min_value is None
+
+    def test_raw_mode_for_raw_select(self):
+        plan = plan_query(parse_query("SELECT gflops FROM HPL"), CATALOG)
+        assert plan.mode == "raw"
+        assert plan.members[0].needs_exec_id is True
+
+    def test_in_predicate_decomposes_to_union(self):
+        plan = plan_query(
+            parse_query("SELECT count(x) WHERE numprocs IN (8, 16) GROUP BY app"),
+            CATALOG,
+        )
+        selector = plan.members[0].selector
+        assert selector.conjuncts == ((("numprocs", "8", "="), ("numprocs", "16", "=")),)
+
+    def test_conjuncts_intersect(self):
+        plan = plan_query(
+            parse_query("SELECT count(x) FROM SMG98 WHERE numprocs >= 8 AND nx = 32 GROUP BY app"),
+            CATALOG,
+        )
+        selector = plan.members[0].selector
+        assert len(selector.conjuncts) == 2
+
+    def test_window_and_focus_pushdown(self):
+        plan = plan_query(
+            parse_query(
+                "SELECT count(x) WHERE start >= 1.5 AND end <= 9.5 "
+                "AND focus IN ('/a', '/b') GROUP BY app"
+            ),
+            CATALOG,
+        )
+        assert plan.window == (1.5, 9.5)
+        assert plan.members[0].foci == frozenset({"/a", "/b"})
+
+    def test_group_by_focus_flag(self):
+        plan = plan_query(parse_query("SELECT count(x) GROUP BY focus"), CATALOG)
+        assert plan.members[0].subqueries[0].group_by_focus is True
+        assert plan.members[0].needs_info is False
+
+    def test_exec_group_needs_exec_id(self):
+        plan = plan_query(parse_query("SELECT count(x) GROUP BY exec"), CATALOG)
+        assert plan.members[0].needs_exec_id is True
+
+    def test_explain_mentions_everything(self):
+        plan = plan_query(
+            parse_query("SELECT mean(x) FROM HPL WHERE numprocs = 2 GROUP BY machine"),
+            CATALOG,
+        )
+        text = plan.explain()
+        assert "mode: aggregate" in text
+        assert "getExecsOp(numprocs, '2', =)" in text
+        assert "pruned SMG98" in text and "pruned PRESTA-RMA" in text
+
+
+class TestAccumulator:
+    def test_add_matches_python_aggregates(self):
+        values = [3.5, -1.25, 7.0, 0.5]
+        acc = Accumulator()
+        for v in values:
+            acc.add(v)
+        assert acc.result("count") == len(values)
+        assert acc.result("sum") == pytest.approx(sum(values))
+        assert acc.result("mean") == pytest.approx(sum(values) / len(values))
+        assert acc.result("min") == min(values)
+        assert acc.result("max") == max(values)
+
+    def test_absorb_combines_partials(self):
+        acc = Accumulator()
+        acc.absorb(AggregateRecord("g", count=2, total=5.0, minimum=2.0, maximum=3.0))
+        acc.absorb(AggregateRecord("g", count=1, total=-1.0, minimum=-1.0, maximum=-1.0))
+        assert acc.result("count") == 3
+        assert acc.result("sum") == pytest.approx(4.0)
+        assert acc.result("min") == -1.0
+        assert acc.result("max") == 3.0
+
+    def test_absorb_ignores_empty_bucket(self):
+        acc = Accumulator()
+        acc.absorb(AggregateRecord("g", count=0, total=0.0, minimum=0.0, maximum=0.0))
+        assert acc.count == 0
+
+    def test_unknown_func_rejected(self):
+        acc = Accumulator()
+        acc.add(1.0)
+        with pytest.raises(QueryError):
+            acc.result("median")
+
+
+class TestResultRow:
+    def test_pack_unpack_roundtrip(self):
+        row = ResultRow(
+            ("numprocs", "count(x)", "mean(x)", "value"),
+            ("16", 7, 1.5e-7, 2.25),
+        )
+        back = ResultRow.unpack(row.pack())
+        assert back == row
+        assert isinstance(back["count(x)"], int)
+        assert isinstance(back["mean(x)"], float)
+
+    def test_getitem_and_as_dict(self):
+        row = ResultRow(("app", "value"), ("HPL", 1.0))
+        assert row["app"] == "HPL"
+        assert row.as_dict() == {"app": "HPL", "value": 1.0}
+        with pytest.raises(KeyError):
+            row["missing"]
+
+    def test_unpack_rejects_malformed(self):
+        with pytest.raises(ValueError):
+            ResultRow.unpack("noequalsign")
+
+
+class TestOrderRows:
+    def rows(self):
+        cols = ("numprocs", "count(x)")
+        return [
+            ResultRow(cols, ("16", 3)),
+            ResultRow(cols, ("2", 9)),
+            ResultRow(cols, ("8", 1)),
+        ]
+
+    def test_default_order_is_numeric(self):
+        q = parse_query("SELECT count(x) GROUP BY numprocs")
+        ordered = order_rows(self.rows(), q)
+        assert [r["numprocs"] for r in ordered] == ["2", "8", "16"]
+
+    def test_explicit_order_by_desc(self):
+        q = parse_query("SELECT count(x) GROUP BY numprocs ORDER BY count(x) DESC")
+        ordered = order_rows(self.rows(), q)
+        assert [r["count(x)"] for r in ordered] == [9, 3, 1]
+
+    def test_limit_applies_after_order(self):
+        q = parse_query("SELECT count(x) GROUP BY numprocs ORDER BY numprocs LIMIT 2")
+        ordered = order_rows(self.rows(), q)
+        assert [r["numprocs"] for r in ordered] == ["2", "8"]
+
+    def test_mixed_types_sort_stably(self):
+        cols = ("k", "count(x)")
+        rows = [ResultRow(cols, ("banana", 1)), ResultRow(cols, ("10", 1))]
+        q = parse_query("SELECT count(x) GROUP BY k ORDER BY k")
+        assert [r["k"] for r in order_rows(rows, q)] == ["10", "banana"]
+
+
+class TestMergerSemantics:
+    def test_group_requires_every_metric(self):
+        q = parse_query("SELECT count(a), count(b) GROUP BY app")
+        merger = StreamingMerger(q)
+        ctx = TaskContext(app="HPL")
+        merger.absorb_results(ctx, "a", [PerformanceResult("a", "/f", "t", 0, 1, 1.0)])
+        assert merger.rows() == []  # no metric b yet -> incomplete group
+        merger.absorb_results(ctx, "b", [PerformanceResult("b", "/f", "t", 0, 1, 2.0)])
+        rows = merger.rows()
+        assert len(rows) == 1 and rows[0]["count(a)"] == 1
+
+    def test_missing_group_attribute_drops_record(self):
+        q = parse_query("SELECT count(a) GROUP BY numprocs")
+        merger = StreamingMerger(q)
+        merger.absorb_results(
+            TaskContext(app="HPL", info={}),
+            "a",
+            [PerformanceResult("a", "/f", "t", 0, 1, 1.0)],
+        )
+        assert merger.rows() == []
+
+    def test_value_predicate_filters_raw_results(self):
+        q = parse_query("SELECT count(a) WHERE value > 5 GROUP BY app")
+        merger = StreamingMerger(q)
+        merger.absorb_results(
+            TaskContext(app="HPL"),
+            "a",
+            [
+                PerformanceResult("a", "/f", "t", 0, 1, 4.0),
+                PerformanceResult("a", "/f", "t", 0, 1, 6.0),
+            ],
+        )
+        assert merger.rows()[0]["count(a)"] == 1
+
+
+class TestChooseFanout:
+    def test_default_without_managers(self):
+        assert choose_fanout([]) == 8
+        assert choose_fanout([{"replicas": 0}]) == 8
+
+    def test_two_slots_per_replica(self):
+        assert choose_fanout([{"replicas": 2}, {"replicas": 1}]) == 6
+
+    def test_floor_and_cap(self):
+        assert choose_fanout([{"replicas": 1}]) == 2
+        assert choose_fanout([{"replicas": 100}]) == 32
+
+
+class TestFederationEngine:
+    def test_aggregate_matches_naive(self, fed_grid):
+        text = (
+            "SELECT count(gflops), mean(gflops), max(gflops) FROM HPL "
+            "WHERE numprocs >= 2 GROUP BY numprocs"
+        )
+        engine = fed_grid.fed_engine
+        result = engine.execute(text)
+        assert result.cached is False
+        assert result.plan.mode == "aggregate"
+        assert rows_equal(result.rows, naive_query(text, engine.members()))
+
+    def test_raw_matches_naive(self, fed_grid):
+        text = "SELECT gflops FROM HPL WHERE numprocs = 16 AND value > 1"
+        engine = fed_grid.fed_engine
+        result = engine.execute(text)
+        assert result.plan.mode == "raw"
+        assert result.rows and rows_equal(result.rows, naive_query(text, engine.members()))
+        assert result.rows[0].columns == (
+            "app", "exec", "metric", "focus", "type", "start", "end", "value",
+        )
+
+    def test_plan_cache_hit_returns_same_rows(self, fed_grid):
+        text = "SELECT count(latency_us) FROM PRESTA-RMA GROUP BY network"
+        engine = fed_grid.fed_engine
+        cold = engine.execute(text)
+        hot = engine.execute(text)
+        assert cold.cached is False and hot.cached is True
+        assert hot.rows == cold.rows
+        # equivalent spelling hits the same fingerprint
+        assert engine.execute(
+            "SELECT count(latency_us) FROM PRESTA-RMA GROUP BY network"
+        ).cached
+
+    def test_invalidate_cache(self, fed_grid):
+        engine = fed_grid.fed_engine
+        engine.execute("SELECT count(gflops) FROM HPL GROUP BY app")
+        assert engine.invalidate_cache() >= 1
+        assert len(engine.plan_cache) == 0
+
+    def test_unknown_source_rejected(self, fed_grid):
+        with pytest.raises(QueryError, match="unknown application"):
+            fed_grid.fed_engine.execute("SELECT count(x) FROM NOPE GROUP BY app")
+
+    def test_unpublished_metric_skipped_not_fatal(self, fed_grid):
+        # gflops exists only on HPL; SMG98/PRESTA contribute nothing
+        result = fed_grid.fed_engine.execute("SELECT count(gflops) GROUP BY app")
+        assert [r["app"] for r in result.rows] == ["HPL"]
+        assert result.stats["skipped_metrics"] >= 2
+
+    def test_explain_without_execution(self, fed_grid):
+        engine = fed_grid.fed_engine
+        before = len(engine.plan_cache)
+        text = engine.explain("SELECT mean(time_spent) FROM SMG98 GROUP BY numprocs")
+        assert "member SMG98" in text and "pruned HPL" in text
+        assert len(engine.plan_cache) == before  # explain never executes
+
+    def test_stats_counters(self, fed_grid):
+        engine = fed_grid.fed_engine
+        engine.invalidate_cache()
+        result = engine.execute("SELECT count(resid) FROM HPL GROUP BY numprocs")
+        assert result.stats["executions"] == 12
+        assert result.stats["calls"] >= 12
+        assert result.stats["records"] >= 1
+
+
+class TestFederatedQueryService:
+    def stub(self, grid):
+        return grid.environment.stub_for_handle(grid.fed_gsh, FEDERATED_QUERY_PORTTYPE)
+
+    def test_client_query_over_soap(self, fed_grid):
+        text = (
+            "SELECT mean(time_spent), count(time_spent) FROM SMG98 "
+            "WHERE numprocs >= 16 GROUP BY numprocs ORDER BY numprocs"
+        )
+        rows = fed_grid.client.query(text)
+        assert rows and rows_equal(rows, naive_query(text, fed_grid.fed_engine.members()))
+
+    def test_client_explain_over_soap(self, fed_grid):
+        text = fed_grid.client.explain_query("SELECT count(gflops) FROM HPL GROUP BY app")
+        assert "member HPL" in text
+
+    def test_query_without_federation_rejected(self, fed_grid):
+        from repro.core.client import PPerfGridClient
+
+        bare = PPerfGridClient(fed_grid.environment, fed_grid.uddi_gsh)
+        with pytest.raises(RuntimeError, match="use_federation"):
+            bare.query("SELECT gflops")
+
+    def test_cache_stats_operation(self, fed_grid):
+        stub = self.stub(fed_grid)
+        stub.invalidateCache()
+        fed_grid.client.query("SELECT count(gflops) FROM HPL GROUP BY app")
+        fed_grid.client.query("SELECT count(gflops) FROM HPL GROUP BY app")
+        records = dict(r.split("|", 1) for r in stub.getCacheStats())
+        assert int(records["hits"]) >= 1
+        assert int(records["misses"]) >= 1
+        assert int(records["entries"]) >= 1
+        assert set(records) >= {"hits", "misses", "evictions", "lookups", "hitRate", "entries"}
+
+    def test_invalidate_over_soap(self, fed_grid):
+        stub = self.stub(fed_grid)
+        fed_grid.client.query("SELECT count(resid) FROM HPL GROUP BY machine")
+        assert stub.invalidateCache() >= 1
+        assert stub.invalidateCache() == 0
+
+    def test_plan_cache_stats_service_data(self, fed_grid):
+        from repro.fedquery.executor import _sde_values
+
+        stub = self.stub(fed_grid)
+        fed_grid.client.query("SELECT count(gflops) FROM HPL GROUP BY app")
+        values = _sde_values(stub.FindServiceData("name:planCacheStats"))
+        names = {v.split("|", 1)[0] for v in values}
+        assert {"hits", "misses", "entries"} <= names

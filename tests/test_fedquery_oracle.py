@@ -1,0 +1,201 @@
+"""Property test: the planned federated pipeline == the naive oracle.
+
+Generates a few hundred randomized queries from the live grid's own
+vocabulary (published query params, metrics, foci, tool types, observed
+value/time ranges) and checks that the full planner/push-down/fan-out/
+merge pipeline returns exactly what the boring client-side evaluation
+in :mod:`repro.fedquery.naive` returns — same rows, same order, floats
+compared with ``math.isclose`` (SQL aggregates sum in store order, the
+oracle in arrival order).
+
+All three store flavors are exercised: HPL (RDBMS, scalar metrics),
+SMG98 (RDBMS, 5-table Vampir trace) and PRESTA-RMA (flat text files).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from types import SimpleNamespace
+
+import pytest
+
+from repro.experiments.common import GridScale, build_grid
+from repro.fedquery import ResultRow, naive_query
+from repro.fedquery.merge import RAW_COLUMNS
+
+#: randomized queries checked against the oracle (ISSUE floor: 200)
+N_QUERIES = 240
+
+AGG_FUNCS = ("count", "sum", "mean", "min", "max")
+
+
+def rows_equal(left: list[ResultRow], right: list[ResultRow]) -> bool:
+    if len(left) != len(right):
+        return False
+    for a, b in zip(left, right):
+        if a.columns != b.columns:
+            return False
+        for va, vb in zip(a.values, b.values):
+            if isinstance(va, float) or isinstance(vb, float):
+                if not math.isclose(float(va), float(vb), rel_tol=1e-9, abs_tol=1e-12):
+                    return False
+            elif va != vb:
+                return False
+    return True
+
+
+@pytest.fixture(scope="module")
+def oracle_env():
+    grid = build_grid(GridScale.tiny())
+    engine = grid.deploy_federation()
+    members = engine.members()
+
+    params: dict[str, dict[str, list[str]]] = {}
+    metrics: dict[str, list[str]] = {}
+    foci: dict[str, list[str]] = {}
+    types: dict[str, str] = {}
+    for name, binding in members.items():
+        params[name] = binding.exec_query_params()
+        probe = binding.all_executions()[0]
+        metrics[name] = probe.metrics()
+        foci[name] = probe.foci()
+        types[name] = probe.types()[0]
+
+    # observed value samples and time horizon, for plausible predicates
+    samples: dict[str, list[float]] = {}
+    end_max = 1.0
+    for app, app_metrics in metrics.items():
+        for metric in app_metrics:
+            result = engine.execute(f"SELECT {metric} FROM {app}")
+            values = samples.setdefault(metric, [])
+            for row in result.rows:
+                values.append(float(row["value"]))
+                end_max = max(end_max, float(row["end"]))
+    samples = {m: sorted(v) for m, v in samples.items() if v}
+    engine.invalidate_cache()
+
+    yield SimpleNamespace(
+        grid=grid,
+        engine=engine,
+        members=members,
+        apps=sorted(members),
+        params=params,
+        metrics=metrics,
+        foci=foci,
+        types=types,
+        samples=samples,
+        end_max=end_max,
+    )
+    grid.cleanup()
+
+
+def _quote(text: str) -> str:
+    return f"'{text}'"
+
+
+def make_query(rng: random.Random, V) -> str:
+    """One random, always-valid query drawn from the grid's vocabulary."""
+    aggregate = rng.random() < 0.6
+    sources: list[str] = []
+    if rng.random() < 0.5:
+        sources = rng.sample(V.apps, rng.randint(1, len(V.apps)))
+    candidates = sources or V.apps
+    primary = rng.choice(candidates)
+    pool = V.metrics[primary]
+    chosen = rng.sample(pool, 1 if rng.random() < 0.7 else min(2, len(pool)))
+
+    where: list[str] = []
+    if rng.random() < 0.6:  # execution-attribute predicate
+        attr = rng.choice(sorted(V.params[primary]))
+        values = V.params[primary][attr]
+        op = rng.choice(("=", "!=", "<", "<=", ">", ">=", "in"))
+        if op == "in":
+            picked = rng.sample(values, min(len(values), rng.randint(1, 3)))
+            where.append(f"{attr} IN ({', '.join(_quote(v) for v in picked)})")
+        else:
+            where.append(f"{attr} {op} {_quote(rng.choice(values))}")
+    if rng.random() < 0.2:  # app predicate
+        op = rng.choice(("=", "!=", "in"))
+        if op == "in":
+            picked = rng.sample(V.apps, rng.randint(1, 2))
+            where.append(f"app IN ({', '.join(_quote(a) for a in picked)})")
+        else:
+            where.append(f"app {op} {_quote(rng.choice(V.apps))}")
+    if rng.random() < 0.15:  # execution-id predicate
+        op = rng.choice(("=", "<=", ">=", "!="))
+        where.append(f"exec {op} {_quote(str(rng.randint(0, 11)))}")
+    if rng.random() < 0.35:  # focus predicate (narrows the query foci)
+        app_foci = V.foci[primary]
+        if rng.random() < 0.5 or len(app_foci) == 1:
+            where.append(f"focus = {_quote(rng.choice(app_foci))}")
+        else:
+            picked = rng.sample(app_foci, min(len(app_foci), rng.randint(2, 3)))
+            where.append(f"focus IN ({', '.join(_quote(f) for f in picked)})")
+    if rng.random() < 0.15:  # tool-type predicate
+        where.append(f"type = {_quote(V.types[rng.choice(candidates)])}")
+    if rng.random() < 0.25:  # time window
+        where.append(f"start >= {round(rng.uniform(0.0, V.end_max * 0.5), 3)}")
+    if rng.random() < 0.25:
+        where.append(f"end <= {round(rng.uniform(V.end_max * 0.25, V.end_max), 3)}")
+    values = V.samples.get(chosen[0])
+    if values and rng.random() < 0.45:  # value predicate
+        threshold = rng.choice(values)
+        op = rng.choice(("<", "<=", "<=", ">", ">=", ">=", "=", "!="))
+        where.append(f"value {op} {threshold!r}")
+
+    group_by: list[str] = []
+    if aggregate:
+        funcs = rng.sample(AGG_FUNCS, rng.randint(1, 3))
+        items = [f"{func}({metric})" for metric in chosen for func in funcs]
+        if rng.random() < 0.9:
+            keys = ["app", "exec", "focus"] + sorted(V.params[primary])
+            group_by = rng.sample(keys, rng.randint(1, 2))
+        # floats from SQL and Python can differ in the last ulp, so only
+        # order on exact columns (group keys and integer counts)
+        order_pool = group_by + [i for i in items if i.startswith("count(")]
+    else:
+        items = list(chosen)
+        order_pool = list(RAW_COLUMNS)
+
+    text = "SELECT " + ", ".join(items)
+    if sources:
+        text += " FROM " + ", ".join(sources)
+    if where:
+        text += " WHERE " + " AND ".join(where)
+    if group_by:
+        text += " GROUP BY " + ", ".join(group_by)
+    if order_pool and rng.random() < 0.4:
+        text += f" ORDER BY {rng.choice(order_pool)}"
+        if rng.random() < 0.5:
+            text += " DESC"
+    if rng.random() < 0.3:
+        text += f" LIMIT {rng.randint(1, 12)}"
+    return text
+
+
+@pytest.mark.parametrize("seed", range(N_QUERIES))
+def test_planned_matches_naive(oracle_env, seed):
+    rng = random.Random(7000 + seed)
+    text = make_query(rng, oracle_env)
+    planned = oracle_env.engine.execute(text)
+    expected = naive_query(text, oracle_env.members)
+    assert rows_equal(planned.rows, expected), (
+        f"planned != naive for {text!r}\n"
+        f"planned ({len(planned.rows)}): {[r.pack() for r in planned.rows[:5]]}\n"
+        f"naive   ({len(expected)}): {[r.pack() for r in expected[:5]]}"
+    )
+
+
+@pytest.mark.parametrize("app", ["HPL", "SMG98", "PRESTA-RMA"])
+def test_every_store_flavor_agrees(oracle_env, app):
+    """Deterministic per-store check, so a store-specific regression is
+    attributed directly even if the randomized sweep shifts."""
+    metric = oracle_env.metrics[app][0]
+    text = (
+        f"SELECT count({metric}), mean({metric}), min({metric}), max({metric}) "
+        f"FROM {app} GROUP BY numprocs ORDER BY numprocs"
+    )
+    planned = oracle_env.engine.execute(text)
+    assert planned.rows, f"no rows for {text!r}"
+    assert rows_equal(planned.rows, naive_query(text, oracle_env.members))

@@ -143,3 +143,27 @@ class TestPolicies:
         policy = LeastLoadedPolicy()
         replicas = [_Replica(assigned=10), _Replica(assigned=0)]
         assert policy.choose(replicas, "k", 0) == 1
+
+
+class TestStatsSnapshot:
+    def test_stats_reflect_topology_and_caching(self, replicated_site):
+        env, site, client = replicated_site
+        app = client.bind(site.factory_url, "HPL")
+        app.all_executions()
+        app.all_executions()
+        stats = site.manager.stats()
+        assert stats["policy"] == "interleaved"
+        assert stats["replicas"] == 2
+        assert stats["creations"] == 8
+        assert stats["cache_hits"] >= 8
+        assert stats["lookups"] == stats["creations"] + stats["cache_hits"]
+        assert 0.0 < stats["hit_rate"] < 1.0
+        assert stats["cached_instances"] == 8
+        assert stats["instances_per_host"] == {"hostA:1": 4, "hostB:1": 4}
+
+    def test_stats_before_any_query(self, replicated_site):
+        env, site, client = replicated_site
+        stats = site.manager.stats()
+        assert stats["creations"] == 0
+        assert stats["hit_rate"] == 0.0
+        assert stats["instances_per_host"] == {"hostA:1": 0, "hostB:1": 0}

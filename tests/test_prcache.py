@@ -163,3 +163,31 @@ class TestStats:
 
     def test_hit_rate_empty(self):
         assert UnboundedCache().stats.hit_rate == 0.0
+
+
+class TestCacheStatsServiceData:
+    """The PR cache counters travel as the ``cacheStats`` SDE (queried
+    through the standard OGSI findServiceData operation)."""
+
+    @staticmethod
+    def records(execution) -> dict[str, str]:
+        from repro.xmlkit import parse
+
+        root = parse(execution.find_service_data("name:cacheStats")).root
+        values = [el.text() for el in root.iter_all() if el.tag.local == "value"]
+        return dict(value.split("|", 1) for value in values)
+
+    def test_counters_refresh_with_queries(self, shared_grid):
+        execution = shared_grid.bind("HPL").all_executions()[0]
+        before = self.records(execution)
+        assert set(before) >= {"hits", "misses", "evictions", "lookups", "hitRate", "entries"}
+        # a window no other test uses, so the first call must miss
+        start, end = 0.000321, execution.time_range()[1]
+        execution.get_pr("gflops", ["/Run"], start, end, "UNDEFINED")
+        execution.get_pr("gflops", ["/Run"], start, end, "UNDEFINED")
+        after = self.records(execution)
+        assert int(after["misses"]) >= int(before["misses"]) + 1
+        assert int(after["hits"]) >= int(before["hits"]) + 1
+        assert int(after["entries"]) >= 1
+        assert int(after["lookups"]) == int(after["hits"]) + int(after["misses"])
+        assert 0.0 <= float(after["hitRate"]) <= 1.0

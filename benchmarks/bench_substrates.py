@@ -11,7 +11,7 @@ from repro.datastores import generate_hpl, generate_presta, generate_smg98
 from repro.datastores.textfiles import parse_presta_file
 from repro.minidb import connect
 from repro.soap.rpc import decode_response, encode_response
-from repro.xmlkit import parse, serialize, xpath_select
+from repro.xmlkit import parse, xpath_select
 
 _SAMPLE_PRS = [
     f"time_spent|/Code/MPI/MPI_Allgather|vampir|{i}.000000000-{i}.100000000|0.001"

@@ -15,7 +15,7 @@ Virtualization -> SOAP -> Semantic -> Mapping -> data-store path.
 from conftest import write_result
 
 from repro.core.semantic import UNDEFINED_TYPE
-from repro.experiments.overhead import measure_source, run_overhead_experiment
+from repro.experiments.overhead import run_overhead_experiment
 
 
 def test_table4_regeneration(paper_grid_uncached, benchmark):

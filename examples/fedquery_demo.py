@@ -56,6 +56,25 @@ def main() -> None:
     hot = time.perf_counter() - t0
     print(f"\n== plan cache: cold {cold * 1000:.1f} ms, hot {hot * 1000:.2f} ms")
 
+    # Cache coherence: deploy_federation() subscribed the service to every
+    # member Execution's data-update topic, so a store update invalidates
+    # exactly the cached plans that read it — the PRESTA plan above stays
+    # cached while the HPL plans recompute.
+    hpl_text = "SELECT max(gflops) FROM HPL GROUP BY app"
+    show(hpl_text, grid.client.query(hpl_text))
+    exec_id = grid.hpl_site.wrapper.get_all_exec_ids()[0]
+    grid.hpl_site.wrapper.conn.execute(
+        "UPDATE hpl_runs SET gflops = ? WHERE runid = ?", [99999.0, int(exec_id)]
+    )
+    grid.execution_service("HPL", exec_id).data_updated("gflops recalibrated")
+    show(hpl_text + "  (after data_updated)", grid.client.query(hpl_text))
+    stats = grid.client.coherence_stats()
+    print(
+        f"\n== coherence: {stats['subscriptions']} subscriptions, "
+        f"{stats['invalidations']} targeted invalidation(s), "
+        f"{stats['fullClears']} full clear(s)"
+    )
+
     grid.cleanup()
 
 

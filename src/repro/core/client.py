@@ -26,7 +26,6 @@ from repro.core.semantic import (
 )
 from repro.mapping.base import ApplicationWrapper
 from repro.ogsi.container import GridEnvironment
-from repro.ogsi.gsh import GridServiceHandle
 from repro.ogsi.porttypes import FACTORY_PORTTYPE
 from repro.uddi.proxy import OrganizationProxy, ServiceProxy, UddiClient
 
@@ -478,6 +477,25 @@ class PPerfGridClient:
         if self._fed_stub is None:
             raise RuntimeError("no federation configured; call use_federation() first")
         return "\n".join(self._fed_stub.explainQuery(text))
+
+    def subscribe_updates(self) -> int:
+        """Ask the federation to subscribe to member data-update topics.
+
+        Afterwards a ``data_updated()`` on any member Execution drops
+        exactly the cached plans that read it (see README "Update
+        notifications & cache coherence").  Returns the number of new
+        subscriptions made.
+        """
+        if self._fed_stub is None:
+            raise RuntimeError("no federation configured; call use_federation() first")
+        return int(self._fed_stub.subscribeUpdates())
+
+    def coherence_stats(self) -> dict[str, int]:
+        """The federation's cache-coherence counters."""
+        if self._fed_stub is None:
+            raise RuntimeError("no federation configured; call use_federation() first")
+        records = _parse_pairs(self._fed_stub.coherenceStats())
+        return {name: int(value) for name, value in records.items()}
 
     def unbind_all(self) -> None:
         for binding in self.bindings:

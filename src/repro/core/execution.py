@@ -40,10 +40,14 @@ class ExecutionService(GridServiceBase, NotificationSourceMixin):
         self.wrapper = wrapper
         self.exec_id = exec_id
         self.cache = cache if cache is not None else UnboundedCache()
+        #: data generation: bumped on every data_updated(), so clients
+        #: can detect results computed against a superseded store state
+        self.generation = 0
 
     def on_deployed(self, container, gsh) -> None:
         super().on_deployed(container, gsh)
         self.service_data.set("execId", self.exec_id)
+        self.service_data.set("generation", str(self.generation))
         self._publish_cache_stats()
         # Future-work §7: expose metrics/foci/types/time as SDEs so an
         # XPath FindServiceData query can answer discovery questions.
@@ -210,20 +214,37 @@ class ExecutionService(GridServiceBase, NotificationSourceMixin):
         self.cache.clear()
 
     # --------------------------------------------------- update support
-    def announce_update(self, description: str) -> int:
+    def data_updated(self, description: str = "") -> int:
         """Notify subscribers that the underlying data store changed.
 
-        Refreshes discovery SDEs and invalidates the PR cache first, so a
-        notified client re-querying sees fresh data.  Returns the number
-        of push deliveries made.
+        Ordering matters for coherence: the generation is bumped and the
+        PR cache cleared *before* the notification goes out, so a
+        subscriber that re-queries from inside its delivery callback can
+        never replay pre-update packed results, and any in-flight reader
+        holding the old generation can recognize its results as
+        superseded.  Discovery SDEs are refreshed too.  Returns the
+        number of push deliveries made.
+
+        The notification body is ``execId|generation|sourceHandle|description``
+        — the handle disambiguates executions whose ids collide across
+        Applications (runids restart at 1 per store).
         """
         self.require_active()
+        self.generation += 1
         self.cache.clear()
+        self.service_data.set("generation", str(self.generation))
         self.service_data.set("metrics", self.wrapper.get_metrics())
         self.service_data.set("foci", self.wrapper.get_foci())
         start, end = self.wrapper.get_time_start_end()
         self.service_data.set("timeStartEnd", [repr(start), repr(end)])
-        return self.notify("data-update", f"{self.exec_id}|{description}")
+        source = self.gsh.url() if self.gsh is not None else ""
+        return self.notify(
+            "data-update", f"{self.exec_id}|{self.generation}|{source}|{description}"
+        )
+
+    def announce_update(self, description: str) -> int:
+        """Back-compat alias for :meth:`data_updated`."""
+        return self.data_updated(description)
 
     def unpack_results(self, packed: list[str]) -> list[PerformanceResult]:
         """Convenience for in-process callers/tests."""

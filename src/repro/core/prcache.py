@@ -18,11 +18,17 @@ from typing import Callable
 
 @dataclass
 class CacheStats:
-    """Hit/miss/eviction accounting."""
+    """Hit/miss/eviction accounting.
+
+    ``invalidations`` counts entries dropped through targeted
+    :meth:`PrCache.remove` calls (coherence-driven), as opposed to
+    capacity ``evictions``.
+    """
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    invalidations: int = 0
 
     @property
     def lookups(self) -> int:
@@ -38,6 +44,7 @@ class CacheStats:
             f"hits|{self.hits}",
             f"misses|{self.misses}",
             f"evictions|{self.evictions}",
+            f"invalidations|{self.invalidations}",
             f"lookups|{self.lookups}",
             f"hitRate|{self.hit_rate:.6f}",
         ]
@@ -56,6 +63,9 @@ class PrCache(ABC):
     def _put(self, key: str, value: list[str]) -> None: ...
 
     @abstractmethod
+    def _remove(self, key: str) -> bool: ...
+
+    @abstractmethod
     def __len__(self) -> int: ...
 
     def get(self, key: str) -> list[str] | None:
@@ -69,6 +79,17 @@ class PrCache(ABC):
     def put(self, key: str, value: list[str]) -> None:
         self._put(key, list(value))
 
+    def remove(self, key: str) -> bool:
+        """Drop one entry (targeted invalidation); True if it existed."""
+        removed = self._remove(key)
+        if removed:
+            self.stats.invalidations += 1
+        return removed
+
+    def contains(self, key: str) -> bool:
+        """Membership probe that does not touch the hit/miss counters."""
+        return self._get(key) is not None
+
     def clear(self) -> None:  # pragma: no cover - overridden where stateful
         raise NotImplementedError
 
@@ -81,6 +102,9 @@ class NullCache(PrCache):
 
     def _put(self, key: str, value: list[str]) -> None:
         pass
+
+    def _remove(self, key: str) -> bool:
+        return False
 
     def __len__(self) -> int:
         return 0
@@ -101,6 +125,9 @@ class UnboundedCache(PrCache):
 
     def _put(self, key: str, value: list[str]) -> None:
         self._table[key] = value
+
+    def _remove(self, key: str) -> bool:
+        return self._table.pop(key, None) is not None
 
     def __len__(self) -> int:
         return len(self._table)
@@ -132,6 +159,9 @@ class LruCache(PrCache):
         while len(self._table) > self.capacity:
             self._table.popitem(last=False)
             self.stats.evictions += 1
+
+    def _remove(self, key: str) -> bool:
+        return self._table.pop(key, None) is not None
 
     def __len__(self) -> int:
         return len(self._table)
@@ -184,6 +214,9 @@ class AdaptiveCache(PrCache):
         while len(self._table) > capacity:
             self._table.popitem(last=False)
             self.stats.evictions += 1
+
+    def _remove(self, key: str) -> bool:
+        return self._table.pop(key, None) is not None
 
     def __len__(self) -> int:
         return len(self._table)

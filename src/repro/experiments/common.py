@@ -76,14 +76,17 @@ class TestGrid:
     def site(self, name: str) -> PPerfGridSite:
         return self.sites[name]
 
-    def deploy_federation(self, authority: str = "fed.pdx.edu:9090"):
+    def deploy_federation(self, authority: str = "fed.pdx.edu:9090", coherence: bool = True):
         """Deploy a FederatedQuery service over this grid's members.
 
         The federation endpoint is itself a Grid-service *client* of the
         member Applications: it gets its own PPerfGridClient against the
         registry, and the site Managers feed its fan-out sizing.  The
         grid's main client is pointed at the deployed service, so
-        ``grid.client.query(...)`` works afterwards.  Returns the engine
+        ``grid.client.query(...)`` works afterwards.  With ``coherence``
+        (the default) the service also subscribes to every member
+        Execution's data-update topic, so store updates invalidate
+        exactly the cached plans that read them.  Returns the engine
         (useful for local, in-process execution in tests).
         """
         from repro.fedquery.executor import FederationEngine
@@ -97,11 +100,29 @@ class TestGrid:
         container = self.environment.container_for(authority)
         if container is None:
             container = self.environment.create_container(authority)
-        gsh = container.deploy("services/FederatedQuery", FederatedQueryService(engine))
+        service = FederatedQueryService(engine)
+        gsh = container.deploy("services/FederatedQuery", service)
         self.fed_gsh = gsh.url()
         self.fed_engine = engine
         self.client.use_federation(self.fed_gsh)
+        if coherence:
+            service.subscribeUpdates()
         return engine
+
+    def execution_service(self, site_name: str, exec_id: str):
+        """The live ExecutionService instance for *exec_id*, or None.
+
+        Lets tests and demos trigger ``data_updated()`` on the
+        publisher-side service (the instance the Manager memoized), the
+        way a streaming ingest tool co-located with the store would.
+        """
+        site = self.sites[site_name]
+        for container in [site.container, *site.replica_containers]:
+            for path in container.service_paths():
+                service = container.service_at(path)
+                if getattr(service, "exec_id", None) == exec_id:
+                    return service
+        return None
 
     def bind(self, app_name: str):
         """Bind the client to one published application by name."""

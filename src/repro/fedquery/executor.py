@@ -9,14 +9,25 @@
    a thread pool whose width follows the Managers' replica topology
    (container dispatch is serialized per container, so useful
    concurrency ≈ a couple of slots per replica container).  The merge
-   itself happens on the calling thread as futures complete.
+   itself happens on the calling thread as futures complete.  Per-task
+   failures degrade the result (surviving members' rows are returned,
+   the failures are counted) instead of aborting the whole query.
 3. **Plan cache** — whole query results are memoized on the query's
    canonical fingerprint (an LRU of packed rows), so repeated dashboards
    cost one cache probe instead of a federation sweep.
+4. **Cache coherence** — every cached fingerprint records the
+   ``(app, exec_id)`` set it read.  :meth:`FederationEngine.enable_coherence`
+   deploys a NotificationSink next to the engine and subscribes it to
+   each member Execution's ``data-update`` topic; a delivery drops only
+   the plans whose dependency set includes the updated execution.  A
+   per-member generation counter closes the insert-after-invalidate
+   race: results computed against a superseded generation are discarded
+   instead of being cached.
 """
 
 from __future__ import annotations
 
+import threading
 from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
 from dataclasses import dataclass, field
 
@@ -59,13 +70,18 @@ def _sde_values(xml: str) -> list[str]:
 
 @dataclass
 class QueryResult:
-    """One answered federated query."""
+    """One answered federated query.
+
+    ``errors`` carries one message per failed member task (degraded
+    result); such results are never memoized in the plan cache.
+    """
 
     rows: list[ResultRow]
     columns: tuple[str, ...]
     cached: bool
     plan: Plan | None
     stats: dict[str, int] = field(default_factory=dict)
+    errors: list[str] = field(default_factory=list)
 
 
 class FederationEngine:
@@ -92,6 +108,35 @@ class FederationEngine:
         self._params: dict[str, dict[str, list[str]]] = {}
         self._metrics: dict[str, list[str]] = {}
         self._exec_ids: dict[str, str] = {}
+        # ---- coherence state (guarded by _coherence_lock) ----
+        #: fingerprint -> {(app, exec_id)} read when the entry was cached
+        self._plan_deps: dict[str, frozenset[tuple[str, str]]] = {}
+        #: engine-local data generation per (app, exec_id); bumped on
+        #: every data-update delivery, snapshotted around each execute
+        self._generations: dict[tuple[str, str], int] = {}
+        #: global epoch: bumped on full-cache clears so in-flight queries
+        #: that started before the clear cannot re-insert stale rows
+        self._epoch = 0
+        #: source handle -> (app, exec_id), learned at subscription time;
+        #: the precise attribution for data-update deliveries
+        self._source_keys: dict[str, tuple[str, str]] = {}
+        #: exec_id -> apps it belongs to — the fallback attribution when
+        #: a delivery carries no (known) source handle; exec ids can
+        #: collide across apps, so this may over-invalidate
+        self._exec_apps: dict[str, set[str]] = {}
+        #: execution GSHs already subscribed (enables re-subscription
+        #: sweeps after new members publish)
+        self._subscribed: set[str] = set()
+        self._sink = None
+        self._sink_gsh = None
+        self._coherence_lock = threading.Lock()
+        self.coherence = {
+            "subscriptions": 0,
+            "notifications": 0,
+            "invalidations": 0,
+            "fullClears": 0,
+            "staleDiscards": 0,
+        }
 
     # ------------------------------------------------------------ catalog
     def members(self) -> dict[str, object]:
@@ -106,10 +151,16 @@ class FederationEngine:
         return self._bindings
 
     def refresh_members(self) -> None:
-        """Forget discovery results (e.g. after new members publish)."""
+        """Forget discovery results (e.g. after new members publish).
+
+        ``_exec_ids`` must go too: a re-published member can reuse a GSH
+        for a different execution, and a stale GSH -> execId mapping
+        would silently mislabel (and mis-invalidate) its results.
+        """
         self._bindings = None
         self._params.clear()
         self._metrics.clear()
+        self._exec_ids.clear()
 
     def _member_params(self, name: str, binding) -> dict[str, list[str]]:
         params = self._params.get(name)
@@ -151,34 +202,184 @@ class FederationEngine:
             )
         plan = self._plan(query)
         merger = StreamingMerger(query)
-        stats = {"executions": 0, "calls": 0, "records": 0, "skipped_metrics": 0}
+        stats = {
+            "executions": 0,
+            "calls": 0,
+            "records": 0,
+            "skipped_metrics": 0,
+            "errors": 0,
+        }
+        errors: list[str] = []
+        deps: set[tuple[str, str]] = set()
         tasks = self._collect_tasks(plan, stats)
+        # generation snapshot *before* any member is read: a data-update
+        # delivered at any point during the fan-out changes _generations,
+        # which marks this query's results as computed against a
+        # superseded store state
+        with self._coherence_lock:
+            gen_snapshot = dict(self._generations)
+            epoch_snapshot = self._epoch
         width = self.max_workers or choose_fanout(
             [m.stats() for m in self.managers.values()]
         )
         if tasks:
             with ThreadPoolExecutor(max_workers=width) as pool:
                 pending = {pool.submit(task) for task in tasks}
-                # merge on this thread as completions stream in
-                while pending:
-                    done, pending = wait(pending, return_when=FIRST_COMPLETED)
-                    for future in done:
-                        self._merge_payloads(merger, future, stats)
+                try:
+                    # merge on this thread as completions stream in
+                    while pending:
+                        done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                        for future in done:
+                            self._merge_payloads(merger, future, stats, errors, deps)
+                except BaseException:
+                    # hard failure: don't let queued member tasks run to
+                    # completion during pool shutdown
+                    for future in pending:
+                        future.cancel()
+                    raise
+            if errors and not deps:
+                raise QueryError(
+                    f"all {len(tasks)} member task(s) failed: {'; '.join(errors[:3])}"
+                )
         rows = order_rows(merger.rows(), query)
-        self.plan_cache.put(fingerprint, [row.pack() for row in rows])
+        self._finish_uncached(fingerprint, deps, gen_snapshot, epoch_snapshot, rows, errors)
         return QueryResult(
             rows=rows,
             columns=query.output_columns,
             cached=False,
             plan=plan,
             stats=stats,
+            errors=errors,
         )
+
+    def _finish_uncached(
+        self,
+        fingerprint: str,
+        deps: set[tuple[str, str]],
+        gen_snapshot: dict[tuple[str, str], int],
+        epoch_snapshot: int,
+        rows: list[ResultRow],
+        errors: list[str],
+    ) -> None:
+        """Memoize a freshly computed result, unless it must not be.
+
+        Degraded results (per-task errors) are never cached; results any
+        of whose member generations (or the global epoch) moved during
+        the fan-out are the insert-after-invalidate race and are
+        discarded too.
+        """
+        if errors:
+            return
+        with self._coherence_lock:
+            stale = self._epoch != epoch_snapshot or any(
+                self._generations.get(dep, 0) != gen_snapshot.get(dep, 0)
+                for dep in deps
+            )
+            if stale:
+                self.coherence["staleDiscards"] += 1
+                return
+            self.plan_cache.put(fingerprint, [row.pack() for row in rows])
+            self._plan_deps[fingerprint] = frozenset(deps)
+            self._prune_deps_locked()
+
+    def _prune_deps_locked(self) -> None:
+        """Drop dependency records whose cache entries were LRU-evicted."""
+        if len(self._plan_deps) <= 2 * max(1, len(self.plan_cache)):
+            return
+        self._plan_deps = {
+            fp: dep
+            for fp, dep in self._plan_deps.items()
+            if self.plan_cache.contains(fp)
+        }
 
     def invalidate_cache(self) -> int:
         """Drop all memoized query results; returns how many were dropped."""
-        dropped = len(self.plan_cache)
-        self.plan_cache.clear()
+        with self._coherence_lock:
+            dropped = len(self.plan_cache)
+            self.plan_cache.clear()
+            self._plan_deps.clear()
+            self._epoch += 1
         return dropped
+
+    # ----------------------------------------------------------- coherence
+    def enable_coherence(self, container) -> int:
+        """Subscribe a sink to every member Execution's data-update topic.
+
+        Deploys a NotificationSink next to the engine (once) in
+        *container*, walks every member's executions, and subscribes the
+        sink to each one's ``data-update`` topic.  Safe to call again
+        after :meth:`refresh_members` — already-subscribed executions are
+        skipped.  Returns the number of *new* subscriptions made.
+        """
+        from repro.ogsi.notification import NotificationSinkBase
+
+        if self._sink is None:
+            self._sink = NotificationSinkBase(callback=self._on_update)
+            self._sink_gsh = container.deploy(
+                "services/FederatedQuery/coherence-sink", self._sink
+            )
+        sink_handle = self._sink_gsh.url()
+        subscribed = 0
+        for app, binding in self.members().items():
+            for execution in binding.all_executions():
+                if not hasattr(execution, "subscribe"):
+                    continue  # local-bypass executions have no Services Layer
+                exec_id = self._execution_id(execution)
+                with self._coherence_lock:
+                    self._source_keys[execution.gsh] = (app, exec_id)
+                    self._exec_apps.setdefault(exec_id, set()).add(app)
+                if execution.gsh in self._subscribed:
+                    continue
+                execution.subscribe("data-update", sink_handle)
+                self._subscribed.add(execution.gsh)
+                subscribed += 1
+        with self._coherence_lock:
+            self.coherence["subscriptions"] += subscribed
+        return subscribed
+
+    def _on_update(self, topic: str, message: str) -> None:
+        """Data-update delivery: drop exactly the plans that read the
+        updated execution.
+
+        The message is ``execId|generation|sourceHandle|description``
+        (see :meth:`repro.core.execution.ExecutionService.data_updated`).
+        Attribution prefers the source handle (exec ids collide across
+        Applications); an update the engine cannot attribute at all
+        falls back to a full cache clear — correctness over precision.
+        """
+        parts = message.split("|", 3)
+        exec_id = parts[0]
+        source = parts[2] if len(parts) >= 3 else ""
+        with self._coherence_lock:
+            self.coherence["notifications"] += 1
+            known = self._source_keys.get(source)
+            if known is not None:
+                deps = [known]
+            else:
+                deps = [(app, exec_id) for app in self._exec_apps.get(exec_id, ())]
+            if not deps:
+                # unattributable update: clear everything, and bump the
+                # epoch so any in-flight query discards instead of
+                # re-caching stale rows
+                self.coherence["fullClears"] += 1
+                self.plan_cache.clear()
+                self._plan_deps.clear()
+                self._epoch += 1
+                return
+            for dep in deps:
+                self._generations[dep] = self._generations.get(dep, 0) + 1
+                for fingerprint, dep_set in list(self._plan_deps.items()):
+                    if dep in dep_set:
+                        del self._plan_deps[fingerprint]
+                        if self.plan_cache.remove(fingerprint):
+                            self.coherence["invalidations"] += 1
+
+    def coherence_stats(self) -> dict[str, int]:
+        """Snapshot of the coherence counters plus tracked-plan count."""
+        with self._coherence_lock:
+            stats = dict(self.coherence)
+            stats["trackedPlans"] = len(self._plan_deps)
+        return stats
 
     # ----------------------------------------------------------- internals
     def _parse(self, query: str | Query) -> Query:
@@ -239,7 +440,9 @@ class FederationEngine:
 
     def _make_task(self, member: MemberPlan, execution, subqueries):
         def run():
-            exec_id = self._execution_id(execution) if member.needs_exec_id else ""
+            # exec_id is always resolved (cached per GSH): the coherence
+            # layer keys plan dependencies on (app, exec_id)
+            exec_id = self._execution_id(execution)
             info = dict(execution.info()) if member.needs_info else None
             ctx = TaskContext(app=member.app, exec_id=exec_id, info=info)
             foci = filter_foci(execution.foci(), member.foci)
@@ -268,8 +471,30 @@ class FederationEngine:
 
         return run
 
-    def _merge_payloads(self, merger: StreamingMerger, future: Future, stats) -> None:
-        ctx, payloads = future.result()
+    def _merge_payloads(
+        self,
+        merger: StreamingMerger,
+        future: Future,
+        stats,
+        errors: list[str],
+        deps: set[tuple[str, str]],
+    ) -> None:
+        """Fold one completed member task into the merger.
+
+        A :class:`QueryError` is a hard failure (planning/protocol — the
+        whole query is wrong) and propagates; any other per-task
+        exception degrades the result: it is counted, recorded, and the
+        surviving members' rows still come back.
+        """
+        try:
+            ctx, payloads = future.result()
+        except QueryError:
+            raise
+        except Exception as exc:
+            stats["errors"] += 1
+            errors.append(f"{type(exc).__name__}: {exc}")
+            return
+        deps.add((ctx.app, ctx.exec_id))
         for metric, kind, payload in payloads:
             stats["calls"] += 1
             stats["records"] += len(payload)

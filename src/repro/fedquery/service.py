@@ -64,6 +64,28 @@ FEDERATED_QUERY_PORTTYPE = PortType(
                 "dropped."
             ),
         ),
+        Operation(
+            "subscribeUpdates",
+            (),
+            "xsd:int",
+            doc=(
+                "Deploy a NotificationSink next to the engine and "
+                "subscribe it to every member Execution's data-update "
+                "topic, so a store update invalidates exactly the cached "
+                "plans that read it. Idempotent; returns the number of "
+                "new subscriptions made."
+            ),
+        ),
+        Operation(
+            "coherenceStats",
+            (),
+            "xsd:string[]",
+            doc=(
+                "Cache-coherence counters as 'name|value' records: "
+                "subscriptions, notifications, invalidations, "
+                "fullClears, staleDiscards, trackedPlans."
+            ),
+        ),
     ),
     extends=(GRID_SERVICE_PORTTYPE,),
 )
@@ -100,6 +122,16 @@ class FederatedQueryService(GridServiceBase):
         self.require_active()
         return self.engine.invalidate_cache()
 
+    def subscribeUpdates(self) -> int:
+        self.require_active()
+        if self.container is None:
+            raise RuntimeError("FederatedQuery service is not deployed")
+        return self.engine.enable_coherence(self.container)
+
+    def coherenceStats(self) -> list[str]:
+        self.require_active()
+        return [f"{k}|{v}" for k, v in sorted(self.engine.coherence_stats().items())]
+
     # ---------------------------------------------------------------- SDEs
     def _cache_records(self) -> list[str]:
         records = self.engine.plan_cache.stats.as_records()
@@ -108,6 +140,10 @@ class FederatedQueryService(GridServiceBase):
 
     def _publish_cache_stats(self) -> None:
         self.service_data.set("planCacheStats", self._cache_records())
+        self.service_data.set(
+            "coherenceStats",
+            [f"{k}|{v}" for k, v in sorted(self.engine.coherence_stats().items())],
+        )
 
     def FindServiceData(self, queryExpression: str) -> str:
         self._publish_cache_stats()

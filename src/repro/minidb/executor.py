@@ -38,7 +38,7 @@ from repro.minidb.expr import (
     RowLayout,
     contains_aggregate,
 )
-from repro.minidb.sql_ast import JoinClause, OrderItem, SelectItem, SelectStmt, TableRef
+from repro.minidb.sql_ast import JoinClause, OrderItem, SelectStmt, TableRef
 from repro.minidb.storage import Table
 from repro.minidb.types import SqlValue, sort_key
 

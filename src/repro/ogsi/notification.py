@@ -13,10 +13,11 @@ implemented:
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 
 from repro.ogsi.gsh import GridServiceHandle
-from repro.ogsi.porttypes import NOTIFICATION_SINK_PORTTYPE, NOTIFICATION_SOURCE_PORTTYPE
+from repro.ogsi.porttypes import NOTIFICATION_SINK_PORTTYPE
 from repro.ogsi.service import GridServiceBase
 
 
@@ -39,6 +40,8 @@ class NotificationSourceMixin:
     def _init_notification_source(self) -> None:
         self._subscriptions: dict[str, Subscription] = {}
         self._subscription_counter = 0
+        #: deliveries that raised but whose subscription was kept
+        self.delivery_failures = 0
 
     def SubscribeToNotificationTopic(
         self, topic: str, sinkHandle: str, expirationTime: float
@@ -60,9 +63,18 @@ class NotificationSourceMixin:
     def notify(self, topic: str, message: str) -> int:
         """Push *message* to all live subscribers of *topic*.
 
-        Returns the number of successful deliveries.  Dead sinks (handle
-        no longer resolvable) are unsubscribed rather than retried — the
-        soft-state convention.
+        Returns the number of successful deliveries.  Two failure modes
+        are distinguished:
+
+        * the sink *handle* no longer resolves to a live service — the
+          sink is dead, so the subscription is dropped (the soft-state
+          convention);
+        * the *delivery* itself raises (e.g. a sink callback fails once)
+          — transient, so the subscription is kept and the failure is
+          counted in :attr:`delivery_failures`.
+
+        Expired subscriptions are pruned on every pass, whether or not
+        their topic matches.
         """
         container = self.container  # type: ignore[attr-defined]
         if container is None:
@@ -79,10 +91,14 @@ class NotificationSourceMixin:
                 stub = container.environment.stub_for_handle(
                     sub.sink_handle, NOTIFICATION_SINK_PORTTYPE
                 )
+            except Exception:
+                del self._subscriptions[sub_id]
+                continue
+            try:
                 stub.DeliverNotification(topic, message)
                 delivered += 1
             except Exception:
-                del self._subscriptions[sub_id]
+                self.delivery_failures += 1
         return delivered
 
     def subscription_count(self) -> int:
@@ -110,24 +126,22 @@ class PullNotificationSink(NotificationSinkBase):
     def __init__(self, max_queue: int = 1024) -> None:
         super().__init__(callback=None)
         self.max_queue = max_queue
-        self._queue: list[tuple[str, str]] = []
+        self._queue: deque[tuple[str, str]] = deque()
         self.dropped = 0
 
     def DeliverNotification(self, topic: str, message: str) -> None:
         self.require_active()
         if len(self._queue) >= self.max_queue:
-            self._queue.pop(0)
+            self._queue.popleft()  # O(1) overflow drop
             self.dropped += 1
         self._queue.append((topic, message))
 
     def poll(self, max_items: int | None = None) -> list[tuple[str, str]]:
         """Drain up to *max_items* queued (topic, message) pairs."""
         if max_items is None or max_items >= len(self._queue):
-            items, self._queue = self._queue, []
+            items, self._queue = list(self._queue), deque()
             return items
-        items = self._queue[:max_items]
-        self._queue = self._queue[max_items:]
-        return items
+        return [self._queue.popleft() for _ in range(max_items)]
 
     def pending(self) -> int:
         return len(self._queue)

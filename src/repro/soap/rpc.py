@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.soap.encoding import decode_value, encode_value
-from repro.soap.envelope import SoapEnvelope, SoapMessageError, build_envelope, parse_envelope
+from repro.soap.envelope import SoapMessageError, build_envelope, parse_envelope
 from repro.soap.faults import SoapFault
 from repro.xmlkit import Element, QName
 

@@ -165,9 +165,9 @@ class TestLocalBypass:
         remote = client.bind(site.factory_url, "HPL")  # not registered yet
         client.register_local_wrapper(site.factory_url, wrapper)
         local = client.bind(site.factory_url, "HPL")
-        r = remote.all_executions()[0].get_pr("gflops", ["/Run"])[0]
-        l = local.all_executions()[0].get_pr("gflops", ["/Run"])[0]
-        assert r.value == l.value
+        rem = remote.all_executions()[0].get_pr("gflops", ["/Run"])[0]
+        loc = local.all_executions()[0].get_pr("gflops", ["/Run"])[0]
+        assert rem.value == loc.value
         assert remote.num_executions() == local.num_executions()
         assert remote.exec_query_params() == local.exec_query_params()
 

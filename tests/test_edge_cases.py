@@ -1,8 +1,6 @@
 """Edge-case sweep across substrates: writer prefix scoping, SOAP
 boundaries, service-data staleness, wrapper corner inputs."""
 
-import pytest
-
 from repro.core.semantic import UNDEFINED_TYPE
 from repro.soap import decode_value, encode_value
 from repro.xmlkit import Element, QName, parse, serialize

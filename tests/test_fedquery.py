@@ -11,7 +11,6 @@ from repro.fedquery import (
     Accumulator,
     FEDERATED_QUERY_PORTTYPE,
     Predicate,
-    Query,
     QueryError,
     ResultRow,
     SelectItem,

@@ -1,0 +1,227 @@
+"""Cache coherence for the federated plan cache (notification-driven).
+
+Covers the coherence layer end to end: a ``data_updated()`` on one
+member Execution invalidates exactly the cached plans that read it,
+the insert-after-invalidate race is closed by generation counters, and
+member-task failures degrade the result instead of aborting the query.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import GridScale, build_grid
+from repro.fedquery import FEDERATED_QUERY_PORTTYPE, QueryError
+
+HPL_QUERY = "SELECT count(gflops), max(gflops) FROM HPL GROUP BY app"
+PRESTA_QUERY = "SELECT count(latency_us) FROM PRESTA-RMA GROUP BY network"
+
+
+@pytest.fixture()
+def grid():
+    """A tiny grid with a coherence-enabled FederatedQuery service."""
+    grid = build_grid(GridScale.tiny())
+    grid.deploy_federation()
+    yield grid
+    grid.cleanup()
+
+
+def hpl_exec_service(grid, index: int = 0):
+    exec_id = grid.hpl_site.wrapper.get_all_exec_ids()[index]
+    service = grid.execution_service("HPL", exec_id)
+    assert service is not None  # instantiated by subscribeUpdates()
+    return service
+
+
+class TestSubscriptions:
+    def test_deploy_federation_subscribes_members(self, grid):
+        stats = grid.fed_engine.coherence_stats()
+        executions = (
+            grid.scale.hpl_executions
+            + grid.scale.smg98_executions
+            + grid.scale.presta_executions
+        )
+        assert stats["subscriptions"] == executions
+        # every member Execution service carries exactly one subscription
+        assert hpl_exec_service(grid).subscription_count() == 1
+
+    def test_subscribe_updates_idempotent_over_soap(self, grid):
+        stub = grid.environment.stub_for_handle(grid.fed_gsh, FEDERATED_QUERY_PORTTYPE)
+        assert stub.subscribeUpdates() == 0  # deploy_federation already did it
+        assert grid.client.subscribe_updates() == 0
+        assert hpl_exec_service(grid).subscription_count() == 1
+
+    def test_coherence_stats_over_soap(self, grid):
+        stats = grid.client.coherence_stats()
+        assert set(stats) == {
+            "subscriptions",
+            "notifications",
+            "invalidations",
+            "fullClears",
+            "staleDiscards",
+            "trackedPlans",
+        }
+
+
+class TestTargetedInvalidation:
+    def test_update_drops_only_dependent_plans(self, grid):
+        engine = grid.fed_engine
+        before_max = engine.execute(HPL_QUERY).rows[0]["max(gflops)"]
+        engine.execute(PRESTA_QUERY)
+        assert engine.execute(HPL_QUERY).cached is True
+        assert engine.execute(PRESTA_QUERY).cached is True
+
+        # mutate the HPL store under one execution, then announce it
+        service = hpl_exec_service(grid)
+        grid.hpl_site.wrapper.conn.execute(
+            "UPDATE hpl_runs SET gflops = ? WHERE runid = ?",
+            [99999.0, int(service.exec_id)],
+        )
+        assert service.data_updated("gflops recalibrated") == 1
+
+        # the unrelated fingerprint still answers from the plan cache...
+        assert engine.execute(PRESTA_QUERY).cached is True
+        # ...while the affected one recomputes and sees the fresh rows
+        fresh = engine.execute(HPL_QUERY)
+        assert fresh.cached is False
+        assert fresh.rows[0]["max(gflops)"] == 99999.0
+        assert before_max != 99999.0
+
+        stats = grid.client.coherence_stats()
+        assert stats["invalidations"] >= 1
+        assert stats["fullClears"] == 0
+        assert stats["notifications"] >= 1
+
+    def test_recached_result_reflects_update(self, grid):
+        engine = grid.fed_engine
+        engine.execute(HPL_QUERY)
+        service = hpl_exec_service(grid)
+        grid.hpl_site.wrapper.conn.execute(
+            "UPDATE hpl_runs SET gflops = ? WHERE runid = ?",
+            [77777.0, int(service.exec_id)],
+        )
+        service.data_updated()
+        engine.execute(HPL_QUERY)
+        hot = engine.execute(HPL_QUERY)  # re-cached, post-update rows
+        assert hot.cached is True
+        assert hot.rows[0]["max(gflops)"] == 77777.0
+
+    def test_execution_pr_cache_cleared_before_notify(self, grid):
+        """A subscriber re-querying from its callback sees fresh data."""
+        service = hpl_exec_service(grid)
+        packed_before = service.getPR("gflops", ["/Run"], "0.0", "1e12", "UNDEFINED")
+        grid.hpl_site.wrapper.conn.execute(
+            "UPDATE hpl_runs SET gflops = ? WHERE runid = ?",
+            [55555.0, int(service.exec_id)],
+        )
+        seen_during_delivery: list[float] = []
+        from repro.ogsi.notification import NotificationSinkBase
+
+        def on_delivery(topic, message):
+            packed = service.getPR("gflops", ["/Run"], "0.0", "1e12", "UNDEFINED")
+            seen_during_delivery.append(service.unpack_results(packed)[0].value)
+
+        sink = NotificationSinkBase(callback=on_delivery)
+        gsh = grid.hpl_site.container.deploy("services/coherence-probe", sink)
+        service.SubscribeToNotificationTopic("data-update", gsh.url(), 0.0)
+        service.data_updated("probe")
+        assert seen_during_delivery == [55555.0]
+        assert service.unpack_results(packed_before)[0].value != 55555.0
+        assert service.generation == 1
+
+    def test_unattributable_update_falls_back_to_full_clear(self, grid):
+        engine = grid.fed_engine
+        engine.execute(HPL_QUERY)
+        engine._on_update("data-update", "no-such-exec|1|mystery")
+        assert engine.execute(HPL_QUERY).cached is False
+        assert engine.coherence_stats()["fullClears"] == 1
+
+
+class TestInsertAfterInvalidateRace:
+    def test_mid_query_update_discards_result(self, grid, monkeypatch):
+        engine = grid.fed_engine
+        service = hpl_exec_service(grid)
+        original = engine._collect_tasks
+
+        def racy_collect(plan, stats):
+            tasks = original(plan, stats)
+
+            def first_then_update(task=tasks[0]):
+                result = task()
+                # the store updates while the fan-out is still in flight
+                service.data_updated("mid-query")
+                return result
+
+            return [first_then_update, *tasks[1:]]
+
+        monkeypatch.setattr(engine, "_collect_tasks", racy_collect)
+        result = engine.execute(HPL_QUERY)
+        assert result.cached is False and result.rows
+        monkeypatch.setattr(engine, "_collect_tasks", original)
+        # the superseded result was discarded, not cached
+        assert engine.execute(HPL_QUERY).cached is False
+        assert engine.coherence_stats()["staleDiscards"] == 1
+
+
+class TestDegradedResults:
+    def test_one_failing_member_degrades_not_aborts(self, grid, monkeypatch):
+        engine = grid.fed_engine
+
+        def broken(*args, **kwargs):
+            raise RuntimeError("store connection lost")
+
+        monkeypatch.setattr(hpl_exec_service(grid), "getPRAgg", broken)
+        result = engine.execute("SELECT count(gflops) FROM HPL GROUP BY numprocs")
+        assert result.stats["errors"] == 1
+        assert len(result.errors) == 1 and "store connection lost" in result.errors[0]
+        # surviving executions still contribute rows
+        assert sum(r["count(gflops)"] for r in result.rows) > 0
+
+    def test_degraded_result_not_cached(self, grid, monkeypatch):
+        engine = grid.fed_engine
+        text = "SELECT mean(gflops) FROM HPL GROUP BY machine"
+
+        def broken(*args, **kwargs):
+            raise RuntimeError("transient")
+
+        monkeypatch.setattr(hpl_exec_service(grid), "getPRAgg", broken)
+        assert engine.execute(text).errors
+        monkeypatch.undo()
+        # the partial answer was not memoized; the retry is complete
+        retry = engine.execute(text)
+        assert retry.cached is False and not retry.errors
+        assert engine.execute(text).cached is True
+
+    def test_all_members_failing_raises(self, grid, monkeypatch):
+        engine = grid.fed_engine
+
+        def broken(*args, **kwargs):
+            raise RuntimeError("down")
+
+        for exec_id in grid.hpl_site.wrapper.get_all_exec_ids():
+            monkeypatch.setattr(
+                grid.execution_service("HPL", exec_id), "getPRAgg", broken
+            )
+        with pytest.raises(QueryError, match="member task"):
+            engine.execute("SELECT min(gflops) FROM HPL GROUP BY app")
+
+    def test_query_error_in_task_is_hard_failure(self, grid, monkeypatch):
+        engine = grid.fed_engine
+
+        def bad_exec_id(execution):
+            raise QueryError("execution publishes no execId")
+
+        monkeypatch.setattr(engine, "_execution_id", bad_exec_id)
+        with pytest.raises(QueryError, match="no execId"):
+            engine.execute("SELECT sum(gflops) FROM HPL GROUP BY app")
+
+
+class TestRefreshMembers:
+    def test_refresh_clears_exec_id_cache(self, grid):
+        engine = grid.fed_engine
+        engine.execute(HPL_QUERY)
+        assert engine._exec_ids  # populated during the fan-out
+        engine.refresh_members()
+        assert engine._exec_ids == {}
+        # re-discovery still answers correctly afterwards
+        assert engine.execute("SELECT count(resid) FROM HPL GROUP BY app").rows

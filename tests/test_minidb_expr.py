@@ -16,7 +16,6 @@ from repro.minidb.expr import (
     FuncCall,
     BinaryOp,
 )
-from repro.minidb.schema import ColumnDef, TableSchema
 from repro.minidb.types import SqlType, coerce, compare_values, sort_key
 
 

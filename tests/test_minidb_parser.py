@@ -7,7 +7,6 @@ from repro.minidb.expr import (
     Between,
     BinaryOp,
     BoolOp,
-    ColumnRef,
     Comparison,
     FuncCall,
     InList,

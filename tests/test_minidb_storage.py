@@ -122,7 +122,7 @@ class TestTable:
     def test_cannot_drop_pk_index(self):
         table = Table(_schema())
         with pytest.raises(ProgrammingError):
-            table.drop_index(f"__pk_t")
+            table.drop_index("__pk_t")
 
     def test_secondary_index_maintained(self):
         table = Table(_schema())

@@ -100,6 +100,56 @@ class TestPush:
         assert source.notify("t", "m") == 2
         assert received == [("t", "m")] and other == ["m"]
 
+    def test_expired_pruned_even_on_topic_mismatch(self, env, setup):
+        _, source, _, _, sink_gsh, received = setup
+        source.SubscribeToNotificationTopic("a", sink_gsh.url(), 5.0)
+        source.SubscribeToNotificationTopic("b", sink_gsh.url(), 0.0)
+        env.clock.advance(10.0)
+        # "c" matches neither subscription: nothing delivered, but the
+        # expired "a" entry is pruned while the live "b" one is kept
+        assert source.notify("c", "m") == 0
+        assert source.subscription_count() == 1
+        assert received == []
+
+    def test_non_matching_topic_keeps_subscription(self, setup):
+        _, source, _, _, sink_gsh, received = setup
+        source.SubscribeToNotificationTopic("a", sink_gsh.url(), 0.0)
+        assert source.notify("b", "m") == 0
+        assert source.subscription_count() == 1
+        assert source.notify("a", "m") == 1  # still live afterwards
+
+    def test_transient_delivery_failure_keeps_subscription(self, setup):
+        container, source, _, _, _, _ = setup
+        calls: list[str] = []
+
+        def flaky(topic, message):
+            calls.append(message)
+            if len(calls) == 1:
+                raise RuntimeError("sink hiccup")
+
+        sink = NotificationSinkBase(callback=flaky)
+        gsh = container.deploy("services/flaky-sink", sink)
+        source.SubscribeToNotificationTopic("t", gsh.url(), 0.0)
+        assert source.notify("t", "one") == 0  # delivery raised
+        assert source.delivery_failures == 1
+        assert source.subscription_count() == 1  # kept, not unsubscribed
+        assert source.notify("t", "two") == 1  # next delivery succeeds
+        assert calls == ["one", "two"]
+
+    def test_delivery_failure_does_not_block_other_sinks(self, setup):
+        container, source, _, _, sink_gsh, received = setup
+
+        def always_broken(topic, message):
+            raise RuntimeError("permanently grumpy")
+
+        broken = NotificationSinkBase(callback=always_broken)
+        broken_gsh = container.deploy("services/broken-sink", broken)
+        source.SubscribeToNotificationTopic("t", broken_gsh.url(), 0.0)
+        source.SubscribeToNotificationTopic("t", sink_gsh.url(), 0.0)
+        assert source.notify("t", "m") == 1
+        assert received == [("t", "m")]
+        assert source.delivery_failures == 1
+
 
 class TestPull:
     def test_queue_and_poll(self, setup):

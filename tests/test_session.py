@@ -22,7 +22,7 @@ def wrapper():
 
 class TestSiteWiring:
     def test_deploys_factories_and_manager(self, env, wrapper):
-        site = PPerfGridSite(env, SiteConfig("s:1", "HPL"), wrapper)
+        PPerfGridSite(env, SiteConfig("s:1", "HPL"), wrapper)
         container = env.container_for("s:1")
         paths = container.service_paths()
         assert "services/HPL/ApplicationFactory" in paths

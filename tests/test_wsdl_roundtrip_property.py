@@ -1,6 +1,5 @@
 """Property-based WSDL round trips and extra adapter edge cases."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,7 +1,5 @@
 """Tests for the XML element model."""
 
-import pytest
-
 from repro.xmlkit import Element, QName
 from repro.xmlkit.model import Document, _normalized_children
 

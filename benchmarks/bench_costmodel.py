@@ -1,0 +1,162 @@
+"""Cost-based per-member plan selection vs the global planner.
+
+The scenario where statistics pay off: a *skewed* federation with one
+fat member holding almost all rows next to many thin members, half of
+which never record the queried metric at all.  A strict value predicate
+(``value > t``) makes the global planner fall back to raw mode for the
+whole federation — every one of the fat member's rows crosses the wire.
+The cost model instead reads each member's ``getStats``: the predicate
+is *vacuous* over the fat member's value range (aggregate with no
+bounds), the metric is provably absent from half the thin members
+(skipped outright), and only the genuinely ambiguous thin members ship
+raw rows.
+
+Two engines run over the same grid — ``cost_based=True`` vs the
+``cost_based=False`` baseline — and the bench compares bytes moved
+(``QueryResult.stats["payloadBytes"]``) and cold wall-clock.  The hard
+acceptance check: the cost-based arm never moves *more* bytes than the
+global arm, and strictly fewer on the skewed query.
+
+``FEDQUERY_BENCH_QUICK=1`` (the CI mode) shrinks the federation so the
+file runs in seconds while still asserting the same shape.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+
+import pytest
+from conftest import write_result
+
+from repro.core.semantic import PerformanceResult
+from repro.experiments.common import build_synthetic_grid
+from repro.mapping.memory import InMemoryExecution, InMemoryWrapper
+
+QUICK = os.environ.get("FEDQUERY_BENCH_QUICK", "") not in ("", "0")
+
+METRIC = "latency_us"
+
+#: strict '>' is not pushable as inclusive bounds, so the global planner
+#: runs the whole federation raw; the fat member's range sits entirely
+#: above the threshold (vacuous -> bound-free aggregate), the metric is
+#: absent from half the thin members (skip), the rest straddle it (raw)
+SKEWED_QUERY = f"SELECT count({METRIC}), mean({METRIC}) WHERE value > 50.0 GROUP BY app"
+
+#: already optimal globally (pushable aggregate): the cost model must
+#: not regress it — bytes stay equal, it just also proves skips
+AGGREGATE_QUERY = f"SELECT count({METRIC}), max({METRIC}) GROUP BY numprocs"
+
+
+def _federation() -> dict[str, InMemoryWrapper]:
+    rng = random.Random(20240806)
+    wrappers: dict[str, InMemoryWrapper] = {}
+
+    def result(metric: str, lo: int, hi: int) -> PerformanceResult:
+        start = float(rng.randint(0, 5))
+        return PerformanceResult(
+            metric, "/Comm", "synthetic", start, start + 5.0,
+            float(rng.randint(lo, hi)),
+        )
+
+    fat_execs = 12 if QUICK else 48
+    fat_rows = 25 if QUICK else 120
+    wrappers["FAT"] = InMemoryWrapper(
+        "FAT",
+        [
+            InMemoryExecution(
+                str(index),
+                {"numprocs": "64"},
+                [result(METRIC, 100, 900) for _ in range(fat_rows)],
+            )
+            for index in range(fat_execs)
+        ],
+    )
+    thin_members = 4 if QUICK else 8
+    for index in range(thin_members):
+        # even thin members straddle the threshold (stay raw); odd ones
+        # never record the metric (stats prove the skip)
+        metric = METRIC if index % 2 == 0 else "cache_misses"
+        wrappers[f"THIN{index}"] = InMemoryWrapper(
+            f"THIN{index}",
+            [
+                InMemoryExecution(
+                    str(exec_index),
+                    {"numprocs": "4"},
+                    [result(metric, 1, 400) for _ in range(5)],
+                )
+                for exec_index in range(2)
+            ],
+        )
+    return wrappers
+
+
+@pytest.fixture(scope="module")
+def arms():
+    grid = build_synthetic_grid(_federation())
+    cost_engine = grid.deploy_federation(authority="fed-cost.pdx.edu:9090")
+    global_engine = grid.deploy_federation(
+        authority="fed-global.pdx.edu:9090", cost_based=False
+    )
+    yield {"cost-based": cost_engine, "global": global_engine}
+    grid.cleanup()
+
+
+def _run_cold(engine, text: str):
+    engine.invalidate_cache()
+    t0 = time.perf_counter()
+    result = engine.execute(text)
+    return time.perf_counter() - t0, result
+
+
+def test_costmodel_bytes_moved(arms):
+    queries = {"skewed strict-predicate": SKEWED_QUERY, "pushable aggregate": AGGREGATE_QUERY}
+    table: dict[str, dict[str, dict[str, object]]] = {}
+    for qname, text in queries.items():
+        table[qname] = {}
+        packed: dict[str, list[str]] = {}
+        for arm, engine in arms.items():
+            elapsed, result = _run_cold(engine, text)
+            table[qname][arm] = {
+                "seconds": elapsed,
+                "bytes": result.stats["payloadBytes"],
+                "records": result.stats["records"],
+                "skipped": result.stats["skippedMembers"],
+                "mode": result.plan.effective_mode,
+                "estimated": result.stats["estimatedBytes"],
+            }
+            packed[arm] = [row.pack() for row in result.rows]
+        # both arms answer identically, byte for byte
+        assert packed["cost-based"] == packed["global"], qname
+
+    lines = [
+        f"Cost-based vs global plan selection ({'quick' if QUICK else 'full'} scale)",
+        f"{'query':<26}{'arm':<12}{'mode':>10}{'records':>9}{'bytes':>10}"
+        f"{'est.bytes':>11}{'skipped':>9}{'cold':>9}",
+    ]
+    for qname, by_arm in table.items():
+        for arm, row in by_arm.items():
+            lines.append(
+                f"{qname:<26}{arm:<12}{row['mode']:>10}{row['records']:>9}"
+                f"{row['bytes']:>10}{row['estimated']:>11}{row['skipped']:>9}"
+                f"{row['seconds']:>8.3f}s"
+            )
+    skewed = table["skewed strict-predicate"]
+    pushable = table["pushable aggregate"]
+    ratio = skewed["global"]["bytes"] / max(1, skewed["cost-based"]["bytes"])
+    lines.append(f"skewed-query transfer reduction: {ratio:.1f}x fewer bytes")
+    write_result("costmodel_bytes.txt", "\n".join(lines))
+
+    # acceptance: the cost-based arm never moves more bytes than the
+    # global planner, and strictly fewer on the skewed query
+    for by_arm in table.values():
+        assert by_arm["cost-based"]["bytes"] <= by_arm["global"]["bytes"]
+    assert skewed["cost-based"]["bytes"] < skewed["global"]["bytes"]
+    assert ratio >= 2.0, f"transfer reduction only {ratio:.2f}x"
+    # the stats actually drove the plan: mixed modes plus proven skips
+    assert skewed["cost-based"]["mode"] == "mixed"
+    assert skewed["cost-based"]["skipped"] >= 1
+    assert skewed["global"]["mode"] == "raw"
+    # the already-optimal query was not regressed
+    assert pushable["cost-based"]["bytes"] == pushable["global"]["bytes"]

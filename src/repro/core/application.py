@@ -69,3 +69,15 @@ class ApplicationService(GridServiceBase):
         self.require_active()
         keys = self.wrapper.get_exec_ids(attribute, value, operator or "=")
         return self._manager_stub().getExecs(keys)
+
+    def getStats(self) -> list[str]:
+        """Extension: application-wide store statistics (packed records).
+
+        Computed on demand (not at deploy time — some Mapping Layers pay
+        a file parse per execution) and mirrored to the ``storeStats``
+        SDE so FindServiceData clients see the same numbers.
+        """
+        self.require_active()
+        records = self.wrapper.get_stats().pack_records()
+        self.service_data.set("storeStats", records)
+        return records

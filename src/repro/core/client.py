@@ -23,6 +23,7 @@ from repro.core.semantic import (
     EXECUTION_PORTTYPE,
     UNDEFINED_TYPE,
     PerformanceResult,
+    StoreStats,
 )
 from repro.mapping.base import ApplicationWrapper
 from repro.ogsi.container import GridEnvironment
@@ -132,6 +133,11 @@ class ExecutionBinding:
         """FindServiceData passthrough (supports the ``xpath:`` dialect)."""
         return self.stub.FindServiceData(query)
 
+    def get_stats(self) -> StoreStats:
+        """Per-execution store statistics (the cost model's input)."""
+        with self.environment.recorder.time("virtualization.getStats"):
+            return StoreStats.unpack_records(list(self.stub.getStats()))
+
     def get_pr_async(
         self,
         metric: str,
@@ -225,6 +231,10 @@ class LocalExecutionBinding:
                 min_value, max_value, group_by,
             )
 
+    def get_stats(self) -> StoreStats:
+        """Store statistics via the wrapper directly (local bypass)."""
+        return self.wrapper.get_stats()
+
 
 class ApplicationBinding:
     """A virtual Application object (remote, via stub).
@@ -271,6 +281,11 @@ class ApplicationBinding:
             handles = self.stub.getExecsOp(attribute, value, operator)
         return [ExecutionBinding(self.environment, g) for g in handles]
 
+    def get_stats(self) -> StoreStats:
+        """Application-wide store statistics (the cost model's input)."""
+        with self.environment.recorder.time("virtualization.getStats"):
+            return StoreStats.unpack_records(list(self.stub.getStats()))
+
     def destroy(self) -> None:
         self.stub.Destroy()
 
@@ -314,6 +329,10 @@ class LocalApplicationBinding:
             LocalExecutionBinding(self.environment, self.wrapper.execution(i), i)
             for i in ids
         ]
+
+    def get_stats(self) -> StoreStats:
+        """Store statistics via the wrapper directly (local bypass)."""
+        return self.wrapper.get_stats()
 
 
 class AsyncQueryCollector:
@@ -477,6 +496,17 @@ class PPerfGridClient:
         if self._fed_stub is None:
             raise RuntimeError("no federation configured; call use_federation() first")
         return "\n".join(self._fed_stub.explainQuery(text))
+
+    def explain(self, text: str) -> str:
+        """The cost-annotated plan for *text* (explainPlan operation).
+
+        Unlike :meth:`explain_query`, the description includes the cost
+        model's per-member decisions: chosen mode, estimated rows and
+        transfer bytes, and any stats-proven skips.
+        """
+        if self._fed_stub is None:
+            raise RuntimeError("no federation configured; call use_federation() first")
+        return "\n".join(self._fed_stub.explainPlan(text))
 
     def subscribe_updates(self) -> int:
         """Ask the federation to subscribe to member data-update topics.

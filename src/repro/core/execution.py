@@ -153,6 +153,17 @@ class ExecutionService(GridServiceBase, NotificationSourceMixin):
             self.container.host.allocate_memory(_CACHE_ENTRY_MB)
         return packed
 
+    def getStats(self) -> list[str]:
+        """Store statistics for the cost-based planner (packed records).
+
+        Delegates to the Mapping Layer, whose wrappers answer with cheap
+        native queries (SQL aggregates, header scans) where possible.
+        """
+        self.require_active()
+        records = self.wrapper.get_stats().pack_records()
+        self.service_data.set("storeStats", records)
+        return records
+
     def getPRAsync(
         self,
         metric: str,
@@ -237,6 +248,10 @@ class ExecutionService(GridServiceBase, NotificationSourceMixin):
         self.service_data.set("foci", self.wrapper.get_foci())
         start, end = self.wrapper.get_time_start_end()
         self.service_data.set("timeStartEnd", [repr(start), repr(end)])
+        if self.service_data.get("storeStats") is not None:
+            # Refresh published stats so a post-update FindServiceData
+            # never reads pre-update row counts or value ranges.
+            self.service_data.set("storeStats", self.wrapper.get_stats().pack_records())
         source = self.gsh.url() if self.gsh is not None else ""
         return self.notify(
             "data-update", f"{self.exec_id}|{self.generation}|{source}|{description}"

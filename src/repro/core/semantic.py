@@ -122,6 +122,165 @@ class AggregateRecord:
             raise ValueError(f"bad AggregateRecord {text!r}: {exc}") from exc
 
 
+@dataclass(frozen=True)
+class MetricStats:
+    """Per-metric store statistics (the ``getStats`` wire unit).
+
+    Soundness contract (the planner skips members based on these, so the
+    bounds must be conservative):
+
+    * ``rows`` may be an estimate, EXCEPT that ``rows == 0`` must be
+      exact — a zero row count is a proof that ``getPR`` for this metric
+      returns nothing.
+    * ``[minimum, maximum]`` must be a superset of every value ``getPR``
+      can ever return for this metric (including derived values such as
+      per-focus sums); widening is safe, narrowing is not.
+    """
+
+    metric: str
+    rows: int
+    minimum: float
+    maximum: float
+
+    def pack(self) -> str:
+        """Wire form: ``metric|name|rows|min|max``."""
+        return f"metric|{self.metric}|{self.rows}|{self.minimum!r}|{self.maximum!r}"
+
+
+@dataclass(frozen=True)
+class StoreStats:
+    """Statistics describing one store (execution- or application-level).
+
+    Published by ``getStats`` / the ``storeStats`` SDE so the federated
+    query planner can cost and, when provable, skip members.  The same
+    conservativeness contract as :class:`MetricStats` applies:
+
+    * ``foci`` and ``types`` must be complete (supersets are fine);
+    * ``start``/``end`` describe time coverage but are *estimates only* —
+      some stores ignore the time window in ``getPR``, so the planner
+      never skips on the window;
+    * ``complete=False`` marks stats that do not honour the contract;
+      the planner then uses them for cost estimates only, never proofs.
+    """
+
+    executions: int
+    start: float
+    end: float
+    foci: tuple[str, ...]
+    types: tuple[str, ...]
+    metrics: tuple[MetricStats, ...]
+    complete: bool = True
+
+    def metric(self, name: str) -> MetricStats | None:
+        for stats in self.metrics:
+            if stats.metric == name:
+                return stats
+        return None
+
+    def pack_records(self) -> list[str]:
+        """Wire form: one ``kind|...`` record per line of the stats."""
+        records = [
+            f"executions|{self.executions}",
+            f"time|{self.start:.9f}|{self.end:.9f}",
+            "foci|" + "|".join(self.foci),
+            "types|" + "|".join(self.types),
+            f"complete|{1 if self.complete else 0}",
+        ]
+        records.extend(stats.pack() for stats in self.metrics)
+        return records
+
+    @staticmethod
+    def unpack_records(records: list[str]) -> "StoreStats":
+        executions = 0
+        start, end = 0.0, 0.0
+        foci: tuple[str, ...] = ()
+        types: tuple[str, ...] = ()
+        metrics: list[MetricStats] = []
+        complete = True
+        for record in records:
+            kind, _, rest = record.partition("|")
+            try:
+                if kind == "executions":
+                    executions = int(rest)
+                elif kind == "time":
+                    start_text, _, end_text = rest.partition("|")
+                    start, end = float(start_text), float(end_text)
+                elif kind == "foci":
+                    foci = tuple(part for part in rest.split("|") if part)
+                elif kind == "types":
+                    types = tuple(part for part in rest.split("|") if part)
+                elif kind == "complete":
+                    complete = rest.strip() not in ("0", "")
+                elif kind == "metric":
+                    name, rows, minimum, maximum = rest.split("|")
+                    metrics.append(
+                        MetricStats(
+                            metric=name,
+                            rows=int(rows),
+                            minimum=float(minimum),
+                            maximum=float(maximum),
+                        )
+                    )
+                else:
+                    raise ValueError(f"unknown stats record kind {kind!r}")
+            except ValueError as exc:
+                raise ValueError(f"bad StoreStats record {record!r}: {exc}") from exc
+        return StoreStats(
+            executions=executions,
+            start=start,
+            end=end,
+            foci=foci,
+            types=types,
+            metrics=tuple(metrics),
+            complete=complete,
+        )
+
+    @classmethod
+    def merge(cls, parts: list["StoreStats"]) -> "StoreStats":
+        """Combine per-execution stats into application-level stats.
+
+        Counts add; time/value ranges and foci/types union; the merge is
+        ``complete`` only if every part is.
+        """
+        if not parts:
+            return cls(0, 0.0, 0.0, (), (), ())
+        foci: list[str] = []
+        types: list[str] = []
+        by_metric: dict[str, MetricStats] = {}
+        for part in parts:
+            for focus in part.foci:
+                if focus not in foci:
+                    foci.append(focus)
+            for type_name in part.types:
+                if type_name not in types:
+                    types.append(type_name)
+            for stats in part.metrics:
+                seen = by_metric.get(stats.metric)
+                if seen is None:
+                    by_metric[stats.metric] = stats
+                elif stats.rows:
+                    if not seen.rows:
+                        by_metric[stats.metric] = stats
+                    else:
+                        by_metric[stats.metric] = MetricStats(
+                            metric=stats.metric,
+                            rows=seen.rows + stats.rows,
+                            minimum=min(seen.minimum, stats.minimum),
+                            maximum=max(seen.maximum, stats.maximum),
+                        )
+                # stats.rows == 0 contributes nothing: keep the seen entry.
+        spanned = [part for part in parts if part.executions]
+        return cls(
+            executions=sum(part.executions for part in parts),
+            start=min((part.start for part in spanned), default=0.0),
+            end=max((part.end for part in spanned), default=0.0),
+            foci=tuple(foci),
+            types=tuple(types),
+            metrics=tuple(by_metric.values()),
+            complete=all(part.complete for part in parts),
+        )
+
+
 def pr_agg_cache_key(
     metric: str,
     foci: list[str],
@@ -213,6 +372,20 @@ APPLICATION_PORTTYPE = PortType(
             doc=(
                 "Extension: like getExecs but with a comparison operator "
                 "(=, !=, <, <=, >, >=) applied to the attribute value."
+            ),
+        ),
+        # Extension beyond Table 1: store statistics for the cost-based
+        # federated query planner.
+        Operation(
+            "getStats",
+            (),
+            "xsd:string[]",
+            doc=(
+                "Extension: returns store statistics for the application's "
+                "executions — execution count, per-metric row counts and "
+                "value ranges, focus cardinality, and time-window coverage "
+                "— as packed StoreStats records.  Used by the federated "
+                "query cost model to choose raw/aggregate/skip per member."
             ),
         ),
     ),
@@ -334,6 +507,18 @@ EXECUTION_PORTTYPE = PortType(
                 "given NotificationSink instead of being returned; the "
                 "call returns a query id immediately (the 'registry-"
                 "callback model' of future-work section 7)."
+            ),
+        ),
+        # Extension beyond Table 2: per-execution store statistics for
+        # the cost-based federated query planner.
+        Operation(
+            "getStats",
+            (),
+            "xsd:string[]",
+            doc=(
+                "Extension: returns store statistics for this execution — "
+                "per-metric row counts and conservative value ranges, foci, "
+                "types, and time coverage — as packed StoreStats records."
             ),
         ),
     ),

@@ -76,7 +76,12 @@ class TestGrid:
     def site(self, name: str) -> PPerfGridSite:
         return self.sites[name]
 
-    def deploy_federation(self, authority: str = "fed.pdx.edu:9090", coherence: bool = True):
+    def deploy_federation(
+        self,
+        authority: str = "fed.pdx.edu:9090",
+        coherence: bool = True,
+        cost_based: bool = True,
+    ):
         """Deploy a FederatedQuery service over this grid's members.
 
         The federation endpoint is itself a Grid-service *client* of the
@@ -86,27 +91,12 @@ class TestGrid:
         ``grid.client.query(...)`` works afterwards.  With ``coherence``
         (the default) the service also subscribes to every member
         Execution's data-update topic, so store updates invalidate
-        exactly the cached plans that read them.  Returns the engine
-        (useful for local, in-process execution in tests).
+        exactly the cached plans that read them.  ``cost_based=False``
+        reverts the engine to the global-mode planner (the benchmark
+        baseline).  Returns the engine (useful for local, in-process
+        execution in tests).
         """
-        from repro.fedquery.executor import FederationEngine
-        from repro.fedquery.service import FederatedQueryService
-
-        engine_client = PPerfGridClient(self.environment, self.uddi_gsh)
-        engine = FederationEngine(
-            engine_client,
-            managers={name: site.manager for name, site in self.sites.items()},
-        )
-        container = self.environment.container_for(authority)
-        if container is None:
-            container = self.environment.create_container(authority)
-        service = FederatedQueryService(engine)
-        gsh = container.deploy("services/FederatedQuery", service)
-        self.fed_gsh = gsh.url()
-        self.fed_engine = engine
-        self.client.use_federation(self.fed_gsh)
-        if coherence:
-            service.subscribeUpdates()
+        engine = _deploy_federation(self, authority, coherence, cost_based)
         return engine
 
     def execution_service(self, site_name: str, exec_id: str):
@@ -136,6 +126,104 @@ class TestGrid:
         if self._tempdir is not None:
             self._tempdir.cleanup()
             self._tempdir = None
+
+
+def _deploy_federation(grid, authority: str, coherence: bool, cost_based: bool):
+    """Deploy a FederatedQuery service over *grid* (TestGrid-shaped)."""
+    from repro.fedquery.executor import FederationEngine
+    from repro.fedquery.service import FederatedQueryService
+
+    engine_client = PPerfGridClient(grid.environment, grid.uddi_gsh)
+    engine = FederationEngine(
+        engine_client,
+        managers={name: site.manager for name, site in grid.sites.items()},
+        cost_based=cost_based,
+    )
+    container = grid.environment.container_for(authority)
+    if container is None:
+        container = grid.environment.create_container(authority)
+    service = FederatedQueryService(engine)
+    gsh = container.deploy("services/FederatedQuery", service)
+    grid.fed_gsh = gsh.url()
+    grid.fed_engine = engine
+    grid.client.use_federation(grid.fed_gsh)
+    if coherence:
+        service.subscribeUpdates()
+    return engine
+
+
+@dataclass
+class SyntheticGrid:
+    """A grid publishing explicit in-memory datasets (tests/benches).
+
+    Same wiring as :class:`TestGrid` — UDDI registry, one site per
+    member, a federation endpoint — but every member is an
+    :class:`repro.mapping.memory.InMemoryWrapper`, so tests control the
+    exact Performance Results (and therefore the exact statistics) each
+    member publishes.
+    """
+
+    environment: GridEnvironment
+    uddi: UddiClient
+    uddi_gsh: str
+    client: PPerfGridClient
+    sites: dict[str, PPerfGridSite] = field(default_factory=dict)
+    fed_gsh: str | None = None
+    fed_engine: object | None = None
+
+    def site(self, name: str) -> PPerfGridSite:
+        return self.sites[name]
+
+    def deploy_federation(
+        self,
+        authority: str = "fed.pdx.edu:9090",
+        coherence: bool = True,
+        cost_based: bool = True,
+    ):
+        return _deploy_federation(self, authority, coherence, cost_based)
+
+    def execution_service(self, site_name: str, exec_id: str):
+        site = self.sites[site_name]
+        for container in [site.container, *site.replica_containers]:
+            for path in container.service_paths():
+                service = container.service_at(path)
+                if getattr(service, "exec_id", None) == exec_id:
+                    return service
+        return None
+
+    def cleanup(self) -> None:
+        pass
+
+
+def build_synthetic_grid(wrappers: dict[str, object]) -> SyntheticGrid:
+    """Publish *wrappers* (app name -> ApplicationWrapper) as a grid.
+
+    Each member gets its own site container (``<name>.mem.pdx.edu``),
+    all published under one UDDI organization; call
+    ``deploy_federation()`` on the result to query them federatedly.
+    """
+    environment = GridEnvironment()
+    registry_container = environment.create_container("registry.mem.pdx.edu:9090")
+    uddi_gsh = registry_container.deploy("services/uddi", UddiRegistryServer())
+    uddi = UddiClient.connect(environment, uddi_gsh)
+    org_key = uddi.publish_organization(
+        "Synthetic Federation", "synthetic@pdx.edu", "explicit in-memory datasets"
+    )
+    grid = SyntheticGrid(
+        environment=environment,
+        uddi=uddi,
+        uddi_gsh=uddi_gsh.url(),
+        client=PPerfGridClient(environment, uddi_gsh.url()),
+    )
+    for index, (name, wrapper) in enumerate(sorted(wrappers.items())):
+        site = PPerfGridSite(
+            environment,
+            SiteConfig(authority=f"mem{index}.pdx.edu:8080", app_name=name),
+            wrapper,
+        )
+        site.publish(uddi, org_key, f"synthetic member {name}")
+        grid.sites[name] = site
+    return grid
 
 
 def build_grid(

@@ -10,7 +10,10 @@ per canonical query fingerprint.
 Entry points:
 
 * :func:`parse_query` — text -> validated :class:`Query`;
-* :func:`plan_query` — :class:`Query` + member catalog -> :class:`Plan`;
+* :func:`plan_query` — :class:`Query` + member catalog (+ optional
+  member :class:`StoreStats` for cost-based selection) -> :class:`Plan`;
+* :class:`CostModel` — per-member raw/aggregate/skip selection and
+  cardinality/byte estimation from ``getStats`` statistics;
 * :class:`FederationEngine` — plan + execute against live members;
 * :class:`FederatedQueryService` — the OGSI PortType wrapping an engine;
 * :func:`naive_query` — the push-down-free reference implementation.
@@ -23,6 +26,15 @@ from repro.fedquery.ast import (
     Query,
     QueryError,
     SelectItem,
+)
+from repro.fedquery.cost import (
+    AGG_RECORD_BYTES,
+    RAW_RECORD_BYTES,
+    CostModel,
+    MemberCost,
+    unsatisfiable_over,
+    vacuous_over,
+    value_fraction,
 )
 from repro.fedquery.executor import FederationEngine, QueryResult, choose_fanout
 from repro.fedquery.merge import (
@@ -53,11 +65,14 @@ from repro.fedquery.service import FEDERATED_QUERY_PORTTYPE, FederatedQueryServi
 
 __all__ = [
     "AGG_FUNCS",
+    "AGG_RECORD_BYTES",
     "Accumulator",
+    "CostModel",
     "ExecSelector",
     "FEDERATED_QUERY_PORTTYPE",
     "FederatedQueryService",
     "FederationEngine",
+    "MemberCost",
     "MemberPlan",
     "Plan",
     "Predicate",
@@ -66,6 +81,7 @@ __all__ = [
     "Query",
     "QueryError",
     "QueryResult",
+    "RAW_RECORD_BYTES",
     "RESERVED_FIELDS",
     "ResultRow",
     "SelectItem",
@@ -81,4 +97,7 @@ __all__ = [
     "parse_query",
     "plan_query",
     "split_predicates",
+    "unsatisfiable_over",
+    "vacuous_over",
+    "value_fraction",
 ]

@@ -23,6 +23,16 @@
    per-member generation counter closes the insert-after-invalidate
    race: results computed against a superseded generation are discarded
    instead of being cached.
+5. **Cost-based planning** — member statistics (``getStats``) are
+   fetched once per member and cached; the planner uses them to pick
+   raw/aggregate/skip per member (see :mod:`repro.fedquery.cost`).
+   Coherence extends to the stats: a data-update drops the member's
+   cached stats exactly as it drops dependent plans, and a plan that
+   *skipped* a member on a stats proof records a wildcard dependency
+   ``(app, "*")`` on it — the skip is re-evaluated after any update to
+   that member, even though the plan read none of its executions.
+   Failed stats fetches degrade gracefully (the member keeps the global
+   mode, is never skipped, and the degraded result is not memoized).
 """
 
 from __future__ import annotations
@@ -32,6 +42,7 @@ from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
 from dataclasses import dataclass, field
 
 from repro.core.prcache import LruCache, PrCache
+from repro.core.semantic import StoreStats
 from repro.fedquery.ast import Query, QueryError
 from repro.fedquery.merge import ResultRow, StreamingMerger, TaskContext, order_rows
 from repro.fedquery.parser import parse_query
@@ -99,21 +110,34 @@ class FederationEngine:
         managers: dict[str, object] | None = None,
         plan_cache: PrCache | None = None,
         max_workers: int | None = None,
+        cost_based: bool = True,
     ) -> None:
         self.client = client
         self.managers = dict(managers or {})
         self.plan_cache = plan_cache if plan_cache is not None else LruCache(256)
         self.max_workers = max_workers
+        #: False reverts to the pre-cost-model global planner (the
+        #: benchmark's baseline arm); no getStats calls are made
+        self.cost_based = cost_based
         self._bindings: dict[str, object] | None = None
         self._params: dict[str, dict[str, list[str]]] = {}
         self._metrics: dict[str, list[str]] = {}
         self._exec_ids: dict[str, str] = {}
+        #: member name -> StoreStats; failed fetches are *not* cached,
+        #: so the next query retries and recovers
+        self._member_stats: dict[str, StoreStats] = {}
+        #: how each executed (uncached) plan's effective mode broke down
+        self.plan_modes = {"raw": 0, "aggregate": 0, "mixed": 0, "skip": 0}
         # ---- coherence state (guarded by _coherence_lock) ----
         #: fingerprint -> {(app, exec_id)} read when the entry was cached
         self._plan_deps: dict[str, frozenset[tuple[str, str]]] = {}
         #: engine-local data generation per (app, exec_id); bumped on
         #: every data-update delivery, snapshotted around each execute
         self._generations: dict[tuple[str, str], int] = {}
+        #: per-app data generation, for wildcard ``(app, "*")`` deps —
+        #: plans that skipped a member on a stats proof depend on the
+        #: *whole* member, not on any execution they read
+        self._app_generations: dict[str, int] = {}
         #: global epoch: bumped on full-cache clears so in-flight queries
         #: that started before the clear cannot re-insert stale rows
         self._epoch = 0
@@ -136,6 +160,7 @@ class FederationEngine:
             "invalidations": 0,
             "fullClears": 0,
             "staleDiscards": 0,
+            "statsInvalidations": 0,
         }
 
     # ------------------------------------------------------------ catalog
@@ -161,6 +186,8 @@ class FederationEngine:
         self._params.clear()
         self._metrics.clear()
         self._exec_ids.clear()
+        with self._coherence_lock:
+            self._member_stats.clear()
 
     def _member_params(self, name: str, binding) -> dict[str, list[str]]:
         params = self._params.get(name)
@@ -189,6 +216,19 @@ class FederationEngine:
     def explain(self, query: str | Query) -> str:
         return self._plan(self._parse(query)).explain()
 
+    def explain_plan(self, query: str | Query) -> list[str]:
+        """Cost-annotated plan lines, without executing the query.
+
+        Extends :meth:`explain` with the cost model's federation-wide
+        summary: the effective mode the stats actually selected and the
+        estimated transfer volume.
+        """
+        plan = self._plan(self._parse(query))
+        lines = plan.explain().splitlines()
+        lines.append(f"effective mode: {plan.effective_mode}")
+        lines.append(f"estimated transfer: {plan.estimated_bytes} bytes")
+        return lines
+
     def execute(self, query: str | Query) -> QueryResult:
         query = self._parse(query)
         fingerprint = query.fingerprint()
@@ -200,7 +240,16 @@ class FederationEngine:
                 cached=True,
                 plan=None,
             )
+        # generation snapshot *before* planning: member stats read during
+        # planning, and member data read during the fan-out, are both
+        # superseded by any data-update delivered after this point — the
+        # final snapshot comparison then discards instead of caching
+        with self._coherence_lock:
+            gen_snapshot = dict(self._generations)
+            app_gen_snapshot = dict(self._app_generations)
+            epoch_snapshot = self._epoch
         plan = self._plan(query)
+        self.plan_modes[plan.effective_mode] += 1
         merger = StreamingMerger(query)
         stats = {
             "executions": 0,
@@ -208,17 +257,23 @@ class FederationEngine:
             "records": 0,
             "skipped_metrics": 0,
             "errors": 0,
+            "skippedMembers": len(plan.skipped),
+            "estimatedBytes": plan.estimated_bytes,
+            "payloadBytes": 0,
         }
+        # metrics the planner already proved away (skipped members count
+        # all their metrics; surviving members count omitted sub-queries)
+        stats["skipped_metrics"] = len(query.metrics) * (
+            len(plan.members) + len(plan.skipped)
+        ) - sum(len(member.subqueries) for member in plan.members)
         errors: list[str] = []
         deps: set[tuple[str, str]] = set()
+        # a stats-proven skip is a read of the member's *statistics*: the
+        # wildcard dep makes any later update to that member invalidate
+        # (or stale-discard) this result, so the skip gets re-evaluated
+        for skipped in plan.skipped:
+            deps.add((skipped.app, "*"))
         tasks = self._collect_tasks(plan, stats)
-        # generation snapshot *before* any member is read: a data-update
-        # delivered at any point during the fan-out changes _generations,
-        # which marks this query's results as computed against a
-        # superseded store state
-        with self._coherence_lock:
-            gen_snapshot = dict(self._generations)
-            epoch_snapshot = self._epoch
         width = self.max_workers or choose_fanout(
             [m.stats() for m in self.managers.values()]
         )
@@ -237,12 +292,15 @@ class FederationEngine:
                     for future in pending:
                         future.cancel()
                     raise
-            if errors and not deps:
+            if errors and len(errors) == len(tasks):
                 raise QueryError(
                     f"all {len(tasks)} member task(s) failed: {'; '.join(errors[:3])}"
                 )
         rows = order_rows(merger.rows(), query)
-        self._finish_uncached(fingerprint, deps, gen_snapshot, epoch_snapshot, rows, errors)
+        self._finish_uncached(
+            fingerprint, deps, gen_snapshot, app_gen_snapshot, epoch_snapshot,
+            rows, errors, degraded=plan.stats_degraded,
+        )
         return QueryResult(
             rows=rows,
             columns=query.output_columns,
@@ -257,22 +315,28 @@ class FederationEngine:
         fingerprint: str,
         deps: set[tuple[str, str]],
         gen_snapshot: dict[tuple[str, str], int],
+        app_gen_snapshot: dict[str, int],
         epoch_snapshot: int,
         rows: list[ResultRow],
         errors: list[str],
+        degraded: bool = False,
     ) -> None:
         """Memoize a freshly computed result, unless it must not be.
 
-        Degraded results (per-task errors) are never cached; results any
-        of whose member generations (or the global epoch) moved during
-        the fan-out are the insert-after-invalidate race and are
-        discarded too.
+        Degraded results (per-task errors, or a plan built with missing
+        member stats) are never cached; results any of whose member
+        generations (or the global epoch) moved since the pre-planning
+        snapshot are the insert-after-invalidate race and are discarded
+        too.  Wildcard deps ``(app, "*")`` — members skipped on a stats
+        proof — compare the *app-level* generation.
         """
-        if errors:
+        if errors or degraded:
             return
         with self._coherence_lock:
             stale = self._epoch != epoch_snapshot or any(
-                self._generations.get(dep, 0) != gen_snapshot.get(dep, 0)
+                self._app_generations.get(dep[0], 0) != app_gen_snapshot.get(dep[0], 0)
+                if dep[1] == "*"
+                else self._generations.get(dep, 0) != gen_snapshot.get(dep, 0)
                 for dep in deps
             )
             if stale:
@@ -293,11 +357,17 @@ class FederationEngine:
         }
 
     def invalidate_cache(self) -> int:
-        """Drop all memoized query results; returns how many were dropped."""
+        """Drop all memoized query results; returns how many were dropped.
+
+        Cached member statistics go too — a manual invalidation usually
+        means "the stores changed under us", and stale stats could keep
+        proving skips that no longer hold.
+        """
         with self._coherence_lock:
             dropped = len(self.plan_cache)
             self.plan_cache.clear()
             self._plan_deps.clear()
+            self._member_stats.clear()
             self._epoch += 1
         return dropped
 
@@ -362,14 +432,23 @@ class FederationEngine:
                 # epoch so any in-flight query discards instead of
                 # re-caching stale rows
                 self.coherence["fullClears"] += 1
+                self.coherence["statsInvalidations"] += len(self._member_stats)
                 self.plan_cache.clear()
                 self._plan_deps.clear()
+                self._member_stats.clear()
                 self._epoch += 1
                 return
             for dep in deps:
+                app = dep[0]
                 self._generations[dep] = self._generations.get(dep, 0) + 1
+                self._app_generations[app] = self._app_generations.get(app, 0) + 1
+                # the member's cached statistics describe the pre-update
+                # store: drop them with the same precision as the plans
+                if self._member_stats.pop(app, None) is not None:
+                    self.coherence["statsInvalidations"] += 1
+                wildcard = (app, "*")
                 for fingerprint, dep_set in list(self._plan_deps.items()):
-                    if dep in dep_set:
+                    if dep in dep_set or wildcard in dep_set:
                         del self._plan_deps[fingerprint]
                         if self.plan_cache.remove(fingerprint):
                             self.coherence["invalidations"] += 1
@@ -399,7 +478,30 @@ class FederationEngine:
             name: self._member_params(name, binding)
             for name, binding in members.items()
         }
-        return plan_query(query, catalog)
+        stats = self._collect_stats(members) if self.cost_based else None
+        return plan_query(query, catalog, stats)
+
+    def _collect_stats(self, members: dict[str, object]) -> dict[str, StoreStats | None]:
+        """Member stats for the cost model, from the per-member cache.
+
+        A failed ``getStats`` maps the member to ``None`` (the planner
+        falls back to the global mode for it and never skips it) and is
+        *not* cached, so the next plan retries; the resulting degraded
+        plan's result is likewise not memoized (``Plan.stats_degraded``).
+        """
+        collected: dict[str, StoreStats | None] = {}
+        for name, binding in members.items():
+            stats = self._member_stats.get(name)
+            if stats is None:
+                try:
+                    stats = binding.get_stats()
+                except Exception:
+                    collected[name] = None
+                    continue
+                with self._coherence_lock:
+                    self._member_stats[name] = stats
+            collected[name] = stats
+        return collected
 
     def _select_executions(self, member: MemberPlan, binding, stats) -> list:
         if member.selector is None:
@@ -428,9 +530,16 @@ class FederationEngine:
             executions = self._select_executions(member, binding, stats)
             if not executions:
                 continue
-            metrics = self._member_metrics(member.app, executions[0])
-            subqueries = [sq for sq in member.subqueries if sq.metric in metrics]
-            stats["skipped_metrics"] += len(member.subqueries) - len(subqueries)
+            if member.cost is not None and not member.cost.stats_missing:
+                # the planner already dropped metrics the member's stats
+                # prove absent; probing one execution here would be
+                # *wrong* for heterogeneous members (executions[0] need
+                # not record every metric its siblings do)
+                subqueries = list(member.subqueries)
+            else:
+                metrics = self._member_metrics(member.app, executions[0])
+                subqueries = [sq for sq in member.subqueries if sq.metric in metrics]
+                stats["skipped_metrics"] += len(member.subqueries) - len(subqueries)
             if not subqueries:
                 continue
             stats["executions"] += len(executions)
@@ -498,6 +607,7 @@ class FederationEngine:
         for metric, kind, payload in payloads:
             stats["calls"] += 1
             stats["records"] += len(payload)
+            stats["payloadBytes"] += sum(len(item.pack()) for item in payload)
             if kind == "aggregate":
                 merger.absorb_aggregates(ctx, metric, payload)
             else:

@@ -17,14 +17,24 @@ every value predicate is expressible as inclusive bounds; the stores
 then return combinable count/total/min/max buckets (RDBMS members via
 real SQL).  Otherwise the plan runs in **raw mode**: ``getPR`` rows come
 back and the executor filters/reduces client-side.
+
+With member statistics (the ``stats`` argument, fed by ``getStats``),
+the mode is chosen *per member and per metric* by the
+:mod:`repro.fedquery.cost` model: members whose stats prove they cannot
+contribute are skipped outright (``Plan.skipped``), vacuous value
+predicates upgrade metrics to bound-free aggregation, and the remainder
+fall back to the global choice — so one plan can mix raw and aggregate
+members.  ``Plan.mode`` always records the global (stats-free) choice;
+``Plan.effective_mode`` summarizes what the cost model actually picked.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.semantic import UNDEFINED_TYPE
+from repro.core.semantic import StoreStats, UNDEFINED_TYPE
 from repro.fedquery.ast import Query
+from repro.fedquery.cost import CostModel, MemberCost
 from repro.fedquery.pushdown import (
     PredicateSplit,
     ValueBounds,
@@ -95,6 +105,7 @@ class MemberPlan:
     group_attrs: tuple[str, ...]
     needs_info: bool
     needs_exec_id: bool
+    cost: MemberCost | None = None  # None -> planned without statistics
 
     def describe(self) -> list[str]:
         lines = [f"member {self.app}:"]
@@ -108,6 +119,8 @@ class MemberPlan:
             lines.append(f"  {sub.describe()}")
         if self.needs_info:
             lines.append(f"  getInfo() for group keys {self.group_attrs}")
+        if self.cost is not None:
+            lines.append(f"  {self.cost.describe()}")
         return lines
 
 
@@ -125,13 +138,52 @@ class Plan:
     split: PredicateSplit
     window: tuple[float, float]
     bounds: ValueBounds
-    mode: str  # "aggregate" | "raw"
+    mode: str  # the global (stats-free) choice: "aggregate" | "raw"
     members: tuple[MemberPlan, ...]
     pruned: tuple[PrunedMember, ...]
+    #: members the cost model proved cannot contribute (stats-based)
+    skipped: tuple[PrunedMember, ...] = ()
 
     @property
     def fingerprint(self) -> str:
         return self.query.fingerprint()
+
+    @property
+    def effective_mode(self) -> str:
+        """What the cost model actually picked across the federation:
+        ``raw`` / ``aggregate`` when uniform, ``mixed`` when members (or
+        metrics within one member) diverge, ``skip`` when statistics
+        proved no member can contribute."""
+        modes = {
+            member.cost.mode if member.cost is not None else self.mode
+            for member in self.members
+        }
+        if self.skipped:
+            modes.add("skip")
+        if not modes:
+            return self.mode
+        if len(modes) == 1:
+            return next(iter(modes))
+        return "mixed"
+
+    @property
+    def estimated_bytes(self) -> int:
+        """Cost-model estimate of total transfer bytes (known members)."""
+        return sum(
+            member.cost.est_bytes
+            for member in self.members
+            if member.cost is not None and member.cost.est_bytes is not None
+        )
+
+    @property
+    def stats_degraded(self) -> bool:
+        """True when any member was planned without statistics (fetch
+        failed); such plans' results must not be memoized, so recovery
+        re-plans with fresh stats."""
+        return any(
+            member.cost is not None and member.cost.stats_missing
+            for member in self.members
+        )
 
     def explain(self) -> str:
         lines = [f"plan: {self.fingerprint}"]
@@ -144,6 +196,8 @@ class Plan:
             lines.append("value predicates: strict comparison, filtered client-side")
         for member in self.members:
             lines.extend(member.describe())
+        for skipped in self.skipped:
+            lines.append(f"skipped {skipped.app}: stats prove {skipped.reason}")
         for pruned in self.pruned:
             lines.append(f"pruned {pruned.app}: {pruned.reason}")
         return "\n".join(lines)
@@ -168,13 +222,63 @@ def _build_selector(split: PredicateSplit, params: dict[str, list[str]]) -> Exec
     return ExecSelector(conjuncts=tuple(conjuncts))
 
 
-def plan_query(query: Query, catalog: dict[str, dict[str, list[str]]]) -> Plan:
+def _member_subqueries(
+    query: Query,
+    window: tuple[float, float],
+    bounds: ValueBounds,
+    result_type: str,
+    global_aggregate: bool,
+    group_by_focus: bool,
+    cost: MemberCost | None,
+) -> tuple[SubQuery, ...]:
+    """One SubQuery per surviving metric, honoring per-metric modes.
+
+    Without a cost verdict every metric takes the global mode.  With
+    one, provably-empty metrics are omitted (an aggregate group missing
+    any selected metric is dropped by the merger — exactly what an
+    executed empty sub-query would do), and vacuous metrics aggregate
+    with no value bounds.
+    """
+    subqueries: list[SubQuery] = []
+    for metric in query.metrics:
+        metric_mode = cost.metric_mode(metric) if cost is not None else None
+        if metric_mode is None:
+            metric_mode = "aggregate" if global_aggregate else "raw"
+        if metric_mode == "skip":
+            continue
+        aggregate = metric_mode == "aggregate"
+        bounded = aggregate and not (cost is not None and metric in cost.vacuous)
+        subqueries.append(
+            SubQuery(
+                metric=metric,
+                mode=metric_mode,
+                start=window[0],
+                end=window[1],
+                result_type=result_type,
+                min_value=bounds.minimum if bounded else None,
+                max_value=bounds.maximum if bounded else None,
+                group_by_focus=aggregate and group_by_focus,
+            )
+        )
+    return tuple(subqueries)
+
+
+def plan_query(
+    query: Query,
+    catalog: dict[str, dict[str, list[str]]],
+    stats: dict[str, StoreStats | None] | None = None,
+) -> Plan:
     """Compile *query* against *catalog* (member name -> query params).
 
     Semantics note: execution-attribute predicates and GROUP BY keys
     refer to the member's *published* query parameters — a member that
     does not publish a referenced attribute contributes no rows, exactly
     as its own ``getExecs`` would reject the attribute.
+
+    *stats* (member name -> :class:`StoreStats`, or ``None`` for a
+    member whose stats could not be fetched) enables cost-based
+    per-member plan selection; omitted entirely, the plan is the
+    pre-cost-model global plan.
     """
     split = split_predicates(query)
     window = derive_window(split.time)
@@ -186,9 +290,15 @@ def plan_query(query: Query, catalog: dict[str, dict[str, list[str]]]) -> Plan:
     group_attrs = query.group_attributes()
     group_by_focus = "focus" in query.group_by
     needs_exec_id = (not query.is_aggregate) or ("exec" in query.group_by)
+    cost_model = (
+        CostModel(query, split, window, bounds, allowlist, mode)
+        if stats is not None
+        else None
+    )
 
     members: list[MemberPlan] = []
     pruned: list[PrunedMember] = []
+    skipped: list[PrunedMember] = []
     for app in sorted(catalog):
         if query.sources and app not in query.sources:
             pruned.append(PrunedMember(app, "not in FROM clause"))
@@ -205,28 +315,23 @@ def plan_query(query: Query, catalog: dict[str, dict[str, list[str]]]) -> Plan:
                 PrunedMember(app, f"does not publish attribute(s) {sorted(set(missing))}")
             )
             continue
-        subqueries = tuple(
-            SubQuery(
-                metric=metric,
-                mode=mode,
-                start=window[0],
-                end=window[1],
-                result_type=result_type,
-                min_value=bounds.minimum if aggregate else None,
-                max_value=bounds.maximum if aggregate else None,
-                group_by_focus=aggregate and group_by_focus,
-            )
-            for metric in query.metrics
-        )
+        cost = cost_model.member(stats.get(app)) if cost_model is not None else None
+        if cost is not None and cost.mode == "skip":
+            skipped.append(PrunedMember(app, cost.reason))
+            continue
         members.append(
             MemberPlan(
                 app=app,
                 selector=_build_selector(split, params),
-                subqueries=subqueries,
+                subqueries=_member_subqueries(
+                    query, window, bounds, result_type, aggregate,
+                    group_by_focus, cost,
+                ),
                 foci=allowlist,
                 group_attrs=group_attrs,
                 needs_info=bool(group_attrs),
                 needs_exec_id=needs_exec_id,
+                cost=cost,
             )
         )
     return Plan(
@@ -237,4 +342,5 @@ def plan_query(query: Query, catalog: dict[str, dict[str, list[str]]]) -> Plan:
         mode=mode,
         members=tuple(members),
         pruned=tuple(pruned),
+        skipped=tuple(skipped),
     )

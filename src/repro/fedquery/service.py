@@ -46,6 +46,19 @@ FEDERATED_QUERY_PORTTYPE = PortType(
             ),
         ),
         Operation(
+            "explainPlan",
+            (Parameter("queryText", "xsd:string"),),
+            "xsd:string[]",
+            doc=(
+                "Compile a federated query with the cost model and "
+                "return the cost-annotated plan: per-member modes "
+                "(raw/aggregate/mixed) with estimated record and byte "
+                "volumes, members skipped because statistics prove they "
+                "cannot contribute, the federation-wide effective mode, "
+                "and the estimated transfer total."
+            ),
+        ),
+        Operation(
             "getCacheStats",
             (),
             "xsd:string[]",
@@ -83,7 +96,8 @@ FEDERATED_QUERY_PORTTYPE = PortType(
             doc=(
                 "Cache-coherence counters as 'name|value' records: "
                 "subscriptions, notifications, invalidations, "
-                "fullClears, staleDiscards, trackedPlans."
+                "fullClears, staleDiscards, statsInvalidations, "
+                "trackedPlans."
             ),
         ),
     ),
@@ -113,6 +127,10 @@ class FederatedQueryService(GridServiceBase):
     def explainQuery(self, queryText: str) -> list[str]:
         self.require_active()
         return self.engine.explain(queryText).splitlines()
+
+    def explainPlan(self, queryText: str) -> list[str]:
+        self.require_active()
+        return self.engine.explain_plan(queryText)
 
     def getCacheStats(self) -> list[str]:
         self.require_active()

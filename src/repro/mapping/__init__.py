@@ -16,6 +16,7 @@ future-work variants):
 * :class:`PerfDmfWrapper` — a PerfDMF profile database (§2.4
   interoperability: "PPerfGrid could be used to expose a PerfDMF profile
   database")
+* :class:`InMemoryWrapper` — explicit synthetic datasets (tests/benches)
 """
 
 from repro.mapping.base import (
@@ -24,6 +25,7 @@ from repro.mapping.base import (
     MappingError,
     TimedExecutionWrapper,
 )
+from repro.mapping.memory import InMemoryExecution, InMemoryWrapper
 from repro.mapping.perfdmf import PerfDmfWrapper
 from repro.mapping.rdbms import (
     HplRdbmsWrapper,
@@ -38,6 +40,8 @@ __all__ = [
     "ExecutionWrapper",
     "HplRdbmsWrapper",
     "HplXmlWrapper",
+    "InMemoryExecution",
+    "InMemoryWrapper",
     "MappingError",
     "PerfDmfWrapper",
     "PrestaRdbmsWrapper",

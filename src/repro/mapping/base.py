@@ -12,7 +12,13 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 
-from repro.core.semantic import AggregateRecord, PerformanceResult
+from repro.core.semantic import (
+    UNDEFINED_TYPE,
+    AggregateRecord,
+    MetricStats,
+    PerformanceResult,
+    StoreStats,
+)
 from repro.simnet.metrics import Recorder
 
 #: comparison operators accepted by attribute queries
@@ -51,6 +57,20 @@ class ApplicationWrapper(ABC):
 
     def get_num_execs(self) -> int:
         return len(self.get_all_exec_ids())
+
+    def get_stats(self) -> StoreStats:
+        """Application-level store statistics for the cost-based planner.
+
+        Generic fallback: merge per-execution stats.  Store-specific
+        wrappers override this with one cheap query (SQL ``COUNT``/
+        ``MIN``/``MAX``, header scans, ...).  Overrides must honour the
+        :class:`repro.core.semantic.StoreStats` soundness contract:
+        ``rows == 0`` exact, value ranges conservative supersets, foci
+        and types complete — or set ``complete=False``.
+        """
+        return StoreStats.merge(
+            [self.execution(exec_id).get_stats() for exec_id in self.get_all_exec_ids()]
+        )
 
     @staticmethod
     def check_operator(operator: str) -> None:
@@ -165,6 +185,40 @@ class ExecutionWrapper(ABC):
             for key, acc in sorted(buckets.items())
         ]
 
+    def get_stats(self) -> StoreStats:
+        """Store statistics for this execution (cost-based planner input).
+
+        Generic fallback: exact by construction — it runs :meth:`get_pr`
+        per metric over all foci and the full time window and counts what
+        comes back, so the :class:`repro.core.semantic.StoreStats`
+        soundness contract holds trivially.  Store wrappers override this
+        with cheap native queries when a full scan would be expensive.
+        """
+        foci = self.get_foci()
+        start, end = self.get_time_start_end()
+        metrics = []
+        for metric in self.get_metrics():
+            values = [
+                result.value
+                for result in self.get_pr(metric, foci, 0.0, 1e30, UNDEFINED_TYPE)
+            ]
+            metrics.append(
+                MetricStats(
+                    metric=metric,
+                    rows=len(values),
+                    minimum=min(values) if values else 0.0,
+                    maximum=max(values) if values else 0.0,
+                )
+            )
+        return StoreStats(
+            executions=1,
+            start=start,
+            end=end,
+            foci=tuple(foci),
+            types=tuple(self.get_types()),
+            metrics=tuple(metrics),
+        )
+
 
 class TimedExecutionWrapper(ExecutionWrapper):
     """Decorator recording Mapping-Layer query time into a recorder.
@@ -223,3 +277,9 @@ class TimedExecutionWrapper(ExecutionWrapper):
             return self.inner.get_pr_aggregate(
                 metric, foci, start, end, result_type, min_value, max_value, group_by
             )
+
+    def get_stats(self) -> StoreStats:
+        # Forward so the inner wrapper's cheap native stats query (if
+        # any) is used instead of the generic full-scan default.
+        with self.recorder.time(f"{self.timer_name}.stats"):
+            return self.inner.get_stats()

@@ -11,7 +11,12 @@ Metric mapping: PPerfGrid ``time_spent`` -> PerfDMF TIME
 
 from __future__ import annotations
 
-from repro.core.semantic import UNDEFINED_TYPE, PerformanceResult
+from repro.core.semantic import (
+    UNDEFINED_TYPE,
+    MetricStats,
+    PerformanceResult,
+    StoreStats,
+)
 from repro.mapping.base import ApplicationWrapper, ExecutionWrapper, MappingError
 from repro.mapping.rdbms import _SQL_OPS, _sql_value
 from repro.minidb import Connection, Database, connect
@@ -94,6 +99,74 @@ class PerfDmfWrapper(ApplicationWrapper):
             raise MappingError(f"no PerfDMF trial {exec_id!r}")
         return PerfDmfExecutionWrapper(self.conn, int(exec_id), float(row[0]))
 
+    def get_stats(self) -> StoreStats:
+        """SQL aggregates over the profile tables (already pre-reduced)."""
+        return _perfdmf_stats(self.conn, app_id=self.app_id, trial_id=None)
+
+
+def _perfdmf_stats(conn: Connection, app_id: int | None, trial_id: int | None) -> StoreStats:
+    """Shared PerfDMF stats query, app-wide or scoped to one trial.
+
+    Profiles carry at most one row per (trial, focus, metric), so counts
+    and ranges are exact column aggregates.  Time coverage spans the
+    trial totals; sub-range ``get_pr`` windows return nothing for this
+    store, which only makes the window fraction an overestimate — safe,
+    since the planner never skips on the window.
+    """
+    if trial_id is not None:
+        execs_where = "WHERE t.trial_id = ?"
+        params: list[object] = [trial_id]
+    else:
+        execs_where = "JOIN experiment e ON t.exp_id = e.exp_id WHERE e.app_id = ?"
+        params = [app_id]
+    row = conn.execute(
+        f"SELECT COUNT(*), MAX(t.total_time) FROM trial t {execs_where}", params
+    ).fetchone()
+    assert row is not None
+    execs = int(row[0])
+    end = float(row[1]) if row[1] is not None else 0.0
+    if trial_id is not None:
+        ie_where = "ie.trial_id = ?"
+        ie_join = ""
+    else:
+        ie_where = "e.app_id = ?"
+        ie_join = (
+            "JOIN trial t ON ie.trial_id = t.trial_id "
+            "JOIN experiment e ON t.exp_id = e.exp_id "
+        )
+    metrics = []
+    for metric, column in sorted(PerfDmfWrapper._METRIC_COLUMNS.items()):
+        metric_name = "TIME" if metric == "time_spent" else "CALLS"
+        stats_row = conn.execute(
+            f"SELECT COUNT(*), MIN(ie.{column}), MAX(ie.{column}) "
+            f"FROM interval_event ie {ie_join}"
+            "JOIN metric m ON ie.metric_id = m.metric_id "
+            f"WHERE {ie_where} AND m.name = ?",
+            params + [metric_name],
+        ).fetchone()
+        assert stats_row is not None
+        metrics.append(
+            MetricStats(
+                metric=metric,
+                rows=int(stats_row[0]),
+                minimum=float(stats_row[1]) if stats_row[1] is not None else 0.0,
+                maximum=float(stats_row[2]) if stats_row[2] is not None else 0.0,
+            )
+        )
+    foci_cursor = conn.execute(
+        f"SELECT DISTINCT ie.event_group, ie.event_name FROM interval_event ie {ie_join}"
+        f"WHERE {ie_where} ORDER BY ie.event_group, ie.event_name",
+        params,
+    )
+    return StoreStats(
+        executions=execs,
+        start=0.0,
+        end=end,
+        foci=tuple(f"/Code/{grp}/{name}" for grp, name in foci_cursor.fetchall()),
+        types=(PerfDmfWrapper.result_type,),
+        metrics=tuple(metrics),
+    )
+
 
 class PerfDmfExecutionWrapper(ExecutionWrapper):
     """One PerfDMF TRIAL as a PPerfGrid Execution."""
@@ -168,3 +241,7 @@ class PerfDmfExecutionWrapper(ExecutionWrapper):
                     PerformanceResult(metric, focus, "perfdmf", lo, hi, float(row[0]))
                 )
         return results
+
+    def get_stats(self) -> StoreStats:
+        """Per-trial stats via the shared SQL aggregates."""
+        return _perfdmf_stats(self.conn, app_id=None, trial_id=self.trial_id)

@@ -7,7 +7,13 @@ into PPerfGrid types.
 
 from __future__ import annotations
 
-from repro.core.semantic import UNDEFINED_TYPE, AggregateRecord, PerformanceResult
+from repro.core.semantic import (
+    UNDEFINED_TYPE,
+    AggregateRecord,
+    MetricStats,
+    PerformanceResult,
+    StoreStats,
+)
 from repro.mapping.base import ApplicationWrapper, ExecutionWrapper, MappingError
 from repro.minidb import Connection, Database, connect
 
@@ -137,6 +143,37 @@ class HplRdbmsWrapper(ApplicationWrapper):
             raise MappingError(f"no HPL execution {exec_id!r}")
         return HplRdbmsExecutionWrapper(self.conn, int(exec_id), float(row[0]))
 
+    def get_stats(self) -> StoreStats:
+        """One SQL aggregate per metric: exact counts and value ranges.
+
+        ``get_pr`` renders one ``/Run`` result per run per metric, so the
+        per-metric row count is the execution count and the value range
+        is the column MIN/MAX — exact, hence trivially conservative.
+        """
+        count = int(self.conn.execute("SELECT COUNT(*) FROM hpl_runs").scalar() or 0)
+        metrics = []
+        for metric in self.METRICS:
+            row = self.conn.execute(
+                f"SELECT MIN({metric}), MAX({metric}) FROM hpl_runs"
+            ).fetchone()
+            metrics.append(
+                MetricStats(
+                    metric=metric,
+                    rows=count,
+                    minimum=float(row[0]) if count and row and row[0] is not None else 0.0,
+                    maximum=float(row[1]) if count and row and row[1] is not None else 0.0,
+                )
+            )
+        end = self.conn.execute("SELECT MAX(runtimesec) FROM hpl_runs").scalar()
+        return StoreStats(
+            executions=count,
+            start=0.0,
+            end=float(end) if end is not None else 0.0,
+            foci=tuple(self.FOCI),
+            types=(self.result_type,),
+            metrics=tuple(metrics),
+        )
+
 
 class HplRdbmsExecutionWrapper(ExecutionWrapper):
     """One HPL run: scalar metrics over the whole-run focus ``/Run``."""
@@ -250,6 +287,31 @@ class HplRdbmsExecutionWrapper(ExecutionWrapper):
         group = "/Run" if group_by == "focus" else ""
         return [AggregateRecord(group, count, float(row[1]), float(row[2]), float(row[3]))]
 
+    def get_stats(self) -> StoreStats:
+        """One row read: each metric is a single scalar for this run."""
+        row = self.conn.execute(
+            "SELECT gflops, runtimesec, resid FROM hpl_runs WHERE runid = ?",
+            [self.runid],
+        ).fetchone()
+        values = dict(zip(HplRdbmsWrapper.METRICS, row)) if row is not None else {}
+        metrics = tuple(
+            MetricStats(
+                metric=metric,
+                rows=1 if metric in values else 0,
+                minimum=float(values.get(metric, 0.0)),
+                maximum=float(values.get(metric, 0.0)),
+            )
+            for metric in HplRdbmsWrapper.METRICS
+        )
+        return StoreStats(
+            executions=1,
+            start=0.0,
+            end=float(values.get("runtimesec", 0.0)),
+            foci=tuple(HplRdbmsWrapper.FOCI),
+            types=(HplRdbmsWrapper.result_type,),
+            metrics=metrics,
+        )
+
 
 # ----------------------------------------------------------------- SMG98
 
@@ -310,6 +372,84 @@ class Smg98RdbmsWrapper(ApplicationWrapper):
         if row is None:
             raise MappingError(f"no SMG98 execution {exec_id!r}")
         return Smg98ExecutionWrapper(self.conn, int(exec_id), float(row[0]), int(row[1]))
+
+    def get_stats(self) -> StoreStats:
+        """A handful of SQL aggregates instead of a trace scan.
+
+        Ranges are conservative supersets because ``get_pr`` derives
+        values: ``/Process`` foci return per-function *sums* of interval
+        durations (bounded above by the total duration sum), ``func_calls``
+        returns per-rank counts (bounded by the interval count), and
+        ``msg_count``/``msg_bytes`` return one per-execution total each
+        (bounded by the table-wide totals, and present even when zero —
+        hence their row count is the execution count, not the message
+        count).
+        """
+        return _smg98_stats(self.conn, execid=None)
+
+
+def _smg98_stats(conn: Connection, execid: int | None) -> StoreStats:
+    """Shared SMG98 stats query, optionally scoped to one execution."""
+    where = "" if execid is None else " WHERE execid = ?"
+    params: list[object] = [] if execid is None else [execid]
+    if execid is None:
+        execs = int(conn.execute("SELECT COUNT(*) FROM executions").scalar() or 0)
+        runtime = conn.execute("SELECT MAX(runtime) FROM executions").scalar()
+        ranks = conn.execute("SELECT MAX(numprocs) FROM executions").scalar()
+    else:
+        row = conn.execute(
+            "SELECT runtime, numprocs FROM executions WHERE execid = ?", [execid]
+        ).fetchone()
+        execs = 1 if row is not None else 0
+        runtime = row[0] if row is not None else None
+        ranks = row[1] if row is not None else None
+    dur = conn.execute(
+        "SELECT COUNT(*), MIN(end_ts - start_ts), SUM(end_ts - start_ts), "
+        f"MAX(end_ts - start_ts) FROM intervals{where}",
+        params,
+    ).fetchone()
+    assert dur is not None
+    n_intervals = int(dur[0])
+    dur_min = float(dur[1]) if dur[1] is not None else 0.0
+    dur_sum = float(dur[2]) if dur[2] is not None else 0.0
+    dur_max = float(dur[3]) if dur[3] is not None else 0.0
+    msg = conn.execute(
+        "SELECT COUNT(*), MIN(recv_ts - send_ts), MAX(recv_ts - send_ts), "
+        f"SUM(nbytes) FROM messages{where}",
+        params,
+    ).fetchone()
+    assert msg is not None
+    n_messages = int(msg[0])
+    deliv_min = float(msg[1]) if msg[1] is not None else 0.0
+    deliv_max = float(msg[2]) if msg[2] is not None else 0.0
+    bytes_sum = float(msg[3]) if msg[3] is not None else 0.0
+    functions = conn.execute("SELECT grp, name FROM functions ORDER BY grp, name").fetchall()
+    foci = [f"/Code/{grp}/{name}" for grp, name in functions]
+    foci.extend(f"/Process/{rank}" for rank in range(int(ranks or 0)))
+    foci.append("/Messages")
+    metrics = (
+        # /Code foci: per-interval durations; /Process foci: per-function
+        # SUMS of durations — so the max must cover the total sum.
+        MetricStats("func_calls", n_intervals, 0.0, float(n_intervals)),
+        MetricStats(
+            "msg_bytes", execs, 0.0, max(0.0, bytes_sum)
+        ),
+        MetricStats("msg_count", execs, 0.0, float(n_messages)),
+        MetricStats(
+            "msg_deliv_time", n_messages, min(0.0, deliv_min), max(0.0, deliv_max)
+        ),
+        MetricStats(
+            "time_spent", n_intervals, min(0.0, dur_min), max(dur_max, dur_sum)
+        ),
+    )
+    return StoreStats(
+        executions=execs,
+        start=0.0,
+        end=float(runtime) if runtime is not None else 0.0,
+        foci=tuple(foci),
+        types=(Smg98RdbmsWrapper.result_type,),
+        metrics=metrics,
+    )
 
 
 class Smg98ExecutionWrapper(ExecutionWrapper):
@@ -476,6 +616,10 @@ class Smg98ExecutionWrapper(ExecutionWrapper):
                            record.minimum, record.maximum)
         return _bucket_records(buckets)
 
+    def get_stats(self) -> StoreStats:
+        """Per-execution stats via the shared SQL aggregates (no scan)."""
+        return _smg98_stats(self.conn, execid=self.execid)
+
     def _code_focus(
         self, metric: str, focus: str, lo: float, hi: float
     ) -> list[PerformanceResult]:
@@ -628,6 +772,55 @@ class PrestaRdbmsWrapper(ApplicationWrapper):
             raise MappingError(f"no PRESTA execution {exec_id!r}")
         return PrestaRdbmsExecutionWrapper(self.conn, int(exec_id), float(row[0]), float(row[1]))
 
+    def get_stats(self) -> StoreStats:
+        """Exact counts/ranges straight off ``rma_results``."""
+        return _presta_rdbms_stats(self.conn, execid=None)
+
+
+def _presta_rdbms_stats(conn: Connection, execid: int | None) -> StoreStats:
+    """Shared PRESTA stats query, optionally scoped to one execution.
+
+    ``get_pr`` renders one result per ``rma_results`` row per metric, so
+    row counts and value ranges are exact column aggregates.  Stats foci
+    are the *query* foci (``/Op/<op>``, what ``get_foci`` returns), not
+    the per-msgsize result foci.
+    """
+    where = "" if execid is None else " WHERE execid = ?"
+    params: list[object] = [] if execid is None else [execid]
+    if execid is None:
+        execs = int(conn.execute("SELECT COUNT(*) FROM rma_execs").scalar() or 0)
+        span = conn.execute("SELECT MIN(start_time), MAX(end_time) FROM rma_execs").fetchone()
+    else:
+        execs = 1
+        span = conn.execute(
+            "SELECT start_time, end_time FROM rma_execs WHERE execid = ?", [execid]
+        ).fetchone()
+    start = float(span[0]) if span is not None and span[0] is not None else 0.0
+    end = float(span[1]) if span is not None and span[1] is not None else 0.0
+    rows = int(conn.execute(f"SELECT COUNT(*) FROM rma_results{where}", params).scalar() or 0)
+    metrics = []
+    for metric in PrestaRdbmsWrapper.METRICS:
+        bounds = conn.execute(
+            f"SELECT MIN({metric}), MAX({metric}) FROM rma_results{where}", params
+        ).fetchone()
+        metrics.append(
+            MetricStats(
+                metric=metric,
+                rows=rows,
+                minimum=float(bounds[0]) if bounds and bounds[0] is not None else 0.0,
+                maximum=float(bounds[1]) if bounds and bounds[1] is not None else 0.0,
+            )
+        )
+    ops = conn.execute(f"SELECT DISTINCT op FROM rma_results{where} ORDER BY op", params)
+    return StoreStats(
+        executions=execs,
+        start=start,
+        end=end,
+        foci=tuple(f"/Op/{row[0]}" for row in ops.fetchall()),
+        types=(PrestaRdbmsWrapper.result_type,),
+        metrics=tuple(metrics),
+    )
+
 
 class PrestaRdbmsExecutionWrapper(ExecutionWrapper):
     """One PRESTA run (relational): per-message-size sweeps per operation."""
@@ -744,3 +937,7 @@ class PrestaRdbmsExecutionWrapper(ExecutionWrapper):
                         int(row[0]), float(row[1]), float(row[2]), float(row[3])
                     )
         return _bucket_records(buckets)
+
+    def get_stats(self) -> StoreStats:
+        """Per-execution stats via the shared SQL aggregates."""
+        return _presta_rdbms_stats(self.conn, execid=self.execid)

@@ -7,7 +7,12 @@ attribute discovery cheap, as the thesis's Java parser did.
 
 from __future__ import annotations
 
-from repro.core.semantic import UNDEFINED_TYPE, PerformanceResult
+from repro.core.semantic import (
+    UNDEFINED_TYPE,
+    MetricStats,
+    PerformanceResult,
+    StoreStats,
+)
 from repro.datastores.textfiles import TextFileStore, TextStoreError
 from repro.mapping.base import (
     ApplicationWrapper,
@@ -85,6 +90,44 @@ class PrestaTextWrapper(ApplicationWrapper):
             raise MappingError(f"no PRESTA execution {exec_id!r}")
         return PrestaTextExecutionWrapper(self.store, execid)
 
+    def get_stats(self) -> StoreStats:
+        """One parse per file (the cheapest this Data Layer offers)."""
+        return StoreStats.merge(
+            [_presta_text_stats(self.store, execid) for execid in self.store.execution_ids()]
+        )
+
+
+def _presta_text_stats(store: TextFileStore, execid: int) -> StoreStats:
+    """Exact per-execution stats from one file parse.
+
+    ``get_pr`` renders one result per measurement row per metric, so the
+    row count is the measurement count and ranges are exact column
+    min/max.  Stats foci are the query foci (``/Op/<op>``), matching
+    ``get_foci``, not the per-msgsize result foci.
+    """
+    execution = store.load(execid)
+    latencies = [float(row[3]) for row in execution.measurements]
+    bandwidths = [float(row[4]) for row in execution.measurements]
+    rows = len(execution.measurements)
+    metrics = tuple(
+        MetricStats(
+            metric=metric,
+            rows=rows,
+            minimum=min(values) if values else 0.0,
+            maximum=max(values) if values else 0.0,
+        )
+        for metric, values in (("bandwidth_mbps", bandwidths), ("latency_us", latencies))
+    )
+    ops = sorted({row[0] for row in execution.measurements})
+    return StoreStats(
+        executions=1,
+        start=execution.start_time,
+        end=execution.end_time,
+        foci=tuple(f"/Op/{op}" for op in ops),
+        types=(PrestaTextWrapper.result_type,),
+        metrics=metrics,
+    )
+
 
 class PrestaTextExecutionWrapper(ExecutionWrapper):
     """One PRESTA run; parses the text file on each data query."""
@@ -153,3 +196,7 @@ class PrestaTextExecutionWrapper(ExecutionWrapper):
                     )
                 )
         return results
+
+    def get_stats(self) -> StoreStats:
+        """Per-execution stats from one file parse."""
+        return _presta_text_stats(self.store, self.execid)

@@ -8,7 +8,12 @@ proposes for overhead testing.
 
 from __future__ import annotations
 
-from repro.core.semantic import UNDEFINED_TYPE, PerformanceResult
+from repro.core.semantic import (
+    UNDEFINED_TYPE,
+    MetricStats,
+    PerformanceResult,
+    StoreStats,
+)
 from repro.datastores.xmlstore import XmlStore
 from repro.mapping.base import (
     ApplicationWrapper,
@@ -76,6 +81,42 @@ class HplXmlWrapper(ApplicationWrapper):
             raise MappingError(f"no HPL execution {exec_id!r} in XML store")
         return HplXmlExecutionWrapper(self.store, runid)
 
+    def get_stats(self) -> StoreStats:
+        """One pass over the run elements (attributes hold the metrics).
+
+        ``get_pr`` returns one ``/Run`` result per run that carries the
+        metric attribute, so per-metric row counts are presence counts
+        and ranges are exact attribute min/max.
+        """
+        return _hpl_xml_stats(list(self.store.runs()))
+
+
+def _hpl_xml_stats(runs: list) -> StoreStats:
+    metrics = []
+    for metric in sorted(HplXmlWrapper.METRICS):
+        values = []
+        for run in runs:
+            raw = run.get(metric)
+            if raw is not None:
+                values.append(float(raw))
+        metrics.append(
+            MetricStats(
+                metric=metric,
+                rows=len(values),
+                minimum=min(values) if values else 0.0,
+                maximum=max(values) if values else 0.0,
+            )
+        )
+    runtimes = [float(run.get("runtimesec") or 0.0) for run in runs]
+    return StoreStats(
+        executions=len(runs),
+        start=0.0,
+        end=max(runtimes) if runtimes else 0.0,
+        foci=("/Run",),
+        types=(HplXmlWrapper.result_type,),
+        metrics=tuple(metrics),
+    )
+
 
 class HplXmlExecutionWrapper(ExecutionWrapper):
     """One HPL run read from the XML store per query."""
@@ -142,3 +183,7 @@ class HplXmlExecutionWrapper(ExecutionWrapper):
                 )
             )
         return results
+
+    def get_stats(self) -> StoreStats:
+        """Per-execution stats from this run's attributes."""
+        return _hpl_xml_stats([self._run()])

@@ -77,7 +77,8 @@ class TestCacheKey:
 class TestPortTypes:
     def test_table1_operations(self):
         ops = [name for name, _ in application_porttype_table()]
-        # The five Table 1 operations plus the documented extension.
+        # The five Table 1 operations plus the documented extensions:
+        # getExecsOp (operator queries) and getStats (cost-based planning).
         assert ops == [
             "getAppInfo",
             "getNumExecs",
@@ -85,12 +86,14 @@ class TestPortTypes:
             "getAllExecs",
             "getExecs",
             "getExecsOp",
+            "getStats",
         ]
 
     def test_table2_operations(self):
         ops = [name for name, _ in execution_porttype_table()]
         # The six Table 2 operations plus the documented extensions:
-        # getPRAgg (federated push-down) and getPRAsync (§7 callbacks).
+        # getPRAgg (federated push-down), getPRAsync (§7 callbacks), and
+        # getStats (cost-based planning).
         assert ops == [
             "getInfo",
             "getFoci",
@@ -100,6 +103,7 @@ class TestPortTypes:
             "getPR",
             "getPRAgg",
             "getPRAsync",
+            "getStats",
         ]
 
     def test_every_operation_documented(self):

@@ -5,10 +5,12 @@ import pytest
 
 from repro.core import PPerfGridClient, PPerfGridSite, SiteConfig
 from repro.core.execution import ExecutionService
-from repro.core.semantic import EXECUTION_PORTTYPE, UNDEFINED_TYPE
+from repro.core.semantic import EXECUTION_PORTTYPE, UNDEFINED_TYPE, PerformanceResult
 from repro.datastores import generate_hpl
+from repro.experiments.common import build_synthetic_grid
 from repro.mapping import HplRdbmsWrapper
 from repro.mapping.base import ExecutionWrapper
+from repro.mapping.memory import InMemoryExecution, InMemoryWrapper
 from repro.ogsi import GridEnvironment, GridServiceHandle
 from repro.soap import SoapFault
 from repro.soap.rpc import decode_response, encode_request
@@ -202,3 +204,79 @@ class TestHostileQueryInputs:
         app = client.bind(site.factory_url, "HPL")
         # Query values with XML-hostile characters survive the SOAP trip.
         assert app.query_executions("machine", "<>&\"'") == []
+
+
+def _result(metric: str, value: float) -> PerformanceResult:
+    return PerformanceResult(metric, "/R", "synthetic", 0.0, 1.0, value)
+
+
+def _stats_grid():
+    """A two-member federation: A records ``m``, B does not.
+
+    With healthy statistics the cost model proves B cannot answer a
+    query on ``m`` and skips it; with B's ``getStats`` failing, the only
+    sound choice is the pre-cost-model global plan for B.
+    """
+    a = InMemoryWrapper(
+        "A", [InMemoryExecution("0", {}, [_result("m", v) for v in (1.0, 2.0, 3.0)])]
+    )
+    b = InMemoryWrapper("B", [InMemoryExecution("0", {}, [_result("other", 9.0)])])
+    grid = build_synthetic_grid({"A": a, "B": b})
+    engine = grid.deploy_federation()
+    return grid, engine, b
+
+
+class TestStatsFetchFailures:
+    """A failing member ``getStats`` degrades the plan, never the answer."""
+
+    QUERY = "SELECT count(m) GROUP BY app"
+
+    def test_stats_failure_never_skips_the_member(self, monkeypatch):
+        grid, engine, b = _stats_grid()
+
+        def broken():
+            raise OSError("stats store on fire")
+
+        monkeypatch.setattr(b, "get_stats", broken)
+        result = engine.execute(self.QUERY)
+        # the answer is still exact: B contributes nothing because the
+        # executor probed its metric vocabulary, not because it was
+        # skipped on (unavailable) statistics
+        assert [(r["app"], r["count(m)"]) for r in result.rows] == [("A", 3.0)]
+        plan = result.plan
+        assert plan.skipped == ()
+        assert plan.stats_degraded is True
+        by_app = {member.app: member for member in plan.members}
+        assert by_app["B"].cost.stats_missing is True
+        # B fell back to the global mode instead of being skipped
+        assert by_app["B"].cost.mode == plan.mode
+
+    def test_degraded_plan_not_cached_until_stats_recover(self, monkeypatch):
+        grid, engine, b = _stats_grid()
+
+        def broken():
+            raise OSError("transient stats failure")
+
+        monkeypatch.setattr(b, "get_stats", broken)
+        assert engine.execute(self.QUERY).cached is False
+        # degraded plans are never memoized: the retry re-plans
+        assert engine.execute(self.QUERY).cached is False
+        monkeypatch.undo()
+        healed = engine.execute(self.QUERY)
+        assert healed.cached is False
+        assert healed.plan.stats_degraded is False
+        # the failed fetch was not cached either: fresh stats now prove
+        # B cannot contribute, so the healthy plan skips it outright
+        assert [skipped.app for skipped in healed.plan.skipped] == ["B"]
+        assert engine.execute(self.QUERY).cached is True
+
+    def test_stats_failure_visible_in_explain(self, monkeypatch):
+        grid, engine, b = _stats_grid()
+
+        def broken():
+            raise OSError("stats store down")
+
+        monkeypatch.setattr(b, "get_stats", broken)
+        text = "\n".join(engine.explain_plan(self.QUERY))
+        assert "stats unavailable" in text
+        assert "skipped" not in text

@@ -10,8 +10,10 @@ from __future__ import annotations
 
 import pytest
 
-from repro.experiments.common import GridScale, build_grid
+from repro.core.semantic import PerformanceResult
+from repro.experiments.common import GridScale, build_grid, build_synthetic_grid
 from repro.fedquery import FEDERATED_QUERY_PORTTYPE, QueryError
+from repro.mapping.memory import InMemoryExecution, InMemoryWrapper
 
 HPL_QUERY = "SELECT count(gflops), max(gflops) FROM HPL GROUP BY app"
 PRESTA_QUERY = "SELECT count(latency_us) FROM PRESTA-RMA GROUP BY network"
@@ -59,6 +61,7 @@ class TestSubscriptions:
             "invalidations",
             "fullClears",
             "staleDiscards",
+            "statsInvalidations",
             "trackedPlans",
         }
 
@@ -214,6 +217,68 @@ class TestDegradedResults:
         monkeypatch.setattr(engine, "_execution_id", bad_exec_id)
         with pytest.raises(QueryError, match="no execId"):
             engine.execute("SELECT sum(gflops) FROM HPL GROUP BY app")
+
+
+class TestStatsSkipReevaluation:
+    """A stats-proven skip must not outlive the statistics behind it.
+
+    The plan never read any of the skipped member's executions, so
+    ordinary (app, exec_id) dependency tracking would leave it cached
+    forever; the wildcard (app, "*") dependency plus the stats-cache
+    invalidation make a ``data_updated`` re-evaluate the skip.
+    """
+
+    QUERY = "SELECT count(m) GROUP BY app"
+
+    def _grid(self):
+        def result(value: float) -> PerformanceResult:
+            return PerformanceResult("m", "/R", "synthetic", 0.0, 1.0, value)
+
+        a = InMemoryWrapper(
+            "A", [InMemoryExecution("0", {}, [result(v) for v in (1.0, 2.0)])]
+        )
+        # B starts empty: its stats prove "m: not recorded" -> skip
+        b = InMemoryWrapper("B", [InMemoryExecution("0", {}, [])])
+        grid = build_synthetic_grid({"A": a, "B": b})
+        engine = grid.deploy_federation()
+        return grid, engine, b
+
+    def test_update_reopens_a_stats_proven_skip(self):
+        grid, engine, b = self._grid()
+        first = engine.execute(self.QUERY)
+        assert first.stats["skippedMembers"] == 1
+        assert [(r["app"], r["count(m)"]) for r in first.rows] == [("A", 2.0)]
+        assert engine.execute(self.QUERY).cached is True
+
+        # the skipped member's store gains m rows, then announces it
+        b.executions_data[0].results.append(
+            PerformanceResult("m", "/R", "synthetic", 0.0, 1.0, 7.0)
+        )
+        service = grid.execution_service("B", "0")
+        assert service.data_updated("backfilled m") == 1
+
+        stats = engine.coherence_stats()
+        assert stats["statsInvalidations"] >= 1  # B's cached stats dropped
+        assert stats["invalidations"] >= 1  # ...and the dependent plan
+
+        fresh = engine.execute(self.QUERY)
+        assert fresh.cached is False
+        assert fresh.stats["skippedMembers"] == 0
+        assert [(r["app"], r["count(m)"]) for r in fresh.rows] == [
+            ("A", 2.0),
+            ("B", 1.0),
+        ]
+
+    def test_update_to_unrelated_member_keeps_the_skip(self):
+        grid, engine, b = self._grid()
+        engine.execute(self.QUERY)
+        service = grid.execution_service("A", "0")
+        assert service.data_updated("A only") == 1
+        # A's update invalidates the plan (it read A), but the re-plan
+        # still proves B away — the skip itself was not disturbed
+        fresh = engine.execute(self.QUERY)
+        assert fresh.cached is False
+        assert fresh.stats["skippedMembers"] == 1
 
 
 class TestRefreshMembers:

@@ -1,0 +1,184 @@
+"""Streaming result cursors vs bulk transfer: memory and first-row latency.
+
+Two scenarios, one per failure mode of single-bulk transfers:
+
+* **Bounded-memory drain** — a 100k-row store pulled through the
+  client's transparent ``stream_pr`` (chunked ResultCursor underneath)
+  against one bulk ``getPR``.  tracemalloc peaks: the chunked drain must
+  hold at least 5x less than the bulk materialization.
+
+* **Time-to-first-row** — a federated raw query over a latency-modeled
+  WAN (:class:`LatencyTransport` sleeping the modeled round-trip per
+  call).  The bulk path pays every member's full transfer before any row
+  exists; the streamed path yields its first merged row after one chunk
+  per member, at least 5x sooner — with byte-identical rows and order.
+
+``FEDQUERY_BENCH_QUICK=1`` (the CI mode) shrinks both datasets so the
+file runs in seconds while asserting the same shape.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import tracemalloc
+
+import pytest
+from conftest import write_result
+
+from repro.core.semantic import PerformanceResult
+from repro.experiments.common import build_synthetic_grid
+from repro.mapping.memory import InMemoryExecution, InMemoryWrapper
+from repro.ogsi.container import GridEnvironment
+from repro.simnet.network import NetworkModel
+from repro.simnet.transport import LatencyTransport
+
+QUICK = os.environ.get("FEDQUERY_BENCH_QUICK", "") not in ("", "0")
+
+DRAIN_ROWS = 20_000 if QUICK else 100_000
+FED_MEMBERS = 4
+FED_EXECS = 2
+FED_ROWS_PER_EXEC = 4_000 if QUICK else 8_000
+
+#: a slow WAN makes transfer time dominate per-message latency, which is
+#: exactly the regime chunked cursors exist for
+WAN = NetworkModel(latency_s=0.002, bandwidth_bytes_per_s=1e6)
+
+
+def _rows(n: int, base: float) -> list[PerformanceResult]:
+    return [
+        PerformanceResult(
+            "m", f"/rank/{i % 16}", "synthetic",
+            float(i), float(i + 1), base + (i * 7 % 1009),
+        )
+        for i in range(n)
+    ]
+
+
+def _bind_app(grid, name: str):
+    for org in grid.client.discover_organizations("%"):
+        for service in org.services():
+            if service.name == name:
+                return grid.client.bind(service)
+    raise KeyError(f"no published application {name!r}")
+
+
+def test_bounded_memory_drain():
+    wrapper = InMemoryWrapper(
+        "BIG", [InMemoryExecution("0", {}, _rows(DRAIN_ROWS, 0.0))]
+    )
+    grid = build_synthetic_grid({"BIG": wrapper})
+    binding = _bind_app(grid, "BIG").all_executions()[0]
+    foci = [f"/rank/{i}" for i in range(16)]
+
+    tracemalloc.start()
+    try:
+        # streamed first: the bulk arm would warm the server PR cache
+        tracemalloc.reset_peak()
+        base = tracemalloc.get_traced_memory()[0]
+        t0 = time.perf_counter()
+        streamed_count = sum(
+            1 for _ in binding.stream_pr("m", foci, max_rows=256, threshold_rows=1)
+        )
+        streamed_s = time.perf_counter() - t0
+        streamed_peak = tracemalloc.get_traced_memory()[1] - base
+
+        tracemalloc.reset_peak()
+        base = tracemalloc.get_traced_memory()[0]
+        t0 = time.perf_counter()
+        bulk = binding.get_pr("m", foci)
+        bulk_s = time.perf_counter() - t0
+        bulk_peak = tracemalloc.get_traced_memory()[1] - base
+    finally:
+        tracemalloc.stop()
+
+    assert streamed_count == DRAIN_ROWS and len(bulk) == DRAIN_ROWS
+    ratio = bulk_peak / max(1, streamed_peak)
+    write_result(
+        "streaming_drain.txt",
+        "\n".join(
+            [
+                f"Bounded-memory drain, {DRAIN_ROWS} rows "
+                f"({'quick' if QUICK else 'full'} scale)",
+                f"{'arm':<12}{'peak bytes':>14}{'seconds':>10}",
+                f"{'bulk':<12}{bulk_peak:>14}{bulk_s:>9.3f}s",
+                f"{'streamed':<12}{streamed_peak:>14}{streamed_s:>9.3f}s",
+                f"peak-memory reduction: {ratio:.1f}x",
+            ]
+        ),
+    )
+    assert streamed_peak * 5 <= bulk_peak, (
+        f"streamed peak {streamed_peak} not 5x below bulk peak {bulk_peak}"
+    )
+
+
+@pytest.fixture(scope="module")
+def wan_grid():
+    environment = GridEnvironment()
+    environment.transport = LatencyTransport(environment.transport, WAN)
+    wrappers = {
+        f"APP{m}": InMemoryWrapper(
+            f"APP{m}",
+            [
+                InMemoryExecution(
+                    str(e), {"numprocs": str(2 ** (e + 1))},
+                    _rows(FED_ROWS_PER_EXEC, m * 10_000.0 + e * 1_000.0),
+                )
+                for e in range(FED_EXECS)
+            ],
+        )
+        for m in range(FED_MEMBERS)
+    }
+    grid = build_synthetic_grid(wrappers, environment=environment)
+    engine = grid.deploy_federation()
+    engine.stream_threshold_rows = 0  # every remote execution streams
+    engine.stream_chunk_rows = 64
+    return grid, engine
+
+
+def test_time_to_first_row(wan_grid):
+    _, engine = wan_grid
+    text = "SELECT m"
+    engine.execute(text)  # warm exec-id discovery and member stats
+    engine.invalidate_cache()
+
+    t0 = time.perf_counter()
+    bulk = engine.execute(text)
+    bulk_total_s = time.perf_counter() - t0
+    # bulk rows exist only when the whole result does
+    bulk_first_row_s = bulk_total_s
+
+    engine.invalidate_cache()
+    t0 = time.perf_counter()
+    streamed = engine.execute(text, stream=True)
+    rows = iter(streamed)
+    first = next(rows)
+    stream_first_row_s = time.perf_counter() - t0
+    streamed_rows = [first, *rows]
+    stream_total_s = time.perf_counter() - t0
+
+    total_rows = FED_MEMBERS * FED_EXECS * FED_ROWS_PER_EXEC
+    assert len(streamed_rows) == total_rows
+    assert [r.pack() for r in streamed_rows] == [r.pack() for r in bulk.rows]
+
+    ratio = bulk_first_row_s / max(1e-9, stream_first_row_s)
+    write_result(
+        "streaming_ttfr.txt",
+        "\n".join(
+            [
+                f"Time to first row, {total_rows} rows across "
+                f"{FED_MEMBERS} members x {FED_EXECS} executions over a "
+                f"{WAN.bandwidth_bytes_per_s * 8 / 1e6:.0f} Mbit/s, "
+                f"{WAN.latency_s * 1e3:.0f} ms WAN "
+                f"({'quick' if QUICK else 'full'} scale)",
+                f"{'arm':<12}{'first row':>12}{'complete':>12}",
+                f"{'bulk':<12}{bulk_first_row_s:>11.3f}s{bulk_total_s:>11.3f}s",
+                f"{'streamed':<12}{stream_first_row_s:>11.3f}s{stream_total_s:>11.3f}s",
+                f"first-row speedup: {ratio:.1f}x",
+            ]
+        ),
+    )
+    assert ratio >= 5.0, (
+        f"first streamed row after {stream_first_row_s:.3f}s vs bulk "
+        f"{bulk_first_row_s:.3f}s — only {ratio:.2f}x"
+    )

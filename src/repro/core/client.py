@@ -18,17 +18,29 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from typing import Callable, Iterator
+
 from repro.core.semantic import (
     APPLICATION_PORTTYPE,
     EXECUTION_PORTTYPE,
     UNDEFINED_TYPE,
     PerformanceResult,
     StoreStats,
+    pr_sort_key,
 )
 from repro.mapping.base import ApplicationWrapper
 from repro.ogsi.container import GridEnvironment
+from repro.ogsi.cursor import RESULT_CURSOR_PORTTYPE
 from repro.ogsi.porttypes import FACTORY_PORTTYPE
+from repro.soap.chunks import ChunkError, decode_chunk
 from repro.uddi.proxy import OrganizationProxy, ServiceProxy, UddiClient
+
+#: default page size a chunked iterator requests per ``next`` call
+DEFAULT_CHUNK_ROWS = 256
+
+#: estimated result rows above which ``stream_pr`` prefers a cursor
+#: over one bulk getPR (the stats-driven auto-fallback threshold)
+DEFAULT_STREAM_THRESHOLD_ROWS = 512
 
 
 def _parse_pairs(records: list[str]) -> dict[str, str]:
@@ -47,6 +59,92 @@ def _parse_params(records: list[str]) -> dict[str, list[str]]:
         parts = record.split("|")
         out[parts[0]] = parts[1:]
     return out
+
+
+class ChunkedResultIterator:
+    """Client half of the ResultCursor protocol: a plain iterator.
+
+    Pages through a remote cursor with ``next(maxRows)`` calls, verifies
+    chunk sequence numbers, and yields one decoded row at a time —
+    client memory stays bounded by one chunk regardless of result size.
+    ``decoder`` maps each packed row string to the yielded object
+    (identity when omitted).  The cursor is closed automatically when
+    the stream is exhausted; close early (or use the context-manager
+    form) to release a partially drained cursor without waiting for its
+    server-side TTL.
+    """
+
+    def __init__(
+        self,
+        environment: GridEnvironment,
+        cursor_handle: str,
+        max_rows: int = DEFAULT_CHUNK_ROWS,
+        decoder: Callable[[str], object] | None = None,
+    ) -> None:
+        if max_rows < 1:
+            raise ValueError(f"max_rows must be >= 1, got {max_rows}")
+        self.environment = environment
+        self.cursor_handle = cursor_handle
+        self.max_rows = max_rows
+        self._decoder = decoder
+        self._stub = environment.stub_for_handle(cursor_handle, RESULT_CURSOR_PORTTYPE)
+        self._buffer: tuple[str, ...] = ()
+        self._index = 0
+        self._expected_seq = 0
+        self._done = False
+        self._closed = False
+        self.chunks_fetched = 0
+        self.rows_fetched = 0
+
+    def _fetch(self) -> None:
+        payload = list(self._stub.next(self.max_rows))
+        envelope = decode_chunk(payload)
+        if envelope.seq != self._expected_seq:
+            raise ChunkError(
+                f"cursor {self.cursor_handle} returned chunk {envelope.seq}, "
+                f"expected {self._expected_seq} (missed or replayed fetch)"
+            )
+        self._expected_seq += 1
+        self._buffer = envelope.rows
+        self._index = 0
+        self._done = envelope.done
+        self.chunks_fetched += 1
+        self.rows_fetched += len(envelope.rows)
+
+    def __iter__(self) -> "ChunkedResultIterator":
+        return self
+
+    def __next__(self) -> object:
+        while self._index >= len(self._buffer):
+            if self._done or self._closed:
+                self.close()
+                raise StopIteration
+            self._fetch()
+        row = self._buffer[self._index]
+        self._index += 1
+        return self._decoder(row) if self._decoder is not None else row
+
+    def close(self) -> None:
+        """Release the server-side cursor (idempotent, best-effort).
+
+        Best-effort because the cursor may already be gone — expired by
+        TTL, or reclaimed after a server restart — and tearing down an
+        iterator must not raise for it.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._buffer = ()
+        try:
+            self._stub.close()
+        except Exception:
+            pass
+
+    def __enter__(self) -> "ChunkedResultIterator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 class ExecutionBinding:
@@ -93,6 +191,75 @@ class ExecutionBinding:
         with self.environment.recorder.time("virtualization.getPR"):
             packed = self.stub.getPR(metric, list(foci), repr(start), repr(end), result_type)
         return [PerformanceResult.unpack(p) for p in packed]
+
+    def get_pr_chunked(
+        self,
+        metric: str,
+        foci: list[str],
+        start: float | None = None,
+        end: float | None = None,
+        result_type: str = UNDEFINED_TYPE,
+        max_rows: int = DEFAULT_CHUNK_ROWS,
+        ordered: bool = False,
+    ) -> ChunkedResultIterator:
+        """Open a ResultCursor over the query and return its iterator.
+
+        The returned :class:`ChunkedResultIterator` yields
+        :class:`PerformanceResult` objects one chunk at a time; close it
+        early to release a partially drained cursor.
+        """
+        if start is None or end is None:
+            t0, t1 = self.time_range()
+            start = t0 if start is None else start
+            end = t1 if end is None else end
+        with self.environment.recorder.time("virtualization.getPRChunked"):
+            handle = self.stub.getPRChunked(
+                metric, list(foci), repr(start), repr(end), result_type, bool(ordered)
+            )
+        return ChunkedResultIterator(
+            self.environment, handle, max_rows=max_rows,
+            decoder=PerformanceResult.unpack,
+        )
+
+    def stream_pr(
+        self,
+        metric: str,
+        foci: list[str],
+        start: float | None = None,
+        end: float | None = None,
+        result_type: str = UNDEFINED_TYPE,
+        max_rows: int = DEFAULT_CHUNK_ROWS,
+        threshold_rows: int = DEFAULT_STREAM_THRESHOLD_ROWS,
+        estimated_rows: int | None = None,
+        ordered: bool = False,
+    ) -> Iterator[PerformanceResult]:
+        """Transparent iteration: chunked for big results, bulk for small.
+
+        ``estimated_rows`` drives the choice — pass the cost model's
+        estimate when one is at hand (the federated executor does);
+        without one the execution's ``getStats`` row count for *metric*
+        is consulted.  Estimates at or above ``threshold_rows`` (and
+        unknown sizes, the conservative case — bulk is the memory risk)
+        stream through a cursor; provably small results fall back to one
+        bulk ``getPR``, sparing the cursor round trips.
+        """
+        if estimated_rows is None:
+            try:
+                stats = self.get_stats().metric(metric)
+                estimated_rows = stats.rows if stats is not None else 0
+            except Exception:
+                estimated_rows = None  # unknown: stream, the safe side
+        if estimated_rows is not None and estimated_rows < threshold_rows:
+            results = self.get_pr(metric, foci, start, end, result_type)
+            if ordered:
+                results.sort(key=pr_sort_key)
+            return iter(results)
+        return iter(
+            self.get_pr_chunked(
+                metric, foci, start, end, result_type,
+                max_rows=max_rows, ordered=ordered,
+            )
+        )
 
     def get_pr_agg(
         self,
@@ -208,6 +375,35 @@ class LocalExecutionBinding:
             end = t1 if end is None else end
         with self.environment.recorder.time("virtualization.getPR.local"):
             return self.wrapper.get_pr(metric, list(foci), start, end, result_type)
+
+    def stream_pr(
+        self,
+        metric: str,
+        foci: list[str],
+        start: float | None = None,
+        end: float | None = None,
+        result_type: str = UNDEFINED_TYPE,
+        max_rows: int = DEFAULT_CHUNK_ROWS,
+        threshold_rows: int = DEFAULT_STREAM_THRESHOLD_ROWS,
+        estimated_rows: int | None = None,
+        ordered: bool = False,
+    ) -> Iterator[PerformanceResult]:
+        """Local bypass streaming: the wrapper's lazy scan, no cursor.
+
+        There is no Services Layer to chunk through, so the threshold
+        machinery is moot — the wrapper's ``iter_pr`` is already
+        zero-copy.  ``ordered`` still sorts (materializing), matching
+        the remote contract.
+        """
+        if start is None or end is None:
+            t0, t1 = self.time_range()
+            start = t0 if start is None else start
+            end = t1 if end is None else end
+        if ordered:
+            results = self.wrapper.get_pr(metric, list(foci), start, end, result_type)
+            results.sort(key=pr_sort_key)
+            return iter(results)
+        return self.wrapper.iter_pr(metric, list(foci), start, end, result_type)
 
     def get_pr_agg(
         self,
@@ -490,6 +686,27 @@ class PPerfGridClient:
         with self.environment.recorder.time("virtualization.fedquery"):
             packed = self._fed_stub.query(text)
         return [ResultRow.unpack(p) for p in packed]
+
+    def query_stream(self, text: str, max_rows: int = DEFAULT_CHUNK_ROWS):
+        """Run a federated query through a ResultCursor.
+
+        Where :meth:`query` transfers the whole row set in one SOAP
+        array, this opens a cursor over the federation's *streamed*
+        execution (``FederationEngine.execute(stream=True)``) and
+        returns a :class:`ChunkedResultIterator` yielding ResultRow
+        objects — rows flow member-chunk by member-chunk end to end, in
+        the same order :meth:`query` would return them.  Close the
+        iterator early to release the cursor and its member streams.
+        """
+        if self._fed_stub is None:
+            raise RuntimeError("no federation configured; call use_federation() first")
+        from repro.fedquery.merge import ResultRow
+
+        with self.environment.recorder.time("virtualization.fedquery.stream"):
+            handle = self._fed_stub.queryChunked(text)
+        return ChunkedResultIterator(
+            self.environment, handle, max_rows=max_rows, decoder=ResultRow.unpack
+        )
 
     def explain_query(self, text: str) -> str:
         """The FederatedQuery service's plan description for *text*."""

@@ -14,8 +14,10 @@ from repro.core.semantic import (
     PerformanceResult,
     pr_agg_cache_key,
     pr_cache_key,
+    pr_sort_key,
 )
 from repro.mapping.base import ExecutionWrapper
+from repro.ogsi.cursor import DEFAULT_CURSOR_TTL, deploy_cursor
 from repro.ogsi.notification import NotificationSourceMixin
 from repro.ogsi.service import GridServiceBase
 
@@ -43,6 +45,9 @@ class ExecutionService(GridServiceBase, NotificationSourceMixin):
         #: data generation: bumped on every data_updated(), so clients
         #: can detect results computed against a superseded store state
         self.generation = 0
+        #: soft-state lifetime granted to getPRChunked cursors; renewed
+        #: on every next(), swept by the container when it lapses
+        self.cursor_ttl: float = DEFAULT_CURSOR_TTL
 
     def on_deployed(self, container, gsh) -> None:
         super().on_deployed(container, gsh)
@@ -153,6 +158,58 @@ class ExecutionService(GridServiceBase, NotificationSourceMixin):
             self.container.host.allocate_memory(_CACHE_ENTRY_MB)
         return packed
 
+    def getPRChunked(
+        self,
+        metric: str,
+        foci: list[str],
+        startTime: str,
+        endTime: str,
+        resultType: str,
+        ordered: bool,
+    ) -> str:
+        """Like getPR, but answered through a ResultCursor instance.
+
+        Deploys a transient cursor under this Execution's path (the same
+        factory/instance idiom as the Execution itself) and returns its
+        GSH; the client drains it with ``next(maxRows)``/``close()``.
+
+        Two server-side profiles, chosen by ``ordered``:
+
+        * ``ordered=False`` streams the wrapper's lazy ``iter_pr`` scan
+          in store order — O(chunk) server memory, the profile for big
+          single-store drains;
+        * ``ordered=True`` sorts the result by the canonical
+          ``pr_sort_key`` first (O(result) server memory, packed
+          incrementally) — what the federated streaming merge needs to
+          reproduce bulk ordering exactly.
+
+        Chunked transfers bypass the PR cache in both directions: the
+        large results this path exists for are precisely the entries a
+        byte-bounded cache would immediately evict.  A live cursor is a
+        point-in-time scan — a ``data_updated()`` mid-drain can surface
+        in later chunks; the ``generation`` SDE lets clients detect it.
+        """
+        self.require_active()
+        if self.container is None:
+            raise RuntimeError("Execution service is not deployed")
+        try:
+            start = float(startTime)
+            end = float(endTime)
+        except ValueError as exc:
+            raise ValueError(f"bad time bound: {exc}") from exc
+        if ordered:
+            results = self.wrapper.get_pr(metric, list(foci), start, end, resultType)
+            results.sort(key=pr_sort_key)
+            rows = (pr.pack() for pr in results)
+        else:
+            rows = (
+                pr.pack()
+                for pr in self.wrapper.iter_pr(metric, list(foci), start, end, resultType)
+            )
+        assert self.gsh is not None
+        gsh = deploy_cursor(self.container, self.gsh.path, rows, ttl=self.cursor_ttl)
+        return gsh.url()
+
     def getStats(self) -> list[str]:
         """Store statistics for the cost-based planner (packed records).
 
@@ -205,6 +262,9 @@ class ExecutionService(GridServiceBase, NotificationSourceMixin):
         """Publish the PR cache's counters as the ``cacheStats`` SDE."""
         records = self.cache.stats.as_records()
         records.append(f"entries|{len(self.cache)}")
+        if hasattr(self.cache, "approx_bytes"):
+            records.append(f"bytesUsed|{self.cache.approx_bytes}")
+            records.append(f"maxBytes|{self.cache.max_bytes}")
         self.service_data.set("cacheStats", records)
 
     def FindServiceData(self, queryExpression: str) -> str:

@@ -170,6 +170,95 @@ class LruCache(PrCache):
         self._table.clear()
 
 
+#: approximate per-record and per-entry bookkeeping overhead (bytes)
+#: charged on top of the packed string payload
+_RECORD_OVERHEAD_BYTES = 56
+_ENTRY_OVERHEAD_BYTES = 96
+
+
+def entry_bytes(key: str, value: list[str]) -> int:
+    """Approximate resident size of one cache entry.
+
+    Payload characters plus a flat per-record/per-entry overhead — not
+    ``sys.getsizeof`` fidelity, but monotone in the real footprint,
+    which is all budget-driven eviction needs.
+    """
+    payload = sum(len(record) for record in value)
+    return payload + len(key) + _RECORD_OVERHEAD_BYTES * len(value) + _ENTRY_OVERHEAD_BYTES
+
+
+class ByteBudgetLruCache(PrCache):
+    """LRU bounded by an approximate byte budget (and optionally entries).
+
+    The streaming work makes very large memoized results possible
+    (a fully drained streamed query is cached like any bulk result);
+    entry-count bounds alone cannot keep such a cache's memory flat.
+    This policy tracks an approximate byte total (:func:`entry_bytes`)
+    and evicts in LRU order until both the byte budget and the entry
+    capacity (when given) hold.  An entry bigger than the whole budget
+    is not admitted at all — counted as an eviction — so one oversized
+    result can never pin the budget's worth of memory.
+    """
+
+    def __init__(self, max_bytes: int, capacity: int | None = None) -> None:
+        super().__init__()
+        if max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.max_bytes = max_bytes
+        self.capacity = capacity
+        self._table: OrderedDict[str, list[str]] = OrderedDict()
+        self._sizes: dict[str, int] = {}
+        self._bytes = 0
+
+    @property
+    def approx_bytes(self) -> int:
+        """Current approximate resident bytes across all entries."""
+        return self._bytes
+
+    def _get(self, key: str) -> list[str] | None:
+        value = self._table.get(key)
+        if value is not None:
+            self._table.move_to_end(key)
+        return value
+
+    def _put(self, key: str, value: list[str]) -> None:
+        size = entry_bytes(key, value)
+        if size > self.max_bytes:
+            self._drop(key)
+            self.stats.evictions += 1
+            return
+        self._drop(key)
+        self._table[key] = value
+        self._sizes[key] = size
+        self._bytes += size
+        while self._table and (
+            self._bytes > self.max_bytes
+            or (self.capacity is not None and len(self._table) > self.capacity)
+        ):
+            evicted, _ = self._table.popitem(last=False)
+            self._bytes -= self._sizes.pop(evicted)
+            self.stats.evictions += 1
+
+    def _drop(self, key: str) -> bool:
+        if self._table.pop(key, None) is None:
+            return False
+        self._bytes -= self._sizes.pop(key)
+        return True
+
+    def _remove(self, key: str) -> bool:
+        return self._drop(key)
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def clear(self) -> None:
+        self._table.clear()
+        self._sizes.clear()
+        self._bytes = 0
+
+
 @dataclass
 class AdaptiveCache(PrCache):
     """Capacity follows host free memory (future-work §7).

@@ -78,6 +78,36 @@ def pr_cache_key(metric: str, foci: list[str], start: str, end: str, result_type
     return f"{metric} | {';'.join(foci)} | {result_type} | {start}-{end}"
 
 
+def ordering_key(value: object) -> tuple[int, float, str]:
+    """Numeric-aware, type-stable sort key for one cell value.
+
+    This is the canonical total order every deterministic result
+    ordering in the system derives from: the federated bulk merge sorts
+    whole rows by it, and streaming cursors sort server-side by it so a
+    client k-way merge of sorted member streams reproduces the bulk
+    ordering byte for byte.
+    """
+    if isinstance(value, (int, float)):
+        return (0, float(value), "")
+    try:
+        return (0, float(str(value)), "")
+    except ValueError:
+        return (1, 0.0, str(value))
+
+
+def pr_sort_key(result: "PerformanceResult") -> tuple:
+    """Canonical order of Performance Results within one (execution,
+    metric) stream: the per-cell :func:`ordering_key` over the packed
+    fields, matching the column order of a federated raw result row."""
+    return (
+        ordering_key(result.focus),
+        ordering_key(result.result_type),
+        ordering_key(result.start),
+        ordering_key(result.end),
+        ordering_key(result.value),
+    )
+
+
 @dataclass(frozen=True)
 class AggregateRecord:
     """One server-side aggregation bucket (the ``getPRAgg`` wire unit).
@@ -487,6 +517,33 @@ EXECUTION_PORTTYPE = PortType(
                 "range and grouped by focus.  RDBMS-backed stores answer "
                 "with real SQL WHERE/GROUP BY; others aggregate in the "
                 "Mapping Layer.  Returns packed AggregateRecord strings."
+            ),
+        ),
+        # Extension beyond Table 2: chunked result transfer — instead of
+        # one bulk SOAP array, the service deploys a transient
+        # ResultCursor instance and the client drains it at its own pace.
+        Operation(
+            "getPRChunked",
+            (
+                Parameter("metric", "xsd:string"),
+                Parameter("foci", "xsd:string[]"),
+                Parameter("startTime", "xsd:string"),
+                Parameter("endTime", "xsd:string"),
+                Parameter("resultType", "xsd:string"),
+                Parameter("ordered", "xsd:boolean"),
+            ),
+            "xsd:string",
+            doc=(
+                "Extension: like getPR, but instead of returning the "
+                "whole result set, deploys a transient ResultCursor "
+                "service over it and returns the cursor's GSH.  The "
+                "client pages through the results with next(maxRows) / "
+                "close(); abandoned cursors expire by TTL.  With "
+                "ordered=true the rows stream in the canonical "
+                "(focus, type, start, end, value) order, so per-stream "
+                "merges reproduce bulk ordering exactly; unordered "
+                "cursors stream lazily in store order with O(chunk) "
+                "server memory."
             ),
         ),
         # Extension beyond Table 2: the registry-callback query model the

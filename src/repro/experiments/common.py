@@ -195,14 +195,19 @@ class SyntheticGrid:
         pass
 
 
-def build_synthetic_grid(wrappers: dict[str, object]) -> SyntheticGrid:
+def build_synthetic_grid(
+    wrappers: dict[str, object], environment: GridEnvironment | None = None
+) -> SyntheticGrid:
     """Publish *wrappers* (app name -> ApplicationWrapper) as a grid.
 
     Each member gets its own site container (``<name>.mem.pdx.edu``),
     all published under one UDDI organization; call
     ``deploy_federation()`` on the result to query them federatedly.
+    Pass a pre-built *environment* to control the clock or transport
+    (e.g. a :class:`~repro.simnet.transport.LatencyTransport` — it must
+    be installed before any container binds, which this supports).
     """
-    environment = GridEnvironment()
+    environment = environment or GridEnvironment()
     registry_container = environment.create_container("registry.mem.pdx.edu:9090")
     uddi_gsh = registry_container.deploy("services/uddi", UddiRegistryServer())
     uddi = UddiClient.connect(environment, uddi_gsh)

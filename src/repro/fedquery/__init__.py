@@ -5,7 +5,10 @@ Applications, compiled into per-store sub-queries with push-down
 (``getExecsOp`` selection, focused ``getPR`` parameters, server-side
 ``getPRAgg`` aggregation with real SQL in the RDBMS wrappers), executed
 with a replica-aware parallel fan-out, merged streamingly, and memoized
-per canonical query fingerprint.
+per canonical query fingerprint.  ``execute(stream=True)`` swaps the
+materialized merge for a bounded-memory incremental one: member rows
+arrive through chunked ResultCursors and a k-way heap merge yields the
+bulk path's exact row order one row at a time (:class:`StreamedResult`).
 
 Entry points:
 
@@ -43,6 +46,7 @@ from repro.fedquery.merge import (
     StreamingMerger,
     TaskContext,
     order_rows,
+    row_sort_key,
 )
 from repro.fedquery.naive import naive_query
 from repro.fedquery.parser import parse_query
@@ -62,18 +66,32 @@ from repro.fedquery.pushdown import (
     split_predicates,
 )
 from repro.fedquery.service import FEDERATED_QUERY_PORTTYPE, FederatedQueryService
+from repro.fedquery.stream import (
+    DEFAULT_CHUNK_DEPTH,
+    DEFAULT_CHUNK_ROWS,
+    DEFAULT_MEMOIZE_MAX_BYTES,
+    DEFAULT_STREAM_THRESHOLD_ROWS,
+    MemberStream,
+    StreamedResult,
+    merge_streams,
+)
 
 __all__ = [
     "AGG_FUNCS",
     "AGG_RECORD_BYTES",
     "Accumulator",
     "CostModel",
+    "DEFAULT_CHUNK_DEPTH",
+    "DEFAULT_CHUNK_ROWS",
+    "DEFAULT_MEMOIZE_MAX_BYTES",
+    "DEFAULT_STREAM_THRESHOLD_ROWS",
     "ExecSelector",
     "FEDERATED_QUERY_PORTTYPE",
     "FederatedQueryService",
     "FederationEngine",
     "MemberCost",
     "MemberPlan",
+    "MemberStream",
     "Plan",
     "Predicate",
     "PredicateSplit",
@@ -85,6 +103,7 @@ __all__ = [
     "RESERVED_FIELDS",
     "ResultRow",
     "SelectItem",
+    "StreamedResult",
     "StreamingMerger",
     "SubQuery",
     "TaskContext",
@@ -92,10 +111,12 @@ __all__ = [
     "choose_fanout",
     "derive_value_bounds",
     "derive_window",
+    "merge_streams",
     "naive_query",
     "order_rows",
     "parse_query",
     "plan_query",
+    "row_sort_key",
     "split_predicates",
     "unsatisfiable_over",
     "vacuous_over",

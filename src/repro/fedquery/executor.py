@@ -33,6 +33,23 @@
    that member, even though the plan read none of its executions.
    Failed stats fetches degrade gracefully (the member keeps the global
    mode, is never skipped, and the degraded result is not memoized).
+   A data-update normally refreshes only the *updated execution's*
+   contribution to the member's cached stats (a per-execution baseline
+   is kept and re-merged) instead of refetching the whole member; any
+   trouble falls back to the whole-member drop.
+6. **Streaming execution** — ``execute(query, stream=True)`` returns a
+   :class:`~repro.fedquery.stream.StreamedResult` instead of a
+   materialized row list.  Raw queries without ORDER BY take the true
+   streaming path: each member execution's rows arrive pre-sorted
+   (server-side ``ordered`` cursors, or a client-side sort for provably
+   small members where bulk ``getPR`` is cheaper) and a k-way heap
+   merge yields them in exactly the bulk path's canonical order, with
+   at most ``stream_chunk_depth`` chunks in flight per member.
+   Aggregates and ORDER BY need every row before the first output row,
+   so they run the bulk pipeline internally and stream its finished
+   rows.  Fully drained streams memoize like bulk results (up to
+   ``stream_memoize_max_bytes``); partial drains and degraded runs
+   never do.
 """
 
 from __future__ import annotations
@@ -41,19 +58,39 @@ import threading
 from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
 from dataclasses import dataclass, field
 
-from repro.core.prcache import LruCache, PrCache
-from repro.core.semantic import StoreStats
+from repro.core.prcache import ByteBudgetLruCache, PrCache
+from repro.core.semantic import StoreStats, ordering_key, pr_sort_key
 from repro.fedquery.ast import Query, QueryError
-from repro.fedquery.merge import ResultRow, StreamingMerger, TaskContext, order_rows
+from repro.fedquery.merge import (
+    RAW_COLUMNS,
+    ResultRow,
+    StreamingMerger,
+    TaskContext,
+    order_rows,
+)
 from repro.fedquery.parser import parse_query
 from repro.fedquery.planner import MemberPlan, Plan, plan_query
-from repro.fedquery.pushdown import filter_foci
+from repro.fedquery.pushdown import filter_foci, matches_value
+from repro.fedquery.stream import (
+    DEFAULT_CHUNK_DEPTH,
+    DEFAULT_CHUNK_ROWS,
+    DEFAULT_MEMOIZE_MAX_BYTES,
+    DEFAULT_STREAM_THRESHOLD_ROWS,
+    MemberStream,
+    StreamedResult,
+    merge_streams,
+)
 from repro.xmlkit import parse as parse_xml
 
 #: fan-out defaults: *default* when no Manager topology is known, *cap*
 #: so a large federation cannot spawn an unbounded thread pool
 DEFAULT_FANOUT = 8
 FANOUT_CAP = 32
+
+#: default byte budget for the plan cache — streamed queries can memoize
+#: large row sets, so the default cache is bounded by bytes, not entries
+DEFAULT_PLAN_CACHE_BYTES = 4 * 1024 * 1024
+DEFAULT_PLAN_CACHE_ENTRIES = 256
 
 
 def choose_fanout(
@@ -111,14 +148,35 @@ class FederationEngine:
         plan_cache: PrCache | None = None,
         max_workers: int | None = None,
         cost_based: bool = True,
+        stream_chunk_rows: int = DEFAULT_CHUNK_ROWS,
+        stream_chunk_depth: int = DEFAULT_CHUNK_DEPTH,
+        stream_threshold_rows: int = DEFAULT_STREAM_THRESHOLD_ROWS,
+        stream_memoize_max_bytes: int = DEFAULT_MEMOIZE_MAX_BYTES,
+        stats_deltas: bool = True,
     ) -> None:
         self.client = client
         self.managers = dict(managers or {})
-        self.plan_cache = plan_cache if plan_cache is not None else LruCache(256)
+        self.plan_cache = (
+            plan_cache
+            if plan_cache is not None
+            else ByteBudgetLruCache(
+                max_bytes=DEFAULT_PLAN_CACHE_BYTES,
+                capacity=DEFAULT_PLAN_CACHE_ENTRIES,
+            )
+        )
         self.max_workers = max_workers
         #: False reverts to the pre-cost-model global planner (the
         #: benchmark's baseline arm); no getStats calls are made
         self.cost_based = cost_based
+        #: streaming knobs: rows per chunk, chunks in flight per member,
+        #: bulk-vs-cursor estimated-row threshold, memoization byte cap
+        self.stream_chunk_rows = stream_chunk_rows
+        self.stream_chunk_depth = stream_chunk_depth
+        self.stream_threshold_rows = stream_threshold_rows
+        self.stream_memoize_max_bytes = stream_memoize_max_bytes
+        #: False reverts data-updates to whole-member stats drops instead
+        #: of per-execution delta refreshes
+        self.stats_deltas = stats_deltas
         self._bindings: dict[str, object] | None = None
         self._params: dict[str, dict[str, list[str]]] = {}
         self._metrics: dict[str, list[str]] = {}
@@ -126,6 +184,13 @@ class FederationEngine:
         #: member name -> StoreStats; failed fetches are *not* cached,
         #: so the next query retries and recovers
         self._member_stats: dict[str, StoreStats] = {}
+        #: member name -> {exec_id -> StoreStats}: the per-execution
+        #: baseline behind delta refreshes (merged stats aren't
+        #: invertible, so updates re-merge from this instead)
+        self._exec_stats: dict[str, dict[str, StoreStats]] = {}
+        #: member name -> exec ids whose stats are stale (data-updated
+        #: since the member's stats were merged)
+        self._stats_dirty: dict[str, set[str]] = {}
         #: how each executed (uncached) plan's effective mode broke down
         self.plan_modes = {"raw": 0, "aggregate": 0, "mixed": 0, "skip": 0}
         # ---- coherence state (guarded by _coherence_lock) ----
@@ -161,6 +226,7 @@ class FederationEngine:
             "fullClears": 0,
             "staleDiscards": 0,
             "statsInvalidations": 0,
+            "statsDeltas": 0,
         }
 
     # ------------------------------------------------------------ catalog
@@ -188,6 +254,8 @@ class FederationEngine:
         self._exec_ids.clear()
         with self._coherence_lock:
             self._member_stats.clear()
+            self._exec_stats.clear()
+            self._stats_dirty.clear()
 
     def _member_params(self, name: str, binding) -> dict[str, list[str]]:
         params = self._params.get(name)
@@ -229,8 +297,23 @@ class FederationEngine:
         lines.append(f"estimated transfer: {plan.estimated_bytes} bytes")
         return lines
 
-    def execute(self, query: str | Query) -> QueryResult:
+    def execute(
+        self, query: str | Query, stream: bool = False
+    ) -> QueryResult | StreamedResult:
+        """Run a federated query.
+
+        ``stream=False`` (the default) answers with a fully materialized
+        :class:`QueryResult`.  ``stream=True`` answers with a
+        :class:`StreamedResult` iterator whose rows arrive incrementally
+        — in exactly the order (and bytes) the bulk path would produce —
+        holding O(members × chunk) memory instead of the whole result.
+        """
         query = self._parse(query)
+        if stream:
+            return self._execute_stream(query)
+        return self._execute_bulk(query)
+
+    def _execute_bulk(self, query: Query) -> QueryResult:
         fingerprint = query.fingerprint()
         cached = self.plan_cache.get(fingerprint)
         if cached is not None:
@@ -274,9 +357,7 @@ class FederationEngine:
         for skipped in plan.skipped:
             deps.add((skipped.app, "*"))
         tasks = self._collect_tasks(plan, stats)
-        width = self.max_workers or choose_fanout(
-            [m.stats() for m in self.managers.values()]
-        )
+        width = self._fanout_width(tasks)
         if tasks:
             with ThreadPoolExecutor(max_workers=width) as pool:
                 pending = {pool.submit(task) for task in tasks}
@@ -309,6 +390,247 @@ class FederationEngine:
             stats=stats,
             errors=errors,
         )
+
+    # ----------------------------------------------------------- streaming
+    def _execute_stream(self, query: Query) -> StreamedResult:
+        fingerprint = query.fingerprint()
+        cached = self.plan_cache.get(fingerprint)
+        if cached is not None:
+            return StreamedResult(
+                columns=query.output_columns,
+                source=iter([ResultRow.unpack(r) for r in cached]),
+                cached=True,
+            )
+        if query.is_aggregate or query.order_by is not None:
+            # a global reduction or sort needs every row before the first
+            # output row exists; run the bulk pipeline (which memoizes as
+            # usual) and stream its finished rows
+            result = self._execute_bulk(query)
+            return StreamedResult(
+                columns=result.columns,
+                source=iter(result.rows),
+                plan=result.plan,
+                stats=result.stats,
+                errors=result.errors,
+            )
+        with self._coherence_lock:
+            gen_snapshot = dict(self._generations)
+            app_gen_snapshot = dict(self._app_generations)
+            epoch_snapshot = self._epoch
+        plan = self._plan(query)
+        self.plan_modes[plan.effective_mode] += 1
+        stats = {
+            "executions": 0,
+            "calls": 0,
+            "records": 0,
+            "skipped_metrics": 0,
+            "errors": 0,
+            "skippedMembers": len(plan.skipped),
+            "estimatedBytes": plan.estimated_bytes,
+            "payloadBytes": 0,
+            "chunkedCalls": 0,
+            "bulkCalls": 0,
+        }
+        stats["skipped_metrics"] = len(query.metrics) * (
+            len(plan.members) + len(plan.skipped)
+        ) - sum(len(member.subqueries) for member in plan.members)
+        errors: list[str] = []
+        deps: set[tuple[str, str]] = set()
+        for skipped in plan.skipped:
+            deps.add((skipped.app, "*"))
+        stats_lock = threading.Lock()
+        streams = self._stream_tasks(plan, query, stats, stats_lock, deps)
+        source = self._stream_rows(
+            query, plan, fingerprint, streams, stats, errors, deps,
+            gen_snapshot, app_gen_snapshot, epoch_snapshot,
+        )
+        return StreamedResult(
+            columns=query.output_columns,
+            source=source,
+            plan=plan,
+            stats=stats,
+            errors=errors,
+        )
+
+    def _stream_tasks(
+        self, plan: Plan, query: Query, stats, stats_lock, deps
+    ) -> list[MemberStream]:
+        """One :class:`MemberStream` per selected execution (not started)."""
+        streams: list[MemberStream] = []
+        for member in plan.members:
+            binding = self.members()[member.app]
+            executions = self._select_executions(member, binding, stats)
+            if not executions:
+                continue
+            if member.cost is not None and not member.cost.stats_missing:
+                subqueries = list(member.subqueries)
+            else:
+                metrics = self._member_metrics(member.app, executions[0])
+                subqueries = [sq for sq in member.subqueries if sq.metric in metrics]
+                stats["skipped_metrics"] += len(member.subqueries) - len(subqueries)
+            if not subqueries:
+                continue
+            stats["executions"] += len(executions)
+            # sub-queries concatenate in canonical metric order so each
+            # member stream is wholly sorted by the row key (app and exec
+            # are constant within a stream)
+            subqueries = sorted(subqueries, key=lambda sq: ordering_key(sq.metric))
+            if member.cost is not None and member.cost.est_rows is not None:
+                per_exec = max(1, member.cost.est_rows // max(1, len(executions)))
+            else:
+                per_exec = None
+            for execution in executions:
+                produce = self._stream_producer(
+                    member, execution, subqueries, query, per_exec,
+                    stats, stats_lock, deps,
+                )
+                streams.append(
+                    MemberStream(
+                        f"{member.app}:{len(streams)}",
+                        produce,
+                        chunk_depth=self.stream_chunk_depth,
+                    )
+                )
+        return streams
+
+    def _stream_producer(
+        self, member: MemberPlan, execution, subqueries, query: Query,
+        per_exec: int | None, stats, stats_lock, deps,
+    ):
+        """Build the producer generator for one execution's stream.
+
+        Remote executions with large (or unknown — bulk is the memory
+        risk) estimated row counts drain through a server-``ordered``
+        chunked cursor; provably small remote ones and local bindings
+        use one bulk ``getPR`` plus a client-side canonical sort, which
+        is cheaper than cursor round trips.  Either way the emitted
+        chunks are sorted and value predicates are applied producer-side
+        so filtered rows never cross the merge.
+        """
+        chunk_rows = self.stream_chunk_rows
+        value_preds = query.predicates_on("value")
+        use_cursor = not execution.is_local and (
+            per_exec is None or per_exec >= self.stream_threshold_rows
+        )
+
+        def produce(stop):
+            exec_id = self._execution_id(execution)
+            deps.add((member.app, exec_id))
+            foci = filter_foci(execution.foci(), member.foci)
+            if not foci:
+                return
+            for sub in subqueries:
+                if stop.is_set():
+                    return
+                if use_cursor:
+                    rows = execution.get_pr_chunked(
+                        sub.metric, foci, sub.start, sub.end, sub.result_type,
+                        max_rows=chunk_rows, ordered=True,
+                    )
+                    kind = "chunkedCalls"
+                else:
+                    results = execution.get_pr(
+                        sub.metric, foci, sub.start, sub.end, sub.result_type
+                    )
+                    results.sort(key=pr_sort_key)
+                    rows = iter(results)
+                    kind = "bulkCalls"
+                batch: list[ResultRow] = []
+                records = payload_bytes = 0
+                try:
+                    for result in rows:
+                        if stop.is_set():
+                            return
+                        records += 1
+                        payload_bytes += len(result.pack())
+                        if value_preds and not matches_value(result.value, value_preds):
+                            continue
+                        batch.append(
+                            ResultRow(
+                                RAW_COLUMNS,
+                                (
+                                    member.app,
+                                    exec_id,
+                                    result.metric,
+                                    result.focus,
+                                    result.result_type,
+                                    result.start,
+                                    result.end,
+                                    result.value,
+                                ),
+                            )
+                        )
+                        if len(batch) >= chunk_rows:
+                            yield batch
+                            batch = []
+                finally:
+                    closer = getattr(rows, "close", None)
+                    if closer is not None:
+                        closer()
+                    with stats_lock:
+                        stats["calls"] += 1
+                        stats[kind] += 1
+                        stats["records"] += records
+                        stats["payloadBytes"] += payload_bytes
+                if batch:
+                    yield batch
+
+        return produce
+
+    def _stream_rows(
+        self, query: Query, plan: Plan, fingerprint: str,
+        streams: list[MemberStream], stats, errors: list[str], deps,
+        gen_snapshot, app_gen_snapshot, epoch_snapshot,
+    ):
+        """The consumer generator behind a raw-path StreamedResult.
+
+        Starts the member streams on first iteration, merges, enforces
+        LIMIT (sound under the heap invariant: every yielded row is a
+        global minimum, so the first N are the bulk path's first N), and
+        on clean exhaustion memoizes — only a *fully drained* stream
+        with no member errors, and only while the accumulated rows stay
+        under ``stream_memoize_max_bytes``.
+        """
+        limit = query.limit
+        acc: list[ResultRow] | None = []
+        acc_bytes = 0
+        completed_scan = False
+
+        def on_error(exc: BaseException) -> None:
+            stats["errors"] += 1
+            errors.append(f"{type(exc).__name__}: {exc}")
+
+        for member_stream in streams:
+            member_stream.start()
+        yielded = 0
+        try:
+            merged = merge_streams(streams, on_error)
+            while limit is None or yielded < limit:
+                try:
+                    row = next(merged)
+                except StopIteration:
+                    completed_scan = True
+                    break
+                yield row
+                yielded += 1
+                if acc is not None:
+                    acc_bytes += len(row.pack())
+                    if acc_bytes > self.stream_memoize_max_bytes:
+                        acc = None
+                    else:
+                        acc.append(row)
+        finally:
+            for member_stream in streams:
+                member_stream.close()
+        if completed_scan and streams and errors and len(errors) == len(streams):
+            raise QueryError(
+                f"all {len(streams)} member task(s) failed: {'; '.join(errors[:3])}"
+            )
+        if acc is not None:
+            self._finish_uncached(
+                fingerprint, deps, gen_snapshot, app_gen_snapshot,
+                epoch_snapshot, acc, errors, degraded=plan.stats_degraded,
+            )
 
     def _finish_uncached(
         self,
@@ -368,6 +690,8 @@ class FederationEngine:
             self.plan_cache.clear()
             self._plan_deps.clear()
             self._member_stats.clear()
+            self._exec_stats.clear()
+            self._stats_dirty.clear()
             self._epoch += 1
         return dropped
 
@@ -436,6 +760,8 @@ class FederationEngine:
                 self.plan_cache.clear()
                 self._plan_deps.clear()
                 self._member_stats.clear()
+                self._exec_stats.clear()
+                self._stats_dirty.clear()
                 self._epoch += 1
                 return
             for dep in deps:
@@ -443,9 +769,16 @@ class FederationEngine:
                 self._generations[dep] = self._generations.get(dep, 0) + 1
                 self._app_generations[app] = self._app_generations.get(app, 0) + 1
                 # the member's cached statistics describe the pre-update
-                # store: drop them with the same precision as the plans
-                if self._member_stats.pop(app, None) is not None:
+                # store: mark just the updated execution's share stale so
+                # the next plan re-merges a delta instead of refetching
+                # the whole member (whole-drop when deltas are disabled)
+                if app in self._member_stats:
                     self.coherence["statsInvalidations"] += 1
+                    if self.stats_deltas:
+                        self._stats_dirty.setdefault(app, set()).add(dep[1])
+                    else:
+                        self._member_stats.pop(app, None)
+                        self._exec_stats.pop(app, None)
                 wildcard = (app, "*")
                 for fingerprint, dep_set in list(self._plan_deps.items()):
                     if dep in dep_set or wildcard in dep_set:
@@ -491,7 +824,11 @@ class FederationEngine:
         """
         collected: dict[str, StoreStats | None] = {}
         for name, binding in members.items():
-            stats = self._member_stats.get(name)
+            with self._coherence_lock:
+                stats = self._member_stats.get(name)
+                dirty = self._stats_dirty.pop(name, None)
+            if stats is not None and dirty:
+                stats = self._refresh_stats_delta(name, binding, dirty)
             if stats is None:
                 try:
                     stats = binding.get_stats()
@@ -500,8 +837,53 @@ class FederationEngine:
                     continue
                 with self._coherence_lock:
                     self._member_stats[name] = stats
+                    # app-level numbers supersede any per-exec baseline
+                    self._exec_stats.pop(name, None)
             collected[name] = stats
         return collected
+
+    def _refresh_stats_delta(
+        self, name: str, binding, dirty: set[str]
+    ) -> StoreStats | None:
+        """Re-merge a member's stats after refetching only what changed.
+
+        Merged :class:`StoreStats` are not invertible (a removed
+        execution's min/max cannot be subtracted back out), so the engine
+        keeps a per-execution baseline — established lazily, the first
+        time a delta is needed — refetches just the executions the
+        updates touched, and re-merges locally.  Any trouble (unknown
+        execution id, transport failure) returns ``None`` after dropping
+        the member's cached stats wholesale: exactly the pre-delta
+        fallback, so correctness never depends on the fast path.
+        """
+        with self._coherence_lock:
+            baseline = self._exec_stats.get(name)
+            per_exec = dict(baseline) if baseline is not None else None
+        try:
+            if per_exec is None:
+                per_exec = {}
+                for execution in binding.all_executions():
+                    per_exec[self._execution_id(execution)] = execution.get_stats()
+                applied = len(dirty & set(per_exec))
+            else:
+                applied = 0
+                for exec_id in sorted(dirty):
+                    matches = binding.query_executions("execid", exec_id)
+                    if not matches:
+                        raise QueryError(f"no execution {exec_id!r} in member {name}")
+                    per_exec[exec_id] = matches[0].get_stats()
+                    applied += 1
+            merged = StoreStats.merge(list(per_exec.values()))
+        except Exception:
+            with self._coherence_lock:
+                self._member_stats.pop(name, None)
+                self._exec_stats.pop(name, None)
+            return None
+        with self._coherence_lock:
+            self._exec_stats[name] = per_exec
+            self._member_stats[name] = merged
+            self.coherence["statsDeltas"] += applied
+        return merged
 
     def _select_executions(self, member: MemberPlan, binding, stats) -> list:
         if member.selector is None:
@@ -547,6 +929,34 @@ class FederationEngine:
                 tasks.append(self._make_task(member, execution, subqueries))
         return tasks
 
+    def _fanout_width(self, tasks: list) -> int:
+        """Pool width for one query's fan-out.
+
+        Only the Managers of members that actually contribute tasks
+        count toward the width — a member the cost model skipped (or
+        that matched no executions) gets no threads sized for it — and
+        the width never exceeds the task count, so a small query on a
+        wide federation doesn't spawn idle workers.
+        """
+        if self.max_workers is not None:
+            width = self.max_workers
+        else:
+            apps = {getattr(task, "app", None) for task in tasks}
+            if None in apps:
+                # tasks of unknown provenance (e.g. wrapped in tests):
+                # fall back to the whole topology
+                stats = [m.stats() for m in self.managers.values()]
+            else:
+                stats = [
+                    manager.stats()
+                    for name, manager in self.managers.items()
+                    if name in apps
+                ]
+            width = choose_fanout(stats)
+        if tasks:
+            width = max(1, min(width, len(tasks)))
+        return width
+
     def _make_task(self, member: MemberPlan, execution, subqueries):
         def run():
             # exec_id is always resolved (cached per GSH): the coherence
@@ -578,6 +988,7 @@ class FederationEngine:
                     payloads.append((sub.metric, "raw", results))
             return ctx, payloads
 
+        run.app = member.app  # provenance for fan-out sizing
         return run
 
     def _merge_payloads(

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.semantic import AggregateRecord, PerformanceResult
+from repro.core.semantic import AggregateRecord, PerformanceResult, ordering_key
 from repro.fedquery.ast import Query, QueryError
 from repro.fedquery.pushdown import matches_value
 
@@ -240,14 +240,16 @@ class StreamingMerger:
         return out
 
 
-def _ordering_key(value: object) -> tuple[int, float, str]:
-    """Numeric-aware, type-stable sort key for one cell."""
-    if isinstance(value, (int, float)):
-        return (0, float(value), "")
-    try:
-        return (0, float(str(value)), "")
-    except ValueError:
-        return (1, 0.0, str(value))
+# the canonical per-cell order lives in the semantic layer so server-side
+# cursor sorting (repro.core) and this client-side merge agree by
+# construction; the old private name stays as an alias for callers
+_ordering_key = ordering_key
+
+
+def row_sort_key(row: ResultRow) -> tuple:
+    """Whole-row canonical sort key (what :func:`order_rows` sorts by,
+    and what the streaming k-way merge heaps member rows on)."""
+    return tuple(ordering_key(v) for v in row.values)
 
 
 def order_rows(rows: list[ResultRow], query: Query) -> list[ResultRow]:
@@ -257,7 +259,7 @@ def order_rows(rows: list[ResultRow], query: Query) -> list[ResultRow]:
     reproducible without an ORDER BY; an explicit ORDER BY then applies
     as the primary, stable key.
     """
-    ordered = sorted(rows, key=lambda r: tuple(_ordering_key(v) for v in r.values))
+    ordered = sorted(rows, key=row_sort_key)
     if query.order_by is not None:
         column = query.order_by
         ordered.sort(

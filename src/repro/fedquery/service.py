@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from repro.core.semantic import PPERFGRID_NS
 from repro.fedquery.executor import FederationEngine
+from repro.ogsi.cursor import deploy_cursor
 from repro.ogsi.porttypes import GRID_SERVICE_PORTTYPE
 from repro.ogsi.service import GridServiceBase
 from repro.wsdl.porttype import Operation, Parameter, PortType
@@ -33,6 +34,20 @@ FEDERATED_QUERY_PORTTYPE = PortType(
                 "Plan and execute a federated query (SELECT ... FROM ... "
                 "WHERE ... GROUP BY ...). Returns one string per result "
                 "row, each a '|'-delimited list of column=value fields."
+            ),
+        ),
+        Operation(
+            "queryChunked",
+            (Parameter("queryText", "xsd:string"),),
+            "xsd:string",
+            doc=(
+                "Plan and execute a federated query through a "
+                "ResultCursor: returns the GSH of a cursor whose "
+                "next(maxRows)/close() operations drain the result "
+                "incrementally, in exactly the order 'query' returns it. "
+                "Member rows flow chunk by chunk with bounded memory at "
+                "every hop; closing the cursor (or letting its soft-state "
+                "lifetime lapse) releases the member streams."
             ),
         ),
         Operation(
@@ -97,7 +112,7 @@ FEDERATED_QUERY_PORTTYPE = PortType(
                 "Cache-coherence counters as 'name|value' records: "
                 "subscriptions, notifications, invalidations, "
                 "fullClears, staleDiscards, statsInvalidations, "
-                "trackedPlans."
+                "statsDeltas, trackedPlans."
             ),
         ),
     ),
@@ -123,6 +138,27 @@ class FederatedQueryService(GridServiceBase):
         self.require_active()
         result = self.engine.execute(queryText)
         return [row.pack() for row in result.rows]
+
+    def queryChunked(self, queryText: str) -> str:
+        """Streamed query: deploy a ResultCursor over the engine's
+        streamed execution and hand back its GSH.
+
+        The cursor's row source is the engine's incremental merge, so
+        member chunks are pulled only as the client drains — closing the
+        cursor early (or expiry) closes the member streams with it.
+        """
+        self.require_active()
+        if self.container is None:
+            raise RuntimeError("FederatedQuery service is not deployed")
+        streamed = self.engine.execute(queryText, stream=True)
+        assert self.gsh is not None
+        gsh = deploy_cursor(
+            self.container,
+            self.gsh.path,
+            (row.pack() for row in streamed),
+            on_close=streamed.close,
+        )
+        return gsh.url()
 
     def explainQuery(self, queryText: str) -> list[str]:
         self.require_active()
@@ -152,8 +188,12 @@ class FederatedQueryService(GridServiceBase):
 
     # ---------------------------------------------------------------- SDEs
     def _cache_records(self) -> list[str]:
-        records = self.engine.plan_cache.stats.as_records()
-        records.append(f"entries|{len(self.engine.plan_cache)}")
+        cache = self.engine.plan_cache
+        records = cache.stats.as_records()
+        records.append(f"entries|{len(cache)}")
+        if hasattr(cache, "approx_bytes"):
+            records.append(f"bytesUsed|{cache.approx_bytes}")
+            records.append(f"maxBytes|{cache.max_bytes}")
         return records
 
     def _publish_cache_stats(self) -> None:

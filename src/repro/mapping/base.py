@@ -11,6 +11,7 @@ obtained per execution id via :meth:`ApplicationWrapper.execution`.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from typing import Iterator
 
 from repro.core.semantic import (
     UNDEFINED_TYPE,
@@ -137,6 +138,23 @@ class ExecutionWrapper(ABC):
         ``result_type`` of ``"UNDEFINED"`` matches any tool type.
         """
 
+    def iter_pr(
+        self,
+        metric: str,
+        foci: list[str],
+        start: float,
+        end: float,
+        result_type: str,
+    ) -> Iterator[PerformanceResult]:
+        """Incremental form of :meth:`get_pr`, for streaming cursors.
+
+        Generic fallback: materializes :meth:`get_pr` and yields from it
+        — correct everywhere, lazy nowhere.  Wrappers whose stores can
+        scan incrementally override this so an unordered cursor holds
+        O(1) rows server-side; the yielded order must match ``get_pr``.
+        """
+        yield from self.get_pr(metric, foci, start, end, result_type)
+
     def get_pr_aggregate(
         self,
         metric: str,
@@ -259,6 +277,20 @@ class TimedExecutionWrapper(ExecutionWrapper):
     ) -> list[PerformanceResult]:
         with self.recorder.time(self.timer_name):
             return self.inner.get_pr(metric, foci, start, end, result_type)
+
+    def iter_pr(
+        self,
+        metric: str,
+        foci: list[str],
+        start: float,
+        end: float,
+        result_type: str,
+    ) -> Iterator[PerformanceResult]:
+        # Forward so the inner wrapper's lazy scan (if any) is used; the
+        # timer covers iterator construction only — per-row draining is
+        # client-paced and would misattribute wire wait to the store.
+        with self.recorder.time(f"{self.timer_name}.iter"):
+            return self.inner.iter_pr(metric, foci, start, end, result_type)
 
     def get_pr_aggregate(
         self,

@@ -11,6 +11,7 @@ grow a store and fire ``data_updated``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterator
 
 from repro.core.semantic import (
     UNDEFINED_TYPE,
@@ -169,6 +170,28 @@ class InMemoryExecutionWrapper(ExecutionWrapper):
             and result.end <= end
             and result_type in (UNDEFINED_TYPE, "", result.result_type)
         ]
+
+    def iter_pr(
+        self,
+        metric: str,
+        foci: list[str],
+        start: float,
+        end: float,
+        result_type: str,
+    ) -> Iterator[PerformanceResult]:
+        # Same filter as get_pr, but yielded row by row: an unordered
+        # streaming cursor over a large synthetic store never holds more
+        # than the chunk in flight.
+        wanted = set(foci)
+        for result in self.data.results:
+            if (
+                result.metric == metric
+                and result.focus in wanted
+                and result.start >= start
+                and result.end <= end
+                and result_type in (UNDEFINED_TYPE, "", result.result_type)
+            ):
+                yield result
 
     def get_stats(self) -> StoreStats:
         return _memory_stats(self.data)

@@ -7,6 +7,8 @@ attribute discovery cheap, as the thesis's Java parser did.
 
 from __future__ import annotations
 
+from typing import Iterator
+
 from repro.core.semantic import (
     UNDEFINED_TYPE,
     MetricStats,
@@ -196,6 +198,48 @@ class PrestaTextExecutionWrapper(ExecutionWrapper):
                     )
                 )
         return results
+
+    def iter_pr(
+        self,
+        metric: str,
+        foci: list[str],
+        start: float,
+        end: float,
+        result_type: str,
+    ) -> Iterator[PerformanceResult]:
+        """Lazy variant of :meth:`get_pr`, identical filter and order.
+
+        The file parse is unavoidable (the store is a flat ASCII file),
+        but results are rendered per row instead of materialized, so a
+        streaming cursor holds the parsed measurements plus one chunk —
+        not a second full PerformanceResult list.
+        """
+        if result_type not in (UNDEFINED_TYPE, "", PrestaTextWrapper.result_type):
+            return
+        if metric not in PrestaTextWrapper.METRICS:
+            raise MappingError(f"unknown PRESTA metric {metric!r}")
+        try:
+            execution = self.store.load(self.execid)
+        except TextStoreError as exc:
+            raise MappingError(str(exc)) from exc
+        lo = max(execution.start_time, start)
+        hi = execution.end_time if end <= 0 else min(execution.end_time, end)
+        metric_index = 3 if metric == "latency_us" else 4
+        for focus in foci:
+            if not focus.startswith("/Op/"):
+                raise MappingError(f"unknown PRESTA focus {focus!r}")
+            op = focus[len("/Op/") :]
+            for row in execution.measurements:
+                if row[0] != op:
+                    continue
+                yield PerformanceResult(
+                    metric,
+                    f"{focus}/msgsize/{row[1]}",
+                    "presta",
+                    lo,
+                    hi,
+                    float(row[metric_index]),
+                )
 
     def get_stats(self) -> StoreStats:
         """Per-execution stats from one file parse."""

@@ -27,6 +27,12 @@ from repro.ogsi.porttypes import (
 )
 from repro.ogsi.servicedata import ServiceDataElement, ServiceDataSet
 from repro.ogsi.service import GridServiceBase, ServiceState
+from repro.ogsi.cursor import (
+    DEFAULT_CURSOR_TTL,
+    RESULT_CURSOR_PORTTYPE,
+    ResultCursorService,
+    deploy_cursor,
+)
 from repro.ogsi.factory import FactoryService
 from repro.ogsi.registry import RegistryService
 from repro.ogsi.handlemap import HandleMapService
@@ -40,6 +46,7 @@ from repro.ogsi.container import ContainerError, GridEnvironment, ServiceContain
 
 __all__ = [
     "ContainerError",
+    "DEFAULT_CURSOR_TTL",
     "FACTORY_PORTTYPE",
     "FactoryService",
     "GRID_SERVICE_PORTTYPE",
@@ -56,11 +63,14 @@ __all__ = [
     "OGSI_NS",
     "PullNotificationSink",
     "REGISTRY_PORTTYPE",
+    "RESULT_CURSOR_PORTTYPE",
     "RegistryService",
+    "ResultCursorService",
     "ServiceContainer",
     "ServiceDataElement",
     "ServiceDataSet",
     "ServiceState",
     "Subscription",
+    "deploy_cursor",
     "ogsi_porttype_table",
 ]

@@ -1,0 +1,161 @@
+"""ResultCursor: a transient Grid service streaming one result set.
+
+Large query results should not cross the wire as one SOAP array — the
+single-bulk-transfer failure mode stalls the fan-out and blows up both
+peers' memory.  Instead the producing service deploys a *ResultCursor*
+instance (the same factory/instance idiom as Execution instances: a
+transient service under the producer's path, reclaimed by the
+container's lifetime sweep) and returns its GSH; the client then drains
+the stream with repeated ``next(maxRows)`` calls and ``close()``-es it.
+
+Lifetime follows OGSI soft state: the cursor is created with a TTL and
+every successful ``next`` renews it, so an abandoned cursor (client
+crashed mid-drain) is reclaimed by ``sweep_expired()`` without any
+distributed garbage-collection protocol.  ``close`` is just ``Destroy``
+under a cursor-flavored name — after it (or after expiry), further
+``next`` calls fault with the container's ``no service at ...`` fault.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator
+
+from repro.ogsi.gsh import GridServiceHandle
+from repro.ogsi.service import GridServiceBase
+from repro.soap.chunks import encode_chunk
+from repro.wsdl.porttype import Operation, Parameter, PortType
+
+#: PPerfGrid extension namespace for the cursor PortType
+CURSOR_NS = "http://pperfgrid.cs.pdx.edu/2004/cursor"
+
+#: default soft-state lifetime (seconds) between ``next`` renewals
+DEFAULT_CURSOR_TTL = 300.0
+
+RESULT_CURSOR_PORTTYPE = PortType(
+    name="ResultCursor",
+    namespace=CURSOR_NS,
+    doc=(
+        "A transient service streaming one query's result set in "
+        "client-paced chunks, with soft-state lifetime management."
+    ),
+    operations=(
+        Operation(
+            "next",
+            (Parameter("maxRows", "xsd:int"),),
+            "xsd:string[]",
+            doc=(
+                "Return the next chunk of the stream: a '#chunk|seq|count|"
+                "done' header record followed by up to maxRows payload "
+                "rows.  Each successful call renews the cursor's "
+                "termination time (soft-state keepalive).  Calling next "
+                "on a closed or expired cursor faults."
+            ),
+        ),
+        Operation(
+            "close",
+            (),
+            "void",
+            doc=(
+                "Release the cursor's server-side state immediately "
+                "(equivalent to Destroy).  Idle cursors that are never "
+                "closed are reclaimed when their TTL expires."
+            ),
+        ),
+    ),
+)
+
+
+class ResultCursorService(GridServiceBase):
+    """One live result stream, backed by any row iterable.
+
+    ``rows`` is consumed lazily — handing a generator here keeps the
+    producer's memory bounded by one chunk, which is the whole point.
+    ``on_close`` (optional) runs exactly once when the cursor is
+    destroyed, however that happens (``close``, ``Destroy``, or the
+    lifetime sweep); producers use it to release upstream resources
+    such as member streams feeding the iterator.
+    """
+
+    porttype = RESULT_CURSOR_PORTTYPE
+
+    def __init__(
+        self,
+        rows: Iterable[str],
+        ttl: float | None = DEFAULT_CURSOR_TTL,
+        on_close: Callable[[], None] | None = None,
+    ) -> None:
+        super().__init__()
+        self._iter: Iterator[str] = iter(rows)
+        self._pending: str | None = None
+        self._exhausted = False
+        self._seq = 0
+        self.ttl = ttl
+        self._on_close = on_close
+        self.rows_served = 0
+
+    def on_deployed(self, container, gsh) -> None:
+        super().on_deployed(container, gsh)
+        if self.ttl is not None:
+            self.termination_time = container.clock.now() + self.ttl
+        self._publish_progress()
+
+    def _publish_progress(self) -> None:
+        self.service_data.set("chunksServed", str(self._seq))
+        self.service_data.set("rowsServed", str(self.rows_served))
+        self.service_data.set("done", "1" if self._exhausted else "0")
+
+    # --------------------------------------------------------- operations
+    def next(self, maxRows: int) -> list[str]:
+        """The next chunk: header + up to *maxRows* rows (see chunks.py)."""
+        self.require_active()
+        if maxRows < 1:
+            raise ValueError(f"maxRows must be >= 1, got {maxRows}")
+        batch: list[str] = []
+        if self._pending is not None:
+            batch.append(self._pending)
+            self._pending = None
+        while len(batch) < maxRows and not self._exhausted:
+            try:
+                batch.append(next(self._iter))
+            except StopIteration:
+                self._exhausted = True
+        if not self._exhausted:
+            # one-row lookahead so the final chunk carries done=1 itself,
+            # sparing the client an extra empty round trip
+            try:
+                self._pending = next(self._iter)
+            except StopIteration:
+                self._exhausted = True
+        if self.container is not None and self.ttl is not None:
+            self.termination_time = self.container.clock.now() + self.ttl
+        seq = self._seq
+        self._seq += 1
+        self.rows_served += len(batch)
+        self._publish_progress()
+        return encode_chunk(seq, batch, done=self._exhausted and self._pending is None)
+
+    def close(self) -> None:
+        """Release the stream now (the polite end of the protocol)."""
+        self.Destroy()
+
+    # ---------------------------------------------------------- lifecycle
+    def on_destroyed(self) -> None:
+        self._iter = iter(())
+        self._pending = None
+        self._exhausted = True
+        callback, self._on_close = self._on_close, None
+        if callback is not None:
+            callback()
+
+
+def deploy_cursor(
+    container,
+    base_path: str,
+    rows: Iterable[str],
+    ttl: float | None = DEFAULT_CURSOR_TTL,
+    on_close: Callable[[], None] | None = None,
+) -> GridServiceHandle:
+    """Deploy a cursor instance under ``<base_path>/cursors`` and return
+    its GSH — the producer-side half of every *Chunked operation."""
+    cursor = ResultCursorService(rows, ttl=ttl, on_close=on_close)
+    return container.deploy_instance(f"{base_path}/cursors", cursor)

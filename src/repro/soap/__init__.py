@@ -24,6 +24,13 @@ from repro.soap.envelope import (
     build_envelope,
     parse_envelope,
 )
+from repro.soap.chunks import (
+    CHUNK_HEADER,
+    ChunkEnvelope,
+    ChunkError,
+    decode_chunk,
+    encode_chunk,
+)
 from repro.soap.faults import SoapFault, fault_from_exception
 from repro.soap.rpc import (
     RpcRequest,
@@ -35,6 +42,9 @@ from repro.soap.rpc import (
 )
 
 __all__ = [
+    "CHUNK_HEADER",
+    "ChunkEnvelope",
+    "ChunkError",
     "SOAP_ENV_NS",
     "RpcRequest",
     "RpcResponse",
@@ -44,9 +54,11 @@ __all__ = [
     "SoapMessageError",
     "XsdType",
     "build_envelope",
+    "decode_chunk",
     "decode_request",
     "decode_response",
     "decode_value",
+    "encode_chunk",
     "encode_request",
     "encode_response",
     "encode_value",

@@ -1,0 +1,68 @@
+"""Chunk envelope for streaming result transfer.
+
+A :class:`repro.ogsi.cursor.ResultCursorService` answers each ``next``
+call with one *chunk*: a header record followed by the payload rows,
+all inside the ordinary SOAP string array.  Keeping the framing inside
+the array (instead of inventing a new XML shape) means the existing
+encoding, stub, and container layers carry chunks unchanged — the same
+architecture-adapter discipline as the ``name|value`` wire records.
+
+Header wire form::
+
+    #chunk|<seq>|<count>|<done>
+
+``seq`` is the zero-based chunk sequence number (clients verify it to
+detect missed or replayed fetches), ``count`` the number of payload
+rows following the header, and ``done`` ``1`` on the final chunk of the
+stream (``0`` otherwise).  ``#`` cannot start a packed result record,
+so the header is unambiguous.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: first field of every chunk header record
+CHUNK_HEADER = "#chunk"
+
+
+class ChunkError(ValueError):
+    """Raised for malformed or out-of-sequence chunk envelopes."""
+
+
+@dataclass(frozen=True)
+class ChunkEnvelope:
+    """One decoded chunk: sequence number, payload rows, end-of-stream."""
+
+    seq: int
+    rows: tuple[str, ...]
+    done: bool
+
+
+def encode_chunk(seq: int, rows: list[str], done: bool) -> list[str]:
+    """Frame *rows* as a chunk payload (header record + rows)."""
+    if seq < 0:
+        raise ChunkError(f"chunk seq must be >= 0, got {seq}")
+    return [f"{CHUNK_HEADER}|{seq}|{len(rows)}|{1 if done else 0}", *rows]
+
+
+def decode_chunk(payload: list[str]) -> ChunkEnvelope:
+    """Parse a chunk payload; raises :class:`ChunkError` on bad framing."""
+    if not payload:
+        raise ChunkError("empty chunk payload (missing header)")
+    header = payload[0]
+    parts = header.split("|")
+    if len(parts) != 4 or parts[0] != CHUNK_HEADER:
+        raise ChunkError(f"bad chunk header {header!r}")
+    try:
+        seq = int(parts[1])
+        count = int(parts[2])
+        done = bool(int(parts[3]))
+    except ValueError as exc:
+        raise ChunkError(f"bad chunk header {header!r}: {exc}") from exc
+    rows = tuple(payload[1:])
+    if len(rows) != count:
+        raise ChunkError(
+            f"chunk {seq} declares {count} row(s) but carries {len(rows)}"
+        )
+    return ChunkEnvelope(seq=seq, rows=rows, done=done)

@@ -92,8 +92,9 @@ class TestPortTypes:
     def test_table2_operations(self):
         ops = [name for name, _ in execution_porttype_table()]
         # The six Table 2 operations plus the documented extensions:
-        # getPRAgg (federated push-down), getPRAsync (§7 callbacks), and
-        # getStats (cost-based planning).
+        # getPRAgg (federated push-down), getPRChunked (streaming
+        # cursors), getPRAsync (§7 callbacks), and getStats (cost-based
+        # planning).
         assert ops == [
             "getInfo",
             "getFoci",
@@ -102,6 +103,7 @@ class TestPortTypes:
             "getTimeStartEnd",
             "getPR",
             "getPRAgg",
+            "getPRChunked",
             "getPRAsync",
             "getStats",
         ]

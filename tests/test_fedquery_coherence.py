@@ -62,6 +62,7 @@ class TestSubscriptions:
             "fullClears",
             "staleDiscards",
             "statsInvalidations",
+            "statsDeltas",
             "trackedPlans",
         }
 

@@ -51,6 +51,18 @@ def oracle_env():
     engine = grid.deploy_federation()
     members = engine.members()
 
+    # an independent engine (own plan cache) with the cursor path forced
+    # on, so the streamed arm can never answer from the bulk arm's cache
+    from repro.core.client import PPerfGridClient
+    from repro.fedquery.executor import FederationEngine
+
+    stream_engine = FederationEngine(
+        PPerfGridClient(grid.environment, grid.uddi_gsh),
+        managers={name: site.manager for name, site in grid.sites.items()},
+        stream_threshold_rows=0,
+        stream_chunk_rows=7,
+    )
+
     params: dict[str, dict[str, list[str]]] = {}
     metrics: dict[str, list[str]] = {}
     foci: dict[str, list[str]] = {}
@@ -78,6 +90,7 @@ def oracle_env():
     yield SimpleNamespace(
         grid=grid,
         engine=engine,
+        stream_engine=stream_engine,
         members=members,
         apps=sorted(members),
         params=params,
@@ -185,6 +198,41 @@ def test_planned_matches_naive(oracle_env, seed):
         f"planned ({len(planned.rows)}): {[r.pack() for r in planned.rows[:5]]}\n"
         f"naive   ({len(expected)}): {[r.pack() for r in expected[:5]]}"
     )
+
+
+@pytest.mark.parametrize("seed", range(N_QUERIES))
+def test_streamed_matches_bulk(oracle_env, seed):
+    """The same corpus through execute(stream=True): raw queries must be
+    byte-identical to the bulk rows (the incremental merge reproduces
+    the bulk order exactly); global operators (aggregates/ORDER BY) take
+    the documented bulk fallback and are float-compared."""
+    from repro.fedquery import parse_query
+
+    rng = random.Random(7000 + seed)
+    text = make_query(rng, oracle_env)
+    bulk = oracle_env.engine.execute(text)
+    with oracle_env.stream_engine.execute(text, stream=True) as streamed:
+        streamed_rows = list(streamed)
+    query = parse_query(text)
+    if query.is_aggregate or query.order_by is not None:
+        assert rows_equal(streamed_rows, bulk.rows), (
+            f"streamed != bulk for {text!r}"
+        )
+    else:
+        assert [r.pack() for r in streamed_rows] == [r.pack() for r in bulk.rows], (
+            f"streamed bytes != bulk bytes for {text!r}\n"
+            f"streamed ({len(streamed_rows)}): {[r.pack() for r in streamed_rows[:5]]}\n"
+            f"bulk     ({len(bulk.rows)}): {[r.pack() for r in bulk.rows[:5]]}"
+        )
+
+
+def test_streamed_full_drain_is_memoized(oracle_env):
+    text = "SELECT gflops FROM HPL"
+    oracle_env.stream_engine.invalidate_cache()
+    first = list(oracle_env.stream_engine.execute(text, stream=True))
+    hot = oracle_env.stream_engine.execute(text, stream=True)
+    assert hot.cached is True
+    assert [r.pack() for r in hot] == [r.pack() for r in first]
 
 
 @pytest.mark.parametrize("app", ["HPL", "SMG98", "PRESTA-RMA"])

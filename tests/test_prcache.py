@@ -4,7 +4,14 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.prcache import AdaptiveCache, LruCache, NullCache, UnboundedCache
+from repro.core.prcache import (
+    AdaptiveCache,
+    ByteBudgetLruCache,
+    LruCache,
+    NullCache,
+    UnboundedCache,
+    entry_bytes,
+)
 
 
 class TestNullCache:
@@ -191,3 +198,96 @@ class TestCacheStatsServiceData:
         assert int(after["entries"]) >= 1
         assert int(after["lookups"]) == int(after["hits"]) + int(after["misses"])
         assert 0.0 <= float(after["hitRate"]) <= 1.0
+
+
+class TestByteBudgetLruCache:
+    def test_entry_bytes_is_monotone_in_payload(self):
+        small = entry_bytes("k", ["a"])
+        bigger_payload = entry_bytes("k", ["a" * 100])
+        more_records = entry_bytes("k", ["a"] * 10)
+        assert small < bigger_payload
+        assert small < more_records
+
+    def test_put_get_and_byte_accounting(self):
+        cache = ByteBudgetLruCache(max_bytes=10_000)
+        cache.put("k", ["aa", "bb"])
+        assert cache.get("k") == ["aa", "bb"]
+        assert cache.approx_bytes == entry_bytes("k", ["aa", "bb"])
+
+    def test_byte_budget_evicts_lru_first(self):
+        record = "x" * 100
+        per_entry = entry_bytes("k0", [record])
+        cache = ByteBudgetLruCache(max_bytes=3 * per_entry)
+        for i in range(3):
+            cache.put(f"k{i}", [record])
+        cache.get("k0")  # now MRU; k1 is the eviction candidate
+        cache.put("k3", [record])
+        assert cache.contains("k0") and not cache.contains("k1")
+        assert cache.contains("k2") and cache.contains("k3")
+        assert cache.stats.evictions == 1
+        assert cache.approx_bytes <= cache.max_bytes
+
+    def test_oversized_entry_rejected_not_admitted(self):
+        cache = ByteBudgetLruCache(max_bytes=500)
+        cache.put("small", ["a"])
+        cache.put("huge", ["z" * 10_000])
+        assert cache.get("huge") is None
+        assert cache.stats.evictions == 1
+        # the rejection did not disturb resident entries
+        assert cache.get("small") == ["a"]
+
+    def test_oversized_overwrite_drops_stale_value(self):
+        cache = ByteBudgetLruCache(max_bytes=500)
+        cache.put("k", ["old"])
+        cache.put("k", ["z" * 10_000])  # too big to admit
+        assert cache.get("k") is None  # the old value must not survive
+        assert cache.approx_bytes == 0
+
+    def test_overwrite_replaces_size(self):
+        cache = ByteBudgetLruCache(max_bytes=10_000)
+        cache.put("k", ["a" * 200])
+        cache.put("k", ["b"])
+        assert cache.approx_bytes == entry_bytes("k", ["b"])
+        assert len(cache) == 1
+
+    def test_entry_capacity_still_applies(self):
+        cache = ByteBudgetLruCache(max_bytes=10**9, capacity=2)
+        for i in range(4):
+            cache.put(f"k{i}", ["v"])
+        assert len(cache) == 2
+        assert cache.stats.evictions == 2
+        assert cache.contains("k2") and cache.contains("k3")
+
+    def test_remove_restores_budget(self):
+        cache = ByteBudgetLruCache(max_bytes=10_000)
+        cache.put("k", ["abc"])
+        assert cache.remove("k") is True
+        assert cache.approx_bytes == 0
+        assert cache.stats.invalidations == 1
+        assert cache.remove("k") is False
+
+    def test_clear_resets_bytes(self):
+        cache = ByteBudgetLruCache(max_bytes=10_000)
+        for i in range(5):
+            cache.put(f"k{i}", ["v" * i])
+        cache.clear()
+        assert len(cache) == 0 and cache.approx_bytes == 0
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            ByteBudgetLruCache(max_bytes=0)
+        with pytest.raises(ValueError):
+            ByteBudgetLruCache(max_bytes=100, capacity=0)
+
+    @given(st.lists(st.tuples(st.text(min_size=1, max_size=8),
+                              st.lists(st.text(max_size=64), max_size=8)),
+                    max_size=60))
+    @settings(max_examples=80, deadline=None)
+    def test_budget_invariant_property(self, ops):
+        cache = ByteBudgetLruCache(max_bytes=1_000)
+        for key, value in ops:
+            cache.put(key, value)
+            assert cache.approx_bytes <= cache.max_bytes
+            assert cache.approx_bytes == sum(
+                entry_bytes(k, cache._table[k]) for k in cache._table
+            )

@@ -1,0 +1,292 @@
+"""Streaming result cursors: chunk envelope, ResultCursor service,
+client-side chunked iteration, and the stats-driven bulk fallback.
+
+Covers the ISSUE acceptance points at the execution level: byte-identical
+results for every chunk size (one-row-lookahead done flags included),
+soft-state TTL expiry via the container sweep, next()-after-close()
+faulting, and a tracemalloc proof that a chunked drain of a large store
+holds O(chunk) client/transfer memory while bulk getPR holds O(result).
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+
+import pytest
+
+from repro.core.client import ChunkedResultIterator
+from repro.core.semantic import PerformanceResult, pr_sort_key
+from repro.experiments.common import build_synthetic_grid
+from repro.mapping.memory import InMemoryExecution, InMemoryWrapper
+from repro.ogsi.container import GridEnvironment
+from repro.ogsi.cursor import ResultCursorService, deploy_cursor
+from repro.simnet.clock import VirtualClock
+from repro.soap import SoapFault
+from repro.soap.chunks import CHUNK_HEADER, ChunkError, decode_chunk, encode_chunk
+
+
+class TestChunkEnvelope:
+    def test_round_trip(self):
+        payload = encode_chunk(3, ["a|b", "c|d"], done=False)
+        assert payload[0] == f"{CHUNK_HEADER}|3|2|0"
+        envelope = decode_chunk(payload)
+        assert envelope.seq == 3
+        assert envelope.rows == ("a|b", "c|d")
+        assert envelope.done is False
+
+    def test_done_flag(self):
+        assert decode_chunk(encode_chunk(0, [], done=True)).done is True
+
+    def test_bad_header_rejected(self):
+        with pytest.raises(ChunkError):
+            decode_chunk(["not-a-header", "row"])
+
+    def test_row_count_mismatch_rejected(self):
+        payload = encode_chunk(0, ["x"], done=True)
+        with pytest.raises(ChunkError):
+            decode_chunk(payload + ["extra-row"])
+
+    def test_empty_payload_rejected(self):
+        with pytest.raises(ChunkError):
+            decode_chunk([])
+
+
+@pytest.fixture()
+def cursor_env():
+    environment = GridEnvironment(clock=VirtualClock())
+    container = environment.create_container("cursors.pdx.edu:9090")
+    return environment, container
+
+
+class TestResultCursorService:
+    def rows(self, n):
+        return [f"row-{i:04d}" for i in range(n)]
+
+    def test_drain_in_chunks(self, cursor_env):
+        environment, container = cursor_env
+        gsh = deploy_cursor(container, "services/X", iter(self.rows(10)))
+        stub = environment.stub_for_handle(gsh.url(), ResultCursorService.porttype)
+        first = decode_chunk(list(stub.next(4)))
+        assert first.seq == 0 and first.rows == tuple(self.rows(10)[:4])
+        assert first.done is False
+        second = decode_chunk(list(stub.next(4)))
+        assert second.seq == 1 and not second.done
+        third = decode_chunk(list(stub.next(4)))
+        # 2 remaining rows: the lookahead lets the final chunk say done=1
+        assert third.rows == tuple(self.rows(10)[8:]) and third.done is True
+
+    def test_exact_multiple_needs_no_empty_tail(self, cursor_env):
+        environment, container = cursor_env
+        gsh = deploy_cursor(container, "services/X", iter(self.rows(8)))
+        stub = environment.stub_for_handle(gsh.url(), ResultCursorService.porttype)
+        decode_chunk(list(stub.next(4)))
+        assert decode_chunk(list(stub.next(4))).done is True
+
+    def test_close_destroys_instance(self, cursor_env):
+        environment, container = cursor_env
+        gsh = deploy_cursor(container, "services/X", iter(self.rows(4)))
+        stub = environment.stub_for_handle(gsh.url(), ResultCursorService.porttype)
+        stub.close()
+        with pytest.raises(SoapFault, match="no service at"):
+            stub.next(2)
+
+    def test_ttl_expiry_reclaims_cursor(self, cursor_env):
+        environment, container = cursor_env
+        clock = environment.clock
+        gsh = deploy_cursor(container, "services/X", iter(self.rows(6)), ttl=30.0)
+        stub = environment.stub_for_handle(gsh.url(), ResultCursorService.porttype)
+        clock.advance(20.0)
+        stub.next(2)  # renews the soft-state lifetime
+        clock.advance(20.0)
+        assert environment.sweep_expired() == 0  # renewed at t=20 -> alive
+        clock.advance(31.0)
+        assert environment.sweep_expired() == 1
+        with pytest.raises(SoapFault, match="no service at"):
+            stub.next(2)
+
+    def test_on_close_fires_exactly_once(self, cursor_env):
+        _, container = cursor_env
+        fired = []
+        gsh = deploy_cursor(
+            container, "services/X", iter(()), on_close=lambda: fired.append(1)
+        )
+        service = container.service_at(gsh.path)
+        service.close()
+        with pytest.raises(RuntimeError, match="destroyed"):
+            service.Destroy()  # already destroyed; callback must not re-fire
+        assert fired == [1]
+
+    def test_bad_max_rows_faults(self, cursor_env):
+        environment, container = cursor_env
+        gsh = deploy_cursor(container, "services/X", iter(self.rows(2)))
+        stub = environment.stub_for_handle(gsh.url(), ResultCursorService.porttype)
+        with pytest.raises(SoapFault):
+            stub.next(0)
+
+
+class TestChunkedResultIterator:
+    def test_yields_all_rows_and_autocloses(self, cursor_env):
+        environment, container = cursor_env
+        rows = [f"r{i}" for i in range(23)]
+        gsh = deploy_cursor(container, "services/X", iter(rows))
+        it = ChunkedResultIterator(environment, gsh.url(), max_rows=5)
+        assert list(it) == rows
+        assert it.chunks_fetched == 5
+        # exhaustion closed the server-side instance
+        assert container.has_service(gsh) is False
+
+    def test_early_close_releases_cursor(self, cursor_env):
+        environment, container = cursor_env
+        gsh = deploy_cursor(container, "services/X", (f"r{i}" for i in range(100)))
+        with ChunkedResultIterator(environment, gsh.url(), max_rows=10) as it:
+            assert next(it) == "r0"
+        assert container.has_service(gsh) is False
+        assert list(it) == []  # closed iterator is simply exhausted
+
+    def test_sequence_gap_detected(self, cursor_env):
+        environment, container = cursor_env
+        gsh = deploy_cursor(container, "services/X", iter([f"r{i}" for i in range(9)]))
+        it = ChunkedResultIterator(environment, gsh.url(), max_rows=3)
+        next(it)
+        # another consumer steals a chunk out from under this iterator
+        environment.stub_for_handle(gsh.url(), ResultCursorService.porttype).next(3)
+        with pytest.raises(ChunkError, match="expected 1"):
+            for _ in it:
+                pass
+
+    def test_decoder_applied(self, cursor_env):
+        environment, container = cursor_env
+        pr = PerformanceResult("m", "/f", "t", 0.0, 1.0, 4.5)
+        gsh = deploy_cursor(container, "services/X", iter([pr.pack()]))
+        it = ChunkedResultIterator(
+            environment, gsh.url(), decoder=PerformanceResult.unpack
+        )
+        assert list(it) == [pr]
+
+
+def _synthetic_rows(n: int) -> list[PerformanceResult]:
+    return [
+        PerformanceResult(
+            "m", f"/rank/{i % 7}", "synthetic", float(i), float(i + 1), float(i * 3 % 97)
+        )
+        for i in range(n)
+    ]
+
+
+FOCI = [f"/rank/{i}" for i in range(7)]
+
+
+def _bind_app(grid, name):
+    for org in grid.client.discover_organizations("%"):
+        for service in org.services():
+            if service.name == name:
+                return grid.client.bind(service)
+    raise KeyError(f"no published application {name!r}")
+
+
+@pytest.fixture(scope="module")
+def chunk_grid():
+    wrapper = InMemoryWrapper(
+        "CHUNKY", [InMemoryExecution("0", {"numprocs": "4"}, _synthetic_rows(1000))]
+    )
+    grid = build_synthetic_grid({"CHUNKY": wrapper})
+    binding = _bind_app(grid, "CHUNKY").all_executions()[0]
+    return grid, binding
+
+
+class TestExecutionChunkedTransfer:
+    @pytest.mark.parametrize("max_rows", [1, 2, 7, 64, 100000])
+    def test_chunked_matches_bulk_for_every_chunk_size(self, chunk_grid, max_rows):
+        _, binding = chunk_grid
+        bulk = binding.get_pr("m", FOCI)
+        with binding.get_pr_chunked("m", FOCI, max_rows=max_rows) as it:
+            streamed = list(it)
+        assert [pr.pack() for pr in streamed] == [pr.pack() for pr in bulk]
+
+    @pytest.mark.parametrize("max_rows", [1, 7, 64])
+    def test_ordered_cursor_is_canonically_sorted(self, chunk_grid, max_rows):
+        _, binding = chunk_grid
+        expected = sorted(binding.get_pr("m", FOCI), key=pr_sort_key)
+        with binding.get_pr_chunked("m", FOCI, max_rows=max_rows, ordered=True) as it:
+            streamed = list(it)
+        assert [pr.pack() for pr in streamed] == [pr.pack() for pr in expected]
+
+    def test_stream_pr_uses_bulk_below_threshold(self, chunk_grid, monkeypatch):
+        _, binding = chunk_grid
+
+        def no_cursor(*args, **kwargs):
+            raise AssertionError("small result must not open a cursor")
+
+        monkeypatch.setattr(binding, "get_pr_chunked", no_cursor)
+        # getStats says ~1000 rows for m, well under the threshold
+        rows = list(binding.stream_pr("m", FOCI, threshold_rows=10**6))
+        assert len(rows) == 1000
+
+    def test_stream_pr_uses_cursor_above_threshold(self, chunk_grid, monkeypatch):
+        _, binding = chunk_grid
+        bulk = binding.get_pr("m", FOCI)
+
+        def no_bulk(*args, **kwargs):
+            raise AssertionError("above-threshold result must stream")
+
+        monkeypatch.setattr(binding, "get_pr", no_bulk)
+        rows = list(binding.stream_pr("m", FOCI, threshold_rows=1))
+        assert [pr.pack() for pr in rows] == [pr.pack() for pr in bulk]
+
+    def test_stream_pr_unknown_size_streams(self, chunk_grid, monkeypatch):
+        """Stats probe failing -> unknown size -> stream (bulk is the
+        memory risk, the cursor costs only round trips)."""
+        _, binding = chunk_grid
+
+        def stats_down():
+            raise RuntimeError("getStats unavailable")
+
+        def no_bulk(*args, **kwargs):
+            raise AssertionError("unknown-size result must stream")
+
+        monkeypatch.setattr(binding, "get_stats", stats_down)
+        monkeypatch.setattr(binding, "get_pr", no_bulk)
+        rows = list(binding.stream_pr("m", FOCI, threshold_rows=10**6))
+        assert len(rows) == 1000
+
+
+class TestBoundedMemoryDrain:
+    """The headline property: chunked transfer keeps the *transfer path*
+    memory flat while bulk is O(result)."""
+
+    N_ROWS = 100_000
+
+    @pytest.fixture(scope="class")
+    def big_grid(self):
+        wrapper = InMemoryWrapper(
+            "BIG", [InMemoryExecution("0", {}, _synthetic_rows(self.N_ROWS))]
+        )
+        grid = build_synthetic_grid({"BIG": wrapper})
+        binding = _bind_app(grid, "BIG").all_executions()[0]
+        return grid, binding
+
+    def test_chunked_peak_is_multiples_below_bulk(self, big_grid):
+        _, binding = big_grid
+        tracemalloc.start()
+        try:
+            # streamed arm first: the bulk arm populates the server-side
+            # PR cache, which would otherwise be charged to this arm
+            tracemalloc.reset_peak()
+            base = tracemalloc.get_traced_memory()[0]
+            count = 0
+            for _ in binding.stream_pr("m", FOCI, max_rows=256, threshold_rows=1):
+                count += 1
+            streamed_peak = tracemalloc.get_traced_memory()[1] - base
+            assert count == self.N_ROWS
+
+            tracemalloc.reset_peak()
+            base = tracemalloc.get_traced_memory()[0]
+            bulk = binding.get_pr("m", FOCI)
+            bulk_peak = tracemalloc.get_traced_memory()[1] - base
+            assert len(bulk) == self.N_ROWS
+        finally:
+            tracemalloc.stop()
+        assert streamed_peak * 5 <= bulk_peak, (
+            f"streamed drain peaked at {streamed_peak} bytes, "
+            f"bulk at {bulk_peak} — expected >= 5x headroom"
+        )

@@ -1,0 +1,167 @@
+"""Materialized-view maintenance vs recompute-per-update, under a write stream.
+
+One hot aggregate view (``count/sum/mean GROUP BY focus``) over a
+federation whose stores receive a steady stream of row appends, each
+announced with ``data_updated()``.  Two identical grids, one per arm:
+
+* **recompute** — the pre-view regime: every update invalidates the
+  dependent cached plan and the next read pays a full federated
+  ``execute`` (every member, every execution).
+* **maintained** — the view regime: the coherence sink routes each
+  update to the :class:`~repro.fedquery.views.ViewMaintainer`, which
+  refetches exactly the one notifying partition and re-folds; a
+  subscribed client replica receives every change as a pushed
+  versioned delta.
+
+Per update the recompute arm touches every execution in the federation
+while the maintained arm touches one, so both the maintenance latency
+and the bytes moved must drop by at least 10x — and the maintained
+rows (and the subscriber's pushed replica) must stay byte-identical to
+the recompute arm's answer the whole way.
+
+``FEDQUERY_BENCH_QUICK=1`` (the CI mode) shrinks the federation so the
+file runs in seconds while asserting the same shape.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from conftest import write_result
+
+from repro.core.semantic import PerformanceResult
+from repro.experiments.common import build_synthetic_grid
+from repro.mapping.memory import InMemoryExecution, InMemoryWrapper
+
+QUICK = os.environ.get("FEDQUERY_BENCH_QUICK", "") not in ("", "0")
+
+MEMBERS = 3
+EXECS_PER_MEMBER = 32 if QUICK else 48
+ROWS_PER_EXEC = 120 if QUICK else 400
+FOCI = 8
+STEPS = 8 if QUICK else 16
+
+VIEW_TEXT = "SELECT count(m), sum(m), mean(m) GROUP BY focus"
+
+
+def _rows(member: int, execution: int) -> list[PerformanceResult]:
+    return [
+        PerformanceResult(
+            "m",
+            f"/rank/{i % FOCI}",
+            "synthetic",
+            float(i),
+            float(i + 1),
+            float((member * 31 + execution * 7 + i * 13) % 1009),
+        )
+        for i in range(ROWS_PER_EXEC)
+    ]
+
+
+def _build_grid():
+    wrappers = {
+        f"APP{m}": InMemoryWrapper(
+            f"APP{m}",
+            [
+                InMemoryExecution(str(e), {}, _rows(m, e))
+                for e in range(EXECS_PER_MEMBER)
+            ],
+        )
+        for m in range(MEMBERS)
+    }
+    grid = build_synthetic_grid(wrappers)
+    engine = grid.deploy_federation()
+    return grid, engine, wrappers
+
+
+def _mutation(step: int) -> tuple[str, str, PerformanceResult]:
+    """The step-th append, identical for both arms."""
+    member = step % MEMBERS
+    execution = str(step % EXECS_PER_MEMBER)
+    return (
+        f"APP{member}",
+        execution,
+        PerformanceResult(
+            "m",
+            f"/rank/{step % FOCI}",
+            "synthetic",
+            0.0,
+            1.0,
+            float((step * 97) % 1009),
+        ),
+    )
+
+
+def test_view_maintenance_vs_recompute_per_update():
+    # --- arm A: recompute-per-update (the pre-view regime) -----------
+    grid_a, engine_a, wrappers_a = _build_grid()
+    engine_a.execute(VIEW_TEXT)  # warm exec-id discovery and stats
+    recompute_s = 0.0
+    recompute_bytes = 0
+    for step in range(STEPS):
+        app, exec_id, row = _mutation(step)
+        wrappers_a[app].executions_data[int(exec_id)].results.append(row)
+        t0 = time.perf_counter()
+        grid_a.execution_service(app, exec_id).data_updated(f"step {step}")
+        result = engine_a.execute(VIEW_TEXT)
+        recompute_s += time.perf_counter() - t0
+        recompute_bytes += result.stats["payloadBytes"]
+        assert result.cached is False
+    final_recompute = [r.pack() for r in engine_a.execute(VIEW_TEXT).rows]
+
+    # --- arm B: incremental maintenance + pushed deltas --------------
+    grid_b, engine_b, wrappers_b = _build_grid()
+    view = engine_b.views().create_view(VIEW_TEXT)
+    subscriber = grid_b.client.subscribe_view(view.view_id)
+    base = engine_b.view_stats()  # creation pays the one-time full fetch
+    maintained_s = 0.0
+    for step in range(STEPS):
+        app, exec_id, row = _mutation(step)
+        wrappers_b[app].executions_data[int(exec_id)].results.append(row)
+        t0 = time.perf_counter()
+        # maintenance runs synchronously inside the update delivery
+        grid_b.execution_service(app, exec_id).data_updated(f"step {step}")
+        maintained_s += time.perf_counter() - t0
+    stats = engine_b.view_stats()
+    maintained_bytes = stats["deltaBytesFetched"] - base["deltaBytesFetched"]
+
+    # correctness before speed: the maintained view and the pushed
+    # replica both equal the recompute arm's answer, byte for byte
+    assert view.packed_rows() == final_recompute
+    assert [r.pack() for r in subscriber.rows] == final_recompute
+    assert subscriber.deltas_applied >= 1
+    assert subscriber.stale_refreshes == 0
+    assert stats["deltasApplied"] - base["deltasApplied"] == STEPS
+    assert stats["maintenanceErrors"] == 0
+    subscriber.close()
+
+    latency_ratio = recompute_s / max(1e-9, maintained_s)
+    bytes_ratio = recompute_bytes / max(1, maintained_bytes)
+    executions = MEMBERS * EXECS_PER_MEMBER
+    write_result(
+        "views_maintenance.txt",
+        "\n".join(
+            [
+                f"Hot view {VIEW_TEXT!r} under {STEPS} updates over "
+                f"{MEMBERS} members x {EXECS_PER_MEMBER} executions x "
+                f"{ROWS_PER_EXEC} rows ({'quick' if QUICK else 'full'} scale)",
+                f"{'arm':<12}{'seconds':>10}{'bytes moved':>14}{'per update':>14}",
+                f"{'recompute':<12}{recompute_s:>9.3f}s{recompute_bytes:>14}"
+                f"{recompute_bytes // STEPS:>14}",
+                f"{'maintained':<12}{maintained_s:>9.3f}s{maintained_bytes:>14}"
+                f"{maintained_bytes // STEPS:>14}",
+                f"latency reduction: {latency_ratio:.1f}x   "
+                f"bytes reduction: {bytes_ratio:.1f}x   "
+                f"(delta touches 1 of {executions} executions)",
+            ]
+        ),
+    )
+    assert latency_ratio >= 10.0, (
+        f"maintenance latency only {latency_ratio:.1f}x below recompute"
+    )
+    assert bytes_ratio >= 10.0, (
+        f"maintenance bytes only {bytes_ratio:.1f}x below recompute"
+    )
+    grid_a.cleanup()
+    grid_b.cleanup()

@@ -593,6 +593,128 @@ class AsyncQueryCollector:
         self.sink.Destroy()
 
 
+class ViewSubscription:
+    """The client half of ``subscribeView``: a live replica of one view.
+
+    Fetches the view's consistent snapshot (``getView``), deploys a
+    NotificationSink next to the client, and subscribes it to the view's
+    delta topic.  Every pushed :class:`~repro.fedquery.views.ViewDelta`
+    is applied to :attr:`rows`; a delta whose epoch or base version does
+    not match the local state (a missed or reordered delivery, or a
+    server-side rebuild raced past us) triggers a consistent re-fetch
+    instead of silently diverging — counted in :attr:`stale_refreshes`.
+    """
+
+    _counter = 0
+
+    def __init__(
+        self,
+        environment: GridEnvironment,
+        registry_stub,
+        view_id: str,
+        authority: str = "ppg-client:7070",
+    ) -> None:
+        from repro.ogsi.notification import NotificationSinkBase
+
+        self.environment = environment
+        self._stub = registry_stub
+        self.view_id = view_id
+        self.epoch = 0
+        self.version = 0
+        self.query = None
+        self.rows: list = []
+        self.deltas_applied = 0
+        self.stale_refreshes = 0
+        container = environment.container_for(authority)
+        if container is None:
+            container = environment.create_container(authority)
+        ViewSubscription._counter += 1
+        self._sink = NotificationSinkBase(callback=self._on_delivery)
+        self._sink_gsh = container.deploy(
+            f"services/view-sink/{ViewSubscription._counter}", self._sink
+        )
+        self.refresh()
+        self.subscription_id = self._stub.subscribeView(
+            view_id, self._sink_gsh.url()
+        )
+
+    def refresh(self) -> None:
+        """Adopt the registry's current snapshot (epoch, version, rows)."""
+        from repro.fedquery.merge import ResultRow
+        from repro.fedquery.parser import parse_query
+
+        records = list(self._stub.getView(self.view_id))
+        header = _parse_view_header(records[:6])
+        self.epoch = int(header["epoch"])
+        self.version = int(header["version"])
+        self.query = parse_query(header["query"])
+        self.rows = [ResultRow.unpack(packed) for packed in records[6:]]
+
+    def _on_delivery(self, topic: str, message: str) -> None:
+        from repro.fedquery.views import ViewDelta
+
+        self.apply(ViewDelta.decode(message))
+
+    def apply(self, delta) -> None:
+        """Apply one pushed delta (see the consistency rules above)."""
+        from collections import Counter
+
+        from repro.fedquery.merge import ResultRow, order_rows
+
+        if delta.view_id != self.view_id:
+            return
+        if delta.kind == "refresh":
+            # a new epoch replaces local state unconditionally
+            self.epoch = delta.epoch
+            self.version = delta.to_version
+            self.rows = [ResultRow.unpack(packed) for packed in delta.added]
+            self.deltas_applied += 1
+            return
+        if delta.epoch != self.epoch or delta.from_version != self.version:
+            self.stale_refreshes += 1
+            self.refresh()
+            return
+        if delta.kind == "replace":
+            self.rows = [ResultRow.unpack(packed) for packed in delta.added]
+        else:
+            counts = Counter(row.pack() for row in self.rows)
+            for packed in delta.removed:
+                if counts.get(packed, 0) <= 0:
+                    # the delta removes a row we never had: local state
+                    # has diverged, so fall back to a consistent refresh
+                    self.stale_refreshes += 1
+                    self.refresh()
+                    return
+                counts[packed] -= 1
+            for packed in delta.added:
+                counts[packed] += 1
+            rows = []
+            for packed, count in counts.items():
+                rows.extend([ResultRow.unpack(packed)] * count)
+            # the canonical order is deterministic, so re-sorting the
+            # multiset reproduces the server's row order byte for byte
+            self.rows = order_rows(rows, self.query)
+        self.version = delta.to_version
+        self.deltas_applied += 1
+
+    def close(self) -> None:
+        try:
+            self._stub.UnsubscribeFromNotificationTopic(self.subscription_id)
+        except Exception:
+            pass
+        self._sink.Destroy()
+
+
+def _parse_view_header(records: list[str]) -> dict[str, str]:
+    """Parse getView's ``name|value`` header records (query text may
+    itself contain ``|``-free SQL, but split on the first bar only)."""
+    header: dict[str, str] = {}
+    for record in records:
+        name, _, value = record.partition("|")
+        header[name] = value
+    return header
+
+
 class PPerfGridClient:
     """The client application: discovery, binding, and query panels."""
 
@@ -607,6 +729,8 @@ class PPerfGridClient:
         self._local_wrappers: dict[str, ApplicationWrapper] = {}
         #: FederatedQuery service stub, set by :meth:`use_federation`
         self._fed_stub = None
+        #: ViewRegistry service stub, set by :meth:`use_views`
+        self._views_stub = None
 
     # ------------------------------------------------------------ discovery
     def discover_organizations(self, name_pattern: str = "%") -> list[OrganizationProxy]:
@@ -742,6 +866,49 @@ class PPerfGridClient:
         if self._fed_stub is None:
             raise RuntimeError("no federation configured; call use_federation() first")
         records = _parse_pairs(self._fed_stub.coherenceStats())
+        return {name: int(value) for name, value in records.items()}
+
+    # ----------------------------------------------------- materialized views
+    def use_views(self, handle: str) -> None:
+        """Point this client at a deployed ViewRegistry service."""
+        from repro.fedquery.viewservice import VIEW_REGISTRY_PORTTYPE
+
+        self._views_stub = self.environment.stub_for_handle(
+            handle, VIEW_REGISTRY_PORTTYPE
+        )
+
+    def _require_views(self):
+        if self._views_stub is None:
+            raise RuntimeError("no view registry configured; call use_views() first")
+        return self._views_stub
+
+    def create_view(self, text: str) -> str:
+        """Register *text* as a materialized view; returns its view id."""
+        return str(self._require_views().createView(text))
+
+    def drop_view(self, view_id: str) -> bool:
+        return bool(int(self._require_views().dropView(view_id)))
+
+    def get_view(self, view_id: str):
+        """The view's current snapshot: (header dict, list of ResultRow)."""
+        from repro.fedquery.merge import ResultRow
+
+        records = list(self._require_views().getView(view_id))
+        header = _parse_view_header(records[:6])
+        rows = [ResultRow.unpack(packed) for packed in records[6:]]
+        return header, rows
+
+    def subscribe_view(
+        self, view_id: str, authority: str = "ppg-client:7070"
+    ) -> ViewSubscription:
+        """Subscribe to a view's pushed deltas; returns the live replica."""
+        return ViewSubscription(
+            self.environment, self._require_views(), view_id, authority
+        )
+
+    def view_stats(self) -> dict[str, int]:
+        """The federation's view-maintenance counters."""
+        records = _parse_pairs(self._require_views().viewStats())
         return {name: int(value) for name, value in records.items()}
 
     def unbind_all(self) -> None:

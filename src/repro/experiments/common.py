@@ -72,6 +72,7 @@ class TestGrid:
     #: set by deploy_federation()
     fed_gsh: str | None = None
     fed_engine: object | None = None
+    views_gsh: str | None = None
 
     def site(self, name: str) -> PPerfGridSite:
         return self.sites[name]
@@ -129,9 +130,10 @@ class TestGrid:
 
 
 def _deploy_federation(grid, authority: str, coherence: bool, cost_based: bool):
-    """Deploy a FederatedQuery service over *grid* (TestGrid-shaped)."""
+    """Deploy FederatedQuery + ViewRegistry over *grid* (TestGrid-shaped)."""
     from repro.fedquery.executor import FederationEngine
     from repro.fedquery.service import FederatedQueryService
+    from repro.fedquery.viewservice import ViewRegistryService
 
     engine_client = PPerfGridClient(grid.environment, grid.uddi_gsh)
     engine = FederationEngine(
@@ -147,6 +149,13 @@ def _deploy_federation(grid, authority: str, coherence: bool, cost_based: bool):
     grid.fed_gsh = gsh.url()
     grid.fed_engine = engine
     grid.client.use_federation(grid.fed_gsh)
+    views_service = ViewRegistryService(engine)
+    views_gsh = container.deploy("services/FederatedQuery/views", views_service)
+    grid.views_gsh = views_gsh.url()
+    grid.client.use_views(grid.views_gsh)
+    # every site Manager surfaces the federation's view counters
+    for site in grid.sites.values():
+        site.manager.add_stats_provider("viewStats", engine.view_stats)
     if coherence:
         service.subscribeUpdates()
     return engine
@@ -170,6 +179,7 @@ class SyntheticGrid:
     sites: dict[str, PPerfGridSite] = field(default_factory=dict)
     fed_gsh: str | None = None
     fed_engine: object | None = None
+    views_gsh: str | None = None
 
     def site(self, name: str) -> PPerfGridSite:
         return self.sites[name]

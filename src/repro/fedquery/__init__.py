@@ -19,6 +19,9 @@ Entry points:
   cardinality/byte estimation from ``getStats`` statistics;
 * :class:`FederationEngine` — plan + execute against live members;
 * :class:`FederatedQueryService` — the OGSI PortType wrapping an engine;
+* :class:`ViewMaintainer` / :class:`ViewRegistryService` — standing
+  queries maintained incrementally as materialized views, with pushed
+  versioned deltas (``createView``/``subscribeView``);
 * :func:`naive_query` — the push-down-free reference implementation.
 """
 
@@ -56,7 +59,9 @@ from repro.fedquery.planner import (
     Plan,
     PrunedMember,
     SubQuery,
+    ViewShape,
     plan_query,
+    view_shape,
 )
 from repro.fedquery.pushdown import (
     PredicateSplit,
@@ -66,6 +71,13 @@ from repro.fedquery.pushdown import (
     split_predicates,
 )
 from repro.fedquery.service import FEDERATED_QUERY_PORTTYPE, FederatedQueryService
+from repro.fedquery.views import (
+    MaterializedView,
+    ViewDelta,
+    ViewMaintainer,
+    empty_view_stats,
+)
+from repro.fedquery.viewservice import VIEW_REGISTRY_PORTTYPE, ViewRegistryService
 from repro.fedquery.stream import (
     DEFAULT_CHUNK_DEPTH,
     DEFAULT_CHUNK_ROWS,
@@ -89,6 +101,7 @@ __all__ = [
     "FEDERATED_QUERY_PORTTYPE",
     "FederatedQueryService",
     "FederationEngine",
+    "MaterializedView",
     "MemberCost",
     "MemberPlan",
     "MemberStream",
@@ -107,10 +120,16 @@ __all__ = [
     "StreamingMerger",
     "SubQuery",
     "TaskContext",
+    "VIEW_REGISTRY_PORTTYPE",
     "ValueBounds",
+    "ViewDelta",
+    "ViewMaintainer",
+    "ViewRegistryService",
+    "ViewShape",
     "choose_fanout",
     "derive_value_bounds",
     "derive_window",
+    "empty_view_stats",
     "merge_streams",
     "naive_query",
     "order_rows",
@@ -118,6 +137,7 @@ __all__ = [
     "plan_query",
     "row_sort_key",
     "split_predicates",
+    "view_shape",
     "unsatisfiable_over",
     "vacuous_over",
     "value_fraction",

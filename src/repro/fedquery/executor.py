@@ -224,10 +224,13 @@ class FederationEngine:
             "notifications": 0,
             "invalidations": 0,
             "fullClears": 0,
+            "memberClears": 0,
             "staleDiscards": 0,
             "statsInvalidations": 0,
             "statsDeltas": 0,
         }
+        #: lazily created ViewMaintainer (see :meth:`views`)
+        self._view_maintainer = None
 
     # ------------------------------------------------------------ catalog
     def members(self) -> dict[str, object]:
@@ -738,12 +741,21 @@ class FederationEngine:
         The message is ``execId|generation|sourceHandle|description``
         (see :meth:`repro.core.execution.ExecutionService.data_updated`).
         Attribution prefers the source handle (exec ids collide across
-        Applications); an update the engine cannot attribute at all
+        Applications), then the exec-id -> apps map.  An update with no
+        execution-level attribution is scoped to the *member* its source
+        handle names (``ppg://host/services/<app>/...``) when that names
+        a known member; only a source the engine cannot attribute at all
         falls back to a full cache clear — correctness over precision.
+
+        Invalidation runs under the coherence lock; the view-maintenance
+        hook runs *after* release (it re-plans and refetches member
+        rows, which re-enters :meth:`_collect_stats`).
         """
         parts = message.split("|", 3)
         exec_id = parts[0]
         source = parts[2] if len(parts) >= 3 else ""
+        member_clear: str | None = None
+        full_clear = False
         with self._coherence_lock:
             self.coherence["notifications"] += 1
             known = self._source_keys.get(source)
@@ -752,39 +764,106 @@ class FederationEngine:
             else:
                 deps = [(app, exec_id) for app in self._exec_apps.get(exec_id, ())]
             if not deps:
-                # unattributable update: clear everything, and bump the
-                # epoch so any in-flight query discards instead of
-                # re-caching stale rows
-                self.coherence["fullClears"] += 1
-                self.coherence["statsInvalidations"] += len(self._member_stats)
-                self.plan_cache.clear()
-                self._plan_deps.clear()
-                self._member_stats.clear()
-                self._exec_stats.clear()
-                self._stats_dirty.clear()
-                self._epoch += 1
-                return
+                member_clear = self._attribute_source_locked(source)
+                if member_clear is not None:
+                    self._member_clear_locked(member_clear)
+                else:
+                    full_clear = True
+                    self._full_clear_locked()
             for dep in deps:
-                app = dep[0]
-                self._generations[dep] = self._generations.get(dep, 0) + 1
-                self._app_generations[app] = self._app_generations.get(app, 0) + 1
-                # the member's cached statistics describe the pre-update
-                # store: mark just the updated execution's share stale so
-                # the next plan re-merges a delta instead of refetching
-                # the whole member (whole-drop when deltas are disabled)
-                if app in self._member_stats:
-                    self.coherence["statsInvalidations"] += 1
-                    if self.stats_deltas:
-                        self._stats_dirty.setdefault(app, set()).add(dep[1])
-                    else:
-                        self._member_stats.pop(app, None)
-                        self._exec_stats.pop(app, None)
-                wildcard = (app, "*")
-                for fingerprint, dep_set in list(self._plan_deps.items()):
-                    if dep in dep_set or wildcard in dep_set:
-                        del self._plan_deps[fingerprint]
-                        if self.plan_cache.remove(fingerprint):
-                            self.coherence["invalidations"] += 1
+                self._invalidate_dep_locked(dep)
+        maintainer = self._view_maintainer
+        if maintainer is None:
+            return
+        if deps:
+            for app, dep_exec in deps:
+                maintainer.on_update(app, dep_exec)
+        elif member_clear is not None:
+            maintainer.on_member_update(member_clear)
+        elif full_clear:
+            maintainer.on_full_refresh()
+
+    def _invalidate_dep_locked(self, dep: tuple[str, str]) -> None:
+        app = dep[0]
+        self._generations[dep] = self._generations.get(dep, 0) + 1
+        self._app_generations[app] = self._app_generations.get(app, 0) + 1
+        # the member's cached statistics describe the pre-update
+        # store: mark just the updated execution's share stale so
+        # the next plan re-merges a delta instead of refetching
+        # the whole member (whole-drop when deltas are disabled)
+        if app in self._member_stats:
+            self.coherence["statsInvalidations"] += 1
+            if self.stats_deltas:
+                self._stats_dirty.setdefault(app, set()).add(dep[1])
+            else:
+                self._member_stats.pop(app, None)
+                self._exec_stats.pop(app, None)
+        wildcard = (app, "*")
+        for fingerprint, dep_set in list(self._plan_deps.items()):
+            if dep in dep_set or wildcard in dep_set:
+                del self._plan_deps[fingerprint]
+                if self.plan_cache.remove(fingerprint):
+                    self.coherence["invalidations"] += 1
+
+    def _attribute_source_locked(self, source: str) -> str | None:
+        """Last-resort attribution: the member app a source handle's
+        path names.
+
+        Site services deploy under ``services/<app>/...`` (factories,
+        replicas, instances alike), so a parseable handle whose second
+        path segment names a known member scopes the update to that
+        member even when the engine never subscribed to the execution.
+        """
+        from repro.ogsi.gsh import GridServiceHandle
+
+        try:
+            gsh = GridServiceHandle.parse(source)
+        except Exception:
+            return None
+        segments = gsh.path.split("/")
+        if len(segments) < 2 or segments[0] != "services":
+            return None
+        app = segments[1]
+        known = (
+            {a for apps in self._exec_apps.values() for a in apps}
+            | {key[0] for key in self._source_keys.values()}
+            | set(self._member_stats)
+            | set(self._app_generations)
+            | set(self._bindings or ())
+        )
+        return app if app in known else None
+
+    def _member_clear_locked(self, app: str) -> None:
+        """Scope an execution-unattributable update to one member: drop
+        only the plans (and stats) depending on *app*, not the whole
+        federation's.  The epoch still bumps — any in-flight query may
+        have read the member, so its result must not be cached."""
+        self.coherence["memberClears"] += 1
+        self._app_generations[app] = self._app_generations.get(app, 0) + 1
+        self._epoch += 1
+        if app in self._member_stats:
+            self.coherence["statsInvalidations"] += 1
+            self._member_stats.pop(app, None)
+            self._exec_stats.pop(app, None)
+        self._stats_dirty.pop(app, None)
+        for fingerprint, dep_set in list(self._plan_deps.items()):
+            if any(dep[0] == app for dep in dep_set):
+                del self._plan_deps[fingerprint]
+                if self.plan_cache.remove(fingerprint):
+                    self.coherence["invalidations"] += 1
+
+    def _full_clear_locked(self) -> None:
+        """Unattributable update: clear everything, and bump the epoch
+        so any in-flight query discards instead of re-caching stale
+        rows."""
+        self.coherence["fullClears"] += 1
+        self.coherence["statsInvalidations"] += len(self._member_stats)
+        self.plan_cache.clear()
+        self._plan_deps.clear()
+        self._member_stats.clear()
+        self._exec_stats.clear()
+        self._stats_dirty.clear()
+        self._epoch += 1
 
     def coherence_stats(self) -> dict[str, int]:
         """Snapshot of the coherence counters plus tracked-plan count."""
@@ -792,6 +871,24 @@ class FederationEngine:
             stats = dict(self.coherence)
             stats["trackedPlans"] = len(self._plan_deps)
         return stats
+
+    # --------------------------------------------------------------- views
+    def views(self):
+        """The engine's :class:`~repro.fedquery.views.ViewMaintainer`
+        (created on first use)."""
+        if self._view_maintainer is None:
+            from repro.fedquery.views import ViewMaintainer
+
+            self._view_maintainer = ViewMaintainer(self)
+        return self._view_maintainer
+
+    def view_stats(self) -> dict[str, int]:
+        """View-maintenance counters (all zero before any view exists)."""
+        if self._view_maintainer is None:
+            from repro.fedquery.views import empty_view_stats
+
+            return empty_view_stats()
+        return self._view_maintainer.stats()
 
     # ----------------------------------------------------------- internals
     def _parse(self, query: str | Query) -> Query:

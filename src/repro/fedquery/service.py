@@ -111,8 +111,20 @@ FEDERATED_QUERY_PORTTYPE = PortType(
             doc=(
                 "Cache-coherence counters as 'name|value' records: "
                 "subscriptions, notifications, invalidations, "
-                "fullClears, staleDiscards, statsInvalidations, "
-                "statsDeltas, trackedPlans."
+                "fullClears, memberClears, staleDiscards, "
+                "statsInvalidations, statsDeltas, trackedPlans."
+            ),
+        ),
+        Operation(
+            "viewStats",
+            (),
+            "xsd:string[]",
+            doc=(
+                "View-maintenance counters as 'name|value' records: "
+                "views, created, dropped, deltasApplied, "
+                "deltaRowsFetched, deltaBytesFetched, scopedRecomputes, "
+                "epochRefreshes, noopUpdates, pushedDeltas, "
+                "maintenanceErrors."
             ),
         ),
     ),
@@ -186,6 +198,10 @@ class FederatedQueryService(GridServiceBase):
         self.require_active()
         return [f"{k}|{v}" for k, v in sorted(self.engine.coherence_stats().items())]
 
+    def viewStats(self) -> list[str]:
+        self.require_active()
+        return [f"{k}|{v}" for k, v in sorted(self.engine.view_stats().items())]
+
     # ---------------------------------------------------------------- SDEs
     def _cache_records(self) -> list[str]:
         cache = self.engine.plan_cache
@@ -201,6 +217,10 @@ class FederatedQueryService(GridServiceBase):
         self.service_data.set(
             "coherenceStats",
             [f"{k}|{v}" for k, v in sorted(self.engine.coherence_stats().items())],
+        )
+        self.service_data.set(
+            "viewStats",
+            [f"{k}|{v}" for k, v in sorted(self.engine.view_stats().items())],
         )
 
     def FindServiceData(self, queryExpression: str) -> str:

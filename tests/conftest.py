@@ -11,6 +11,22 @@ from repro.datastores.textfiles import TextFileStore
 from repro.experiments.common import GridScale, build_grid
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--seed",
+        type=int,
+        default=0,
+        help="deterministic offset mixed into every randomized oracle suite "
+        "(default 0 reproduces the checked-in runs)",
+    )
+
+
+@pytest.fixture(scope="session")
+def oracle_seed(request) -> int:
+    """The --seed offset; randomized suites mix it into their RNG seeds."""
+    return request.config.getoption("--seed")
+
+
 @pytest.fixture(scope="session")
 def hpl_dataset():
     return generate_hpl(seed=7, num_executions=20)

@@ -60,6 +60,7 @@ class TestSubscriptions:
             "notifications",
             "invalidations",
             "fullClears",
+            "memberClears",
             "staleDiscards",
             "statsInvalidations",
             "statsDeltas",
@@ -139,6 +140,22 @@ class TestTargetedInvalidation:
         engine._on_update("data-update", "no-such-exec|1|mystery")
         assert engine.execute(HPL_QUERY).cached is False
         assert engine.coherence_stats()["fullClears"] == 1
+        assert engine.coherence_stats()["memberClears"] == 0
+
+    def test_member_source_update_scopes_the_clear(self, grid):
+        """An unknown-execution update whose source handle names a known
+        member drops only that member's dependent plans."""
+        engine = grid.fed_engine
+        engine.execute(HPL_QUERY)
+        engine.execute(PRESTA_QUERY)
+        source = "ppg://hpl.pdx.edu:8080/services/HPL/ExecutionFactory/instances/999"
+        engine._on_update("data-update", f"999|1|{source}|late publisher")
+        stats = engine.coherence_stats()
+        assert stats["memberClears"] == 1
+        assert stats["fullClears"] == 0
+        # the unrelated member's plan survives; the named member's drops
+        assert engine.execute(PRESTA_QUERY).cached is True
+        assert engine.execute(HPL_QUERY).cached is False
 
 
 class TestInsertAfterInvalidateRace:

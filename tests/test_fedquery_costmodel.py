@@ -116,10 +116,10 @@ def _vocabulary(name_to_wrapper: dict[str, InMemoryWrapper]) -> SimpleNamespace:
 
 
 @pytest.fixture(scope="module")
-def cost_env():
+def cost_env(oracle_seed):
     envs = []
     for fed_seed in range(N_FEDERATIONS):
-        rng = random.Random(31000 + fed_seed)
+        rng = random.Random(31000 + fed_seed + 1_000_000 * oracle_seed)
         wrappers = make_federation(rng)
         grid = build_synthetic_grid(wrappers)
         engine = grid.deploy_federation(authority=f"fed{fed_seed}.pdx.edu:9090")
@@ -223,9 +223,9 @@ def make_query(rng: random.Random, V) -> str:
 
 @pytest.mark.parametrize("fed", range(N_FEDERATIONS))
 @pytest.mark.parametrize("seed", range(QUERIES_PER_FEDERATION))
-def test_cost_based_plan_matches_naive_bytewise(cost_env, fed, seed):
+def test_cost_based_plan_matches_naive_bytewise(cost_env, fed, seed, oracle_seed):
     env = cost_env[fed]
-    rng = random.Random(91000 + fed * 1000 + seed)
+    rng = random.Random(91000 + fed * 1000 + seed + 1_000_000 * oracle_seed)
     text = make_query(rng, env.vocab)
     planned = env.engine.execute(text)
     expected = naive_query(text, env.members)

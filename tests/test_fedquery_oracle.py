@@ -188,8 +188,8 @@ def make_query(rng: random.Random, V) -> str:
 
 
 @pytest.mark.parametrize("seed", range(N_QUERIES))
-def test_planned_matches_naive(oracle_env, seed):
-    rng = random.Random(7000 + seed)
+def test_planned_matches_naive(oracle_env, seed, oracle_seed):
+    rng = random.Random(7000 + seed + 1_000_000 * oracle_seed)
     text = make_query(rng, oracle_env)
     planned = oracle_env.engine.execute(text)
     expected = naive_query(text, oracle_env.members)
@@ -201,14 +201,14 @@ def test_planned_matches_naive(oracle_env, seed):
 
 
 @pytest.mark.parametrize("seed", range(N_QUERIES))
-def test_streamed_matches_bulk(oracle_env, seed):
+def test_streamed_matches_bulk(oracle_env, seed, oracle_seed):
     """The same corpus through execute(stream=True): raw queries must be
     byte-identical to the bulk rows (the incremental merge reproduces
     the bulk order exactly); global operators (aggregates/ORDER BY) take
     the documented bulk fallback and are float-compared."""
     from repro.fedquery import parse_query
 
-    rng = random.Random(7000 + seed)
+    rng = random.Random(7000 + seed + 1_000_000 * oracle_seed)
     text = make_query(rng, oracle_env)
     bulk = oracle_env.engine.execute(text)
     with oracle_env.stream_engine.execute(text, stream=True) as streamed:

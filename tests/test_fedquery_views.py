@@ -1,0 +1,386 @@
+"""Incremental materialized views: maintenance oracle + subscription e2e.
+
+The centerpiece is a randomized interleaving oracle: over randomized
+federations (reusing the cost-model suite's generators), a pool of
+materialized views is registered and the member stores are mutated —
+rows appended, modified, and removed, including ghost-metric backfills
+that reopen stats-proven skips — with every mutation announced via the
+publisher-side ``data_updated()``.  After *each* step, every view's
+maintained rows must be byte-identical to a from-scratch
+:func:`~repro.fedquery.naive.naive_query` recompute, and a subscribed
+client replica must track the server without a single stale refresh.
+
+All synthetic values are integer-valued floats, so sums and means are
+exact doubles regardless of merge order and byte comparison is sound.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.semantic import PerformanceResult
+from repro.experiments.common import build_synthetic_grid
+from repro.fedquery import (
+    QueryError,
+    ViewDelta,
+    naive_query,
+    parse_query,
+    view_shape,
+)
+from repro.fedquery.views import VIEW_STAT_NAMES
+from repro.fedquery.viewservice import VIEW_REGISTRY_PORTTYPE
+from repro.mapping.memory import InMemoryExecution, InMemoryWrapper
+from repro.soap.faults import SoapFault
+
+from tests.test_fedquery_costmodel import (
+    GHOST_METRIC,
+    _vocabulary,
+    make_federation,
+    make_query,
+)
+
+N_FEDERATIONS = 3
+VIEWS_PER_FEDERATION = 6
+UPDATE_STEPS = 8
+
+
+# --------------------------------------------------------------- unit layer
+class TestViewShapes:
+    def test_combinable_aggregate(self):
+        shape = view_shape(parse_query("SELECT count(m), sum(m) GROUP BY app"))
+        assert shape.kind == "aggregate-merge"
+        assert shape.combinable
+
+    def test_mean_decomposes(self):
+        # mean folds as (total, count), so it merges like sum and count
+        shape = view_shape(parse_query("SELECT mean(m) GROUP BY app"))
+        assert shape.kind == "aggregate-merge"
+        assert "sum" in shape.detail and "count" in shape.detail
+
+    def test_raw_splice(self):
+        assert view_shape(parse_query("SELECT m")).kind == "raw-splice"
+
+    def test_topk_bounded(self):
+        shape = view_shape(parse_query("SELECT m ORDER BY value DESC LIMIT 5"))
+        assert shape.kind == "topk-bounded"
+        assert shape.combinable
+
+
+class TestViewDeltaWire:
+    def test_roundtrip(self):
+        delta = ViewDelta(
+            view_id="view-3",
+            epoch=2,
+            from_version=7,
+            to_version=8,
+            kind="delta",
+            removed=("a|b|1.0",),
+            added=("a|b|2.0", "c|d|3.0"),
+        )
+        assert ViewDelta.decode(delta.encode()) == delta
+
+    def test_empty_delta_roundtrip(self):
+        delta = ViewDelta("view-1", 1, 1, 2, "replace")
+        assert ViewDelta.decode(delta.encode()) == delta
+
+    def test_bad_header_rejected(self):
+        with pytest.raises(QueryError, match="bad view delta header"):
+            ViewDelta.decode("not-a-header")
+
+
+# ------------------------------------------------------- randomized oracle
+def _mutate(rng, name, wrapper, execution, vocab) -> None:
+    """One random store mutation with integer-valued floats."""
+    results = execution.results
+    roll = rng.random()
+    if results and roll < 0.3:  # modify a value in place
+        index = rng.randrange(len(results))
+        old = results[index]
+        results[index] = PerformanceResult(
+            metric=old.metric,
+            focus=old.focus,
+            result_type=old.result_type,
+            start=old.start,
+            end=old.end,
+            value=float(rng.randint(0, 150)),
+        )
+    elif results and roll < 0.45:  # remove a row
+        results.pop(rng.randrange(len(results)))
+    else:  # append a row; sometimes a ghost backfill (reopens skips)
+        if rng.random() < 0.15:
+            metric = GHOST_METRIC
+        else:
+            metric = rng.choice(vocab.metrics[name])
+        start = float(rng.randint(0, 5))
+        results.append(
+            PerformanceResult(
+                metric=metric,
+                focus=rng.choice(vocab.foci[name]),
+                result_type=wrapper.result_type,
+                start=start,
+                end=start + float(rng.randint(1, 5)),
+                value=float(rng.randint(0, 150)),
+            )
+        )
+
+
+def _assert_views_match_recompute(views, engine) -> None:
+    members = engine.members()
+    for view in views:
+        expected = [row.pack() for row in naive_query(view.text, members)]
+        assert view.packed_rows() == expected, (
+            f"view {view.view_id} diverged for {view.text!r}\n"
+            f"maintained ({len(view.packed_rows())}): {view.packed_rows()[:5]}\n"
+            f"recomputed ({len(expected)}): {expected[:5]}"
+        )
+
+
+@pytest.mark.parametrize("fed", range(N_FEDERATIONS))
+def test_any_interleaving_matches_recompute(fed, oracle_seed):
+    rng = random.Random(52000 + fed * 1000 + 1_000_000 * oracle_seed)
+    wrappers = make_federation(rng)
+    grid = build_synthetic_grid(wrappers)
+    engine = grid.deploy_federation(authority=f"viewfed{fed}.pdx.edu:9090")
+    try:
+        vocab = _vocabulary(wrappers)
+        maintainer = engine.views()
+        views = [
+            maintainer.create_view(make_query(rng, vocab))
+            for _ in range(VIEWS_PER_FEDERATION)
+        ]
+        _assert_views_match_recompute(views, engine)
+        subscriber = grid.client.subscribe_view(
+            views[0].view_id, authority=f"viewsub{fed}.pdx.edu:7070"
+        )
+
+        mutable = [
+            (name, wrapper, execution)
+            for name, wrapper in wrappers.items()
+            for execution in wrapper.executions_data
+        ]
+        if not mutable:
+            pytest.skip("federation rolled no executions to mutate")
+        for step in range(UPDATE_STEPS):
+            name, wrapper, execution = rng.choice(mutable)
+            _mutate(rng, name, wrapper, execution, vocab)
+            service = grid.execution_service(name, execution.exec_id)
+            assert service is not None
+            service.data_updated(f"oracle step {step}")
+            _assert_views_match_recompute(views, engine)
+
+        stats = maintainer.stats()
+        assert stats["maintenanceErrors"] == 0
+        assert stats["epochRefreshes"] == 0  # every update was attributable
+        assert stats["deltasApplied"] >= 1
+        # the push half tracked the server without one consistent-refresh
+        assert subscriber.stale_refreshes == 0
+        assert [row.pack() for row in subscriber.rows] == views[0].packed_rows()
+        subscriber.close()
+    finally:
+        grid.cleanup()
+
+
+# --------------------------------------------------------------- e2e layer
+def _result(metric, focus, value, start=0.0, end=1.0):
+    return PerformanceResult(
+        metric=metric,
+        focus=focus,
+        result_type="synthetic",
+        start=start,
+        end=end,
+        value=value,
+    )
+
+
+@pytest.fixture()
+def view_grid():
+    attrs = {"numprocs": "4", "machine": "mcurie"}
+    a = InMemoryWrapper(
+        "A",
+        [
+            InMemoryExecution(
+                "0", dict(attrs), [_result("alpha", "/A", 3.0), _result("alpha", "/B", 5.0)]
+            ),
+            InMemoryExecution("1", dict(attrs), [_result("alpha", "/A", 7.0)]),
+        ],
+    )
+    b = InMemoryWrapper(
+        "B",
+        [
+            InMemoryExecution(
+                "0", dict(attrs), [_result("alpha", "/A", 11.0), _result("beta", "/A", 2.0)]
+            ),
+        ],
+    )
+    grid = build_synthetic_grid({"A": a, "B": b})
+    engine = grid.deploy_federation()
+    yield grid, engine, a, b
+    grid.cleanup()
+
+
+AGG_VIEW = "SELECT count(alpha), sum(alpha), mean(alpha) GROUP BY app"
+
+
+class TestViewRegistryOverSoap:
+    def test_create_get_list_drop(self, view_grid):
+        grid, engine, a, b = view_grid
+        view_id = grid.client.create_view(AGG_VIEW)
+        header, rows = grid.client.get_view(view_id)
+        assert header["viewId"] == view_id
+        assert header["shape"] == "aggregate-merge"
+        assert (int(header["epoch"]), int(header["version"])) == (1, 1)
+        assert int(header["rows"]) == len(rows)
+        expected = naive_query(AGG_VIEW, engine.members())
+        assert [row.pack() for row in rows] == [row.pack() for row in expected]
+        listed = list(
+            grid.environment.stub_for_handle(
+                grid.views_gsh, VIEW_REGISTRY_PORTTYPE
+            ).listViews()
+        )
+        assert any(record.startswith(f"{view_id}|aggregate-merge|") for record in listed)
+        assert grid.client.drop_view(view_id) is True
+        assert grid.client.drop_view(view_id) is False
+        with pytest.raises(SoapFault, match="unknown view"):
+            grid.client.get_view(view_id)
+
+    def test_subscribe_view_delivers_deltas_end_to_end(self, view_grid):
+        grid, engine, a, b = view_grid
+        view_id = grid.client.create_view(AGG_VIEW)
+        subscriber = grid.client.subscribe_view(view_id)
+        assert [row.pack() for row in subscriber.rows] == [
+            row.pack() for row in naive_query(AGG_VIEW, engine.members())
+        ]
+
+        a.executions_data[0].results.append(_result("alpha", "/A", 13.0))
+        assert grid.execution_service("A", "0").data_updated("ingest") == 1
+
+        expected = [row.pack() for row in naive_query(AGG_VIEW, engine.members())]
+        assert engine.views().get_view(view_id).packed_rows() == expected
+        assert [row.pack() for row in subscriber.rows] == expected
+        assert subscriber.deltas_applied == 1
+        assert subscriber.stale_refreshes == 0
+        assert subscriber.version == 2
+
+        stats = grid.client.view_stats()
+        assert stats["deltasApplied"] == 1
+        assert stats["pushedDeltas"] == 1
+        # the delta refetched one partition, not the whole federation
+        assert stats["deltaRowsFetched"] <= 4
+        subscriber.close()
+
+    def test_unchanged_update_is_a_noop(self, view_grid):
+        grid, engine, a, b = view_grid
+        view_id = grid.client.create_view(AGG_VIEW)
+        subscriber = grid.client.subscribe_view(view_id)
+        # beta does not feed this view: the refetched partition folds to
+        # identical rows, and nothing is pushed
+        b.executions_data[0].results.append(_result("beta", "/A", 4.0))
+        grid.execution_service("B", "0").data_updated("beta only")
+        stats = grid.client.view_stats()
+        assert stats["noopUpdates"] == 1
+        assert stats["pushedDeltas"] == 0
+        assert subscriber.deltas_applied == 0
+        assert subscriber.version == 1
+        subscriber.close()
+
+    def test_subscribe_unknown_view_rejected(self, view_grid):
+        grid, engine, a, b = view_grid
+        with pytest.raises(SoapFault, match="unknown view"):
+            grid.client.subscribe_view("view-99")
+
+
+class TestConsistencyProtocol:
+    def test_stale_epoch_delta_triggers_consistent_refresh(self, view_grid):
+        grid, engine, a, b = view_grid
+        view_id = grid.client.create_view(AGG_VIEW)
+        subscriber = grid.client.subscribe_view(view_id)
+        baseline = [row.pack() for row in subscriber.rows]
+        subscriber.apply(
+            ViewDelta(
+                view_id=view_id,
+                epoch=subscriber.epoch + 5,
+                from_version=subscriber.version,
+                to_version=subscriber.version + 1,
+                kind="delta",
+                added=("junk|row|1.0",),
+            )
+        )
+        assert subscriber.stale_refreshes == 1
+        assert [row.pack() for row in subscriber.rows] == baseline
+
+    def test_removing_an_unknown_row_triggers_refresh(self, view_grid):
+        grid, engine, a, b = view_grid
+        view_id = grid.client.create_view(AGG_VIEW)
+        subscriber = grid.client.subscribe_view(view_id)
+        subscriber.apply(
+            ViewDelta(
+                view_id=view_id,
+                epoch=subscriber.epoch,
+                from_version=subscriber.version,
+                to_version=subscriber.version + 1,
+                kind="delta",
+                removed=("never|seen|0.0",),
+            )
+        )
+        assert subscriber.stale_refreshes == 1
+        assert subscriber.version == 1  # re-adopted the server's version
+
+    def test_unattributable_update_opens_a_new_epoch(self, view_grid):
+        grid, engine, a, b = view_grid
+        view_id = grid.client.create_view(AGG_VIEW)
+        subscriber = grid.client.subscribe_view(view_id)
+        engine._on_update("data-update", "zz|1|mystery")
+        view = engine.views().get_view(view_id)
+        assert view.epoch == 2
+        assert engine.view_stats()["epochRefreshes"] == 1
+        assert engine.coherence_stats()["fullClears"] == 1
+        # the pushed refresh is adopted unconditionally, not as stale
+        assert subscriber.epoch == 2
+        assert subscriber.stale_refreshes == 0
+        assert [row.pack() for row in subscriber.rows] == view.packed_rows()
+        subscriber.close()
+
+    def test_member_scoped_clear_recomputes_only_that_member(self, view_grid):
+        grid, engine, a, b = view_grid
+        view_id = grid.client.create_view(AGG_VIEW)
+        source = "ppg://mem0.pdx.edu:8080/services/A/ExecutionFactory/instances/99"
+        engine._on_update("data-update", f"99|1|{source}|late publisher")
+        coherence = engine.coherence_stats()
+        assert coherence["memberClears"] == 1
+        assert coherence["fullClears"] == 0
+        stats = engine.view_stats()
+        assert stats["scopedRecomputes"] == 1
+        assert stats["epochRefreshes"] == 0
+        view = engine.views().get_view(view_id)
+        assert view.epoch == 1  # scoped recompute stays within the epoch
+        expected = naive_query(AGG_VIEW, engine.members())
+        assert view.packed_rows() == [row.pack() for row in expected]
+
+
+class TestViewStatsSurfaces:
+    def test_view_stats_over_soap(self, view_grid):
+        grid, engine, a, b = view_grid
+        grid.client.create_view(AGG_VIEW)
+        stats = grid.client.view_stats()
+        assert set(stats) == set(VIEW_STAT_NAMES)
+        assert stats["views"] == 1 and stats["created"] == 1
+
+    def test_manager_stats_surface_view_counters(self, view_grid):
+        grid, engine, a, b = view_grid
+        grid.client.create_view(AGG_VIEW)
+        for site in grid.sites.values():
+            assert site.manager.stats()["viewStats"] == engine.view_stats()
+
+    def test_view_stats_service_data(self, view_grid):
+        from repro.fedquery.executor import _sde_values
+
+        grid, engine, a, b = view_grid
+        grid.client.create_view(AGG_VIEW)
+        stub = grid.environment.stub_for_handle(
+            grid.views_gsh, VIEW_REGISTRY_PORTTYPE
+        )
+        values = _sde_values(stub.FindServiceData("name:viewStats"))
+        names = {value.split("|", 1)[0] for value in values}
+        assert set(VIEW_STAT_NAMES) <= names

@@ -6,9 +6,10 @@
    (every published Application) and bound lazily; their query-param
    vocabularies feed the planner.
 2. **Fan-out** — each selected execution becomes one task; tasks run on
-   a thread pool whose width follows the Managers' replica topology
-   (container dispatch is serialized per container, so useful
-   concurrency ≈ a couple of slots per replica container).  The merge
+   a thread pool whose width follows the Managers' replica topology.
+   Container dispatch serializes *per service* (not per container), so
+   several tasks per replica container make real progress at once;
+   ``fanout_slots_per_replica`` sizes the pool accordingly.  The merge
    itself happens on the calling thread as futures complete.  Per-task
    failures degrade the result (surviving members' rows are returned,
    the failures are counted) instead of aborting the whole query.
@@ -97,17 +98,22 @@ def choose_fanout(
     manager_stats: list[dict[str, object]],
     default: int = DEFAULT_FANOUT,
     cap: int = FANOUT_CAP,
+    slots_per_replica: int = 2,
 ) -> int:
     """Pool width from the Managers' replica topology.
 
-    Two slots per replica container keeps every container busy while one
-    request is being dispatched and another is on the (serialized)
-    container lock; beyond that, threads just queue.
+    Historically two slots per replica container: with whole-container
+    dispatch serialization, a second thread only kept the container's
+    lock warm.  The dispatch core now serializes per *service*, so each
+    replica container can make progress on several execution instances
+    at once — the engine passes a larger ``slots_per_replica`` (see
+    ``FederationEngine.fanout_slots_per_replica``); the default stays 2
+    for callers sizing against legacy serialized containers.
     """
     replicas = sum(int(stats.get("replicas", 0)) for stats in manager_stats)
     if replicas <= 0:
         return default
-    return max(2, min(cap, 2 * replicas))
+    return max(2, min(cap, slots_per_replica * replicas))
 
 
 def _sde_values(xml: str) -> list[str]:
@@ -165,6 +171,10 @@ class FederationEngine:
             )
         )
         self.max_workers = max_workers
+        #: fan-out slots per replica container: per-service dispatch
+        #: lets several execution instances in one container progress
+        #: concurrently, so the pool sizes wider than the legacy 2
+        self.fanout_slots_per_replica = 4
         #: False reverts to the pre-cost-model global planner (the
         #: benchmark's baseline arm); no getStats calls are made
         self.cost_based = cost_based
@@ -1049,7 +1059,9 @@ class FederationEngine:
                     for name, manager in self.managers.items()
                     if name in apps
                 ]
-            width = choose_fanout(stats)
+            width = choose_fanout(
+                stats, slots_per_replica=self.fanout_slots_per_replica
+            )
         if tasks:
             width = max(1, min(width, len(tasks)))
         return width

@@ -5,21 +5,41 @@ its ingress takes ``(path, request-bytes)``, parses the SOAP envelope,
 validates the operation against the target service's PortType, invokes
 the native method, and serializes the result (or a fault) back to bytes.
 
+Dispatch is serialized **per service**, not per container: each deployed
+path gets its own :class:`~repro.ogsi.dispatch.ServiceGate`, so requests
+to different services proceed concurrently while one stateful instance
+still sees one request at a time.  The ingress runs under an
+:class:`~repro.ogsi.dispatch.AdmissionController` — a bounded request
+queue with per-client fair queueing that sheds excess load with a
+``Server``-role busy fault instead of convoying.  Lifetime sweeps take
+each victim's gate (and re-check expiry under it), so a sweep can never
+destroy a service mid-dispatch.
+
 A :class:`GridEnvironment` groups containers, wires them to a shared
-transport/clock, and builds client stubs — the whole "grid" of one
-PPerfGrid session lives in one environment object.
+transport/clock/reactor, and builds client stubs — the whole "grid" of
+one PPerfGrid session lives in one environment object.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Callable
 
+from repro.ogsi.dispatch import (
+    AdmissionController,
+    BusyFault,
+    DispatchCore,
+    dispatch_frame,
+    extract_client_id,
+    in_dispatch,
+)
 from repro.ogsi.gsh import GridServiceHandle, GshError
 from repro.ogsi.porttypes import GRID_SERVICE_PORTTYPE
 from repro.ogsi.service import GridServiceBase, ServiceState
 from repro.simnet.clock import Clock, RealClock
 from repro.simnet.host import SimHost
 from repro.simnet.metrics import Recorder
+from repro.simnet.reactor import Reactor, RepeatingTask
 from repro.simnet.transport import LoopbackTransport, Transport
 from repro.soap.faults import SoapFault, fault_from_exception
 from repro.soap.rpc import decode_request, encode_fault, encode_response
@@ -36,31 +56,44 @@ class ContainerError(RuntimeError):
 
 
 class ServiceContainer:
-    """Hosts Grid services under one authority (one "host:port")."""
+    """Hosts Grid services under one authority (one "host:port").
+
+    ``max_inflight``/``max_queue_depth`` configure admission control
+    (both default to unbounded: no queueing, no shedding — existing
+    single-tenant deployments behave as before, minus the container-wide
+    serialization).  ``serialize_dispatch=True`` restores the legacy
+    whole-container lock; it exists as the benchmark baseline and as an
+    escape hatch, not as a recommended mode.
+    """
 
     def __init__(
         self,
         authority: str,
         environment: "GridEnvironment",
         host: SimHost | None = None,
+        max_inflight: int | None = None,
+        max_queue_depth: int | None = None,
+        serialize_dispatch: bool = False,
     ) -> None:
         self.authority = authority
         self.environment = environment
         self.host = host
         self._services: dict[str, GridServiceBase] = {}
         self._instance_counters: dict[str, int] = {}
+        #: guards the service/counter maps only — never held across a
+        #: service method call or any SOAP work
+        self._services_lock = threading.Lock()
+        self._core = DispatchCore(serialize_all=serialize_dispatch)
+        self.admission = AdmissionController(max_inflight, max_queue_depth)
         self.verifier: SecurityVerifier | None = None
+        # Ingress accounting: *handled* requests reached a service method;
+        # *rejected* ones never routed (malformed envelope, unknown path/
+        # operation, bad arity, failed verification); *shed* ones were
+        # refused by admission control.  Only the sum is "traffic".
         self.requests_handled = 0
-        # One request at a time per container: service implementations and
-        # the PR caches are not thread-safe, and the modeled hosts are
-        # single-CPU anyway — threaded clients (run_queries_parallel)
-        # serialize here exactly as they would on the thesis's hardware.
-        # Reentrant because dispatch nests: an Application operation calls
-        # the Manager, which calls an Execution Factory, all potentially
-        # hosted in this same container.
-        import threading
-
-        self._dispatch_lock = threading.RLock()
+        self.requests_rejected = 0
+        self.requests_shed = 0
+        self._counter_lock = threading.Lock()
 
     @property
     def clock(self) -> Clock:
@@ -69,66 +102,115 @@ class ServiceContainer:
     # ---------------------------------------------------------- deployment
     def deploy(self, path: str, service: GridServiceBase) -> GridServiceHandle:
         """Deploy a persistent service at *path*; returns its GSH."""
-        if path in self._services:
-            raise ContainerError(f"path {path!r} already deployed on {self.authority}")
-        gsh = GridServiceHandle(self.authority, path)
-        self._services[path] = service
+        with self._services_lock:
+            if path in self._services:
+                raise ContainerError(
+                    f"path {path!r} already deployed on {self.authority}"
+                )
+            gsh = GridServiceHandle(self.authority, path)
+            self._services[path] = service
         service.on_deployed(self, gsh)
         return gsh
 
     def deploy_instance(self, factory_path: str, instance: GridServiceBase) -> GridServiceHandle:
         """Deploy a transient instance under a factory's path."""
-        count = self._instance_counters.get(factory_path, 0) + 1
-        self._instance_counters[factory_path] = count
+        with self._services_lock:
+            count = self._instance_counters.get(factory_path, 0) + 1
+            self._instance_counters[factory_path] = count
         path = f"{factory_path}/instances/{count}"
         return self.deploy(path, instance)
 
+    def deploy_monitor(self, path: str = "services/container-monitor"):
+        """Deploy a :class:`~repro.ogsi.monitor.ContainerMonitorService`
+        publishing this container's ingress/admission counters as SDEs."""
+        from repro.ogsi.monitor import ContainerMonitorService
+
+        return self.deploy(path, ContainerMonitorService(self))
+
     def remove_service(self, gsh: GridServiceHandle) -> None:
-        self._services.pop(gsh.path, None)
+        with self._services_lock:
+            self._services.pop(gsh.path, None)
+        self._core.discard(gsh.path)
 
     def has_service(self, gsh: GridServiceHandle) -> bool:
-        service = self._services.get(gsh.path)
+        with self._services_lock:
+            service = self._services.get(gsh.path)
         return service is not None and service.state is ServiceState.ACTIVE
 
     def service_at(self, path: str) -> GridServiceBase | None:
-        return self._services.get(path)
+        with self._services_lock:
+            return self._services.get(path)
 
     def service_count(self) -> int:
-        return len(self._services)
+        with self._services_lock:
+            return len(self._services)
 
     def service_paths(self) -> list[str]:
-        return sorted(self._services)
+        with self._services_lock:
+            return sorted(self._services)
 
     def sweep_expired(self) -> int:
-        """Destroy instances whose termination time has passed."""
+        """Destroy instances whose termination time has passed.
+
+        Each victim is destroyed under its own dispatch gate, with the
+        expiry re-checked once the gate is held: an in-flight ``next()``
+        that renews a cursor's TTL wins over a concurrent sweep, and a
+        service mid-dispatch is never destroyed under the caller.
+        """
         now = self.clock.now()
-        expired = [
-            svc
-            for svc in list(self._services.values())
-            if svc.state is ServiceState.ACTIVE and svc.is_expired(now)
-        ]
-        for service in expired:
-            service.Destroy()
-        return len(expired)
+        with self._services_lock:
+            candidates = [
+                (path, svc)
+                for path, svc in self._services.items()
+                if svc.state is ServiceState.ACTIVE and svc.is_expired(now)
+            ]
+        swept = 0
+        for path, service in candidates:
+            gate = self._core.gate_for(path)
+            gate.acquire()
+            try:
+                if service.sweep(now):
+                    swept += 1
+            finally:
+                gate.release()
+        return swept
 
     # ------------------------------------------------------------- ingress
     def handle_request(self, path: str, request: bytes) -> bytes:
         """The container ingress: bytes in, bytes out, faults on errors."""
-        with self._dispatch_lock:
-            return self._handle_request_locked(path, request)
+        if in_dispatch():
+            # A nested call from already-admitted work (a service invoking
+            # another service mid-request).  Admission applies only at the
+            # outermost ingress — re-admitting would deadlock a saturated
+            # queue against itself — but the per-service gate still does.
+            return self._dispatch(path, request)
+        client = extract_client_id(request) or f"thread-{threading.get_ident()}"
+        try:
+            self.admission.acquire(client)
+        except BusyFault as fault:
+            with self._counter_lock:
+                self.requests_shed += 1
+            return encode_fault(fault)
+        try:
+            return self._dispatch(path, request)
+        finally:
+            self.admission.release()
 
-    def _handle_request_locked(self, path: str, request: bytes) -> bytes:
-        self.requests_handled += 1
+    def _dispatch(self, path: str, request: bytes) -> bytes:
+        routed = False
         try:
             rpc = decode_request(request)
         except SoapFault as fault:
+            self._count_rejected()
             return encode_fault(fault)
         except Exception as exc:
+            self._count_rejected()
             return encode_fault(fault_from_exception(exc, caller_error=True))
         try:
             if self.verifier is not None:
                 self.verifier(rpc.headers, request)
-            service = self._services.get(path)
+            with self._services_lock:
+                service = self._services.get(path)
             if service is None or service.state is not ServiceState.ACTIVE:
                 raise SoapFault("Client", f"no service at {self.authority}/{path}")
             operation = self._find_operation(service, rpc.operation)
@@ -145,17 +227,50 @@ class ServiceContainer:
                     f"{type(service).__name__} declares but does not implement "
                     f"{rpc.operation}",
                 )
-            result = method(*rpc.params)
-            return encode_response(
-                rpc.namespace,
-                rpc.operation,
-                result,
-                is_void=operation.returns == "void",
-            )
+            gate = self._core.gate_for(path)
+            with dispatch_frame(gate):
+                # Re-check under the gate: a sweep or Destroy may have won
+                # the race while this request waited its turn.
+                if service.state is not ServiceState.ACTIVE:
+                    raise SoapFault(
+                        "Client", f"no service at {self.authority}/{path}"
+                    )
+                routed = True
+                with self._counter_lock:
+                    self.requests_handled += 1
+                result = method(*rpc.params)
+                # Encode under the gate too: services may return views of
+                # state (cached PR lists) that the next dispatch mutates.
+                return encode_response(
+                    rpc.namespace,
+                    rpc.operation,
+                    result,
+                    is_void=operation.returns == "void",
+                )
         except SoapFault as fault:
+            if not routed:
+                self._count_rejected()
             return encode_fault(fault)
         except Exception as exc:
+            if not routed:
+                self._count_rejected()
             return encode_fault(fault_from_exception(exc))
+
+    def _count_rejected(self) -> None:
+        with self._counter_lock:
+            self.requests_rejected += 1
+
+    def stats(self) -> dict[str, int]:
+        """Ingress and admission counters (the container-monitor SDEs)."""
+        snapshot = self.admission.snapshot()
+        with self._counter_lock:
+            snapshot.update(
+                requestsHandled=self.requests_handled,
+                requestsRejected=self.requests_rejected,
+                requestsShed=self.requests_shed,
+            )
+        snapshot["services"] = self.service_count()
+        return snapshot
 
     @staticmethod
     def _find_operation(service: GridServiceBase, name: str) -> Operation:
@@ -170,18 +285,34 @@ class ServiceContainer:
 
 
 class GridEnvironment:
-    """One grid: shared clock, shared transport, a set of containers."""
+    """One grid: shared clock, transport, reactor, a set of containers."""
 
     def __init__(self, clock: Clock | None = None, recorder: Recorder | None = None) -> None:
         self.clock: Clock = clock or RealClock()
         self.recorder = recorder if recorder is not None else Recorder(self.clock)
         self.transport: Transport = LoopbackTransport(self.recorder)
         self._containers: dict[str, ServiceContainer] = {}
+        self._reactor: Reactor | None = None
+        self._sweeper: RepeatingTask | None = None
 
-    def create_container(self, authority: str, host: SimHost | None = None) -> ServiceContainer:
+    def create_container(
+        self,
+        authority: str,
+        host: SimHost | None = None,
+        max_inflight: int | None = None,
+        max_queue_depth: int | None = None,
+        serialize_dispatch: bool = False,
+    ) -> ServiceContainer:
         if authority in self._containers:
             raise ContainerError(f"a container is already bound at {authority!r}")
-        container = ServiceContainer(authority, self, host=host)
+        container = ServiceContainer(
+            authority,
+            self,
+            host=host,
+            max_inflight=max_inflight,
+            max_queue_depth=max_queue_depth,
+            serialize_dispatch=serialize_dispatch,
+        )
         self._containers[authority] = container
         # The loopback transport routes by authority to the container ingress.
         self.transport.bind(authority, container.handle_request)  # type: ignore[attr-defined]
@@ -192,6 +323,39 @@ class GridEnvironment:
 
     def containers(self) -> list[ServiceContainer]:
         return [self._containers[a] for a in sorted(self._containers)]
+
+    # --------------------------------------------------------------- reactor
+    @property
+    def reactor(self) -> Reactor:
+        """The environment's deferred-work loop (created on first use)."""
+        if self._reactor is None:
+            self._reactor = Reactor(name="grid-env")
+        return self._reactor
+
+    def start_sweeper(self, interval: float) -> RepeatingTask:
+        """Run :meth:`sweep_expired` every *interval* seconds on the reactor.
+
+        Replaces any previously started sweeper.  The sweep itself
+        serializes with dispatch through the per-service gates, so it is
+        safe to run concurrently with live traffic.
+        """
+        if self._sweeper is not None:
+            self._sweeper.cancel()
+        self._sweeper = self.reactor.call_every(interval, self.sweep_expired)
+        return self._sweeper
+
+    def stop_sweeper(self) -> None:
+        if self._sweeper is not None:
+            self._sweeper.cancel()
+            self._sweeper = None
+
+    def close(self) -> None:
+        """Stop the sweeper and the reactor; the environment stays usable
+        for synchronous work afterwards."""
+        self.stop_sweeper()
+        if self._reactor is not None:
+            self._reactor.shutdown()
+            self._reactor = None
 
     # ---------------------------------------------------------------- stubs
     def stub_for_handle(

@@ -21,7 +21,7 @@ from __future__ import annotations
 from typing import Callable, Iterable, Iterator
 
 from repro.ogsi.gsh import GridServiceHandle
-from repro.ogsi.service import GridServiceBase
+from repro.ogsi.service import GridServiceBase, ServiceState
 from repro.soap.chunks import encode_chunk
 from repro.wsdl.porttype import Operation, Parameter, PortType
 
@@ -135,8 +135,14 @@ class ResultCursorService(GridServiceBase):
         return encode_chunk(seq, batch, done=self._exhausted and self._pending is None)
 
     def close(self) -> None:
-        """Release the stream now (the polite end of the protocol)."""
-        self.Destroy()
+        """Release the stream now (the polite end of the protocol).
+
+        Idempotent: a ``close`` racing the lifetime sweep (both serialize
+        on the cursor's dispatch gate, so one always runs first) is a
+        no-op rather than a ``destroyed service`` fault.
+        """
+        if self.state is ServiceState.ACTIVE:
+            self.Destroy()
 
     # ---------------------------------------------------------- lifecycle
     def on_destroyed(self) -> None:

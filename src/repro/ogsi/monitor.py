@@ -1,0 +1,77 @@
+"""ContainerMonitor: a service publishing one container's load as SDEs.
+
+The admission-control metrics — queue depth, in-flight count, peaks, and
+the ``requests_handled`` / ``requests_rejected`` / ``requests_shed``
+split — need a Services Layer surface so remote operators (and the
+concurrency benchmark) can read them the same way they read any other
+service data.  Deploy one per container with
+:meth:`~repro.ogsi.container.ServiceContainer.deploy_monitor`; the SDEs
+are refreshed from the live counters on every read, so a plain
+``FindServiceData("queueDepth")`` always answers with current state.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.ogsi.service import GridServiceBase
+from repro.wsdl.porttype import Operation, PortType
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ogsi.container import ServiceContainer
+
+#: PPerfGrid extension namespace for the monitor PortType
+MONITOR_NS = "http://pperfgrid.cs.pdx.edu/2004/monitor"
+
+CONTAINER_MONITOR_PORTTYPE = PortType(
+    name="ContainerMonitor",
+    namespace=MONITOR_NS,
+    doc=(
+        "Read-only view of a container's ingress and admission-control "
+        "counters, published as service data."
+    ),
+    operations=(
+        Operation(
+            "getContainerStats",
+            (),
+            "xsd:string[]",
+            doc=(
+                "Return every container counter as a 'name=value' record: "
+                "requestsHandled/requestsRejected/requestsShed, "
+                "inflight/queueDepth and their peaks, admitted/shed/"
+                "queueWaits, and the deployed-service count."
+            ),
+        ),
+    ),
+)
+
+
+class ContainerMonitorService(GridServiceBase):
+    """SDE/operation surface over :meth:`ServiceContainer.stats`."""
+
+    porttype = CONTAINER_MONITOR_PORTTYPE
+
+    def __init__(self, target: "ServiceContainer") -> None:
+        super().__init__()
+        self._target = target
+
+    def _refresh(self) -> dict[str, int]:
+        stats = self._target.stats()
+        for name, value in stats.items():
+            self.service_data.set(name, str(value))
+        return stats
+
+    def on_deployed(self, container, gsh) -> None:
+        super().on_deployed(container, gsh)
+        self._refresh()
+
+    # --------------------------------------------------------- operations
+    def FindServiceData(self, queryExpression: str) -> str:
+        self.require_active()
+        self._refresh()
+        return super().FindServiceData(queryExpression)
+
+    def getContainerStats(self) -> list[str]:
+        self.require_active()
+        stats = self._refresh()
+        return [f"{name}={stats[name]}" for name in sorted(stats)]

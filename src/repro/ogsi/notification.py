@@ -16,7 +16,8 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass
 
-from repro.ogsi.gsh import GridServiceHandle
+from repro.ogsi.dispatch import suspend_dispatch
+from repro.ogsi.gsh import GridServiceHandle, GshError
 from repro.ogsi.porttypes import NOTIFICATION_SINK_PORTTYPE
 from repro.ogsi.service import GridServiceBase
 
@@ -66,40 +67,67 @@ class NotificationSourceMixin:
         Returns the number of successful deliveries.  Two failure modes
         are distinguished:
 
-        * the sink *handle* no longer resolves to a live service — the
-          sink is dead, so the subscription is dropped (the soft-state
-          convention);
-        * the *delivery* itself raises (e.g. a sink callback fails once)
-          — transient, so the subscription is kept and the failure is
-          counted in :attr:`delivery_failures`.
+        * the sink *handle* no longer resolves to a live service
+          (:class:`GshError`) — the sink is dead, so the subscription is
+          dropped (the soft-state convention);
+        * anything else — a transient bind problem or a delivery that
+          raises — keeps the subscription and counts the failure in
+          :attr:`delivery_failures`.  A sink that is merely unlucky
+          (container busy, flaky transport) must not lose its
+          subscription.
 
         Expired subscriptions are pruned on every pass, whether or not
-        their topic matches.
+        their topic matches.  Deliveries are SOAP round trips into other
+        containers, so they run under
+        :func:`~repro.ogsi.dispatch.suspend_dispatch`: every dispatch
+        gate the calling thread holds is released for the duration —
+        two containers notifying each other's sinks can therefore never
+        deadlock on each other's dispatch state.
         """
         container = self.container  # type: ignore[attr-defined]
         if container is None:
             raise RuntimeError("source is not deployed")
         now = container.clock.now()
-        delivered = 0
+        targets: list[Subscription] = []
         for sub_id, sub in list(self._subscriptions.items()):
             if sub.expires_at <= now:
-                del self._subscriptions[sub_id]
+                self._subscriptions.pop(sub_id, None)
                 continue
-            if sub.topic not in ("*", topic):
-                continue
-            try:
-                stub = container.environment.stub_for_handle(
-                    sub.sink_handle, NOTIFICATION_SINK_PORTTYPE
-                )
-            except Exception:
-                del self._subscriptions[sub_id]
-                continue
-            try:
-                stub.DeliverNotification(topic, message)
-                delivered += 1
-            except Exception:
-                self.delivery_failures += 1
+            if sub.topic in ("*", topic):
+                targets.append(sub)
+        delivered = 0
+        environment = container.environment
+        with suspend_dispatch():
+            for sub in targets:
+                try:
+                    stub = environment.stub_for_handle(
+                        sub.sink_handle, NOTIFICATION_SINK_PORTTYPE
+                    )
+                except GshError:
+                    # dead sink: the handle no longer names a live service
+                    self._subscriptions.pop(sub.subscription_id, None)
+                    continue
+                except Exception:
+                    self.delivery_failures += 1
+                    continue
+                try:
+                    stub.DeliverNotification(topic, message)
+                    delivered += 1
+                except Exception:
+                    self.delivery_failures += 1
         return delivered
+
+    def notify_async(self, topic: str, message: str) -> None:
+        """Queue a :meth:`notify` on the environment's reactor.
+
+        Returns immediately; delivery happens on the reactor thread with
+        no dispatch state held at all.  Use
+        ``environment.reactor.drain()`` in tests to wait for completion.
+        """
+        container = self.container  # type: ignore[attr-defined]
+        if container is None:
+            raise RuntimeError("source is not deployed")
+        container.environment.reactor.call_soon(self.notify, topic, message)
 
     def subscription_count(self) -> int:
         return len(self._subscriptions)

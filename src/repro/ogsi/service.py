@@ -80,6 +80,19 @@ class GridServiceBase:
     def is_expired(self, now: float) -> bool:
         return now >= self.termination_time
 
+    def sweep(self, now: float) -> bool:
+        """Destroy this instance if it is (still) expired at *now*.
+
+        Called by the container's lifetime sweep *under the service's
+        dispatch gate*; the re-check matters because a dispatch that ran
+        while the sweep waited (e.g. a cursor ``next``) may have renewed
+        the termination time, and renewals win over sweeps.
+        """
+        if self.state is not ServiceState.ACTIVE or not self.is_expired(now):
+            return False
+        self.Destroy()
+        return True
+
     # -------------------------------------------- GridService operations
     def FindServiceData(self, queryExpression: str) -> str:
         """Query this service's SDEs (name or ``xpath:`` dialect)."""

@@ -9,6 +9,7 @@ the stack collects all three without the layers knowing about each other.
 from __future__ import annotations
 
 import math
+import threading
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterator
@@ -61,16 +62,23 @@ class TimerStats:
 
 
 class Recorder:
-    """Mutable sink for counters, byte totals, and named timers."""
+    """Mutable sink for counters, byte totals, and named timers.
+
+    Thread-safe: the dispatch core serves requests concurrently, so the
+    transport (and anything else holding a recorder) increments counters
+    from many threads at once.
+    """
 
     def __init__(self, clock: Clock | None = None) -> None:
         self.clock: Clock = clock or RealClock()
         self.counters: dict[str, int] = {}
         self.timers: dict[str, TimerStats] = {}
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------ counters
     def incr(self, name: str, amount: int = 1) -> None:
-        self.counters[name] = self.counters.get(name, 0) + amount
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + amount
 
     def count(self, name: str) -> int:
         return self.counters.get(name, 0)
@@ -95,11 +103,12 @@ class Recorder:
 
     # -------------------------------------------------------------- timers
     def timer(self, name: str) -> TimerStats:
-        stats = self.timers.get(name)
-        if stats is None:
-            stats = TimerStats()
-            self.timers[name] = stats
-        return stats
+        with self._lock:
+            stats = self.timers.get(name)
+            if stats is None:
+                stats = TimerStats()
+                self.timers[name] = stats
+            return stats
 
     @contextmanager
     def time(self, name: str) -> Iterator[None]:
@@ -115,8 +124,9 @@ class Recorder:
 
     # ------------------------------------------------------------- control
     def reset(self) -> None:
-        self.counters.clear()
-        self.timers.clear()
+        with self._lock:
+            self.counters.clear()
+            self.timers.clear()
 
     def snapshot(self) -> dict[str, object]:
         """A plain-dict view (counters + per-timer mean/count) for reports."""

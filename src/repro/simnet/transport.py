@@ -117,14 +117,19 @@ class LatencyTransport:
         self.time_scale = time_scale
         self.calls = 0
         self.slept_s = 0.0
+        # dispatch is concurrent now: per-call accounting must not race
+        import threading
+
+        self._stats_lock = threading.Lock()
 
     def send(self, endpoint_url: str, request: bytes) -> bytes:
         import time
 
         response = self.inner.send(endpoint_url, request)
         delay = self.model.round_trip_time(len(request), len(response)) * self.time_scale
-        self.calls += 1
-        self.slept_s += delay
+        with self._stats_lock:
+            self.calls += 1
+            self.slept_s += delay
         if delay > 0:
             time.sleep(delay)
         return response

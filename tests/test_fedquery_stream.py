@@ -201,6 +201,74 @@ class TestQueryStreamOverSoap:
         assert list(it) == []
 
 
+class TestMemberStreamClose:
+    """Satellite: ``close()`` wakes a blocked producer immediately.
+
+    The old ``_enqueue`` retried a 50 ms ``queue.Full`` poll loop, so an
+    early close slept out up to a full tick per member before the
+    producer noticed.  The condition-signalled buffer wakes it at once.
+    """
+
+    def _blocked_stream(self):
+        import threading
+
+        from repro.fedquery.stream import MemberStream
+
+        producing = threading.Event()
+
+        def produce(stop):
+            for i in range(1000):
+                producing.set()
+                yield [f"row-{i}"]
+
+        stream = MemberStream("m", produce, chunk_depth=1)
+        stream.start()
+        assert producing.wait(timeout=5.0)
+        return stream
+
+    def test_close_wakes_blocked_producer_promptly(self):
+        import time
+
+        stream = self._blocked_stream()
+        time.sleep(0.05)  # let the producer block on the full window
+        start = time.monotonic()
+        stream.close()
+        elapsed = time.monotonic() - start
+        assert not stream._thread.is_alive()  # producer exited, joined
+        assert elapsed < 0.5, f"close took {elapsed * 1e3:.0f} ms"
+
+    def test_next_row_after_close_returns_none(self):
+        stream = self._blocked_stream()
+        stream.close()
+        assert stream.next_row() is None
+
+    def test_consumer_blocked_on_empty_stream_woken_by_close(self):
+        import threading
+        import time
+
+        from repro.fedquery.stream import MemberStream
+
+        release = threading.Event()
+
+        def produce(stop):
+            release.wait(timeout=10.0)
+            yield []
+
+        stream = MemberStream("m", produce, chunk_depth=1)
+        stream.start()
+        got: list = []
+        consumer = threading.Thread(
+            target=lambda: got.append(stream.next_row()), daemon=True
+        )
+        consumer.start()
+        time.sleep(0.05)  # consumer is parked on the empty buffer
+        release.set()
+        consumer.join(timeout=5.0)
+        assert not consumer.is_alive()
+        assert got == [None]
+        stream.close()
+
+
 class TestFanoutWidth:
     """Satellite: members the cost model skipped must not size the pool."""
 
@@ -215,7 +283,8 @@ class TestFanoutWidth:
     def test_only_participating_members_count(self, fedgrid):
         engine = self._engine_with_fake_managers(fedgrid)
         a_tasks = [SimpleNamespace(app="A") for _ in range(50)]
-        assert engine._fanout_width(a_tasks) == 8  # 2 * A's 4 replicas
+        # fanout_slots_per_replica (4, per-service dispatch) * A's 4 replicas
+        assert engine._fanout_width(a_tasks) == 16
         mixed = a_tasks + [SimpleNamespace(app="B") for _ in range(50)]
         assert engine._fanout_width(mixed) == 32  # capped at FANOUT_CAP
 

@@ -136,6 +136,43 @@ class TestPush:
         assert source.notify("t", "two") == 1  # next delivery succeeds
         assert calls == ["one", "two"]
 
+    def test_transient_bind_failure_keeps_subscription(self, env, setup, monkeypatch):
+        """A stub *bind* that raises something other than GshError is a
+        transient fault (busy container, flaky transport), not a dead
+        sink: the subscription must survive.  The old code dropped it."""
+        _, source, _, _, sink_gsh, received = setup
+        source.SubscribeToNotificationTopic("t", sink_gsh.url(), 0.0)
+        real_bind = env.stub_for_handle
+        attempts: list[int] = []
+
+        def flaky_bind(handle, porttype, headers_provider=None):
+            attempts.append(1)
+            if len(attempts) == 1:
+                raise RuntimeError("transient bind failure")
+            return real_bind(handle, porttype, headers_provider)
+
+        monkeypatch.setattr(env, "stub_for_handle", flaky_bind)
+        assert source.notify("t", "one") == 0  # bind raised
+        assert source.delivery_failures == 1
+        assert source.subscription_count() == 1  # kept, not unsubscribed
+        assert source.notify("t", "two") == 1  # bind recovered
+        assert received == [("t", "two")]
+
+    def test_dead_sink_bind_failure_still_unsubscribes(self, env, setup, monkeypatch):
+        """GshError stays the one bind failure that drops a subscription."""
+        from repro.ogsi.gsh import GshError
+
+        _, source, _, _, sink_gsh, _ = setup
+        source.SubscribeToNotificationTopic("t", sink_gsh.url(), 0.0)
+        monkeypatch.setattr(
+            env,
+            "stub_for_handle",
+            lambda *a, **k: (_ for _ in ()).throw(GshError("stale handle")),
+        )
+        assert source.notify("t", "m") == 0
+        assert source.subscription_count() == 0
+        assert source.delivery_failures == 0
+
     def test_delivery_failure_does_not_block_other_sinks(self, setup):
         container, source, _, _, sink_gsh, received = setup
 

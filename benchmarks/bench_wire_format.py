@@ -1,0 +1,142 @@
+"""Columnar batch vs per-row XML: bytes on the wire and codec CPU.
+
+The A1 serialization ablation showed per-row SOAP string arrays pay
+~35 bytes of ``<item xsi:type="xsd:string">`` scaffolding per row *plus*
+the row text itself.  The negotiated ``colbatch`` encoding collapses a
+chunk into a handful of typed column records (dictionary-encoded focus/
+metric/type columns, delta-RLE fixed-point time spans, packed doubles),
+so the same SOAP envelope carries the chunk in a few strings instead of
+thousands.
+
+This bench pushes an A1-shaped workload (Vampir-style ``time_spent``
+rows over 16 MPI foci) through the *full* wire path for both encodings —
+``encode_chunk`` -> SOAP response encode -> parse -> ``decode_chunk`` —
+and asserts the ISSUE's gates:
+
+* **>= 10x** fewer serialized envelope bytes, and
+* **>= 5x** less encode+decode CPU,
+
+with the decoded rows byte-identical between arms.
+
+``FEDQUERY_BENCH_QUICK=1`` (the CI mode) shrinks the row count so the
+file runs in seconds while asserting the same ratios.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from conftest import write_result
+
+from repro.core.semantic import PerformanceResult
+from repro.soap.chunks import (
+    ENCODING_COLBATCH,
+    ENCODING_XML,
+    decode_chunk,
+    encode_chunk,
+)
+from repro.soap.rpc import decode_response, encode_response
+
+QUICK = os.environ.get("FEDQUERY_BENCH_QUICK", "") not in ("", "0")
+
+TOTAL_ROWS = 10_000 if QUICK else 100_000
+CHUNK_ROWS = 2_048
+REPEAT = 3
+
+MPI_OPS = [
+    "Send", "Recv", "Isend", "Irecv", "Wait", "Waitall", "Barrier",
+    "Bcast", "Reduce", "Allreduce", "Gather", "Scatter", "Alltoall",
+    "Comm_rank", "Comm_size", "Finalize",
+]
+
+
+def _workload(n: int) -> list[str]:
+    """A1-shaped rows: one Vampir time_spent measurement per MPI focus.
+
+    Times are sequential fixed-point offsets (delta-RLE territory), and
+    values come from a modest quantized pool (dictionary territory) —
+    the distribution the ablation's trace stores actually produce.
+    """
+    rows = []
+    for i in range(n):
+        start = i * 0.015625
+        value = ((i * 7 + i // 16) % 997) / 64
+        rows.append(
+            PerformanceResult(
+                "time_spent",
+                f"/Code/MPI/MPI_{MPI_OPS[i % len(MPI_OPS)]}",
+                "vampir",
+                start,
+                start + 0.015625,
+                value,
+            ).pack()
+        )
+    return rows
+
+
+def _chunks(rows: list[str]) -> list[tuple[int, list[str], bool]]:
+    out = []
+    for seq, lo in enumerate(range(0, len(rows), CHUNK_ROWS)):
+        batch = rows[lo : lo + CHUNK_ROWS]
+        out.append((seq, batch, lo + CHUNK_ROWS >= len(rows)))
+    return out
+
+
+def _run_arm(chunks, encoding: str) -> tuple[int, float, list[str]]:
+    """Full wire path for one encoding: bytes, CPU seconds, decoded rows."""
+    total_bytes = 0
+    decoded: list[str] = []
+    best = float("inf")
+    for _ in range(REPEAT):
+        total_bytes = 0
+        decoded = []
+        t0 = time.process_time()
+        for seq, batch, done in chunks:
+            payload = encode_chunk(seq, batch, done=done, encoding=encoding)
+            wire = encode_response("urn:ppg", "next", payload)
+            total_bytes += len(wire)
+            response = decode_response(wire)
+            envelope = decode_chunk(response.value)
+            assert envelope.seq == seq
+            decoded.extend(envelope.rows)
+        best = min(best, time.process_time() - t0)
+    return total_bytes, best, decoded
+
+
+def test_wire_format_ratios():
+    rows = _workload(TOTAL_ROWS)
+    chunks = _chunks(rows)
+
+    xml_bytes, xml_cpu, xml_rows = _run_arm(chunks, ENCODING_XML)
+    col_bytes, col_cpu, col_rows = _run_arm(chunks, ENCODING_COLBATCH)
+
+    assert xml_rows == rows, "xml arm must round-trip byte-identically"
+    assert col_rows == rows, "colbatch arm must round-trip byte-identically"
+
+    bytes_ratio = xml_bytes / col_bytes
+    cpu_ratio = xml_cpu / col_cpu
+
+    lines = [
+        "Wire format: per-row XML vs negotiated columnar batch",
+        f"(A1-shaped workload: {TOTAL_ROWS} rows, chunk={CHUNK_ROWS}, "
+        f"quick={QUICK})",
+        "",
+        f"{'arm':<10} {'envelope bytes':>16} {'codec cpu (s)':>14} "
+        f"{'bytes/row':>10}",
+        f"{'xml':<10} {xml_bytes:>16,} {xml_cpu:>14.4f} "
+        f"{xml_bytes / TOTAL_ROWS:>10.1f}",
+        f"{'colbatch':<10} {col_bytes:>16,} {col_cpu:>14.4f} "
+        f"{col_bytes / TOTAL_ROWS:>10.1f}",
+        "",
+        f"bytes-on-wire reduction: {bytes_ratio:.1f}x (gate: >= 10x)",
+        f"encode+decode cpu reduction: {cpu_ratio:.1f}x (gate: >= 5x)",
+    ]
+    write_result("wire_format.txt", "\n".join(lines))
+
+    assert bytes_ratio >= 10.0, (
+        f"colbatch must cut envelope bytes >= 10x, got {bytes_ratio:.1f}x"
+    )
+    assert cpu_ratio >= 5.0, (
+        f"colbatch must cut codec cpu >= 5x, got {cpu_ratio:.1f}x"
+    )

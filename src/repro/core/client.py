@@ -16,6 +16,8 @@ This is the library form of the thesis's Swing client (Figures 8-11):
 
 from __future__ import annotations
 
+import os
+
 from dataclasses import dataclass, field
 
 from typing import Callable, Iterator
@@ -32,7 +34,8 @@ from repro.mapping.base import ApplicationWrapper
 from repro.ogsi.container import GridEnvironment
 from repro.ogsi.cursor import RESULT_CURSOR_PORTTYPE
 from repro.ogsi.porttypes import FACTORY_PORTTYPE
-from repro.soap.chunks import ChunkError, decode_chunk
+from repro.soap.chunks import ENCODING_XML, WIRE_ENCODINGS, ChunkError, decode_chunk
+from repro.soap.faults import SoapFault
 from repro.uddi.proxy import OrganizationProxy, ServiceProxy, UddiClient
 
 #: default page size a chunked iterator requests per ``next`` call
@@ -41,6 +44,19 @@ DEFAULT_CHUNK_ROWS = 256
 #: estimated result rows above which ``stream_pr`` prefers a cursor
 #: over one bulk getPR (the stats-driven auto-fallback threshold)
 DEFAULT_STREAM_THRESHOLD_ROWS = 512
+
+
+def default_accept_encodings() -> tuple[str, ...]:
+    """Wire encodings a new chunked iterator advertises.
+
+    ``PPG_ACCEPT_ENCODINGS`` (comma-separated) overrides the built-in
+    list; setting it to ``xml`` pins every cursor drain in the process
+    to the per-row fallback — the CI leg that keeps that path covered.
+    """
+    override = os.environ.get("PPG_ACCEPT_ENCODINGS")
+    if override:
+        return tuple(item.strip() for item in override.split(",") if item.strip())
+    return WIRE_ENCODINGS
 
 
 def _parse_pairs(records: list[str]) -> dict[str, str]:
@@ -72,6 +88,14 @@ class ChunkedResultIterator:
     the stream is exhausted; close early (or use the context-manager
     form) to release a partially drained cursor without waiting for its
     server-side TTL.
+
+    ``accept_encodings`` is the content-encoding advertisement sent to
+    the cursor before the first fetch (default:
+    :func:`default_accept_encodings`).  A cursor without a ``negotiate``
+    operation — a member predating the columnar format — faults the
+    handshake and the iterator falls back to XML rows transparently.
+    Once negotiated, the encoding is pinned: a chunk arriving in any
+    other encoding is a protocol error.
     """
 
     def __init__(
@@ -80,6 +104,7 @@ class ChunkedResultIterator:
         cursor_handle: str,
         max_rows: int = DEFAULT_CHUNK_ROWS,
         decoder: Callable[[str], object] | None = None,
+        accept_encodings: tuple[str, ...] | None = None,
     ) -> None:
         if max_rows < 1:
             raise ValueError(f"max_rows must be >= 1, got {max_rows}")
@@ -95,15 +120,52 @@ class ChunkedResultIterator:
         self._closed = False
         self.chunks_fetched = 0
         self.rows_fetched = 0
+        self.accept_encodings = (
+            tuple(accept_encodings)
+            if accept_encodings is not None
+            else default_accept_encodings()
+        )
+        self.encoding = self._negotiate()
+
+    def _negotiate(self) -> str:
+        """The cursor-create-time handshake (see the class docstring)."""
+        if set(self.accept_encodings) <= {ENCODING_XML}:
+            return ENCODING_XML  # nothing beyond the baseline: skip the round trip
+        try:
+            chosen = str(self._stub.negotiate(",".join(self.accept_encodings)))
+        except SoapFault:
+            # a cursor that does not speak negotiation serves XML rows,
+            # exactly as it always has — transparent fallback
+            return ENCODING_XML
+        if chosen != ENCODING_XML and chosen not in self.accept_encodings:
+            self.close()
+            raise ChunkError(
+                f"cursor {self.cursor_handle} chose encoding {chosen!r}, "
+                f"which this client did not advertise {self.accept_encodings}"
+            )
+        return chosen
 
     def _fetch(self) -> None:
         payload = list(self._stub.next(self.max_rows))
-        envelope = decode_chunk(payload)
-        if envelope.seq != self._expected_seq:
-            raise ChunkError(
-                f"cursor {self.cursor_handle} returned chunk {envelope.seq}, "
-                f"expected {self._expected_seq} (missed or replayed fetch)"
-            )
+        try:
+            envelope = decode_chunk(payload)
+            if envelope.encoding != self.encoding:
+                raise ChunkError(
+                    f"cursor {self.cursor_handle} switched encoding mid-stream: "
+                    f"chunk {envelope.seq} arrived as {envelope.encoding!r}, "
+                    f"negotiated {self.encoding!r}"
+                )
+            if envelope.seq != self._expected_seq:
+                raise ChunkError(
+                    f"cursor {self.cursor_handle} returned chunk {envelope.seq}, "
+                    f"expected {self._expected_seq} (missed or replayed fetch)"
+                )
+        except ChunkError:
+            # a broken stream cannot be resynchronized — destroy the
+            # server-side cursor now instead of leaving it to linger
+            # until the TTL sweep reclaims it
+            self.close()
+            raise
         self._expected_seq += 1
         self._buffer = envelope.rows
         self._index = 0
@@ -201,12 +263,15 @@ class ExecutionBinding:
         result_type: str = UNDEFINED_TYPE,
         max_rows: int = DEFAULT_CHUNK_ROWS,
         ordered: bool = False,
+        accept_encodings: tuple[str, ...] | None = None,
     ) -> ChunkedResultIterator:
         """Open a ResultCursor over the query and return its iterator.
 
         The returned :class:`ChunkedResultIterator` yields
         :class:`PerformanceResult` objects one chunk at a time; close it
         early to release a partially drained cursor.
+        ``accept_encodings`` is the wire-encoding advertisement for the
+        cursor handshake (None: the client default).
         """
         if start is None or end is None:
             t0, t1 = self.time_range()
@@ -219,6 +284,7 @@ class ExecutionBinding:
         return ChunkedResultIterator(
             self.environment, handle, max_rows=max_rows,
             decoder=PerformanceResult.unpack,
+            accept_encodings=accept_encodings,
         )
 
     def stream_pr(
@@ -232,6 +298,7 @@ class ExecutionBinding:
         threshold_rows: int = DEFAULT_STREAM_THRESHOLD_ROWS,
         estimated_rows: int | None = None,
         ordered: bool = False,
+        accept_encodings: tuple[str, ...] | None = None,
     ) -> Iterator[PerformanceResult]:
         """Transparent iteration: chunked for big results, bulk for small.
 
@@ -258,6 +325,7 @@ class ExecutionBinding:
             self.get_pr_chunked(
                 metric, foci, start, end, result_type,
                 max_rows=max_rows, ordered=ordered,
+                accept_encodings=accept_encodings,
             )
         )
 
@@ -387,13 +455,15 @@ class LocalExecutionBinding:
         threshold_rows: int = DEFAULT_STREAM_THRESHOLD_ROWS,
         estimated_rows: int | None = None,
         ordered: bool = False,
+        accept_encodings: tuple[str, ...] | None = None,
     ) -> Iterator[PerformanceResult]:
         """Local bypass streaming: the wrapper's lazy scan, no cursor.
 
         There is no Services Layer to chunk through, so the threshold
         machinery is moot — the wrapper's ``iter_pr`` is already
-        zero-copy.  ``ordered`` still sorts (materializing), matching
-        the remote contract.
+        zero-copy (and ``accept_encodings`` with it: nothing crosses a
+        wire).  ``ordered`` still sorts (materializing), matching the
+        remote contract.
         """
         if start is None or end is None:
             t0, t1 = self.time_range()
@@ -811,7 +881,12 @@ class PPerfGridClient:
             packed = self._fed_stub.query(text)
         return [ResultRow.unpack(p) for p in packed]
 
-    def query_stream(self, text: str, max_rows: int = DEFAULT_CHUNK_ROWS):
+    def query_stream(
+        self,
+        text: str,
+        max_rows: int = DEFAULT_CHUNK_ROWS,
+        accept_encodings: tuple[str, ...] | None = None,
+    ):
         """Run a federated query through a ResultCursor.
 
         Where :meth:`query` transfers the whole row set in one SOAP
@@ -829,7 +904,8 @@ class PPerfGridClient:
         with self.environment.recorder.time("virtualization.fedquery.stream"):
             handle = self._fed_stub.queryChunked(text)
         return ChunkedResultIterator(
-            self.environment, handle, max_rows=max_rows, decoder=ResultRow.unpack
+            self.environment, handle, max_rows=max_rows, decoder=ResultRow.unpack,
+            accept_encodings=accept_encodings,
         )
 
     def explain_query(self, text: str) -> str:

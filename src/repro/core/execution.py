@@ -20,6 +20,7 @@ from repro.mapping.base import ExecutionWrapper
 from repro.ogsi.cursor import DEFAULT_CURSOR_TTL, deploy_cursor
 from repro.ogsi.notification import NotificationSourceMixin
 from repro.ogsi.service import GridServiceBase
+from repro.soap.chunks import WIRE_ENCODINGS
 
 #: estimated memory (MB) charged to the host per cached entry, for the
 #: Service-Data-Provider-driven adaptive policy
@@ -48,6 +49,9 @@ class ExecutionService(GridServiceBase, NotificationSourceMixin):
         #: soft-state lifetime granted to getPRChunked cursors; renewed
         #: on every next(), swept by the container when it lapses
         self.cursor_ttl: float = DEFAULT_CURSOR_TTL
+        #: wire encodings this execution's cursors may serve (negotiated
+        #: per cursor; ``("xml",)`` pins a member to per-row transfers)
+        self.wire_encodings: tuple[str, ...] = WIRE_ENCODINGS
 
     def on_deployed(self, container, gsh) -> None:
         super().on_deployed(container, gsh)
@@ -207,7 +211,10 @@ class ExecutionService(GridServiceBase, NotificationSourceMixin):
                 for pr in self.wrapper.iter_pr(metric, list(foci), start, end, resultType)
             )
         assert self.gsh is not None
-        gsh = deploy_cursor(self.container, self.gsh.path, rows, ttl=self.cursor_ttl)
+        gsh = deploy_cursor(
+            self.container, self.gsh.path, rows,
+            ttl=self.cursor_ttl, encodings=self.wire_encodings,
+        )
         return gsh.url()
 
     def getStats(self) -> list[str]:

@@ -159,6 +159,7 @@ class FederationEngine:
         stream_threshold_rows: int = DEFAULT_STREAM_THRESHOLD_ROWS,
         stream_memoize_max_bytes: int = DEFAULT_MEMOIZE_MAX_BYTES,
         stats_deltas: bool = True,
+        accept_encodings: tuple[str, ...] | None = None,
     ) -> None:
         self.client = client
         self.managers = dict(managers or {})
@@ -184,6 +185,10 @@ class FederationEngine:
         self.stream_chunk_depth = stream_chunk_depth
         self.stream_threshold_rows = stream_threshold_rows
         self.stream_memoize_max_bytes = stream_memoize_max_bytes
+        #: wire encodings advertised when draining member cursors; None
+        #: leaves the client default (PPG_ACCEPT_ENCODINGS-aware), and
+        #: ``("xml",)`` pins the fan-out to per-row transfers
+        self.accept_encodings = accept_encodings
         #: False reverts data-updates to whole-member stats drops instead
         #: of per-execution delta refreshes
         self.stats_deltas = stats_deltas
@@ -539,6 +544,7 @@ class FederationEngine:
                     rows = execution.get_pr_chunked(
                         sub.metric, foci, sub.start, sub.end, sub.result_type,
                         max_rows=chunk_rows, ordered=True,
+                        accept_encodings=self.accept_encodings,
                     )
                     kind = "chunkedCalls"
                 else:

@@ -14,6 +14,7 @@ from repro.fedquery.executor import FederationEngine
 from repro.ogsi.cursor import deploy_cursor
 from repro.ogsi.porttypes import GRID_SERVICE_PORTTYPE
 from repro.ogsi.service import GridServiceBase
+from repro.soap.chunks import WIRE_ENCODINGS
 from repro.wsdl.porttype import Operation, Parameter, PortType
 
 FEDERATED_QUERY_PORTTYPE = PortType(
@@ -140,6 +141,9 @@ class FederatedQueryService(GridServiceBase):
     def __init__(self, engine: FederationEngine) -> None:
         super().__init__()
         self.engine = engine
+        #: wire encodings queryChunked cursors may serve (negotiated per
+        #: cursor; ``("xml",)`` pins this endpoint to per-row transfers)
+        self.wire_encodings: tuple[str, ...] = WIRE_ENCODINGS
 
     def on_deployed(self, container, gsh) -> None:
         super().on_deployed(container, gsh)
@@ -169,6 +173,7 @@ class FederatedQueryService(GridServiceBase):
             self.gsh.path,
             (row.pack() for row in streamed),
             on_close=streamed.close,
+            encodings=self.wire_encodings,
         )
         return gsh.url()
 

@@ -22,7 +22,7 @@ from typing import Callable, Iterable, Iterator
 
 from repro.ogsi.gsh import GridServiceHandle
 from repro.ogsi.service import GridServiceBase, ServiceState
-from repro.soap.chunks import encode_chunk
+from repro.soap.chunks import ENCODING_XML, WIRE_ENCODINGS, encode_chunk
 from repro.wsdl.porttype import Operation, Parameter, PortType
 
 #: PPerfGrid extension namespace for the cursor PortType
@@ -31,37 +31,68 @@ CURSOR_NS = "http://pperfgrid.cs.pdx.edu/2004/cursor"
 #: default soft-state lifetime (seconds) between ``next`` renewals
 DEFAULT_CURSOR_TTL = 300.0
 
+_NEXT_OPERATION = Operation(
+    "next",
+    (Parameter("maxRows", "xsd:int"),),
+    "xsd:string[]",
+    doc=(
+        "Return the next chunk of the stream: a '#chunk|seq|count|"
+        "done[|encoding]' header record followed by the payload "
+        "records (per-row strings, or a columnar batch when that was "
+        "negotiated).  Each successful call renews the cursor's "
+        "termination time (soft-state keepalive).  Calling next "
+        "on a closed or expired cursor faults."
+    ),
+)
+
+_CLOSE_OPERATION = Operation(
+    "close",
+    (),
+    "void",
+    doc=(
+        "Release the cursor's server-side state immediately "
+        "(equivalent to Destroy).  Idle cursors that are never "
+        "closed are reclaimed when their TTL expires."
+    ),
+)
+
+_NEGOTIATE_OPERATION = Operation(
+    "negotiate",
+    (Parameter("acceptEncodings", "xsd:string"),),
+    "xsd:string",
+    doc=(
+        "Content-encoding negotiation, called at most once before the "
+        "first next(): the client passes the comma-separated encodings "
+        "it accepts and the cursor answers with its pick — the first "
+        "entry of the server's preference list the client accepts, "
+        "'xml' (the universal baseline) when nothing else matches.  "
+        "Every subsequent chunk carries the chosen encoding."
+    ),
+)
+
 RESULT_CURSOR_PORTTYPE = PortType(
+    name="ResultCursor",
+    namespace=CURSOR_NS,
+    doc=(
+        "A transient service streaming one query's result set in "
+        "client-paced chunks, with soft-state lifetime management "
+        "and negotiable payload content encoding."
+    ),
+    operations=(_NEXT_OPERATION, _CLOSE_OPERATION, _NEGOTIATE_OPERATION),
+)
+
+#: the pre-negotiation cursor interface: what a member that predates the
+#: columnar encoding publishes.  A client calling ``negotiate`` against
+#: it gets the container's "no operation" fault and falls back to XML
+#: rows — tests deploy this to prove that path stays transparent.
+LEGACY_RESULT_CURSOR_PORTTYPE = PortType(
     name="ResultCursor",
     namespace=CURSOR_NS,
     doc=(
         "A transient service streaming one query's result set in "
         "client-paced chunks, with soft-state lifetime management."
     ),
-    operations=(
-        Operation(
-            "next",
-            (Parameter("maxRows", "xsd:int"),),
-            "xsd:string[]",
-            doc=(
-                "Return the next chunk of the stream: a '#chunk|seq|count|"
-                "done' header record followed by up to maxRows payload "
-                "rows.  Each successful call renews the cursor's "
-                "termination time (soft-state keepalive).  Calling next "
-                "on a closed or expired cursor faults."
-            ),
-        ),
-        Operation(
-            "close",
-            (),
-            "void",
-            doc=(
-                "Release the cursor's server-side state immediately "
-                "(equivalent to Destroy).  Idle cursors that are never "
-                "closed are reclaimed when their TTL expires."
-            ),
-        ),
-    ),
+    operations=(_NEXT_OPERATION, _CLOSE_OPERATION),
 )
 
 
@@ -74,6 +105,12 @@ class ResultCursorService(GridServiceBase):
     destroyed, however that happens (``close``, ``Destroy``, or the
     lifetime sweep); producers use it to release upstream resources
     such as member streams feeding the iterator.
+
+    ``encodings`` lists the content encodings this cursor may serve, in
+    preference order; chunks are XML rows until ``negotiate`` picks
+    something richer.  ``negotiable=False`` deploys the cursor with the
+    pre-negotiation PortType (no ``negotiate`` operation at all) — the
+    legacy-member profile.
     """
 
     porttype = RESULT_CURSOR_PORTTYPE
@@ -83,8 +120,13 @@ class ResultCursorService(GridServiceBase):
         rows: Iterable[str],
         ttl: float | None = DEFAULT_CURSOR_TTL,
         on_close: Callable[[], None] | None = None,
+        encodings: tuple[str, ...] = WIRE_ENCODINGS,
+        negotiable: bool = True,
     ) -> None:
         super().__init__()
+        for encoding in encodings:
+            if encoding not in WIRE_ENCODINGS:
+                raise ValueError(f"unknown wire encoding {encoding!r}")
         self._iter: Iterator[str] = iter(rows)
         self._pending: str | None = None
         self._exhausted = False
@@ -92,6 +134,10 @@ class ResultCursorService(GridServiceBase):
         self.ttl = ttl
         self._on_close = on_close
         self.rows_served = 0
+        self._encodings = tuple(encodings) if negotiable else (ENCODING_XML,)
+        self._encoding = ENCODING_XML
+        if not negotiable:
+            self.porttype = LEGACY_RESULT_CURSOR_PORTTYPE
 
     def on_deployed(self, container, gsh) -> None:
         super().on_deployed(container, gsh)
@@ -103,8 +149,28 @@ class ResultCursorService(GridServiceBase):
         self.service_data.set("chunksServed", str(self._seq))
         self.service_data.set("rowsServed", str(self.rows_served))
         self.service_data.set("done", "1" if self._exhausted else "0")
+        self.service_data.set("encoding", self._encoding)
 
     # --------------------------------------------------------- operations
+    def negotiate(self, acceptEncodings: str) -> str:
+        """Pick the content encoding for this cursor's chunks.
+
+        The answer is the first entry of this cursor's preference list
+        the client accepts; ``xml`` — which every peer must accept — is
+        the fallback when nothing richer matches.  Negotiating after
+        the stream has started would flip the encoding mid-drain, so it
+        faults instead.
+        """
+        self.require_active()
+        if self._seq:
+            raise ValueError("negotiate must be called before the first next()")
+        accepted = {item.strip() for item in acceptEncodings.split(",") if item.strip()}
+        accepted.add(ENCODING_XML)
+        self._encoding = next(
+            (enc for enc in self._encodings if enc in accepted), ENCODING_XML
+        )
+        self._publish_progress()
+        return self._encoding
     def next(self, maxRows: int) -> list[str]:
         """The next chunk: header + up to *maxRows* rows (see chunks.py)."""
         self.require_active()
@@ -132,7 +198,12 @@ class ResultCursorService(GridServiceBase):
         self._seq += 1
         self.rows_served += len(batch)
         self._publish_progress()
-        return encode_chunk(seq, batch, done=self._exhausted and self._pending is None)
+        return encode_chunk(
+            seq,
+            batch,
+            done=self._exhausted and self._pending is None,
+            encoding=self._encoding,
+        )
 
     def close(self) -> None:
         """Release the stream now (the polite end of the protocol).
@@ -160,8 +231,12 @@ def deploy_cursor(
     rows: Iterable[str],
     ttl: float | None = DEFAULT_CURSOR_TTL,
     on_close: Callable[[], None] | None = None,
+    encodings: tuple[str, ...] = WIRE_ENCODINGS,
+    negotiable: bool = True,
 ) -> GridServiceHandle:
     """Deploy a cursor instance under ``<base_path>/cursors`` and return
     its GSH — the producer-side half of every *Chunked operation."""
-    cursor = ResultCursorService(rows, ttl=ttl, on_close=on_close)
+    cursor = ResultCursorService(
+        rows, ttl=ttl, on_close=on_close, encodings=encodings, negotiable=negotiable
+    )
     return container.deploy_instance(f"{base_path}/cursors", cursor)

@@ -26,10 +26,18 @@ from repro.soap.envelope import (
 )
 from repro.soap.chunks import (
     CHUNK_HEADER,
+    ENCODING_COLBATCH,
+    ENCODING_XML,
+    WIRE_ENCODINGS,
     ChunkEnvelope,
     ChunkError,
     decode_chunk,
     encode_chunk,
+)
+from repro.soap.colbatch import (
+    COLBATCH_VERSION,
+    decode_batch,
+    encode_batch,
 )
 from repro.soap.faults import SoapFault, fault_from_exception
 from repro.soap.rpc import (
@@ -43,9 +51,15 @@ from repro.soap.rpc import (
 
 __all__ = [
     "CHUNK_HEADER",
+    "COLBATCH_VERSION",
+    "ENCODING_COLBATCH",
+    "ENCODING_XML",
+    "WIRE_ENCODINGS",
     "ChunkEnvelope",
     "ChunkError",
     "SOAP_ENV_NS",
+    "decode_batch",
+    "encode_batch",
     "RpcRequest",
     "RpcResponse",
     "SoapEncodingError",

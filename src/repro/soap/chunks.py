@@ -9,13 +9,22 @@ architecture-adapter discipline as the ``name|value`` wire records.
 
 Header wire form::
 
-    #chunk|<seq>|<count>|<done>
+    #chunk|<seq>|<count>|<done>[|<encoding>]
 
 ``seq`` is the zero-based chunk sequence number (clients verify it to
 detect missed or replayed fetches), ``count`` the number of payload
-rows following the header, and ``done`` ``1`` on the final chunk of the
+rows the chunk carries, and ``done`` ``1`` on the final chunk of the
 stream (``0`` otherwise).  ``#`` cannot start a packed result record,
 so the header is unambiguous.
+
+The optional fifth field is the negotiated *content encoding* of the
+payload records following the header:
+
+* ``xml`` (the default, and the only form a four-field header can
+  carry): ``count`` per-row strings, exactly the legacy wire bytes —
+  a colbatch-unaware peer never sees anything new;
+* ``colbatch``: a :mod:`repro.soap.colbatch` columnar batch whose
+  decoded row count must equal ``count``.
 """
 
 from __future__ import annotations
@@ -25,6 +34,16 @@ from dataclasses import dataclass
 #: first field of every chunk header record
 CHUNK_HEADER = "#chunk"
 
+#: per-row strings in the SOAP array — the universal baseline encoding
+ENCODING_XML = "xml"
+
+#: columnar batch records (see :mod:`repro.soap.colbatch`)
+ENCODING_COLBATCH = "colbatch"
+
+#: every encoding this build can serve/decode, in server preference
+#: order — negotiation picks the first one the client also accepts
+WIRE_ENCODINGS = (ENCODING_COLBATCH, ENCODING_XML)
+
 
 class ChunkError(ValueError):
     """Raised for malformed or out-of-sequence chunk envelopes."""
@@ -32,18 +51,34 @@ class ChunkError(ValueError):
 
 @dataclass(frozen=True)
 class ChunkEnvelope:
-    """One decoded chunk: sequence number, payload rows, end-of-stream."""
+    """One decoded chunk: sequence number, payload rows, end-of-stream,
+    and the content encoding the payload arrived in."""
 
     seq: int
     rows: tuple[str, ...]
     done: bool
+    encoding: str = ENCODING_XML
 
 
-def encode_chunk(seq: int, rows: list[str], done: bool) -> list[str]:
-    """Frame *rows* as a chunk payload (header record + rows)."""
+def encode_chunk(
+    seq: int, rows: list[str], done: bool, encoding: str = ENCODING_XML
+) -> list[str]:
+    """Frame *rows* as a chunk payload (header record + payload records).
+
+    ``encoding="xml"`` emits the legacy four-field header and per-row
+    payload byte-for-byte; ``"colbatch"`` emits the tagged five-field
+    header followed by the columnar batch records.
+    """
     if seq < 0:
         raise ChunkError(f"chunk seq must be >= 0, got {seq}")
-    return [f"{CHUNK_HEADER}|{seq}|{len(rows)}|{1 if done else 0}", *rows]
+    if encoding == ENCODING_XML:
+        return [f"{CHUNK_HEADER}|{seq}|{len(rows)}|{1 if done else 0}", *rows]
+    if encoding == ENCODING_COLBATCH:
+        from repro.soap.colbatch import encode_batch
+
+        header = f"{CHUNK_HEADER}|{seq}|{len(rows)}|{1 if done else 0}|{encoding}"
+        return [header, *encode_batch(rows)]
+    raise ChunkError(f"unknown chunk encoding {encoding!r}")
 
 
 def decode_chunk(payload: list[str]) -> ChunkEnvelope:
@@ -52,7 +87,7 @@ def decode_chunk(payload: list[str]) -> ChunkEnvelope:
         raise ChunkError("empty chunk payload (missing header)")
     header = payload[0]
     parts = header.split("|")
-    if len(parts) != 4 or parts[0] != CHUNK_HEADER:
+    if len(parts) not in (4, 5) or parts[0] != CHUNK_HEADER:
         raise ChunkError(f"bad chunk header {header!r}")
     try:
         seq = int(parts[1])
@@ -60,9 +95,17 @@ def decode_chunk(payload: list[str]) -> ChunkEnvelope:
         done = bool(int(parts[3]))
     except ValueError as exc:
         raise ChunkError(f"bad chunk header {header!r}: {exc}") from exc
-    rows = tuple(payload[1:])
+    encoding = parts[4] if len(parts) == 5 else ENCODING_XML
+    if encoding == ENCODING_XML:
+        rows = tuple(payload[1:])
+    elif encoding == ENCODING_COLBATCH:
+        from repro.soap.colbatch import decode_batch
+
+        rows = tuple(decode_batch(payload[1:]))
+    else:
+        raise ChunkError(f"chunk {seq} carries unknown encoding {encoding!r}")
     if len(rows) != count:
         raise ChunkError(
             f"chunk {seq} declares {count} row(s) but carries {len(rows)}"
         )
-    return ChunkEnvelope(seq=seq, rows=rows, done=done)
+    return ChunkEnvelope(seq=seq, rows=rows, done=done, encoding=encoding)

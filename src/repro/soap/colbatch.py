@@ -1,0 +1,530 @@
+"""Columnar batch encoding for bulk chunk payloads.
+
+Per-row XML is the dominant hot-path cost in chunked transfers (ablation
+A1, ``bench_streaming``): every packed row becomes one ``<item>`` element
+whose build/escape/parse cost and ~35-byte framing are paid per row.  A
+*colbatch* carries the same rows as a handful of records — one
+self-describing header plus one record per **column** — so the SOAP
+layer's per-item cost is amortized over the whole chunk.
+
+Layout (each "record" is one string in the SOAP array)::
+
+    @colbatch|<version>|<nrows>|<nfields>|<nexceptions>
+    <column record> x nfields
+    @xrows|<idx>:<row>;...          (only when nexceptions > 0)
+
+Rows are split on ``|`` (the packed-record field separator); the first
+row fixes ``nfields`` and every row with a different arity is carried
+verbatim in the ``@xrows`` exceptions record, so *any* string round-trips
+byte-identically — the columnar fast path is an optimization, never an
+assumption.  A column record is ``<enc>|<nulls>|<payload...>`` where
+``nulls`` is ``-`` or a 6-bit-per-char bitmap flagging empty-string
+tokens (excluded from the payload), and ``enc`` is one of:
+
+``const``
+    every non-null token is the same string (metric/type columns);
+``dict``
+    dictionary: distinct tokens in first-appearance order plus
+    fixed-width packed indexes (focus and quantized value columns);
+``fxp``
+    fixed-point numbers of one scale (the ``%.9f`` time columns),
+    stored as first value + run-length-encoded integer deltas;
+``spn``
+    time spans ``<start>-<end>`` where both halves are non-negative
+    fixed-point literals, stored as two ``fxp`` series (the packed
+    ``start-end`` column every :meth:`PerformanceResult.pack` row has);
+``f64``
+    floats in shortest-``repr`` form (``nan``/``inf`` included), packed
+    as base64 IEEE doubles;
+``raw``
+    escaped tokens, ``;``-joined — the always-available fallback.
+
+Every variable-content field is %-escaped (``%``, ``;``, ``|``) so the
+structural separators stay unambiguous; ``fxp``/``f64`` eligibility is
+validated token-by-token against exact re-rendering, so decoding is
+guaranteed to reproduce the original bytes.  :func:`decode_batch`
+validates every length, index, and count and raises
+:class:`~repro.soap.chunks.ChunkError` on any malformed input — a
+corrupted batch never crashes the decoder or silently drops rows.
+"""
+
+from __future__ import annotations
+
+import base64
+import re
+import struct
+from functools import lru_cache
+from typing import Iterable, Sequence
+
+from repro.soap.chunks import ChunkError
+
+#: first field of every batch header record
+BATCH_MAGIC = "@colbatch"
+
+#: first field of the verbatim-exceptions record
+XROWS_MAGIC = "@xrows"
+
+#: current batch format version (bumped on any layout change)
+COLBATCH_VERSION = 1
+
+#: dictionary columns hold at most this many distinct tokens; columns
+#: with higher cardinality fall back to ``f64``/``raw``
+DICT_MAX = 4096
+
+#: decoder bound on ``fxp`` scale — wire values beyond it are corrupt
+_FXP_MAX_SCALE = 60
+
+_B64 = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/"
+_B64_INDEX = {char: value for value, char in enumerate(_B64)}
+
+
+def _escape(text: str) -> str:
+    """Escape the structural separators (order matters: ``%`` first)."""
+    return text.replace("%", "%25").replace(";", "%3B").replace("|", "%7C")
+
+
+def _unescape(text: str) -> str:
+    """Inverse of :func:`_escape` (reverse order)."""
+    return text.replace("%7C", "|").replace("%3B", ";").replace("%25", "%")
+
+
+# ------------------------------------------------------------ bit packing
+def _pack_bits(flags: Sequence[bool]) -> str:
+    """Pack booleans 6 per char, LSB-first within each char."""
+    out = []
+    for group in range(0, len(flags), 6):
+        value = 0
+        for bit, flag in enumerate(flags[group : group + 6]):
+            if flag:
+                value |= 1 << bit
+        out.append(_B64[value])
+    return "".join(out)
+
+
+def _unpack_bits(packed: str, count: int) -> list[bool]:
+    if len(packed) != (count + 5) // 6:
+        raise ChunkError(
+            f"null bitmap holds {len(packed) * 6} slot(s), column needs {count}"
+        )
+    flags: list[bool] = []
+    for char in packed:
+        value = _B64_INDEX.get(char)
+        if value is None:
+            raise ChunkError(f"bad null-bitmap character {char!r}")
+        for bit in range(6):
+            flags.append(bool(value >> bit & 1))
+    for spare in flags[count:]:
+        if spare:
+            raise ChunkError("null bitmap sets bits past the column length")
+    return flags[:count]
+
+
+def _index_width(size: int) -> int:
+    """Chars per packed dictionary index for a *size*-entry dictionary."""
+    if size <= 64:
+        return 1
+    if size <= 64 * 64:
+        return 2
+    return 3
+
+
+def _pack_indexes(indexes: Iterable[int], size: int) -> str:
+    width = _index_width(size)
+    if width == 1:
+        return "".join(_B64[i] for i in indexes)
+    if width == 2:
+        return "".join(_B64[i >> 6] + _B64[i & 63] for i in indexes)
+    return "".join(
+        _B64[i >> 12] + _B64[(i >> 6) & 63] + _B64[i & 63] for i in indexes
+    )
+
+
+def _unpack_indexes(packed: str, count: int, size: int) -> list[int]:
+    width = _index_width(size)
+    if len(packed) != width * count:
+        raise ChunkError(
+            f"dict column declares {count} index(es) of width {width}, "
+            f"carries {len(packed)} char(s)"
+        )
+    try:
+        if width == 1:
+            indexes = [_B64_INDEX[c] for c in packed]
+        elif width == 2:
+            indexes = [
+                _B64_INDEX[packed[i]] << 6 | _B64_INDEX[packed[i + 1]]
+                for i in range(0, len(packed), 2)
+            ]
+        else:
+            indexes = [
+                _B64_INDEX[packed[i]] << 12
+                | _B64_INDEX[packed[i + 1]] << 6
+                | _B64_INDEX[packed[i + 2]]
+                for i in range(0, len(packed), 3)
+            ]
+    except KeyError as exc:
+        raise ChunkError(f"bad dict-index character {exc.args[0]!r}") from exc
+    for index in indexes:
+        if index >= size:
+            raise ChunkError(
+                f"dict index {index} out of range for {size}-entry dictionary"
+            )
+    return indexes
+
+
+# ------------------------------------------------------------ fixed point
+def _fxp_render(value: int, scale: int) -> str:
+    if scale == 0:
+        return str(value)
+    sign = ""
+    if value < 0:
+        sign = "-"
+        value = -value
+    digits = str(value)
+    if len(digits) <= scale:
+        return f"{sign}0.{digits.zfill(scale)}"
+    return f"{sign}{digits[:-scale]}.{digits[-scale:]}"
+
+
+@lru_cache(maxsize=64)
+def _fxp_pattern(scale: int) -> "re.Pattern[str]":
+    """Canonical fixed-point literal of *scale* fractional digits (no
+    leading zeros, exact fraction width; ``-0`` is screened by caller)."""
+    if scale == 0:
+        return re.compile(r"-?(?:0|[1-9][0-9]*)")
+    return re.compile(r"-?(?:0|[1-9][0-9]*)\.[0-9]{%d}" % scale)
+
+
+def _fxp_series(tokens: list[str]) -> tuple[int, list[int]] | None:
+    """Parse *tokens* as one fixed-point series (scale from the first
+    token); None when any token does not round-trip at that scale."""
+    first = tokens[0]
+    dot = first.find(".")
+    scale = 0 if dot < 0 else len(first) - dot - 1
+    if scale > _FXP_MAX_SCALE:
+        return None
+    match = _fxp_pattern(scale).fullmatch
+    values = []
+    for token in tokens:
+        if match(token) is None:
+            return None
+        value = int(token.replace(".", "", 1))
+        if value == 0 and token[0] == "-":  # "-0.000" does not re-render
+            return None
+        values.append(value)
+    return scale, values
+
+
+def _rle_deltas(values: list[int]) -> str:
+    """Run-length-encode consecutive deltas: ``d`` or ``d*count``."""
+    runs: list[str] = []
+    run_delta: int | None = None
+    run_count = 0
+    for i in range(1, len(values)):
+        delta = values[i] - values[i - 1]
+        if delta == run_delta:
+            run_count += 1
+        else:
+            if run_delta is not None:
+                runs.append(str(run_delta) if run_count == 1 else f"{run_delta}*{run_count}")
+            run_delta, run_count = delta, 1
+    if run_delta is not None:
+        runs.append(str(run_delta) if run_count == 1 else f"{run_delta}*{run_count}")
+    return ";".join(runs)
+
+
+def _try_fxp(tokens: list[str], nulls: str) -> str | None:
+    series = _fxp_series(tokens)
+    if series is None:
+        return None
+    scale, values = series
+    return f"fxp|{nulls}|{scale}|{values[0]}|{_rle_deltas(values)}"
+
+
+def _try_spn(tokens: list[str], nulls: str) -> str | None:
+    """Span column ``<start>-<end>``: both halves non-negative fixed
+    point (splitting on ``-`` leaves no room for signs)."""
+    starts: list[str] = []
+    ends: list[str] = []
+    for token in tokens:
+        head, sep, tail = token.partition("-")
+        if not sep or not head or not tail or "-" in tail:
+            return None
+        starts.append(head)
+        ends.append(tail)
+    start_series = _fxp_series(starts)
+    if start_series is None:
+        return None
+    end_series = _fxp_series(ends)
+    if end_series is None:
+        return None
+    start_scale, start_values = start_series
+    end_scale, end_values = end_series
+    return (
+        f"spn|{nulls}|{start_scale}|{start_values[0]}|{_rle_deltas(start_values)}"
+        f"|{end_scale}|{end_values[0]}|{_rle_deltas(end_values)}"
+    )
+
+
+def _try_f64(tokens: list[str], nulls: str) -> str | None:
+    floats = []
+    for token in tokens:
+        try:
+            value = float(token)
+        except ValueError:
+            return None
+        if repr(value) != token:
+            return None
+        floats.append(value)
+    packed = base64.b64encode(struct.pack(f"<{len(floats)}d", *floats))
+    return f"f64|{nulls}|{packed.decode('ascii')}"
+
+
+# ------------------------------------------------------------- encoding
+def _encode_column(tokens: list[str]) -> str:
+    null_flags = [token == "" for token in tokens]
+    if any(null_flags):
+        nulls = _pack_bits(null_flags)
+        values = [token for token in tokens if token]
+    else:
+        nulls = "-"
+        values = tokens
+    if not values:
+        return f"const|{nulls}|"
+    first = values[0]
+    if all(value == first for value in values):
+        return f"const|{nulls}|{_escape(first)}"
+    if first and (first[0].isdigit() or first[0] == "-"):
+        fxp = _try_fxp(values, nulls)
+        if fxp is not None:
+            return fxp
+        if "-" in first:
+            spn = _try_spn(values, nulls)
+            if spn is not None:
+                return spn
+    distinct = list(dict.fromkeys(values))
+    size = len(distinct)
+    if size <= DICT_MAX and size * 2 <= len(values):
+        index_of = {value: i for i, value in enumerate(distinct)}
+        entries = ";".join(_escape(value) for value in distinct)
+        packed = _pack_indexes((index_of[value] for value in values), size)
+        return f"dict|{nulls}|{entries}|{packed}"
+    f64 = _try_f64(values, nulls)
+    if f64 is not None:
+        return f64
+    return f"raw|{nulls}|" + ";".join(_escape(value) for value in values)
+
+
+def encode_batch(rows: Sequence[str]) -> list[str]:
+    """Encode *rows* as colbatch records (header first).
+
+    Decoding the result with :func:`decode_batch` reproduces *rows*
+    byte-identically for any input strings.
+    """
+    rows = list(rows)
+    nrows = len(rows)
+    if nrows == 0:
+        return [f"{BATCH_MAGIC}|{COLBATCH_VERSION}|0|0|0"]
+    split_rows = [row.split("|") for row in rows]
+    nfields = len(split_rows[0])
+    matrix: list[list[str]] = []
+    exceptions: list[tuple[int, str]] = []
+    for i, parts in enumerate(split_rows):
+        if len(parts) == nfields:
+            matrix.append(parts)
+        else:
+            exceptions.append((i, rows[i]))
+    records = [
+        f"{BATCH_MAGIC}|{COLBATCH_VERSION}|{nrows}|{nfields}|{len(exceptions)}"
+    ]
+    for column in range(nfields):
+        records.append(_encode_column([parts[column] for parts in matrix]))
+    if exceptions:
+        records.append(
+            f"{XROWS_MAGIC}|"
+            + ";".join(f"{i}:{_escape(row)}" for i, row in exceptions)
+        )
+    return records
+
+
+# ------------------------------------------------------------- decoding
+def _decode_fxp_series(
+    scale_text: str, first_text: str, runs_text: str, present: int
+) -> list[str]:
+    """Expand one fixed-point series (first value + RLE deltas) back to
+    its rendered tokens; every count is validated against *present*."""
+    try:
+        scale = int(scale_text)
+    except ValueError as exc:
+        raise ChunkError(f"bad fxp scale {scale_text!r}") from exc
+    if not 0 <= scale <= _FXP_MAX_SCALE:
+        raise ChunkError(f"fxp scale {scale} out of range")
+    if present == 0:
+        return []
+    try:
+        current = int(first_text)
+    except ValueError as exc:
+        raise ChunkError(f"bad fxp first value {first_text!r}") from exc
+    numbers = [current]
+    need = present - 1
+    got = 0
+    for item in runs_text.split(";") if runs_text else []:
+        delta_text, star, count_text = item.partition("*")
+        try:
+            delta = int(delta_text)
+            count = int(count_text) if star else 1
+        except ValueError as exc:
+            raise ChunkError(f"bad fxp delta run {item!r}") from exc
+        if count < 1 or got + count > need:
+            raise ChunkError(
+                f"fxp column declares {need} delta(s), run {item!r} overflows"
+            )
+        for _ in range(count):
+            current += delta
+            numbers.append(current)
+        got += count
+    if got != need:
+        raise ChunkError(
+            f"fxp column declares {need} delta(s) but carries {got}"
+        )
+    return [_fxp_render(number, scale) for number in numbers]
+
+
+def _decode_column(record: str, nrows: int) -> list[str]:
+    parts = record.split("|")
+    if len(parts) < 3:
+        raise ChunkError(f"bad colbatch column record {record!r}")
+    encoding, nulls_field = parts[0], parts[1]
+    if nulls_field == "-":
+        null_flags = None
+        present = nrows
+    else:
+        null_flags = _unpack_bits(nulls_field, nrows)
+        present = nrows - sum(null_flags)
+
+    if encoding == "const":
+        if len(parts) != 3:
+            raise ChunkError(f"bad const column record {record!r}")
+        values = [_unescape(parts[2])] * present
+    elif encoding == "raw":
+        if len(parts) != 3:
+            raise ChunkError(f"bad raw column record {record!r}")
+        items = parts[2].split(";") if parts[2] else []
+        if len(items) != present:
+            raise ChunkError(
+                f"raw column carries {len(items)} token(s), expected {present}"
+            )
+        values = [_unescape(item) for item in items]
+    elif encoding == "dict":
+        if len(parts) != 4:
+            raise ChunkError(f"bad dict column record {record!r}")
+        entries = [_unescape(e) for e in parts[2].split(";")] if parts[2] else []
+        if not entries and present:
+            raise ChunkError("dict column has indexes but no dictionary")
+        indexes = _unpack_indexes(parts[3], present, len(entries))
+        values = [entries[i] for i in indexes]
+    elif encoding == "fxp":
+        if len(parts) != 5:
+            raise ChunkError(f"bad fxp column record {record!r}")
+        values = _decode_fxp_series(parts[2], parts[3], parts[4], present)
+    elif encoding == "spn":
+        if len(parts) != 8:
+            raise ChunkError(f"bad spn column record {record!r}")
+        starts = _decode_fxp_series(parts[2], parts[3], parts[4], present)
+        ends = _decode_fxp_series(parts[5], parts[6], parts[7], present)
+        values = [f"{start}-{end}" for start, end in zip(starts, ends)]
+    elif encoding == "f64":
+        if len(parts) != 3:
+            raise ChunkError(f"bad f64 column record {record!r}")
+        try:
+            data = base64.b64decode(parts[2], validate=True)
+        except Exception as exc:
+            raise ChunkError(f"bad f64 column payload: {exc}") from exc
+        if len(data) != 8 * present:
+            raise ChunkError(
+                f"f64 column carries {len(data)} byte(s), expected {8 * present}"
+            )
+        values = [repr(value) for value in struct.unpack(f"<{present}d", data)]
+    else:
+        raise ChunkError(f"unknown column encoding {encoding!r}")
+
+    if null_flags is None:
+        return values
+    filled = iter(values)
+    return ["" if is_null else next(filled) for is_null in null_flags]
+
+
+def _decode_exceptions(record: str, nexc: int, nrows: int) -> dict[int, str]:
+    magic, sep, payload = record.partition("|")
+    if magic != XROWS_MAGIC or not sep:
+        raise ChunkError(f"bad colbatch exceptions record {record!r}")
+    items = payload.split(";") if payload else []
+    if len(items) != nexc:
+        raise ChunkError(
+            f"colbatch declares {nexc} exception row(s) but carries {len(items)}"
+        )
+    out: dict[int, str] = {}
+    previous = -1
+    for item in items:
+        index_text, sep2, row_text = item.partition(":")
+        try:
+            index = int(index_text)
+        except ValueError as exc:
+            raise ChunkError(f"bad exception row index {index_text!r}") from exc
+        if not sep2 or index <= previous or index >= nrows:
+            raise ChunkError(
+                f"exception row index {index_text!r} out of order or range"
+            )
+        previous = index
+        out[index] = _unescape(row_text)
+    return out
+
+
+def decode_batch(records: Sequence[str]) -> list[str]:
+    """Decode colbatch *records* back to the original row strings.
+
+    Raises :class:`~repro.soap.chunks.ChunkError` on any malformed
+    input — truncation, corrupted counts, bad indexes, wrong version.
+    """
+    records = list(records)
+    if not records:
+        raise ChunkError("empty colbatch payload (missing batch header)")
+    header = records[0]
+    parts = header.split("|")
+    if len(parts) != 5 or parts[0] != BATCH_MAGIC:
+        raise ChunkError(f"bad colbatch header {header!r}")
+    try:
+        version, nrows, nfields, nexc = (int(part) for part in parts[1:])
+    except ValueError as exc:
+        raise ChunkError(f"bad colbatch header {header!r}: {exc}") from exc
+    if version != COLBATCH_VERSION:
+        raise ChunkError(
+            f"unsupported colbatch version {version} "
+            f"(this decoder speaks version {COLBATCH_VERSION})"
+        )
+    if nrows < 0 or nfields < 0 or not 0 <= nexc <= nrows:
+        raise ChunkError(f"inconsistent colbatch header {header!r}")
+    if (nrows == 0) != (nfields == 0):
+        raise ChunkError(f"inconsistent colbatch header {header!r}")
+    expected = 1 + nfields + (1 if nexc else 0)
+    if len(records) != expected:
+        raise ChunkError(
+            f"colbatch declares {expected} record(s) but carries {len(records)}"
+        )
+    if nrows == 0:
+        return []
+    body_rows = nrows - nexc
+    columns = [_decode_column(record, body_rows) for record in records[1 : 1 + nfields]]
+    body = ["|".join(fields) for fields in zip(*columns)]
+    if not nexc:
+        return body
+    exceptions = _decode_exceptions(records[-1], nexc, nrows)
+    out: list[str] = []
+    body_index = 0
+    for i in range(nrows):
+        exception = exceptions.get(i)
+        if exception is None:
+            out.append(body[body_index])
+            body_index += 1
+        else:
+            out.append(exception)
+    return out

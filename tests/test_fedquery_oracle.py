@@ -51,17 +51,27 @@ def oracle_env():
     engine = grid.deploy_federation()
     members = engine.members()
 
-    # an independent engine (own plan cache) with the cursor path forced
-    # on, so the streamed arm can never answer from the bulk arm's cache
+    # independent engines (own plan caches) with the cursor path forced
+    # on, so the streamed arms can never answer from the bulk arm's
+    # cache — one per wire encoding, so the whole randomized corpus runs
+    # over both the negotiated (columnar) and the forced-XML chunk path
     from repro.core.client import PPerfGridClient
     from repro.fedquery.executor import FederationEngine
 
-    stream_engine = FederationEngine(
-        PPerfGridClient(grid.environment, grid.uddi_gsh),
-        managers={name: site.manager for name, site in grid.sites.items()},
-        stream_threshold_rows=0,
-        stream_chunk_rows=7,
-    )
+    def make_stream_engine(accept_encodings):
+        return FederationEngine(
+            PPerfGridClient(grid.environment, grid.uddi_gsh),
+            managers={name: site.manager for name, site in grid.sites.items()},
+            stream_threshold_rows=0,
+            stream_chunk_rows=7,
+            accept_encodings=accept_encodings,
+        )
+
+    stream_engines = {
+        "negotiated": make_stream_engine(None),  # client default advertisement
+        "xml": make_stream_engine(("xml",)),  # forced per-row fallback
+    }
+    stream_engine = stream_engines["negotiated"]
 
     params: dict[str, dict[str, list[str]]] = {}
     metrics: dict[str, list[str]] = {}
@@ -91,6 +101,7 @@ def oracle_env():
         grid=grid,
         engine=engine,
         stream_engine=stream_engine,
+        stream_engines=stream_engines,
         members=members,
         apps=sorted(members),
         params=params,
@@ -200,18 +211,21 @@ def test_planned_matches_naive(oracle_env, seed, oracle_seed):
     )
 
 
+@pytest.mark.parametrize("encoding", ["negotiated", "xml"])
 @pytest.mark.parametrize("seed", range(N_QUERIES))
-def test_streamed_matches_bulk(oracle_env, seed, oracle_seed):
+def test_streamed_matches_bulk(oracle_env, seed, oracle_seed, encoding):
     """The same corpus through execute(stream=True): raw queries must be
     byte-identical to the bulk rows (the incremental merge reproduces
     the bulk order exactly); global operators (aggregates/ORDER BY) take
-    the documented bulk fallback and are float-compared."""
+    the documented bulk fallback and are float-compared.  Runs once per
+    wire encoding — the columnar batch path and the per-row XML fallback
+    must both reproduce the bulk bytes."""
     from repro.fedquery import parse_query
 
     rng = random.Random(7000 + seed + 1_000_000 * oracle_seed)
     text = make_query(rng, oracle_env)
     bulk = oracle_env.engine.execute(text)
-    with oracle_env.stream_engine.execute(text, stream=True) as streamed:
+    with oracle_env.stream_engines[encoding].execute(text, stream=True) as streamed:
         streamed_rows = list(streamed)
     query = parse_query(text)
     if query.is_aggregate or query.order_by is not None:

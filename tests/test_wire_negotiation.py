@@ -1,0 +1,254 @@
+"""Wire-encoding negotiation: the capability matrix, fallbacks, and the
+destroy-on-gap regression.
+
+Covers every cell of the ISSUE's negotiation matrix — columnar-capable
+client x XML-only member, XML-only client x capable member, legacy
+(non-negotiating) member, and a mid-stream mixed federation — asserting
+both the negotiated outcome and byte-identical results, plus the
+protocol-error paths: mid-stream encoding switches and sequence gaps
+must raise :class:`ChunkError` AND destroy the server-side cursor
+eagerly rather than leaving it to the TTL sweep.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import client as client_mod
+from repro.core.client import ChunkedResultIterator, default_accept_encodings
+from repro.core.semantic import PerformanceResult
+from repro.experiments.common import build_synthetic_grid
+from repro.fedquery.executor import FederationEngine
+from repro.mapping.memory import InMemoryExecution, InMemoryWrapper
+from repro.ogsi.container import GridEnvironment
+from repro.ogsi.cursor import ResultCursorService, deploy_cursor
+from repro.simnet.clock import VirtualClock
+from repro.soap import SoapFault
+from repro.soap.chunks import (
+    ENCODING_COLBATCH,
+    ENCODING_XML,
+    WIRE_ENCODINGS,
+    ChunkError,
+)
+
+ROWS = [
+    f"time_spent|/Code/MPI/MPI_{op}|vampir|{i * 0.5:.9f}-{i * 0.5 + 1:.9f}|{i * 0.125!r}"
+    for i, op in enumerate(["Send", "Recv", "Wait", "Bcast"] * 25)
+]
+
+
+@pytest.fixture()
+def cursor_env():
+    environment = GridEnvironment(clock=VirtualClock())
+    container = environment.create_container("wire.pdx.edu:9090")
+    return environment, container
+
+
+class TestNegotiationMatrix:
+    def drain(self, environment, gsh, **kwargs):
+        iterator = ChunkedResultIterator(environment, gsh.url(), max_rows=16, **kwargs)
+        return iterator, list(iterator)
+
+    def test_capable_client_capable_server_picks_colbatch(self, cursor_env):
+        environment, container = cursor_env
+        gsh = deploy_cursor(container, "services/X", iter(ROWS))
+        iterator, rows = self.drain(
+            environment, gsh, accept_encodings=WIRE_ENCODINGS
+        )
+        assert iterator.encoding == ENCODING_COLBATCH
+        assert rows == ROWS
+
+    def test_capable_client_xml_only_server_falls_back(self, cursor_env):
+        environment, container = cursor_env
+        gsh = deploy_cursor(
+            container, "services/X", iter(ROWS), encodings=(ENCODING_XML,)
+        )
+        iterator, rows = self.drain(environment, gsh)
+        assert iterator.encoding == ENCODING_XML
+        assert rows == ROWS
+
+    def test_capable_client_legacy_server_falls_back(self, cursor_env):
+        """A member that predates negotiation has no negotiate operation
+        at all; the handshake faults and the drain stays XML, byte for
+        byte what the pre-colbatch client saw."""
+        environment, container = cursor_env
+        gsh = deploy_cursor(container, "services/X", iter(ROWS), negotiable=False)
+        iterator, rows = self.drain(environment, gsh)
+        assert iterator.encoding == ENCODING_XML
+        assert rows == ROWS
+
+    def test_xml_only_client_capable_server_stays_xml(self, cursor_env):
+        environment, container = cursor_env
+        gsh = deploy_cursor(container, "services/X", iter(ROWS))
+        service = container.service_at(gsh.path)
+        iterator, rows = self.drain(
+            environment, gsh, accept_encodings=(ENCODING_XML,)
+        )
+        assert iterator.encoding == ENCODING_XML
+        assert rows == ROWS
+        # an xml-only client skips the handshake round trip entirely
+        assert service.service_data.get("encoding").values == [ENCODING_XML]
+
+    def test_env_override_pins_default_to_xml(self, cursor_env, monkeypatch):
+        monkeypatch.setenv("PPG_ACCEPT_ENCODINGS", ENCODING_XML)
+        assert default_accept_encodings() == (ENCODING_XML,)
+        environment, container = cursor_env
+        gsh = deploy_cursor(container, "services/X", iter(ROWS))
+        iterator, rows = self.drain(environment, gsh)
+        assert iterator.encoding == ENCODING_XML
+        assert rows == ROWS
+        monkeypatch.delenv("PPG_ACCEPT_ENCODINGS")
+        assert default_accept_encodings() == WIRE_ENCODINGS
+
+    def test_negotiate_after_first_next_faults(self, cursor_env):
+        environment, container = cursor_env
+        gsh = deploy_cursor(container, "services/X", iter(ROWS))
+        stub = environment.stub_for_handle(gsh.url(), ResultCursorService.porttype)
+        stub.next(4)
+        with pytest.raises(SoapFault, match="before the first next"):
+            stub.negotiate(ENCODING_COLBATCH)
+
+    def test_mid_stream_encoding_switch_rejected_and_closed(self, cursor_env):
+        environment, container = cursor_env
+        gsh = deploy_cursor(container, "services/X", iter(ROWS))
+        iterator = ChunkedResultIterator(
+            environment, gsh.url(), max_rows=16, accept_encodings=WIRE_ENCODINGS
+        )
+        assert iterator.encoding == ENCODING_COLBATCH
+        next(iterator)
+        # the server flips encodings mid-drain (a protocol violation)
+        container.service_at(gsh.path)._encoding = ENCODING_XML
+        with pytest.raises(ChunkError, match="switched encoding mid-stream"):
+            list(iterator)
+        assert container.has_service(gsh) is False
+
+
+class TestDestroyOnGap:
+    def test_sequence_gap_destroys_cursor_eagerly(self, cursor_env):
+        """Regression: a seq gap used to leave the server-side cursor
+        alive until the TTL sweep; it must be destroyed with the
+        ChunkError now."""
+        environment, container = cursor_env
+        gsh = deploy_cursor(container, "services/X", iter(ROWS))
+        iterator = ChunkedResultIterator(environment, gsh.url(), max_rows=16)
+        next(iterator)
+        # another consumer steals a chunk out from under this iterator
+        environment.stub_for_handle(
+            gsh.url(), ResultCursorService.porttype
+        ).next(16)
+        with pytest.raises(ChunkError, match="expected 1"):
+            list(iterator)
+        assert container.has_service(gsh) is False, (
+            "cursor must be destroyed eagerly on a sequence gap, "
+            "not linger until the TTL sweep"
+        )
+        assert iterator._closed is True
+
+
+def _member_rows(n: int, salt: int) -> list[PerformanceResult]:
+    return [
+        PerformanceResult(
+            "m",
+            f"/rank/{(i + salt) % 9}",
+            "synthetic",
+            float(i),
+            float(i + 1),
+            float((i * 7 + salt) % 83) / 8,
+        )
+        for i in range(n)
+    ]
+
+
+@pytest.fixture(scope="module")
+def mixed_grid():
+    grid = build_synthetic_grid(
+        {
+            "ALPHA": InMemoryWrapper(
+                "ALPHA", [InMemoryExecution("0", {"numprocs": "4"}, _member_rows(700, 1))]
+            ),
+            "BETA": InMemoryWrapper(
+                "BETA", [InMemoryExecution("0", {"numprocs": "8"}, _member_rows(700, 5))]
+            ),
+        }
+    )
+    grid.deploy_federation()
+    return grid
+
+
+class RecordingIterator(ChunkedResultIterator):
+    """ChunkedResultIterator that logs each negotiated encoding."""
+
+    log: list[str] = []
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        RecordingIterator.log.append(self.encoding)
+
+
+class TestMixedFederationStreaming:
+    def test_mixed_member_encodings_stay_byte_identical(self, mixed_grid, monkeypatch):
+        """One member pinned to XML rows, the other columnar-capable:
+        the k-way streamed merge must still reproduce the bulk bytes,
+        with both encodings actually exercised on the wire."""
+        engine = FederationEngine(
+            client_mod.PPerfGridClient(mixed_grid.environment, mixed_grid.uddi_gsh),
+            stream_threshold_rows=0,
+            stream_chunk_rows=13,
+            accept_encodings=WIRE_ENCODINGS,
+        )
+        text = "SELECT m FROM ALPHA, BETA"
+        bulk = mixed_grid.fed_engine.execute(text)
+        # bind (and deploy) this engine's execution instances, then pin
+        # every BETA-side execution service to the legacy XML rows
+        engine.execute(text)
+        site = mixed_grid.sites["BETA"]
+        pinned = 0
+        for container in [site.container, *site.replica_containers]:
+            for path in container.service_paths():
+                service = container.service_at(path)
+                if hasattr(service, "wire_encodings"):
+                    service.wire_encodings = (ENCODING_XML,)
+                    pinned += 1
+        assert pinned, "no BETA execution services found to pin"
+
+        # the warm-up memoized the result; force the streamed run back
+        # onto the wire
+        engine.invalidate_cache()
+        monkeypatch.setattr(client_mod, "ChunkedResultIterator", RecordingIterator)
+        RecordingIterator.log = []
+        with engine.execute(text, stream=True) as streamed:
+            streamed_rows = list(streamed)
+        assert [r.pack() for r in streamed_rows] == [r.pack() for r in bulk.rows]
+        assert ENCODING_XML in RecordingIterator.log, "pinned member must serve xml"
+        assert ENCODING_COLBATCH in RecordingIterator.log, (
+            "capable member must serve colbatch"
+        )
+
+    def test_query_stream_matrix_through_federation_service(self, mixed_grid):
+        """queryChunked end to end: the federation endpoint's cursor
+        negotiates colbatch by default and serves byte-identical rows
+        when pinned to xml."""
+        client = mixed_grid.client
+        text = "SELECT m FROM ALPHA WHERE focus = '/rank/3'"
+        bulk = [row.pack() for row in client.query(text)]
+        assert bulk
+
+        with client.query_stream(
+            text, max_rows=11, accept_encodings=WIRE_ENCODINGS
+        ) as iterator:
+            streamed = [row.pack() for row in iterator]
+        assert iterator.encoding == ENCODING_COLBATCH
+        assert streamed == bulk
+
+        fed_container = mixed_grid.environment.container_for("fed.pdx.edu:9090")
+        fed_service = fed_container.service_at("services/FederatedQuery")
+        fed_service.wire_encodings = (ENCODING_XML,)
+        try:
+            with client.query_stream(
+                text, max_rows=11, accept_encodings=WIRE_ENCODINGS
+            ) as iterator:
+                streamed = [row.pack() for row in iterator]
+            assert iterator.encoding == ENCODING_XML
+            assert streamed == bulk
+        finally:
+            fed_service.wire_encodings = WIRE_ENCODINGS

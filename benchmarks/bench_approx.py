@@ -1,0 +1,210 @@
+"""Tier-0 metadata answers and approximate queries vs the exact paths.
+
+Two gates on one skewed synthetic federation (a fat member next to
+several thin ones, all publishing complete stats and metric sketches):
+
+* **Tier-0 latency** — a corpus of tier-0-answerable aggregate queries
+  (vacuous value thresholds keep each fingerprint distinct while every
+  bucket provably matches) runs on a tier-0 engine and on an identical
+  engine with the tier disabled.  The tier-0 arm must answer every
+  query with **zero member round-trips** (``stats["calls"] == 0``) and
+  a p50 cold latency at least **10x** below the fan-out arm's.
+
+* **Approximate transfer** — a straddling strict predicate forces the
+  exact planner into raw mode (every matching row crosses the wire);
+  ``approx=True`` answers the same aggregates from merged sketches with
+  per-cell error bounds.  Every approximate cell must contain the exact
+  arm's answer within its stated bounds, at **5x** fewer payload bytes.
+
+``FEDQUERY_BENCH_QUICK=1`` (the CI mode) shrinks the federation so the
+file runs in seconds while asserting the same shape.  Alongside the
+text table the bench emits ``BENCH_approx.json`` with the key metrics
+and speedup ratios.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import statistics
+import time
+
+import pytest
+from conftest import write_json, write_result
+
+from repro.core.semantic import PerformanceResult
+from repro.experiments.common import build_synthetic_grid
+from repro.mapping.memory import InMemoryExecution, InMemoryWrapper
+
+QUICK = os.environ.get("FEDQUERY_BENCH_QUICK", "") not in ("", "0")
+
+METRIC = "elapsed_us"
+
+#: every member's values sit far above these thresholds, so the
+#: predicates are vacuous (provably exact tier-0 answers) while each
+#: query text keeps its own plan-cache fingerprint
+TIER0_CORPUS = [
+    f"SELECT count({METRIC}), sum({METRIC}), mean({METRIC}), "
+    f"min({METRIC}), max({METRIC}) WHERE value > -{t}.0 GROUP BY app"
+    for t in range(1, 7 if QUICK else 13)
+]
+
+#: straddles every member's range: not pushable (strict '>'), not
+#: vacuous, not unsatisfiable — the exact planner ships raw rows, the
+#: approximate planner answers from sketch buckets with bounds
+APPROX_QUERY = (
+    f"SELECT count({METRIC}), sum({METRIC}), mean({METRIC}) "
+    "WHERE value > 500.0 GROUP BY app"
+)
+
+
+def _federation() -> dict[str, InMemoryWrapper]:
+    rng = random.Random(20260808)
+
+    def execution(exec_id: str, rows: int, lo: int, hi: int) -> InMemoryExecution:
+        return InMemoryExecution(
+            exec_id,
+            {"numprocs": "8"},
+            [
+                PerformanceResult(
+                    METRIC, "/Comm", "synthetic", 0.0, 5.0,
+                    float(rng.randint(lo, hi)),
+                )
+                for _ in range(rows)
+            ],
+        )
+
+    wrappers: dict[str, InMemoryWrapper] = {}
+    fat_execs = 6 if QUICK else 24
+    fat_rows = 40 if QUICK else 150
+    wrappers["FAT"] = InMemoryWrapper(
+        "FAT",
+        [execution(str(index), fat_rows, 100, 900) for index in range(fat_execs)],
+    )
+    thin_members = 3 if QUICK else 6
+    for index in range(thin_members):
+        wrappers[f"THIN{index}"] = InMemoryWrapper(
+            f"THIN{index}",
+            [
+                execution(str(exec_index), 8, 200 + 50 * index, 1000)
+                for exec_index in range(3)
+            ],
+        )
+    return wrappers
+
+
+@pytest.fixture(scope="module")
+def arms():
+    grid = build_synthetic_grid(_federation())
+    tier0_engine = grid.deploy_federation(authority="fed-tier0.pdx.edu:9090")
+    fanout_engine = grid.deploy_federation(authority="fed-fanout.pdx.edu:9090")
+    fanout_engine.tier0 = False
+    yield {"tier0": tier0_engine, "fan-out": fanout_engine}
+    grid.cleanup()
+
+
+def _timed(engine, text: str, **kwargs):
+    t0 = time.perf_counter()
+    result = engine.execute(text, **kwargs)
+    return time.perf_counter() - t0, result
+
+
+def test_tier0_latency_and_round_trips(arms):
+    # warmup populates each engine's member-stats cache; the corpus then
+    # measures the steady state (every query text is a cache miss)
+    for engine in arms.values():
+        engine.execute(f"SELECT count({METRIC}) GROUP BY app")
+
+    latencies: dict[str, list[float]] = {name: [] for name in arms}
+    for text in TIER0_CORPUS:
+        packed: dict[str, list[str]] = {}
+        for name, engine in arms.items():
+            elapsed, result = _timed(engine, text)
+            assert result.cached is False
+            latencies[name].append(elapsed)
+            packed[name] = [row.pack() for row in result.rows]
+            if name == "tier0":
+                # the whole point: answered with zero member round-trips
+                assert result.stats["calls"] == 0, text
+                assert result.stats["tier0Members"] == len(result.plan.members)
+                assert result.stats["estimatedRoundTrips"] == 0
+                assert result.plan.effective_mode == "tier0"
+        # exact mode: the metadata answer is byte-identical to fan-out
+        assert packed["tier0"] == packed["fan-out"], text
+
+    p50 = {name: statistics.median(values) for name, values in latencies.items()}
+    speedup = p50["fan-out"] / max(p50["tier0"], 1e-9)
+
+    lines = [
+        f"Tier-0 metadata answers vs full fan-out ({'quick' if QUICK else 'full'} scale)",
+        f"{'arm':<10}{'queries':>9}{'p50':>12}{'p95':>12}",
+    ]
+    for name, values in latencies.items():
+        ordered = sorted(values)
+        p95 = ordered[int(0.95 * (len(ordered) - 1))]
+        lines.append(f"{name:<10}{len(values):>9}{p50[name] * 1e3:>10.3f}ms{p95 * 1e3:>10.3f}ms")
+    lines.append(f"tier-0 p50 speedup: {speedup:.1f}x (gate: >= 10x)")
+    write_result("approx_tier0.txt", "\n".join(lines))
+    write_json(
+        "approx_tier0",
+        {
+            "scale": "quick" if QUICK else "full",
+            "queries": len(TIER0_CORPUS),
+            "p50_seconds": p50,
+            "p50_speedup": speedup,
+            "tier0_round_trips": 0,
+        },
+    )
+    assert speedup >= 10.0, f"tier-0 p50 speedup only {speedup:.1f}x"
+
+
+def test_approx_bounds_and_bytes(arms):
+    tier0_engine, fanout_engine = arms["tier0"], arms["fan-out"]
+    _, exact = _timed(fanout_engine, APPROX_QUERY)
+    approx_elapsed, approx = _timed(tier0_engine, APPROX_QUERY, approx=True)
+
+    assert approx.approx is True
+    assert approx.stats["calls"] == 0, "sketches should answer every member"
+    exact_by_app = {row.values[0]: row for row in exact.rows}
+    assert {row.values[0] for row in approx.rows} == set(exact_by_app)
+
+    checked = 0
+    for row, bounds in zip(approx.rows, approx.error_bounds):
+        exact_row = exact_by_app[row.values[0]]
+        for label, (low, high) in bounds.items():
+            assert low <= exact_row[label] <= high, (
+                f"{row.values[0]} {label}: exact {exact_row[label]} "
+                f"outside stated bounds [{low}, {high}]"
+            )
+            checked += 1
+    assert checked >= len(approx.rows), "bounds must cover the inexact cells"
+
+    exact_bytes = exact.stats["payloadBytes"]
+    approx_bytes = approx.stats["payloadBytes"]
+    ratio = exact_bytes / max(1, approx_bytes)
+
+    lines = [
+        "Approximate aggregates from merged sketches vs exact push-down",
+        f"{'arm':<10}{'mode':>10}{'calls':>7}{'bytes':>10}{'rows':>6}",
+        f"{'exact':<10}{exact.plan.effective_mode:>10}{exact.stats['calls']:>7}"
+        f"{exact_bytes:>10}{len(exact.rows):>6}",
+        f"{'approx':<10}{approx.plan.effective_mode:>10}{approx.stats['calls']:>7}"
+        f"{approx_bytes:>10}{len(approx.rows):>6}",
+        f"bounded cells checked against exact: {checked} (all within bounds)",
+        f"transfer reduction: {ratio:.1f}x fewer bytes (gate: >= 5x)",
+    ]
+    write_result("approx_bounds.txt", "\n".join(lines))
+    write_json(
+        "approx_bounds",
+        {
+            "scale": "quick" if QUICK else "full",
+            "exact_bytes": exact_bytes,
+            "approx_bytes": approx_bytes,
+            "bytes_reduction": ratio,
+            "bounded_cells_checked": checked,
+            "approx_seconds": approx_elapsed,
+        },
+    )
+    assert exact_bytes >= 5 * max(1, approx_bytes), (
+        f"transfer reduction only {ratio:.1f}x"
+    )

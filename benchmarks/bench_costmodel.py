@@ -28,7 +28,7 @@ import random
 import time
 
 import pytest
-from conftest import write_result
+from conftest import write_json, write_result
 
 from repro.core.semantic import PerformanceResult
 from repro.experiments.common import build_synthetic_grid
@@ -147,6 +147,15 @@ def test_costmodel_bytes_moved(arms):
     ratio = skewed["global"]["bytes"] / max(1, skewed["cost-based"]["bytes"])
     lines.append(f"skewed-query transfer reduction: {ratio:.1f}x fewer bytes")
     write_result("costmodel_bytes.txt", "\n".join(lines))
+    write_json(
+        "costmodel",
+        {
+            "scale": "quick" if QUICK else "full",
+            "skewed_bytes": {arm: row["bytes"] for arm, row in skewed.items()},
+            "skewed_reduction": ratio,
+            "pushable_bytes": {arm: row["bytes"] for arm, row in pushable.items()},
+        },
+    )
 
     # acceptance: the cost-based arm never moves more bytes than the
     # global planner, and strictly fewer on the skewed query

@@ -775,6 +775,21 @@ class ViewSubscription:
         self._sink.Destroy()
 
 
+class QueryRows(list):
+    """Federated query rows, plus approximate-answer metadata.
+
+    A plain ``list`` of ResultRow (so every existing caller's indexing,
+    iteration, and ``len`` work unchanged) carrying ``approx`` and
+    ``error_bounds`` — one ``{column label: (lo, hi)}`` dict per row; an
+    empty dict means every cell in that row is exact.
+    """
+
+    def __init__(self, rows, approx: bool = False, error_bounds=None) -> None:
+        super().__init__(rows)
+        self.approx = approx
+        self.error_bounds = list(error_bounds or [])
+
+
 def _parse_view_header(records: list[str]) -> dict[str, str]:
     """Parse getView's ``name|value`` header records (query text may
     itself contain ``|``-free SQL, but split on the first bar only)."""
@@ -866,20 +881,47 @@ class PPerfGridClient:
             handle, FEDERATED_QUERY_PORTTYPE
         )
 
-    def query(self, text: str):
+    def query(self, text: str, approx: bool = False, tolerance: float | None = None, **options):
         """Run a federated query; returns a list of ResultRow objects.
 
         Requires :meth:`use_federation` first — the query text travels
         to the FederatedQuery service over SOAP and packed result rows
         come back (see README "Federated queries" for the grammar).
-        """
-        from repro.fedquery.merge import ResultRow
 
+        ``approx=True`` (aggregate queries only) runs the approximate
+        tier-0 path: the returned list is a :class:`QueryRows` whose
+        ``error_bounds`` holds one ``{label: (lo, hi)}`` dict per row —
+        existing list-shaped callers are unchanged.  ``tolerance`` caps
+        the worst per-cell relative error a sketch answer may carry;
+        members over the cap fall back to the exact paths server-side.
+        """
+        from repro.fedquery.ast import QueryError
+        from repro.fedquery.merge import ResultRow, split_bounds
+
+        if options:
+            raise QueryError(
+                f"unknown query option(s) {sorted(options)}; "
+                "supported: approx, tolerance"
+            )
+        if tolerance is not None and not approx:
+            raise QueryError("tolerance requires approx=True")
         if self._fed_stub is None:
             raise RuntimeError("no federation configured; call use_federation() first")
         with self.environment.recorder.time("virtualization.fedquery"):
-            packed = self._fed_stub.query(text)
-        return [ResultRow.unpack(p) for p in packed]
+            if approx:
+                packed = self._fed_stub.queryApprox(
+                    text, "" if tolerance is None else repr(float(tolerance))
+                )
+            else:
+                packed = self._fed_stub.query(text)
+        if not approx:
+            return [ResultRow.unpack(p) for p in packed]
+        packed_rows, bounds = split_bounds(packed)
+        return QueryRows(
+            [ResultRow.unpack(p) for p in packed_rows],
+            approx=True,
+            error_bounds=bounds,
+        )
 
     def query_stream(
         self,

@@ -191,6 +191,16 @@ class StoreStats:
       never skips on the window;
     * ``complete=False`` marks stats that do not honour the contract;
       the planner then uses them for cost estimates only, never proofs.
+
+    ``sketches``/``distincts`` carry optional mergeable sketches
+    (:class:`repro.fedquery.sketch.MetricSketch` /
+    :class:`~repro.fedquery.sketch.DistinctSketch`) riding the same wire
+    records.  A metric sketch is a *stronger* promise than its
+    ``MetricStats`` row: a store may only publish one built from a
+    complete scan of the metric's rows (all foci, full window), because
+    the tier-0 planner answers aggregates from it without touching the
+    store.  Stores that cannot scan cheaply simply omit sketches and the
+    planner falls back to push-down for them.
     """
 
     executions: int
@@ -200,11 +210,25 @@ class StoreStats:
     types: tuple[str, ...]
     metrics: tuple[MetricStats, ...]
     complete: bool = True
+    sketches: tuple = ()  # tuple[MetricSketch, ...]
+    distincts: tuple = ()  # tuple[DistinctSketch, ...]
 
     def metric(self, name: str) -> MetricStats | None:
         for stats in self.metrics:
             if stats.metric == name:
                 return stats
+        return None
+
+    def sketch(self, name: str):
+        for sketch in self.sketches:
+            if sketch.metric == name:
+                return sketch
+        return None
+
+    def distinct(self, key: str):
+        for sketch in self.distincts:
+            if sketch.key == key:
+                return sketch
         return None
 
     def pack_records(self) -> list[str]:
@@ -217,6 +241,8 @@ class StoreStats:
             f"complete|{1 if self.complete else 0}",
         ]
         records.extend(stats.pack() for stats in self.metrics)
+        records.extend(sketch.pack() for sketch in self.sketches)
+        records.extend(sketch.pack() for sketch in self.distincts)
         return records
 
     @staticmethod
@@ -227,6 +253,8 @@ class StoreStats:
         types: tuple[str, ...] = ()
         metrics: list[MetricStats] = []
         complete = True
+        sketches: list = []
+        distincts: list = []
         for record in records:
             kind, _, rest = record.partition("|")
             try:
@@ -251,6 +279,15 @@ class StoreStats:
                             maximum=float(maximum),
                         )
                     )
+                elif kind == "sketch":
+                    # lazy import: repro.fedquery imports this module
+                    from repro.fedquery.sketch import MetricSketch
+
+                    sketches.append(MetricSketch.unpack(rest))
+                elif kind == "distinct":
+                    from repro.fedquery.sketch import DistinctSketch
+
+                    distincts.append(DistinctSketch.unpack(rest))
                 else:
                     raise ValueError(f"unknown stats record kind {kind!r}")
             except ValueError as exc:
@@ -263,6 +300,8 @@ class StoreStats:
             types=types,
             metrics=tuple(metrics),
             complete=complete,
+            sketches=tuple(sketches),
+            distincts=tuple(distincts),
         )
 
     @classmethod
@@ -270,7 +309,11 @@ class StoreStats:
         """Combine per-execution stats into application-level stats.
 
         Counts add; time/value ranges and foci/types union; the merge is
-        ``complete`` only if every part is.
+        ``complete`` only if every part is.  A metric keeps a merged
+        sketch only when *every* part reporting rows for it carries one
+        — a partial sketch would silently undercount, and tier-0 treats
+        a present sketch as the metric's complete row set.  Distinct
+        sketches merge per key by bitwise OR.
         """
         if not parts:
             return cls(0, 0.0, 0.0, (), (), ())
@@ -299,6 +342,31 @@ class StoreStats:
                             maximum=max(seen.maximum, stats.maximum),
                         )
                 # stats.rows == 0 contributes nothing: keep the seen entry.
+        sketches: list = []
+        for name in by_metric:
+            live = [
+                part for part in parts
+                if (entry := part.metric(name)) is not None and entry.rows
+            ]
+            part_sketches = [part.sketch(name) for part in live]
+            if live and all(sketch is not None for sketch in part_sketches):
+                from repro.fedquery.sketch import MetricSketch
+
+                sketches.append(MetricSketch.merge(part_sketches))
+        distinct_keys: list[str] = []
+        for part in parts:
+            for sketch in part.distincts:
+                if sketch.key not in distinct_keys:
+                    distinct_keys.append(sketch.key)
+        distincts: list = []
+        for key in distinct_keys:
+            from repro.fedquery.sketch import DistinctSketch
+
+            distincts.append(
+                DistinctSketch.merge(
+                    [part.distinct(key) for part in parts if part.distinct(key)]
+                )
+            )
         spanned = [part for part in parts if part.executions]
         return cls(
             executions=sum(part.executions for part in parts),
@@ -308,6 +376,8 @@ class StoreStats:
             types=tuple(types),
             metrics=tuple(by_metric.values()),
             complete=all(part.complete for part in parts),
+            sketches=tuple(sketches),
+            distincts=tuple(distincts),
         )
 
 
@@ -414,8 +484,11 @@ APPLICATION_PORTTYPE = PortType(
                 "Extension: returns store statistics for the application's "
                 "executions — execution count, per-metric row counts and "
                 "value ranges, focus cardinality, and time-window coverage "
-                "— as packed StoreStats records.  Used by the federated "
-                "query cost model to choose raw/aggregate/skip per member."
+                "— as packed StoreStats records, plus optional mergeable "
+                "sketches (per-metric value histograms, per-key distinct "
+                "counts).  Used by the federated query cost model to "
+                "choose raw/aggregate/skip per member and by the tier-0 "
+                "planner to answer aggregates with zero round-trips."
             ),
         ),
     ),
@@ -575,7 +648,8 @@ EXECUTION_PORTTYPE = PortType(
             doc=(
                 "Extension: returns store statistics for this execution — "
                 "per-metric row counts and conservative value ranges, foci, "
-                "types, and time coverage — as packed StoreStats records."
+                "types, and time coverage — as packed StoreStats records, "
+                "plus optional mergeable sketches for tier-0 answers."
             ),
         ),
     ),

@@ -146,6 +146,10 @@ class MemberCost:
     stats_missing: bool = False
     metric_modes: tuple[tuple[str, str], ...] = ()
     vacuous: frozenset[str] = frozenset()
+    #: estimated member round-trips (exec selection + per-metric fetches
+    #: per touched execution); None when stats were unavailable, 0 for
+    #: provable skips — and for tier-0 answers, which never call out
+    est_calls: int | None = None
 
     def metric_mode(self, metric: str) -> str | None:
         for name, mode in self.metric_modes:
@@ -213,6 +217,7 @@ class CostModel:
                 metric_modes=tuple(
                     (metric, "skip") for metric in self.query.metrics
                 ),
+                est_calls=0,
             )
         metric_modes: list[tuple[str, str]] = []
         vacuous: list[str] = []
@@ -236,6 +241,13 @@ class CostModel:
             member_mode = "mixed"
         if not provable:
             reasons.append("stats incomplete: estimates only, no proofs")
+        live_metrics = sum(1 for _, mode in metric_modes if mode != "skip")
+        if member_mode == "skip":
+            est_calls = 0
+        else:
+            # one exec-selection exchange plus one data fetch per live
+            # metric per touched execution
+            est_calls = 1 + live_metrics * max(1, stats.executions)
         return MemberCost(
             mode=member_mode,
             est_rows=est_rows,
@@ -243,6 +255,7 @@ class CostModel:
             reason="; ".join(reasons),
             metric_modes=tuple(metric_modes),
             vacuous=frozenset(vacuous),
+            est_calls=est_calls,
         )
 
     def _member_skip_reason(self, stats: StoreStats) -> str | None:

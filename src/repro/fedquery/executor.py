@@ -60,14 +60,17 @@ from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
 from dataclasses import dataclass, field
 
 from repro.core.prcache import ByteBudgetLruCache, PrCache
-from repro.core.semantic import StoreStats, ordering_key, pr_sort_key
+from repro.core.semantic import AggregateRecord, StoreStats, ordering_key, pr_sort_key
 from repro.fedquery.ast import Query, QueryError
 from repro.fedquery.merge import (
     RAW_COLUMNS,
+    BoundsTracker,
     ResultRow,
     StreamingMerger,
     TaskContext,
     order_rows,
+    pack_bounds,
+    split_bounds,
 )
 from repro.fedquery.parser import parse_query
 from repro.fedquery.planner import MemberPlan, Plan, plan_query
@@ -128,6 +131,12 @@ class QueryResult:
 
     ``errors`` carries one message per failed member task (degraded
     result); such results are never memoized in the plan cache.
+
+    ``approx`` marks a bounded-estimate answer (``execute(...,
+    approx=True)``); ``error_bounds`` then holds one dict per row
+    mapping aggregate column label to its sound ``(lo, hi)`` interval —
+    an empty dict means every cell in that row is exact.  Both default
+    empty so exact-mode callers are unchanged.
     """
 
     rows: list[ResultRow]
@@ -136,6 +145,8 @@ class QueryResult:
     plan: Plan | None
     stats: dict[str, int] = field(default_factory=dict)
     errors: list[str] = field(default_factory=list)
+    approx: bool = False
+    error_bounds: list = field(default_factory=list)
 
 
 class FederationEngine:
@@ -160,6 +171,7 @@ class FederationEngine:
         stream_memoize_max_bytes: int = DEFAULT_MEMOIZE_MAX_BYTES,
         stats_deltas: bool = True,
         accept_encodings: tuple[str, ...] | None = None,
+        tier0: bool = True,
     ) -> None:
         self.client = client
         self.managers = dict(managers or {})
@@ -192,6 +204,9 @@ class FederationEngine:
         #: False reverts data-updates to whole-member stats drops instead
         #: of per-execution delta refreshes
         self.stats_deltas = stats_deltas
+        #: False disables the tier-0 metadata answer path entirely (the
+        #: benchmark's baseline arm); queries then always fan out
+        self.tier0 = tier0
         self._bindings: dict[str, object] | None = None
         self._params: dict[str, dict[str, list[str]]] = {}
         self._metrics: dict[str, list[str]] = {}
@@ -207,7 +222,7 @@ class FederationEngine:
         #: since the member's stats were merged)
         self._stats_dirty: dict[str, set[str]] = {}
         #: how each executed (uncached) plan's effective mode broke down
-        self.plan_modes = {"raw": 0, "aggregate": 0, "mixed": 0, "skip": 0}
+        self.plan_modes = {"raw": 0, "aggregate": 0, "mixed": 0, "skip": 0, "tier0": 0}
         # ---- coherence state (guarded by _coherence_lock) ----
         #: fingerprint -> {(app, exec_id)} read when the entry was cached
         self._plan_deps: dict[str, frozenset[tuple[str, str]]] = {}
@@ -316,7 +331,11 @@ class FederationEngine:
         return lines
 
     def execute(
-        self, query: str | Query, stream: bool = False
+        self,
+        query: str | Query,
+        stream: bool = False,
+        approx: bool = False,
+        tolerance: float | None = None,
     ) -> QueryResult | StreamedResult:
         """Run a federated query.
 
@@ -325,21 +344,43 @@ class FederationEngine:
         :class:`StreamedResult` iterator whose rows arrive incrementally
         — in exactly the order (and bytes) the bulk path would produce —
         holding O(members × chunk) memory instead of the whole result.
+
+        ``approx=True`` (aggregate queries only) admits bounded-error
+        tier-0 answers from merged sketches: the result carries per-cell
+        ``error_bounds`` and members whose sketches are missing — or
+        whose bounds exceed *tolerance* (worst relative error per cell)
+        — fall back to the exact tier-1/2 paths per member.
         """
         query = self._parse(query)
+        if approx and stream:
+            raise QueryError("approx=True cannot stream (bounds need every row)")
+        if approx and not query.is_aggregate:
+            raise QueryError("approx=True requires an aggregate query")
+        if tolerance is not None and not approx:
+            raise QueryError("tolerance requires approx=True")
         if stream:
             return self._execute_stream(query)
-        return self._execute_bulk(query)
+        return self._execute_bulk(query, approx=approx, tolerance=tolerance)
 
-    def _execute_bulk(self, query: Query) -> QueryResult:
+    def _execute_bulk(
+        self, query: Query, approx: bool = False, tolerance: float | None = None
+    ) -> QueryResult:
         fingerprint = query.fingerprint()
+        if approx:
+            # approximate results memoize under a disjoint key: an exact
+            # caller must never be served bounded estimates (or vice
+            # versa), even for the same query text
+            fingerprint += f";approx[tol={tolerance!r}]"
         cached = self.plan_cache.get(fingerprint)
         if cached is not None:
+            packed_rows, cached_bounds = split_bounds(cached)
             return QueryResult(
-                rows=[ResultRow.unpack(r) for r in cached],
+                rows=[ResultRow.unpack(r) for r in packed_rows],
                 columns=query.output_columns,
                 cached=True,
                 plan=None,
+                approx=approx,
+                error_bounds=cached_bounds if approx else [],
             )
         # generation snapshot *before* planning: member stats read during
         # planning, and member data read during the fan-out, are both
@@ -349,9 +390,11 @@ class FederationEngine:
             gen_snapshot = dict(self._generations)
             app_gen_snapshot = dict(self._app_generations)
             epoch_snapshot = self._epoch
-        plan = self._plan(query)
+        plan = self._plan(query, approx=approx, tolerance=tolerance)
         self.plan_modes[plan.effective_mode] += 1
         merger = StreamingMerger(query)
+        fanout_members = [m for m in plan.members if not m.is_tier0]
+        tier0_members = [m for m in plan.members if m.is_tier0]
         stats = {
             "executions": 0,
             "calls": 0,
@@ -361,12 +404,15 @@ class FederationEngine:
             "skippedMembers": len(plan.skipped),
             "estimatedBytes": plan.estimated_bytes,
             "payloadBytes": 0,
+            "tier0Members": len(tier0_members),
+            "estimatedRoundTrips": plan.estimated_round_trips,
         }
         # metrics the planner already proved away (skipped members count
-        # all their metrics; surviving members count omitted sub-queries)
+        # all their metrics; surviving fan-out members count omitted
+        # sub-queries — tier-0 members answered theirs, nothing skipped)
         stats["skipped_metrics"] = len(query.metrics) * (
-            len(plan.members) + len(plan.skipped)
-        ) - sum(len(member.subqueries) for member in plan.members)
+            len(fanout_members) + len(plan.skipped)
+        ) - sum(len(member.subqueries) for member in fanout_members)
         errors: list[str] = []
         deps: set[tuple[str, str]] = set()
         # a stats-proven skip is a read of the member's *statistics*: the
@@ -374,6 +420,31 @@ class FederationEngine:
         # (or stale-discard) this result, so the skip gets re-evaluated
         for skipped in plan.skipped:
             deps.add((skipped.app, "*"))
+        # a tier-0 answer is likewise a read of the member's cached
+        # stats/sketches: the wildcard dep plus the generation-snapshot
+        # comparison in _finish_uncached guarantee an update racing this
+        # query can never leave a stale tier-0 answer in the cache
+        tracker = BoundsTracker(query) if approx and plan.tier0_capable else None
+        for member in tier0_members:
+            deps.add((member.app, "*"))
+            if tracker is not None:
+                tracker.add_estimates(member.app, member.tier0)
+            else:
+                # exact mode: the estimates are provably exact
+                # (zero-width count/sum, proven extrema), so they fold
+                # into the merge as synthetic getPRAgg buckets
+                ctx = TaskContext(app=member.app)
+                for metric, est in member.tier0:
+                    if est.count_hi <= 0.0:
+                        continue
+                    record = AggregateRecord(
+                        "",
+                        int(round(est.count_lo)),
+                        est.sum_lo,
+                        est.min_exact if est.min_exact is not None else est.value_lo,
+                        est.max_exact if est.max_exact is not None else est.value_hi,
+                    )
+                    merger.absorb_aggregates(ctx, metric, [record])
         tasks = self._collect_tasks(plan, stats)
         width = self._fanout_width(tasks)
         if tasks:
@@ -395,10 +466,28 @@ class FederationEngine:
                 raise QueryError(
                     f"all {len(tasks)} member task(s) failed: {'; '.join(errors[:3])}"
                 )
-        rows = order_rows(merger.rows(), query)
+        error_bounds: list[dict[str, tuple[float, float]]] = []
+        if tracker is not None:
+            # interval merge: tier-0 estimates plus the fan-out members'
+            # exact accumulators, with per-cell bounds keyed by group
+            tracker.add_groups(merger.group_accumulators())
+            unordered, bounds_by_key = tracker.rows()
+            rows = order_rows(unordered, query)
+            key_width = len(query.group_by)
+            error_bounds = [
+                bounds_by_key.get(tuple(str(v) for v in row.values[:key_width]), {})
+                for row in rows
+            ]
+        else:
+            rows = order_rows(merger.rows(), query)
+            if approx:
+                # approx requested but the query shape is not tier-0
+                # capable: the exact pipeline answered, every cell exact
+                error_bounds = [{} for _ in rows]
         self._finish_uncached(
             fingerprint, deps, gen_snapshot, app_gen_snapshot, epoch_snapshot,
             rows, errors, degraded=plan.stats_degraded,
+            bounds_records=pack_bounds(error_bounds) if approx else None,
         )
         return QueryResult(
             rows=rows,
@@ -407,6 +496,8 @@ class FederationEngine:
             plan=plan,
             stats=stats,
             errors=errors,
+            approx=approx,
+            error_bounds=error_bounds,
         )
 
     # ----------------------------------------------------------- streaming
@@ -661,6 +752,7 @@ class FederationEngine:
         rows: list[ResultRow],
         errors: list[str],
         degraded: bool = False,
+        bounds_records: list[str] | None = None,
     ) -> None:
         """Memoize a freshly computed result, unless it must not be.
 
@@ -669,7 +761,9 @@ class FederationEngine:
         generations (or the global epoch) moved since the pre-planning
         snapshot are the insert-after-invalidate race and are discarded
         too.  Wildcard deps ``(app, "*")`` — members skipped on a stats
-        proof — compare the *app-level* generation.
+        proof, or answered at tier 0 from cached stats — compare the
+        *app-level* generation.  ``bounds_records`` (approximate
+        results) are stored after the packed rows.
         """
         if errors or degraded:
             return
@@ -683,7 +777,10 @@ class FederationEngine:
             if stale:
                 self.coherence["staleDiscards"] += 1
                 return
-            self.plan_cache.put(fingerprint, [row.pack() for row in rows])
+            self.plan_cache.put(
+                fingerprint,
+                [row.pack() for row in rows] + list(bounds_records or ()),
+            )
             self._plan_deps[fingerprint] = frozenset(deps)
             self._prune_deps_locked()
 
@@ -912,7 +1009,13 @@ class FederationEngine:
             return query.validate()
         return parse_query(query)
 
-    def _plan(self, query: Query) -> Plan:
+    def _plan(
+        self,
+        query: Query,
+        approx: bool = False,
+        tolerance: float | None = None,
+        allow_tier0: bool = True,
+    ) -> Plan:
         members = self.members()
         unknown = [name for name in query.sources if name not in members]
         if unknown:
@@ -925,7 +1028,14 @@ class FederationEngine:
             for name, binding in members.items()
         }
         stats = self._collect_stats(members) if self.cost_based else None
-        return plan_query(query, catalog, stats)
+        return plan_query(
+            query,
+            catalog,
+            stats,
+            approx=approx,
+            tolerance=tolerance,
+            tier0=self.tier0 and allow_tier0,
+        )
 
     def _collect_stats(self, members: dict[str, object]) -> dict[str, StoreStats | None]:
         """Member stats for the cost model, from the per-member cache.
@@ -1021,6 +1131,10 @@ class FederationEngine:
     def _collect_tasks(self, plan: Plan, stats) -> list:
         tasks = []
         for member in plan.members:
+            if member.is_tier0:
+                # answered at plan time from cached stats/sketches — no
+                # execution selection, no calls, nothing to fan out
+                continue
             binding = self.members()[member.app]
             executions = self._select_executions(member, binding, stats)
             if not executions:

@@ -30,7 +30,7 @@ members.  ``Plan.mode`` always records the global (stats-free) choice;
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.core.semantic import StoreStats, UNDEFINED_TYPE
 from repro.fedquery.ast import Query
@@ -43,6 +43,11 @@ from repro.fedquery.pushdown import (
     derive_window,
     focus_allowlist,
     split_predicates,
+)
+from repro.fedquery.sketch import (
+    DistinctSketch,
+    tier0_member_answer,
+    tier0_query_eligible,
 )
 
 #: the attribute name every store answers for unique-execution-id queries
@@ -106,9 +111,34 @@ class MemberPlan:
     needs_info: bool
     needs_exec_id: bool
     cost: MemberCost | None = None  # None -> planned without statistics
+    #: answer tier: "tier0-stats" (exact from metadata), "tier0-sketch"
+    #: (bounded estimate from merged sketches), "pushdown" (getPRAgg),
+    #: or "raw" (getPR rows reduced client-side)
+    tier: str = "pushdown"
+    #: tier-0 payload: ((metric, WindowEstimate), ...) — the member's
+    #: answer, computed at plan time from cached stats, zero round-trips
+    tier0: tuple = ()
+
+    @property
+    def is_tier0(self) -> bool:
+        return self.tier.startswith("tier0")
+
+    @property
+    def est_round_trips(self) -> int | None:
+        """Estimated member calls (0 for tier-0; None without stats)."""
+        if self.is_tier0:
+            return 0
+        if self.cost is not None:
+            return self.cost.est_calls
+        return None
 
     def describe(self) -> list[str]:
-        lines = [f"member {self.app}:"]
+        lines = [f"member {self.app}: tier={self.tier}"]
+        if self.is_tier0:
+            lines.append("  answered from cached stats/sketches (0 round-trips)")
+            if self.cost is not None:
+                lines.append(f"  {self.cost.describe()}")
+            return lines
         lines.append(
             "  execs: "
             + (self.selector.describe() if self.selector else "getAllExecs()")
@@ -121,6 +151,8 @@ class MemberPlan:
             lines.append(f"  getInfo() for group keys {self.group_attrs}")
         if self.cost is not None:
             lines.append(f"  {self.cost.describe()}")
+        if self.est_round_trips is not None:
+            lines.append(f"  est round-trips: {self.est_round_trips}")
         return lines
 
 
@@ -143,19 +175,44 @@ class Plan:
     pruned: tuple[PrunedMember, ...]
     #: members the cost model proved cannot contribute (stats-based)
     skipped: tuple[PrunedMember, ...] = ()
+    #: approximate mode: answers may carry error bounds
+    approx: bool = False
+    #: requested per-cell relative error ceiling (approx mode only)
+    tolerance: float | None = None
+    #: the query *shape* admits tier-0 answers (individual members may
+    #: still fall back when sketches are missing or bounds too wide)
+    tier0_capable: bool = False
+    #: estimated output group count from merged distinct sketches
+    est_groups: int | None = None
 
     @property
     def fingerprint(self) -> str:
-        return self.query.fingerprint()
+        """Plan-cache key: the query fingerprint plus the answer-tier
+        assignment and approx knobs, so a tier-0 plan, a push-down plan,
+        and an approximate plan for the same text never collide."""
+        base = self.query.fingerprint()
+        tier0 = ",".join(
+            f"{member.app}={member.tier}"
+            for member in self.members
+            if member.is_tier0
+        )
+        if tier0:
+            base += f";tier0[{tier0}]"
+        if self.approx:
+            base += f";approx[tol={self.tolerance!r}]"
+        return base
 
     @property
     def effective_mode(self) -> str:
         """What the cost model actually picked across the federation:
-        ``raw`` / ``aggregate`` when uniform, ``mixed`` when members (or
+        ``raw`` / ``aggregate`` when uniform, ``tier0`` when every
+        member answers from metadata, ``mixed`` when members (or
         metrics within one member) diverge, ``skip`` when statistics
         proved no member can contribute."""
         modes = {
-            member.cost.mode if member.cost is not None else self.mode
+            "tier0"
+            if member.is_tier0
+            else (member.cost.mode if member.cost is not None else self.mode)
             for member in self.members
         }
         if self.skipped:
@@ -164,7 +221,21 @@ class Plan:
             return self.mode
         if len(modes) == 1:
             return next(iter(modes))
+        if modes == {"tier0", "skip"}:
+            return "tier0"
         return "mixed"
+
+    @property
+    def estimated_round_trips(self) -> int:
+        """Estimated member calls across the plan (tier-0 members count
+        zero; members planned without stats estimate one per subquery)."""
+        total = 0
+        for member in self.members:
+            est = member.est_round_trips
+            if est is None:
+                est = 1 + len(member.subqueries)
+            total += est
+        return total
 
     @property
     def estimated_bytes(self) -> int:
@@ -191,6 +262,11 @@ class Plan:
             lines.append("mode: aggregate (stores return count/total/min/max buckets)")
         else:
             lines.append("mode: raw (getPR rows reduced client-side)")
+        if self.approx:
+            tol = "none" if self.tolerance is None else repr(self.tolerance)
+            lines.append(f"approx: estimates with error bounds (tolerance: {tol})")
+        if self.tier0_capable:
+            lines.append("tier0: query shape answerable from cached stats/sketches")
         lines.append(f"window: [{self.window[0]!r}, {self.window[1]!r}]")
         if self.split.value and not self.bounds.pushable:
             lines.append("value predicates: strict comparison, filtered client-side")
@@ -200,6 +276,11 @@ class Plan:
             lines.append(f"skipped {skipped.app}: stats prove {skipped.reason}")
         for pruned in self.pruned:
             lines.append(f"pruned {pruned.app}: {pruned.reason}")
+        lines.append(f"estimated round-trips: {self.estimated_round_trips}")
+        if self.est_groups is not None:
+            lines.append(
+                f"estimated output groups: {self.est_groups} (distinct sketches)"
+            )
         return "\n".join(lines)
 
 
@@ -314,10 +395,53 @@ def _member_subqueries(
     return tuple(subqueries)
 
 
+def _estimate_groups(
+    query: Query, stats: dict[str, StoreStats | None], member_apps: list[str]
+) -> int | None:
+    """Output-cardinality estimate from merged distinct sketches.
+
+    Per group key, member sketches OR together (so a value shared by
+    many members counts once) and the per-key estimates multiply —
+    ``None`` when any key has no sketch anywhere.  Estimates only: this
+    feeds ``explainPlan``, never a correctness decision.
+    """
+    if not query.group_by:
+        return None
+    estimate = 1.0
+    for key in query.group_by:
+        if key == "app":
+            estimate *= max(1, len(member_apps))
+            continue
+        if key == "focus":
+            foci = {
+                focus
+                for app in member_apps
+                if (member_stats := stats.get(app)) is not None
+                for focus in member_stats.foci
+            }
+            if not foci:
+                return None
+            estimate *= len(foci)
+            continue
+        sketches = [
+            sketch
+            for app in member_apps
+            if (member_stats := stats.get(app)) is not None
+            and (sketch := member_stats.distinct(key)) is not None
+        ]
+        if not sketches:
+            return None
+        estimate *= max(1.0, DistinctSketch.merge(sketches).estimate())
+    return max(1, round(estimate))
+
+
 def plan_query(
     query: Query,
     catalog: dict[str, dict[str, list[str]]],
     stats: dict[str, StoreStats | None] | None = None,
+    approx: bool = False,
+    tolerance: float | None = None,
+    tier0: bool = True,
 ) -> Plan:
     """Compile *query* against *catalog* (member name -> query params).
 
@@ -330,6 +454,14 @@ def plan_query(
     member whose stats could not be fetched) enables cost-based
     per-member plan selection; omitted entirely, the plan is the
     pre-cost-model global plan.
+
+    With *tier0* (and stats), members whose cached stats/sketches fully
+    answer an eligible aggregate query are planned at tier 0: no
+    selector, no subqueries, zero round-trips — the executor folds the
+    plan-time :class:`~repro.fedquery.sketch.WindowEstimate` partials
+    straight into the merge.  *approx* admits bounded-error tier-0
+    answers (optionally capped at *tolerance* relative error); exact
+    mode only takes provably-exact ones.
     """
     split = split_predicates(query)
     window = derive_window(split.time)
@@ -345,6 +477,11 @@ def plan_query(
         CostModel(query, split, window, bounds, allowlist, mode)
         if stats is not None
         else None
+    )
+    tier0_capable = (
+        tier0
+        and stats is not None
+        and tier0_query_eligible(query, split, window, allowlist)
     )
 
     members: list[MemberPlan] = []
@@ -370,19 +507,47 @@ def plan_query(
         if cost is not None and cost.mode == "skip":
             skipped.append(PrunedMember(app, cost.reason))
             continue
+        answer = (
+            tier0_member_answer(query, split.value, stats.get(app), approx, tolerance)
+            if tier0_capable
+            else None
+        )
+        if answer is not None:
+            tier_label, partials = answer
+            members.append(
+                MemberPlan(
+                    app=app,
+                    selector=None,
+                    subqueries=(),
+                    foci=None,
+                    group_attrs=(),
+                    needs_info=False,
+                    needs_exec_id=False,
+                    cost=replace(cost, est_rows=0, est_bytes=0, est_calls=0)
+                    if cost is not None
+                    else None,
+                    tier=tier_label,
+                    tier0=partials,
+                )
+            )
+            continue
+        subqueries = _member_subqueries(
+            query, window, bounds, result_type, aggregate,
+            group_by_focus, cost,
+        )
         members.append(
             MemberPlan(
                 app=app,
                 selector=_build_selector(split, params),
-                subqueries=_member_subqueries(
-                    query, window, bounds, result_type, aggregate,
-                    group_by_focus, cost,
-                ),
+                subqueries=subqueries,
                 foci=allowlist,
                 group_attrs=group_attrs,
                 needs_info=bool(group_attrs),
                 needs_exec_id=needs_exec_id,
                 cost=cost,
+                tier="pushdown"
+                if any(sub.mode == "aggregate" for sub in subqueries)
+                else "raw",
             )
         )
     return Plan(
@@ -394,4 +559,12 @@ def plan_query(
         members=tuple(members),
         pruned=tuple(pruned),
         skipped=tuple(skipped),
+        approx=approx,
+        tolerance=tolerance,
+        tier0_capable=tier0_capable,
+        est_groups=_estimate_groups(
+            query, stats, [member.app for member in members]
+        )
+        if stats is not None
+        else None,
     )

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from repro.core.semantic import PPERFGRID_NS
 from repro.fedquery.executor import FederationEngine
+from repro.fedquery.merge import pack_bounds
 from repro.ogsi.cursor import deploy_cursor
 from repro.ogsi.porttypes import GRID_SERVICE_PORTTYPE
 from repro.ogsi.service import GridServiceBase
@@ -35,6 +36,24 @@ FEDERATED_QUERY_PORTTYPE = PortType(
                 "Plan and execute a federated query (SELECT ... FROM ... "
                 "WHERE ... GROUP BY ...). Returns one string per result "
                 "row, each a '|'-delimited list of column=value fields."
+            ),
+        ),
+        Operation(
+            "queryApprox",
+            (
+                Parameter("queryText", "xsd:string"),
+                Parameter("tolerance", "xsd:string"),
+            ),
+            "xsd:string[]",
+            doc=(
+                "Approximate federated aggregate query: eligible members "
+                "are answered at tier 0 from merged metric sketches "
+                "(zero member round-trips), the rest fall back to the "
+                "exact paths. Returns the packed result rows followed by "
+                "'@bounds|row|label|lo|hi' records giving each inexact "
+                "cell's sound error interval. 'tolerance' caps the "
+                "worst per-cell relative error a sketch answer may carry "
+                "('' = no cap); members over the cap fall back to exact."
             ),
         ),
         Operation(
@@ -154,6 +173,18 @@ class FederatedQueryService(GridServiceBase):
         self.require_active()
         result = self.engine.execute(queryText)
         return [row.pack() for row in result.rows]
+
+    def queryApprox(self, queryText: str, tolerance: str = "") -> list[str]:
+        """Approximate query; rows then ``@bounds`` records (see wire doc)."""
+        self.require_active()
+        result = self.engine.execute(
+            queryText,
+            approx=True,
+            tolerance=float(tolerance) if str(tolerance).strip() else None,
+        )
+        packed = [row.pack() for row in result.rows]
+        packed.extend(pack_bounds(result.error_bounds))
+        return packed
 
     def queryChunked(self, queryText: str) -> str:
         """Streamed query: deploy a ResultCursor over the engine's

@@ -247,9 +247,12 @@ class ViewMaintainer:
                 self._refresh_view(view)
 
     # ----------------------------------------------------------- internals
+    # Maintenance plans always pass allow_tier0=False: a tier-0 member
+    # has no executions to partition by, and view deltas *replace*
+    # per-(app, exec) partition snapshots — it must fetch real data.
     def _apply_delta(self, view: MaterializedView, app: str, exec_id: str) -> None:
         """Semi-naive step: replace exactly the updated partition."""
-        plan = self.engine._plan(view.query)
+        plan = self.engine._plan(view.query, allow_tier0=False)
         view.deps = self._plan_deps(plan)
         member = next((m for m in plan.members if m.app == app), None)
         if member is None:
@@ -279,7 +282,7 @@ class ViewMaintainer:
 
     def _recompute_member(self, view: MaterializedView, app: str) -> None:
         """Scoped recompute: rebuild only *app*'s partitions."""
-        plan = self.engine._plan(view.query)
+        plan = self.engine._plan(view.query, allow_tier0=False)
         view.deps = self._plan_deps(plan)
         for key in [k for k in view.partitions if k[0] == app]:
             del view.partitions[key]
@@ -320,7 +323,7 @@ class ViewMaintainer:
 
     def _rebuild(self, view: MaterializedView) -> list[ResultRow]:
         """Full collection: fetch every member's partitions, then fold."""
-        plan = self.engine._plan(view.query)
+        plan = self.engine._plan(view.query, allow_tier0=False)
         view.partitions = {}
         view.deps = self._plan_deps(plan)
         for member in plan.members:

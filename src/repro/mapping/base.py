@@ -11,6 +11,7 @@ obtained per execution id via :meth:`ApplicationWrapper.execution`.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from dataclasses import replace
 from typing import Iterator
 
 from repro.core.semantic import (
@@ -69,9 +70,37 @@ class ApplicationWrapper(ABC):
         ``rows == 0`` exact, value ranges conservative supersets, foci
         and types complete — or set ``complete=False``.
         """
-        return StoreStats.merge(
-            [self.execution(exec_id).get_stats() for exec_id in self.get_all_exec_ids()]
+        exec_ids = self.get_all_exec_ids()
+        merged = StoreStats.merge(
+            [self.execution(exec_id).get_stats() for exec_id in exec_ids]
         )
+        if merged.distinct("exec") is None:
+            from repro.fedquery.sketch import DistinctSketch
+
+            merged = replace(
+                merged,
+                distincts=merged.distincts
+                + (DistinctSketch.from_values("exec", exec_ids),),
+            )
+        return merged
+
+    def attribute_distincts(self) -> tuple:
+        """Distinct-count sketches for this store's group keys.
+
+        One sketch per published query attribute plus the execution ids
+        — exact inputs here (the stores enumerate their values), but the
+        sketches stay estimates after federation-wide merges, which is
+        all the planner uses them for (group-cardinality estimates in
+        ``explainPlan``, never proofs).  Store-specific ``get_stats``
+        overrides attach these; the generic fallback gets per-execution
+        distincts through :meth:`StoreStats.merge` instead.
+        """
+        from repro.fedquery.sketch import DistinctSketch
+
+        sketches = [DistinctSketch.from_values("exec", self.get_all_exec_ids())]
+        for attr, values in sorted(self.get_exec_query_params().items()):
+            sketches.append(DistinctSketch.from_values(attr, values))
+        return tuple(sketches)
 
     @staticmethod
     def check_operator(operator: str) -> None:
@@ -209,17 +238,24 @@ class ExecutionWrapper(ABC):
         Generic fallback: exact by construction — it runs :meth:`get_pr`
         per metric over all foci and the full time window and counts what
         comes back, so the :class:`repro.core.semantic.StoreStats`
-        soundness contract holds trivially.  Store wrappers override this
-        with cheap native queries when a full scan would be expensive.
+        soundness contract holds trivially.  Because that is a complete
+        scan, the same values legitimately feed per-metric
+        :class:`~repro.fedquery.sketch.MetricSketch` histograms (the
+        tier-0 exactness contract).  Store wrappers override this with
+        cheap native queries when a full scan would be expensive.
         """
+        from repro.fedquery.sketch import distincts_from_values, sketches_from_values
+
         foci = self.get_foci()
         start, end = self.get_time_start_end()
         metrics = []
+        scanned: dict[str, list[float]] = {}
         for metric in self.get_metrics():
             values = [
                 result.value
                 for result in self.get_pr(metric, foci, 0.0, 1e30, UNDEFINED_TYPE)
             ]
+            scanned[metric] = values
             metrics.append(
                 MetricStats(
                     metric=metric,
@@ -235,6 +271,10 @@ class ExecutionWrapper(ABC):
             foci=tuple(foci),
             types=tuple(self.get_types()),
             metrics=tuple(metrics),
+            sketches=sketches_from_values(scanned),
+            distincts=distincts_from_values(
+                {key: [value] for key, value in self.get_info()}
+            ),
         )
 
 

@@ -105,7 +105,13 @@ class InMemoryWrapper(ApplicationWrapper):
 
 
 def _memory_stats(execution: InMemoryExecution) -> StoreStats:
-    """Exact stats straight off the result list."""
+    """Exact stats straight off the result list.
+
+    The result list *is* the complete row set, so the per-metric
+    sketches honour the tier-0 exactness contract by construction.
+    """
+    from repro.fedquery.sketch import distincts_from_values, sketches_from_values
+
     values: dict[str, list[float]] = {}
     foci: list[str] = []
     types: list[str] = []
@@ -116,6 +122,9 @@ def _memory_stats(execution: InMemoryExecution) -> StoreStats:
         if result.result_type not in types:
             types.append(result.result_type)
     start, end = execution.time_span()
+    keys = {"exec": [execution.exec_id]}
+    for attr, attr_value in execution.attrs.items():
+        keys[attr] = [attr_value]
     return StoreStats(
         executions=1,
         start=start,
@@ -126,6 +135,8 @@ def _memory_stats(execution: InMemoryExecution) -> StoreStats:
             MetricStats(metric, len(vals), min(vals), max(vals))
             for metric, vals in sorted(values.items())
         ),
+        sketches=sketches_from_values(values),
+        distincts=distincts_from_values(keys),
     )
 
 

@@ -101,7 +101,12 @@ class PerfDmfWrapper(ApplicationWrapper):
 
     def get_stats(self) -> StoreStats:
         """SQL aggregates over the profile tables (already pre-reduced)."""
-        return _perfdmf_stats(self.conn, app_id=self.app_id, trial_id=None)
+        from dataclasses import replace
+
+        return replace(
+            _perfdmf_stats(self.conn, app_id=self.app_id, trial_id=None),
+            distincts=self.attribute_distincts(),
+        )
 
 
 def _perfdmf_stats(conn: Connection, app_id: int | None, trial_id: int | None) -> StoreStats:
@@ -135,6 +140,7 @@ def _perfdmf_stats(conn: Connection, app_id: int | None, trial_id: int | None) -
             "JOIN experiment e ON t.exp_id = e.exp_id "
         )
     metrics = []
+    scanned: dict[str, list[float]] = {}
     for metric, column in sorted(PerfDmfWrapper._METRIC_COLUMNS.items()):
         metric_name = "TIME" if metric == "time_spent" else "CALLS"
         stats_row = conn.execute(
@@ -145,6 +151,17 @@ def _perfdmf_stats(conn: Connection, app_id: int | None, trial_id: int | None) -
             params + [metric_name],
         ).fetchone()
         assert stats_row is not None
+        # profiles hold one row per (trial, focus, metric), so this scan
+        # is the complete get_pr row set the tier-0 sketches require
+        scanned[metric] = [
+            float(value_row[0])
+            for value_row in conn.execute(
+                f"SELECT ie.{column} FROM interval_event ie {ie_join}"
+                "JOIN metric m ON ie.metric_id = m.metric_id "
+                f"WHERE {ie_where} AND m.name = ?",
+                params + [metric_name],
+            ).fetchall()
+        ]
         metrics.append(
             MetricStats(
                 metric=metric,
@@ -158,6 +175,9 @@ def _perfdmf_stats(conn: Connection, app_id: int | None, trial_id: int | None) -
         f"WHERE {ie_where} ORDER BY ie.event_group, ie.event_name",
         params,
     )
+    from repro.fedquery.sketch import distincts_from_values, sketches_from_values
+
+    distinct_keys = {} if trial_id is None else {"exec": [str(trial_id)]}
     return StoreStats(
         executions=execs,
         start=0.0,
@@ -165,6 +185,8 @@ def _perfdmf_stats(conn: Connection, app_id: int | None, trial_id: int | None) -
         foci=tuple(f"/Code/{grp}/{name}" for grp, name in foci_cursor.fetchall()),
         types=(PerfDmfWrapper.result_type,),
         metrics=tuple(metrics),
+        sketches=sketches_from_values(scanned),
+        distincts=distincts_from_values(distinct_keys),
     )
 
 

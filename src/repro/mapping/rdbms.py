@@ -149,13 +149,25 @@ class HplRdbmsWrapper(ApplicationWrapper):
         ``get_pr`` renders one ``/Run`` result per run per metric, so the
         per-metric row count is the execution count and the value range
         is the column MIN/MAX — exact, hence trivially conservative.
+        The metric columns are also the complete row sets, so one column
+        scan per metric builds tier-0 sketches honouring the exactness
+        contract.
         """
+        from repro.fedquery.sketch import sketches_from_values
+
         count = int(self.conn.execute("SELECT COUNT(*) FROM hpl_runs").scalar() or 0)
         metrics = []
+        scanned: dict[str, list[float]] = {}
         for metric in self.METRICS:
             row = self.conn.execute(
                 f"SELECT MIN({metric}), MAX({metric}) FROM hpl_runs"
             ).fetchone()
+            scanned[metric] = [
+                float(value_row[0])
+                for value_row in self.conn.execute(
+                    f"SELECT {metric} FROM hpl_runs"
+                ).fetchall()
+            ]
             metrics.append(
                 MetricStats(
                     metric=metric,
@@ -172,6 +184,8 @@ class HplRdbmsWrapper(ApplicationWrapper):
             foci=tuple(self.FOCI),
             types=(self.result_type,),
             metrics=tuple(metrics),
+            sketches=sketches_from_values(scanned),
+            distincts=self.attribute_distincts(),
         )
 
 
@@ -289,6 +303,8 @@ class HplRdbmsExecutionWrapper(ExecutionWrapper):
 
     def get_stats(self) -> StoreStats:
         """One row read: each metric is a single scalar for this run."""
+        from repro.fedquery.sketch import distincts_from_values, sketches_from_values
+
         row = self.conn.execute(
             "SELECT gflops, runtimesec, resid FROM hpl_runs WHERE runid = ?",
             [self.runid],
@@ -310,6 +326,10 @@ class HplRdbmsExecutionWrapper(ExecutionWrapper):
             foci=tuple(HplRdbmsWrapper.FOCI),
             types=(HplRdbmsWrapper.result_type,),
             metrics=metrics,
+            sketches=sketches_from_values(
+                {metric: [float(value)] for metric, value in values.items()}
+            ),
+            distincts=distincts_from_values({"exec": [str(self.runid)]}),
         )
 
 
@@ -384,8 +404,19 @@ class Smg98RdbmsWrapper(ApplicationWrapper):
         (bounded by the table-wide totals, and present even when zero —
         hence their row count is the execution count, not the message
         count).
+
+        Deliberately publishes *no* metric sketches: every metric's
+        ``get_pr`` values are derived (sums/counts over the trace), so
+        building an exact sketch would cost the very derivation scan
+        stats exist to avoid.  The tier-0 planner therefore falls back
+        to push-down for SMG98 members — the designed mixed-tier case.
         """
-        return _smg98_stats(self.conn, execid=None)
+        from dataclasses import replace
+
+        return replace(
+            _smg98_stats(self.conn, execid=None),
+            distincts=self.attribute_distincts(),
+        )
 
 
 def _smg98_stats(conn: Connection, execid: int | None) -> StoreStats:
@@ -774,17 +805,25 @@ class PrestaRdbmsWrapper(ApplicationWrapper):
 
     def get_stats(self) -> StoreStats:
         """Exact counts/ranges straight off ``rma_results``."""
-        return _presta_rdbms_stats(self.conn, execid=None)
+        from dataclasses import replace
+
+        return replace(
+            _presta_rdbms_stats(self.conn, execid=None),
+            distincts=self.attribute_distincts(),
+        )
 
 
 def _presta_rdbms_stats(conn: Connection, execid: int | None) -> StoreStats:
     """Shared PRESTA stats query, optionally scoped to one execution.
 
     ``get_pr`` renders one result per ``rma_results`` row per metric, so
-    row counts and value ranges are exact column aggregates.  Stats foci
-    are the *query* foci (``/Op/<op>``, what ``get_foci`` returns), not
-    the per-msgsize result foci.
+    row counts and value ranges are exact column aggregates — and one
+    column scan per metric yields the complete row set the tier-0
+    sketches require.  Stats foci are the *query* foci (``/Op/<op>``,
+    what ``get_foci`` returns), not the per-msgsize result foci.
     """
+    from repro.fedquery.sketch import distincts_from_values, sketches_from_values
+
     where = "" if execid is None else " WHERE execid = ?"
     params: list[object] = [] if execid is None else [execid]
     if execid is None:
@@ -799,10 +838,17 @@ def _presta_rdbms_stats(conn: Connection, execid: int | None) -> StoreStats:
     end = float(span[1]) if span is not None and span[1] is not None else 0.0
     rows = int(conn.execute(f"SELECT COUNT(*) FROM rma_results{where}", params).scalar() or 0)
     metrics = []
+    scanned: dict[str, list[float]] = {}
     for metric in PrestaRdbmsWrapper.METRICS:
         bounds = conn.execute(
             f"SELECT MIN({metric}), MAX({metric}) FROM rma_results{where}", params
         ).fetchone()
+        scanned[metric] = [
+            float(value_row[0])
+            for value_row in conn.execute(
+                f"SELECT {metric} FROM rma_results{where}", params
+            ).fetchall()
+        ]
         metrics.append(
             MetricStats(
                 metric=metric,
@@ -812,6 +858,7 @@ def _presta_rdbms_stats(conn: Connection, execid: int | None) -> StoreStats:
             )
         )
     ops = conn.execute(f"SELECT DISTINCT op FROM rma_results{where} ORDER BY op", params)
+    distinct_keys = {} if execid is None else {"exec": [str(execid)]}
     return StoreStats(
         executions=execs,
         start=start,
@@ -819,6 +866,8 @@ def _presta_rdbms_stats(conn: Connection, execid: int | None) -> StoreStats:
         foci=tuple(f"/Op/{row[0]}" for row in ops.fetchall()),
         types=(PrestaRdbmsWrapper.result_type,),
         metrics=tuple(metrics),
+        sketches=sketches_from_values(scanned),
+        distincts=distincts_from_values(distinct_keys),
     )
 
 

@@ -94,9 +94,12 @@ class PrestaTextWrapper(ApplicationWrapper):
 
     def get_stats(self) -> StoreStats:
         """One parse per file (the cheapest this Data Layer offers)."""
-        return StoreStats.merge(
+        from dataclasses import replace
+
+        merged = StoreStats.merge(
             [_presta_text_stats(self.store, execid) for execid in self.store.execution_ids()]
         )
+        return replace(merged, distincts=self.attribute_distincts())
 
 
 def _presta_text_stats(store: TextFileStore, execid: int) -> StoreStats:
@@ -104,9 +107,13 @@ def _presta_text_stats(store: TextFileStore, execid: int) -> StoreStats:
 
     ``get_pr`` renders one result per measurement row per metric, so the
     row count is the measurement count and ranges are exact column
-    min/max.  Stats foci are the query foci (``/Op/<op>``), matching
-    ``get_foci``, not the per-msgsize result foci.
+    min/max — and the measurement columns are the complete row sets the
+    per-metric sketches require.  Stats foci are the query foci
+    (``/Op/<op>``), matching ``get_foci``, not the per-msgsize result
+    foci.
     """
+    from repro.fedquery.sketch import distincts_from_values, sketches_from_values
+
     execution = store.load(execid)
     latencies = [float(row[3]) for row in execution.measurements]
     bandwidths = [float(row[4]) for row in execution.measurements]
@@ -128,6 +135,10 @@ def _presta_text_stats(store: TextFileStore, execid: int) -> StoreStats:
         foci=tuple(f"/Op/{op}" for op in ops),
         types=(PrestaTextWrapper.result_type,),
         metrics=metrics,
+        sketches=sketches_from_values(
+            {"bandwidth_mbps": bandwidths, "latency_us": latencies}
+        ),
+        distincts=distincts_from_values({"exec": [str(execid)]}),
     )
 
 

@@ -86,19 +86,29 @@ class HplXmlWrapper(ApplicationWrapper):
 
         ``get_pr`` returns one ``/Run`` result per run that carries the
         metric attribute, so per-metric row counts are presence counts
-        and ranges are exact attribute min/max.
+        and ranges are exact attribute min/max — the same pass collects
+        the complete value lists the tier-0 sketches require.
         """
-        return _hpl_xml_stats(list(self.store.runs()))
+        from dataclasses import replace
+
+        return replace(
+            _hpl_xml_stats(list(self.store.runs())),
+            distincts=self.attribute_distincts(),
+        )
 
 
 def _hpl_xml_stats(runs: list) -> StoreStats:
+    from repro.fedquery.sketch import sketches_from_values
+
     metrics = []
+    scanned: dict[str, list[float]] = {}
     for metric in sorted(HplXmlWrapper.METRICS):
         values = []
         for run in runs:
             raw = run.get(metric)
             if raw is not None:
                 values.append(float(raw))
+        scanned[metric] = values
         metrics.append(
             MetricStats(
                 metric=metric,
@@ -115,6 +125,7 @@ def _hpl_xml_stats(runs: list) -> StoreStats:
         foci=("/Run",),
         types=(HplXmlWrapper.result_type,),
         metrics=tuple(metrics),
+        sketches=sketches_from_values(scanned),
     )
 
 

@@ -1,0 +1,272 @@
+"""Approximate federated queries: bounded answers from merged sketches.
+
+The contract under test: every cell of an ``approx=True`` answer either
+is exact or carries a sound ``(lo, hi)`` interval containing the true
+aggregate; a requested ``tolerance`` makes over-wide members fall back
+to the exact paths; sketchless members always fall back.  The main
+suite is randomized (honouring ``--seed`` like the oracle) and checks
+every reported bound against ground truth computed directly from the
+backing values.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.core.semantic import PerformanceResult
+from repro.experiments.common import build_synthetic_grid
+from repro.fedquery import QueryError
+from repro.mapping.memory import InMemoryExecution, InMemoryWrapper
+
+METRIC = "m"
+
+
+def build_federation(values_by_app: dict[str, list[float]]):
+    wrappers = {
+        app: InMemoryWrapper(
+            app,
+            [
+                InMemoryExecution(
+                    "0", {"numprocs": "4"},
+                    [
+                        PerformanceResult(METRIC, "/R", "synthetic", 0.0, 1.0, v)
+                        for v in vals
+                    ],
+                )
+            ],
+        )
+        for app, vals in values_by_app.items()
+    }
+    grid = build_synthetic_grid(wrappers)
+    return grid, grid.deploy_federation()
+
+
+def ground_truth(values_by_app: dict[str, list[float]], threshold: float):
+    """Exact per-app (count, sum, mean) for ``value > threshold``."""
+    truth = {}
+    for app, vals in values_by_app.items():
+        selected = [v for v in vals if v > threshold]
+        if selected:
+            truth[app] = (
+                len(selected), math.fsum(selected), math.fsum(selected) / len(selected)
+            )
+    return truth
+
+
+def assert_row_within_bounds(row, bounds, truth_cells):
+    labels = (f"count({METRIC})", f"sum({METRIC})", f"mean({METRIC})")
+    for label, exact in zip(labels, truth_cells):
+        got = row[label]
+        if label in bounds:
+            low, high = bounds[label]
+            assert low <= exact <= high, f"{label}: {exact} outside [{low}, {high}]"
+            assert low <= got <= high  # the estimate itself respects them
+        else:
+            # no interval reported: the cell claims exactness
+            assert got == pytest.approx(exact, rel=1e-9, abs=1e-12), label
+
+
+class TestRandomizedWithinBounds:
+    def test_every_bound_contains_ground_truth(self, oracle_seed):
+        rng = random.Random(5100 + oracle_seed)
+        for trial in range(8):
+            values_by_app = {
+                f"APP{i}": [
+                    rng.uniform(0.0, 1000.0)
+                    for _ in range(rng.randint(5, 80))
+                ]
+                for i in range(rng.randint(2, 4))
+            }
+            grid, engine = build_federation(values_by_app)
+            try:
+                for _ in range(4):
+                    threshold = rng.uniform(-100.0, 1100.0)
+                    query = (
+                        f"SELECT count({METRIC}), sum({METRIC}), mean({METRIC}) "
+                        f"WHERE value > {threshold!r} GROUP BY app"
+                    )
+                    result = engine.execute(query, approx=True)
+                    assert result.approx is True
+                    assert result.stats["calls"] == 0, "sketches answer every member"
+                    truth = ground_truth(values_by_app, threshold)
+                    assert {row["app"] for row in result.rows} <= set(values_by_app)
+                    for row, bounds in zip(result.rows, result.error_bounds):
+                        app = row["app"]
+                        if app in truth:
+                            assert_row_within_bounds(row, bounds, truth[app])
+                        else:
+                            # emitted on a nonzero *estimate* while the
+                            # true count is 0: the intervals must still
+                            # contain the truth (count and sum both 0)
+                            low, high = bounds[f"count({METRIC})"]
+                            assert low <= 0.0 <= high
+                            low, high = bounds[f"sum({METRIC})"]
+                            assert low <= 0.0 <= high
+                    reported = {row["app"] for row in result.rows}
+                    for app, cells in truth.items():
+                        if app not in reported:
+                            # soundly omitted only if the count could be 0,
+                            # i.e. nothing *provably* matched
+                            assert cells[0] >= 1
+            finally:
+                grid.cleanup()
+
+    def test_integer_valued_data_often_exact(self, oracle_seed):
+        """Vacuous windows over integer data give exact tier-0 answers
+        even through the approximate entry point (empty bounds)."""
+        rng = random.Random(6200 + oracle_seed)
+        values_by_app = {
+            "A": [float(rng.randint(1, 100)) for _ in range(30)],
+        }
+        grid, engine = build_federation(values_by_app)
+        try:
+            result = engine.execute(
+                f"SELECT count({METRIC}), sum({METRIC}) "
+                f"WHERE value > 0.0 GROUP BY app",
+                approx=True,
+            )
+            assert result.stats["calls"] == 0
+            assert result.error_bounds == [{}]
+            truth = ground_truth(values_by_app, 0.0)["A"]
+            assert result.rows[0][f"count({METRIC})"] == truth[0]
+            assert result.rows[0][f"sum({METRIC})"] == pytest.approx(truth[1])
+        finally:
+            grid.cleanup()
+
+
+class TestToleranceFallback:
+    VALUES = {"A": [float(v) for v in range(1, 101)], "B": [5.0, 500.0, 995.0]}
+    QUERY = (
+        f"SELECT count({METRIC}), sum({METRIC}), mean({METRIC}) "
+        f"WHERE value > 50.0 GROUP BY app"
+    )
+
+    def test_zero_tolerance_forces_exact_fallback(self):
+        grid, engine = build_federation(self.VALUES)
+        try:
+            result = engine.execute(self.QUERY, approx=True, tolerance=0.0)
+            # every member's sketch bounds are wider than 0 here, so all
+            # fall back: real fan-out, exact cells, no intervals
+            assert result.stats["calls"] > 0
+            assert result.stats["tier0Members"] == 0
+            assert all(bounds == {} for bounds in result.error_bounds)
+            truth = ground_truth(self.VALUES, 50.0)
+            for row in result.rows:
+                count, total, mean = truth[row["app"]]
+                assert row[f"count({METRIC})"] == count
+                assert row[f"sum({METRIC})"] == pytest.approx(total)
+                assert row[f"mean({METRIC})"] == pytest.approx(mean)
+        finally:
+            grid.cleanup()
+
+    def test_loose_tolerance_keeps_tier0(self):
+        grid, engine = build_federation(self.VALUES)
+        try:
+            result = engine.execute(self.QUERY, approx=True, tolerance=10.0)
+            assert result.stats["calls"] == 0
+            assert result.stats["tier0Members"] == 2
+            assert any(bounds for bounds in result.error_bounds)
+        finally:
+            grid.cleanup()
+
+    def test_tolerance_prunes_only_over_wide_members(self):
+        """A tight-but-nonzero tolerance keeps narrow-bound members at
+        tier 0 while wide-bound ones fall back — per member."""
+        values = {
+            # vacuous window: provably exact, rel error 0
+            "EXACT": [float(v) for v in range(60, 90)],
+            # straddling window: genuinely wide bounds
+            "WIDE": [1.0, 49.0, 51.0, 99.0],
+        }
+        grid, engine = build_federation(values)
+        try:
+            result = engine.execute(self.QUERY, approx=True, tolerance=1e-6)
+            tiers = {m.app: m.tier for m in result.plan.members}
+            assert tiers["EXACT"] == "tier0-stats"
+            assert not result.plan.members[
+                [m.app for m in result.plan.members].index("WIDE")
+            ].is_tier0
+            truth = ground_truth(values, 50.0)
+            for row in result.rows:
+                count, total, _ = truth[row["app"]]
+                assert row[f"count({METRIC})"] == count
+                assert row[f"sum({METRIC})"] == pytest.approx(total)
+        finally:
+            grid.cleanup()
+
+
+class TestStructuralFallbacks:
+    def test_sketchless_member_falls_back_in_approx_mode(self):
+        import dataclasses
+
+        values = {"A": [float(v) for v in range(1, 51)], "B": [10.0, 60.0, 90.0]}
+        wrappers = {
+            app: InMemoryWrapper(
+                app,
+                [
+                    InMemoryExecution(
+                        "0", {},
+                        [
+                            PerformanceResult(METRIC, "/R", "synthetic", 0.0, 1.0, v)
+                            for v in vals
+                        ],
+                    )
+                ],
+            )
+            for app, vals in values.items()
+        }
+        real_stats = wrappers["B"].get_stats
+        wrappers["B"].get_stats = lambda: dataclasses.replace(
+            real_stats(), sketches=()
+        )
+        grid = build_synthetic_grid(wrappers)
+        engine = grid.deploy_federation()
+        try:
+            result = engine.execute(
+                f"SELECT count({METRIC}) WHERE value > 25.0 GROUP BY app",
+                approx=True,
+            )
+            assert result.stats["calls"] > 0  # B fanned out
+            truth = ground_truth(values, 25.0)
+            for row, bounds in zip(result.rows, result.error_bounds):
+                count = truth[row["app"]][0]
+                if bounds:
+                    low, high = bounds[f"count({METRIC})"]
+                    assert low <= count <= high
+                else:
+                    assert row[f"count({METRIC})"] == count
+        finally:
+            grid.cleanup()
+
+    def test_approx_requires_aggregate(self):
+        grid, engine = build_federation({"A": [1.0]})
+        try:
+            with pytest.raises(QueryError, match="requires an aggregate"):
+                engine.execute(f"SELECT {METRIC}", approx=True)
+        finally:
+            grid.cleanup()
+
+    def test_approx_cannot_stream(self):
+        grid, engine = build_federation({"A": [1.0]})
+        try:
+            with pytest.raises(QueryError, match="cannot stream"):
+                engine.execute(
+                    f"SELECT count({METRIC}) GROUP BY app",
+                    stream=True,
+                    approx=True,
+                )
+        finally:
+            grid.cleanup()
+
+    def test_tolerance_without_approx_rejected(self):
+        grid, engine = build_federation({"A": [1.0]})
+        try:
+            with pytest.raises(QueryError, match="tolerance requires approx"):
+                engine.execute(
+                    f"SELECT count({METRIC}) GROUP BY app", tolerance=0.1
+                )
+        finally:
+            grid.cleanup()

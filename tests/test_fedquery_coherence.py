@@ -162,6 +162,10 @@ class TestInsertAfterInvalidateRace:
     def test_mid_query_update_discards_result(self, grid, monkeypatch):
         engine = grid.fed_engine
         service = hpl_exec_service(grid)
+        # an attribute group key keeps this below tier 0, so the query
+        # still fans out and the race can strike mid-flight (the tier-0
+        # variant of this race lives in test_fedquery_tier0)
+        query = "SELECT count(gflops), max(gflops) FROM HPL GROUP BY numprocs"
         original = engine._collect_tasks
 
         def racy_collect(plan, stats):
@@ -176,11 +180,11 @@ class TestInsertAfterInvalidateRace:
             return [first_then_update, *tasks[1:]]
 
         monkeypatch.setattr(engine, "_collect_tasks", racy_collect)
-        result = engine.execute(HPL_QUERY)
+        result = engine.execute(query)
         assert result.cached is False and result.rows
         monkeypatch.setattr(engine, "_collect_tasks", original)
         # the superseded result was discarded, not cached
-        assert engine.execute(HPL_QUERY).cached is False
+        assert engine.execute(query).cached is False
         assert engine.coherence_stats()["staleDiscards"] == 1
 
 
@@ -223,8 +227,9 @@ class TestDegradedResults:
             monkeypatch.setattr(
                 grid.execution_service("HPL", exec_id), "getPRAgg", broken
             )
+        # GROUP BY numprocs: below tier 0, so the fan-out actually runs
         with pytest.raises(QueryError, match="member task"):
-            engine.execute("SELECT min(gflops) FROM HPL GROUP BY app")
+            engine.execute("SELECT min(gflops) FROM HPL GROUP BY numprocs")
 
     def test_query_error_in_task_is_hard_failure(self, grid, monkeypatch):
         engine = grid.fed_engine
@@ -234,7 +239,7 @@ class TestDegradedResults:
 
         monkeypatch.setattr(engine, "_execution_id", bad_exec_id)
         with pytest.raises(QueryError, match="no execId"):
-            engine.execute("SELECT sum(gflops) FROM HPL GROUP BY app")
+            engine.execute("SELECT sum(gflops) FROM HPL GROUP BY numprocs")
 
 
 class TestStatsSkipReevaluation:

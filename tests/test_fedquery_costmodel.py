@@ -239,11 +239,13 @@ def test_cost_based_plan_matches_naive_bytewise(cost_env, fed, seed, oracle_seed
 
 def test_plan_mode_coverage(cost_env):
     """The randomized sweep must have exercised every plan mode."""
-    totals = {"raw": 0, "aggregate": 0, "mixed": 0, "skip": 0}
+    totals: dict[str, int] = {}
     for env in cost_env:
         for mode, count in env.engine.plan_modes.items():
-            totals[mode] += count
-    assert all(count >= 1 for count in totals.values()), (
+            totals[mode] = totals.get(mode, 0) + count
+    # tier-0 may or may not fire depending on the drawn queries; the
+    # four cost-model modes must all be exercised
+    assert all(totals.get(mode, 0) >= 1 for mode in ("raw", "aggregate", "mixed", "skip")), (
         f"plan-mode coverage hole: {totals} — the query generator no "
         "longer drives every cost-model decision"
     )

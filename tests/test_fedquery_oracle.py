@@ -118,8 +118,70 @@ def _quote(text: str) -> str:
     return f"'{text}'"
 
 
+def make_tier0_query(
+    rng: random.Random, V, funcs: tuple[str, ...] = AGG_FUNCS, exact_only: bool = False
+) -> str:
+    """A random query whose *shape* is tier-0 eligible: aggregate-only
+    select, group keys at most ``app``, full window, and only value
+    predicates.  Whether the answer actually comes from metadata depends
+    on the member (sketchless SMG98 falls back) and the predicate — the
+    corpus deliberately mixes vacuous windows (exact tier-0 answers),
+    straddling ones (exact-mode fallback), and unsatisfiable ones (exact
+    empty answers).  *exact_only* keeps to vacuous/absent predicates.
+    """
+    sources: list[str] = []
+    if rng.random() < 0.4:
+        sources = rng.sample(V.apps, rng.randint(1, len(V.apps)))
+    primary = rng.choice(sources or V.apps)
+    pool = V.metrics[primary]
+    chosen = rng.sample(pool, 1 if rng.random() < 0.7 else min(2, len(pool)))
+    picked_funcs = rng.sample(funcs, rng.randint(1, min(3, len(funcs))))
+    items = [f"{func}({metric})" for metric in chosen for func in picked_funcs]
+
+    where: list[str] = []
+    values = V.samples.get(chosen[0])
+    if values and rng.random() < 0.7:
+        low, high = values[0], values[-1]
+        vacuous = (
+            f"value >= {low!r}", f"value <= {high!r}",
+            f"value > {low - 1.0!r}", f"value < {high + 1.0!r}",
+            f"value != {high + 1.0!r}",
+        )
+        if exact_only:
+            where.append(rng.choice(vacuous))
+        else:
+            roll = rng.random()
+            if roll < 0.4:
+                where.append(rng.choice(vacuous))
+            elif roll < 0.85:  # straddles: exact mode must fall back
+                op = rng.choice(("<", "<=", ">", ">=", "=", "!="))
+                where.append(f"value {op} {rng.choice(values)!r}")
+            else:  # unsatisfiable: the provably-empty tier-0 answer
+                where.append(f"value > {high + 1.0!r}")
+
+    group_by = ["app"] if rng.random() < 0.8 else []
+    order_pool = group_by + [i for i in items if i.startswith("count(")]
+
+    text = "SELECT " + ", ".join(items)
+    if sources:
+        text += " FROM " + ", ".join(sources)
+    if where:
+        text += " WHERE " + " AND ".join(where)
+    if group_by:
+        text += " GROUP BY " + ", ".join(group_by)
+    if order_pool and rng.random() < 0.3:
+        text += f" ORDER BY {rng.choice(order_pool)}"
+        if rng.random() < 0.5:
+            text += " DESC"
+    if rng.random() < 0.2:
+        text += f" LIMIT {rng.randint(1, 12)}"
+    return text
+
+
 def make_query(rng: random.Random, V) -> str:
     """One random, always-valid query drawn from the grid's vocabulary."""
+    if rng.random() < 0.2:
+        return make_tier0_query(rng, V)
     aggregate = rng.random() < 0.6
     sources: list[str] = []
     if rng.random() < 0.5:
@@ -238,6 +300,30 @@ def test_streamed_matches_bulk(oracle_env, seed, oracle_seed, encoding):
             f"streamed ({len(streamed_rows)}): {[r.pack() for r in streamed_rows[:5]]}\n"
             f"bulk     ({len(bulk.rows)}): {[r.pack() for r in bulk.rows[:5]]}"
         )
+
+
+@pytest.mark.parametrize("seed", range(40))
+def test_tier0_exact_byte_identical_to_naive(oracle_env, seed, oracle_seed):
+    """Tier-0 answers restricted to exactly-representable aggregates
+    (count/min/max over vacuous windows) must be *byte-identical* to the
+    naive evaluation — not merely close: the metadata answer returns the
+    very values the stores hold.  (sum/mean are excluded here only
+    because legitimate summation-order ulp drift exists even between two
+    exact backends; the randomized sweep above covers them via
+    ``rows_equal``.)"""
+    rng = random.Random(9500 + seed + 1_000_000 * oracle_seed)
+    text = make_tier0_query(
+        rng, oracle_env, funcs=("count", "min", "max"), exact_only=True
+    )
+    result = oracle_env.engine.execute(text)
+    expected = naive_query(text, oracle_env.members)
+    assert [r.pack() for r in result.rows] == [r.pack() for r in expected], (
+        f"tier-0 != naive bytes for {text!r}"
+    )
+    # when every member answered from metadata, no store was contacted
+    if result.plan is not None and result.plan.members:
+        if all(m.is_tier0 for m in result.plan.members):
+            assert result.stats["calls"] == 0, text
 
 
 def test_streamed_full_drain_is_memoized(oracle_env):

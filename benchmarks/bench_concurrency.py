@@ -29,7 +29,7 @@ import os
 import threading
 import time
 
-from conftest import write_result
+from conftest import write_json, write_result
 
 from repro.ogsi import (
     GRID_SERVICE_PORTTYPE,
@@ -194,6 +194,17 @@ def test_throughput_scales_with_concurrent_clients():
     assert max_legacy < 1.5 * ceiling
 
     write_result("concurrency_curve.txt", "\n".join(lines))
+    write_json(
+        "concurrency_curve",
+        {
+            "containers": CONTAINERS,
+            "services_per_container": SERVICES_PER_CONTAINER,
+            "service_time_ms": SERVICE_TIME_S * 1e3,
+            "client_sweep": list(CLIENT_SWEEP),
+            "arms": arms,
+            "quick": QUICK,
+        },
+    )
 
 
 def test_admission_control_bounds_overload_latency():
@@ -241,3 +252,14 @@ def test_admission_control_bounds_overload_latency():
     )
 
     write_result("concurrency_overload.txt", "\n".join(lines))
+    write_json(
+        "concurrency_overload",
+        {
+            "clients": OVERLOAD_CLIENTS,
+            "requests_per_client": OVERLOAD_REQUESTS_PER_CLIENT,
+            "service_time_ms": OVERLOAD_SERVICE_TIME_S * 1e3,
+            "unbounded": unbounded,
+            "bounded": bounded,
+            "quick": QUICK,
+        },
+    )

@@ -22,7 +22,7 @@ import os
 import time
 
 import pytest
-from conftest import write_result
+from conftest import write_json, write_result
 
 from repro.experiments.common import GridScale, build_grid
 from repro.fedquery import naive_query
@@ -112,6 +112,7 @@ def test_fedquery_pushdown_speedup(fed_bench_grid):
             f"{a['hot_s']:>9.3f}s{a['cold_speedup']:>8.1f}x{a['hot_speedup']:>8.1f}x"
         )
     write_result("fedquery_pushdown.txt", "\n".join(lines))
+    write_json("fedquery_pushdown", {"arms": arms, "quick": QUICK})
 
     smg = arms["SMG98 filtered aggregate"]
     # acceptance: push-down beats the naive loop by at least 2x on the

@@ -24,7 +24,7 @@ import time
 import tracemalloc
 
 import pytest
-from conftest import write_result
+from conftest import write_json, write_result
 
 from repro.core.semantic import PerformanceResult
 from repro.experiments.common import build_synthetic_grid
@@ -107,6 +107,18 @@ def test_bounded_memory_drain():
             ]
         ),
     )
+    write_json(
+        "streaming_drain",
+        {
+            "rows": DRAIN_ROWS,
+            "bulk_peak_bytes": bulk_peak,
+            "bulk_s": bulk_s,
+            "streamed_peak_bytes": streamed_peak,
+            "streamed_s": streamed_s,
+            "peak_memory_reduction": ratio,
+            "quick": QUICK,
+        },
+    )
     assert streamed_peak * 5 <= bulk_peak, (
         f"streamed peak {streamed_peak} not 5x below bulk peak {bulk_peak}"
     )
@@ -177,6 +189,20 @@ def test_time_to_first_row(wan_grid):
                 f"first-row speedup: {ratio:.1f}x",
             ]
         ),
+    )
+    write_json(
+        "streaming_ttfr",
+        {
+            "rows": total_rows,
+            "members": FED_MEMBERS,
+            "execs_per_member": FED_EXECS,
+            "bulk_first_row_s": bulk_first_row_s,
+            "bulk_total_s": bulk_total_s,
+            "stream_first_row_s": stream_first_row_s,
+            "stream_total_s": stream_total_s,
+            "first_row_speedup": ratio,
+            "quick": QUICK,
+        },
     )
     assert ratio >= 5.0, (
         f"first streamed row after {stream_first_row_s:.3f}s vs bulk "

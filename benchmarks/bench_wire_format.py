@@ -27,7 +27,7 @@ from __future__ import annotations
 import os
 import time
 
-from conftest import write_result
+from conftest import write_json, write_result
 
 from repro.core.semantic import PerformanceResult
 from repro.soap.chunks import (
@@ -133,6 +133,20 @@ def test_wire_format_ratios():
         f"encode+decode cpu reduction: {cpu_ratio:.1f}x (gate: >= 5x)",
     ]
     write_result("wire_format.txt", "\n".join(lines))
+    write_json(
+        "wire_format",
+        {
+            "rows": TOTAL_ROWS,
+            "chunk_rows": CHUNK_ROWS,
+            "xml_bytes": xml_bytes,
+            "xml_cpu_s": xml_cpu,
+            "colbatch_bytes": col_bytes,
+            "colbatch_cpu_s": col_cpu,
+            "bytes_reduction": bytes_ratio,
+            "cpu_reduction": cpu_ratio,
+            "quick": QUICK,
+        },
+    )
 
     assert bytes_ratio >= 10.0, (
         f"colbatch must cut envelope bytes >= 10x, got {bytes_ratio:.1f}x"

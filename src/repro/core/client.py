@@ -17,6 +17,7 @@ This is the library form of the thesis's Swing client (Figures 8-11):
 from __future__ import annotations
 
 import os
+import threading
 
 from dataclasses import dataclass, field
 
@@ -215,7 +216,7 @@ class ExecutionBinding:
     def __init__(self, environment: GridEnvironment, gsh: str) -> None:
         self.environment = environment
         self.gsh = gsh
-        self.stub = environment.stub_for_handle(gsh, EXECUTION_PORTTYPE)
+        self.stub = environment.pooled_stub_for_handle(gsh, EXECUTION_PORTTYPE)
 
     @property
     def is_local(self) -> bool:
@@ -520,7 +521,9 @@ class ApplicationBinding:
         self.environment = environment
         self.gsh = instance_gsh
         self.name = name
-        self.stub = stub or environment.stub_for_handle(instance_gsh, APPLICATION_PORTTYPE)
+        self.stub = stub or environment.pooled_stub_for_handle(
+            instance_gsh, APPLICATION_PORTTYPE
+        )
 
     @property
     def is_local(self) -> bool:
@@ -554,6 +557,9 @@ class ApplicationBinding:
 
     def destroy(self) -> None:
         self.stub.Destroy()
+        # the instance is gone; a pooled binding to it must not be
+        # handed to the next caller
+        self.environment.stub_pool.invalidate(self.gsh)
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"<ApplicationBinding {self.name or self.gsh}>"
@@ -865,9 +871,9 @@ class PPerfGridClient:
             name = name or service.name
         else:
             factory_url = service
-        factory_stub = self.environment.stub_from_wsdl(factory_url)
+        factory_stub = self.environment.pooled_stub_from_wsdl(factory_url)
         instance_gsh = factory_stub.CreateService([])
-        instance_stub = self.environment.stub_from_wsdl(instance_gsh)
+        instance_stub = self.environment.pooled_stub_from_wsdl(instance_gsh)
         binding = ApplicationBinding(self.environment, instance_gsh, name, stub=instance_stub)
         self.bindings.append(binding)
         return binding
@@ -1125,24 +1131,40 @@ class ExecutionQueryPanel:
         return out
 
     def run_queries_parallel(self, max_workers: int = 8) -> dict[str, list[PerformanceResult]]:
-        """Run with one thread per Execution, as the thesis's client does.
+        """Run with concurrent per-Execution queries, as the thesis's client does.
 
         "Each query to an Execution was made in a separate thread" (§6.5).
         Results are identical to :meth:`run_queries`; within one process
         the threads interleave on the GIL rather than truly parallelize,
         which is why the Figure 12 experiment replays onto simulated
         hosts instead (DESIGN.md §5).
+
+        The threads come from the process-wide shared fan-out scheduler
+        — repeated panel runs reuse warm workers instead of creating and
+        joining ``max_workers`` threads per call.  ``max_workers`` bounds
+        this call's concurrency (a semaphore over the shared pool), not
+        the pool size.
         """
-        from concurrent.futures import ThreadPoolExecutor
+        from concurrent.futures import wait
+        from repro.fedquery.scheduler import shared_scheduler
 
         if max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
-        with ThreadPoolExecutor(max_workers=max_workers) as pool:
-            futures = {
-                execution.gsh: pool.submit(self._query_one, execution)
-                for execution in self.executions
-            }
-            return {gsh: future.result() for gsh, future in futures.items()}
+        pool = shared_scheduler()
+        gate = threading.Semaphore(max_workers)
+
+        def gated(execution):
+            with gate:
+                return self._query_one(execution)
+
+        futures = {
+            execution.gsh: pool.submit(
+                lambda execution=execution: gated(execution), tenant="panel"
+            )
+            for execution in self.executions
+        }
+        wait(list(futures.values()))
+        return {gsh: future.result() for gsh, future in futures.items()}
 
     def _query_one(self, execution) -> list[PerformanceResult]:
         collected: list[PerformanceResult] = []

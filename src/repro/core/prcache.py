@@ -10,6 +10,7 @@ are implemented, plus a plain LRU for the ablation bench.
 
 from __future__ import annotations
 
+import threading
 from abc import ABC, abstractmethod
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -51,10 +52,18 @@ class CacheStats:
 
 
 class PrCache(ABC):
-    """Cache interface: string key -> list of packed PR strings."""
+    """Cache interface: string key -> list of packed PR strings.
+
+    The public methods serialize on an internal lock: the pooled fan-out
+    scheduler runs queries from many tenants concurrently against one
+    engine, and the LRU structures underneath are not safe to mutate
+    from two threads at once.  Subclasses implement the underscore
+    hooks, which always run with the lock held.
+    """
 
     def __init__(self) -> None:
         self.stats = CacheStats()
+        self._lock = threading.RLock()
 
     @abstractmethod
     def _get(self, key: str) -> list[str] | None: ...
@@ -69,26 +78,30 @@ class PrCache(ABC):
     def __len__(self) -> int: ...
 
     def get(self, key: str) -> list[str] | None:
-        value = self._get(key)
-        if value is None:
-            self.stats.misses += 1
-        else:
-            self.stats.hits += 1
-        return value
+        with self._lock:
+            value = self._get(key)
+            if value is None:
+                self.stats.misses += 1
+            else:
+                self.stats.hits += 1
+            return value
 
     def put(self, key: str, value: list[str]) -> None:
-        self._put(key, list(value))
+        with self._lock:
+            self._put(key, list(value))
 
     def remove(self, key: str) -> bool:
         """Drop one entry (targeted invalidation); True if it existed."""
-        removed = self._remove(key)
-        if removed:
-            self.stats.invalidations += 1
-        return removed
+        with self._lock:
+            removed = self._remove(key)
+            if removed:
+                self.stats.invalidations += 1
+            return removed
 
     def contains(self, key: str) -> bool:
         """Membership probe that does not touch the hit/miss counters."""
-        return self._get(key) is not None
+        with self._lock:
+            return self._get(key) is not None
 
     def clear(self) -> None:  # pragma: no cover - overridden where stateful
         raise NotImplementedError
@@ -133,7 +146,8 @@ class UnboundedCache(PrCache):
         return len(self._table)
 
     def clear(self) -> None:
-        self._table.clear()
+        with self._lock:
+            self._table.clear()
 
 
 class LruCache(PrCache):
@@ -167,7 +181,8 @@ class LruCache(PrCache):
         return len(self._table)
 
     def clear(self) -> None:
-        self._table.clear()
+        with self._lock:
+            self._table.clear()
 
 
 #: approximate per-record and per-entry bookkeeping overhead (bytes)
@@ -254,9 +269,10 @@ class ByteBudgetLruCache(PrCache):
         return len(self._table)
 
     def clear(self) -> None:
-        self._table.clear()
-        self._sizes.clear()
-        self._bytes = 0
+        with self._lock:
+            self._table.clear()
+            self._sizes.clear()
+            self._bytes = 0
 
 
 @dataclass
@@ -311,4 +327,5 @@ class AdaptiveCache(PrCache):
         return len(self._table)
 
     def clear(self) -> None:
-        self._table.clear()
+        with self._lock:
+            self._table.clear()

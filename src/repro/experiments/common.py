@@ -131,15 +131,29 @@ class TestGrid:
 
 def _deploy_federation(grid, authority: str, coherence: bool, cost_based: bool):
     """Deploy FederatedQuery + ViewRegistry over *grid* (TestGrid-shaped)."""
-    from repro.fedquery.executor import FederationEngine
+    from repro.fedquery.executor import FederationEngine, choose_fanout
+    from repro.fedquery.scheduler import FanoutScheduler
     from repro.fedquery.service import FederatedQueryService
     from repro.fedquery.viewservice import ViewRegistryService
 
     engine_client = PPerfGridClient(grid.environment, grid.uddi_gsh)
+    managers = {name: site.manager for name, site in grid.sites.items()}
+    # the canonical deployment owns a reactor-attached fan-out pool:
+    # the environment's reactor paces its utilization/shedding tick, and
+    # the engine never has to create one lazily mid-query
+    scheduler = FanoutScheduler(
+        max_workers=choose_fanout(
+            [manager.stats() for manager in managers.values()],
+            slots_per_replica=4,
+        ),
+        reactor=grid.environment.reactor,
+        name=f"fed-{authority.split(':')[0]}",
+    )
     engine = FederationEngine(
         engine_client,
-        managers={name: site.manager for name, site in grid.sites.items()},
+        managers=managers,
         cost_based=cost_based,
+        scheduler=scheduler,
     )
     container = grid.environment.container_for(authority)
     if container is None:
@@ -153,9 +167,15 @@ def _deploy_federation(grid, authority: str, coherence: bool, cost_based: bool):
     views_gsh = container.deploy("services/FederatedQuery/views", views_service)
     grid.views_gsh = views_gsh.url()
     grid.client.use_views(grid.views_gsh)
-    # every site Manager surfaces the federation's view counters
+    # the federation container's monitor surfaces scheduler state as SDEs
+    container.deploy_monitor(
+        "services/FederatedQuery/monitor",
+        sources={"fanoutScheduler": engine.scheduler_stats},
+    )
+    # every site Manager surfaces the federation's view + pool counters
     for site in grid.sites.values():
         site.manager.add_stats_provider("viewStats", engine.view_stats)
+        site.manager.add_stats_provider("fanoutScheduler", engine.scheduler_stats)
     if coherence:
         service.subscribeUpdates()
     return engine

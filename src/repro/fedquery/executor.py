@@ -75,6 +75,7 @@ from repro.fedquery.merge import (
 from repro.fedquery.parser import parse_query
 from repro.fedquery.planner import MemberPlan, Plan, plan_query
 from repro.fedquery.pushdown import filter_foci, matches_value
+from repro.fedquery.scheduler import DEFAULT_TENANT, FanoutScheduler
 from repro.fedquery.stream import (
     DEFAULT_CHUNK_DEPTH,
     DEFAULT_CHUNK_ROWS,
@@ -172,6 +173,8 @@ class FederationEngine:
         stats_deltas: bool = True,
         accept_encodings: tuple[str, ...] | None = None,
         tier0: bool = True,
+        scheduler: FanoutScheduler | None = None,
+        use_shared_pool: bool = True,
     ) -> None:
         self.client = client
         self.managers = dict(managers or {})
@@ -261,6 +264,88 @@ class FederationEngine:
         }
         #: lazily created ViewMaintainer (see :meth:`views`)
         self._view_maintainer = None
+        #: False reverts the fan-out to a fresh per-query
+        #: ThreadPoolExecutor (the concurrency benchmark's baseline arm)
+        self.use_shared_pool = use_shared_pool
+        #: the engine-lifetime fan-out pool; injected (the deployer owns
+        #: its lifecycle) or created lazily on first pooled fan-out
+        self._scheduler = scheduler
+        self._owns_scheduler = scheduler is None
+        self._scheduler_lock = threading.Lock()
+
+    # -------------------------------------------------- fan-out scheduler
+    def _pool(self) -> FanoutScheduler:
+        """The engine-lifetime fan-out scheduler (created on first use).
+
+        Sized once from the federation topology (``max_workers`` wins if
+        set); per-query width clamping happens at submit time by simply
+        queueing — the pool never grows per query.  The environment's
+        reactor, when one is already running, paces the scheduler's
+        control tick; a lazily created pool never *starts* a reactor.
+        """
+        sched = self._scheduler
+        if sched is not None and not sched.is_shutdown:
+            return sched
+        with self._scheduler_lock:
+            sched = self._scheduler
+            if sched is None or sched.is_shutdown:
+                if self.max_workers is not None:
+                    width = self.max_workers
+                else:
+                    stats = [m.stats() for m in self.managers.values()]
+                    width = choose_fanout(
+                        stats, slots_per_replica=self.fanout_slots_per_replica
+                    )
+                reactor = getattr(
+                    getattr(self.client, "environment", None), "_reactor", None
+                )
+                sched = self._scheduler = FanoutScheduler(
+                    max_workers=width, reactor=reactor, name="fedpool"
+                )
+                self._owns_scheduler = True
+        return sched
+
+    def scheduler_stats(self) -> dict:
+        """Pool/queue/tenant counters for SDE publication and stats().
+
+        Safe before the first pooled query: reports the pool as absent
+        (``enabled`` reflects ``use_shared_pool``) with zeroed counters
+        rather than forcing pool creation as a side effect of monitoring.
+        """
+        sched = self._scheduler
+        if sched is None or sched.is_shutdown:
+            return {
+                "enabled": int(self.use_shared_pool),
+                "maxWorkers": 0,
+                "workers": 0,
+                "busy": 0,
+                "queueDepth": 0,
+                "submitted": 0,
+                "completed": 0,
+                "shed": 0,
+                "poolUtilization": 0.0,
+            }
+        out = {"enabled": int(self.use_shared_pool)}
+        out.update(sched.stats())
+        return out
+
+    def set_rate_limit(
+        self, tenant: str | None, rate: float, burst: int | None = None
+    ) -> None:
+        """Token-bucket admission for *tenant* (None = the default bucket)."""
+        self._pool().set_rate_limit(tenant, rate, burst=burst)
+
+    def close(self) -> None:
+        """Shut down the fan-out pool if this engine created it.
+
+        An injected scheduler (shared by the deployer across engines)
+        is left running — its owner closes it.
+        """
+        with self._scheduler_lock:
+            sched, self._scheduler = self._scheduler, None
+            owns = self._owns_scheduler
+        if sched is not None and owns:
+            sched.shutdown()
 
     # ------------------------------------------------------------ catalog
     def members(self) -> dict[str, object]:
@@ -279,7 +364,9 @@ class FederationEngine:
 
         ``_exec_ids`` must go too: a re-published member can reuse a GSH
         for a different execution, and a stale GSH -> execId mapping
-        would silently mislabel (and mis-invalidate) its results.
+        would silently mislabel (and mis-invalidate) its results.  The
+        environment's pooled stubs go for the same reason: a reused GSH
+        must re-bind, not be answered by a binding to the old service.
         """
         self._bindings = None
         self._params.clear()
@@ -289,6 +376,11 @@ class FederationEngine:
             self._member_stats.clear()
             self._exec_stats.clear()
             self._stats_dirty.clear()
+        stub_pool = getattr(
+            getattr(self.client, "environment", None), "stub_pool", None
+        )
+        if stub_pool is not None:
+            stub_pool.clear()
 
     def _member_params(self, name: str, binding) -> dict[str, list[str]]:
         params = self._params.get(name)
@@ -336,6 +428,7 @@ class FederationEngine:
         stream: bool = False,
         approx: bool = False,
         tolerance: float | None = None,
+        tenant: str | None = None,
     ) -> QueryResult | StreamedResult:
         """Run a federated query.
 
@@ -350,6 +443,12 @@ class FederationEngine:
         ``error_bounds`` and members whose sketches are missing — or
         whose bounds exceed *tolerance* (worst relative error per cell)
         — fall back to the exact tier-1/2 paths per member.
+
+        ``tenant`` keys the fan-out scheduler's fair queueing and rate
+        limiting; when omitted the engine uses the dispatching request's
+        ``clientId`` header (a query arriving through the federation
+        service inherits the identity admission control saw), falling
+        back to the shared default tenant.
         """
         query = self._parse(query)
         if approx and stream:
@@ -358,12 +457,22 @@ class FederationEngine:
             raise QueryError("approx=True requires an aggregate query")
         if tolerance is not None and not approx:
             raise QueryError("tolerance requires approx=True")
+        if tenant is None:
+            from repro.ogsi.dispatch import current_client_id
+
+            tenant = current_client_id() or DEFAULT_TENANT
         if stream:
-            return self._execute_stream(query)
-        return self._execute_bulk(query, approx=approx, tolerance=tolerance)
+            return self._execute_stream(query, tenant=tenant)
+        return self._execute_bulk(
+            query, approx=approx, tolerance=tolerance, tenant=tenant
+        )
 
     def _execute_bulk(
-        self, query: Query, approx: bool = False, tolerance: float | None = None
+        self,
+        query: Query,
+        approx: bool = False,
+        tolerance: float | None = None,
+        tenant: str = DEFAULT_TENANT,
     ) -> QueryResult:
         fingerprint = query.fingerprint()
         if approx:
@@ -446,22 +555,44 @@ class FederationEngine:
                     )
                     merger.absorb_aggregates(ctx, metric, [record])
         tasks = self._collect_tasks(plan, stats)
-        width = self._fanout_width(tasks)
         if tasks:
-            with ThreadPoolExecutor(max_workers=width) as pool:
-                pending = {pool.submit(task) for task in tasks}
+            if self.use_shared_pool:
+                # engine-lifetime pool: no per-query thread create/join
+                # churn; one rate-limit token is charged per query, and
+                # BusyFault (ServerBusy) propagates to the caller un-
+                # degraded — a shed is not a member failure
+                pool = self._pool()
+                pool.acquire_rate(tenant)
+                pending = {pool.submit(task, tenant=tenant) for task in tasks}
                 try:
-                    # merge on this thread as completions stream in
+                    # merge on this thread as completions stream in —
+                    # unchanged from the per-query pool, byte-identical
                     while pending:
                         done, pending = wait(pending, return_when=FIRST_COMPLETED)
                         for future in done:
                             self._merge_payloads(merger, future, stats, errors, deps)
                 except BaseException:
-                    # hard failure: don't let queued member tasks run to
-                    # completion during pool shutdown
+                    # hard failure: queued member tasks must not run
                     for future in pending:
                         future.cancel()
                     raise
+            else:
+                width = self._fanout_width(tasks)
+                with ThreadPoolExecutor(max_workers=width) as legacy_pool:
+                    pending = {legacy_pool.submit(task) for task in tasks}
+                    try:
+                        while pending:
+                            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                            for future in done:
+                                self._merge_payloads(
+                                    merger, future, stats, errors, deps
+                                )
+                    except BaseException:
+                        # hard failure: don't let queued member tasks run
+                        # to completion during pool shutdown
+                        for future in pending:
+                            future.cancel()
+                        raise
             if errors and len(errors) == len(tasks):
                 raise QueryError(
                     f"all {len(tasks)} member task(s) failed: {'; '.join(errors[:3])}"
@@ -501,7 +632,9 @@ class FederationEngine:
         )
 
     # ----------------------------------------------------------- streaming
-    def _execute_stream(self, query: Query) -> StreamedResult:
+    def _execute_stream(
+        self, query: Query, tenant: str = DEFAULT_TENANT
+    ) -> StreamedResult:
         fingerprint = query.fingerprint()
         cached = self.plan_cache.get(fingerprint)
         if cached is not None:
@@ -514,7 +647,7 @@ class FederationEngine:
             # a global reduction or sort needs every row before the first
             # output row exists; run the bulk pipeline (which memoizes as
             # usual) and stream its finished rows
-            result = self._execute_bulk(query)
+            result = self._execute_bulk(query, tenant=tenant)
             return StreamedResult(
                 columns=result.columns,
                 source=iter(result.rows),
@@ -548,7 +681,9 @@ class FederationEngine:
         for skipped in plan.skipped:
             deps.add((skipped.app, "*"))
         stats_lock = threading.Lock()
-        streams = self._stream_tasks(plan, query, stats, stats_lock, deps)
+        streams = self._stream_tasks(plan, query, stats, stats_lock, deps, tenant)
+        if streams and self.use_shared_pool:
+            self._pool().acquire_rate(tenant)
         source = self._stream_rows(
             query, plan, fingerprint, streams, stats, errors, deps,
             gen_snapshot, app_gen_snapshot, epoch_snapshot,
@@ -562,9 +697,21 @@ class FederationEngine:
         )
 
     def _stream_tasks(
-        self, plan: Plan, query: Query, stats, stats_lock, deps
+        self, plan: Plan, query: Query, stats, stats_lock, deps,
+        tenant: str = DEFAULT_TENANT,
     ) -> list[MemberStream]:
         """One :class:`MemberStream` per selected execution (not started)."""
+        runner = None
+        if self.use_shared_pool:
+            # producers run on the scheduler's elastic stream lane (slots
+            # accounted to the tenant), never on the bounded sub-query
+            # pool: a backpressure-blocked producer must not eat a slot
+            # another tenant's bulk tasks need
+            pool = self._pool()
+
+            def runner(fn, _tenant=tenant):
+                pool.spawn(fn, tenant=_tenant)
+
         streams: list[MemberStream] = []
         for member in plan.members:
             binding = self.members()[member.app]
@@ -598,6 +745,7 @@ class FederationEngine:
                         f"{member.app}:{len(streams)}",
                         produce,
                         chunk_depth=self.stream_chunk_depth,
+                        runner=runner,
                     )
                 )
         return streams

@@ -1,0 +1,560 @@
+"""Engine-lifetime fan-out scheduling: pooled workers, tenant fairness.
+
+The bulk executor used to build a fresh :class:`ThreadPoolExecutor` per
+query — at MDS2-style concurrency the per-request thread create/join
+churn dominates long before the stores saturate (the same collapse the
+grid information-service studies measured).  :class:`FanoutScheduler`
+replaces it with one engine-lifetime pool:
+
+* **Pooled workers** — a bounded set of daemon threads, spawned lazily
+  up to ``max_workers`` and reaped after ``worker_idle_s`` of idleness,
+  pull member sub-query tasks from the scheduler's queues.  ``submit``
+  returns a plain :class:`concurrent.futures.Future`, so the engine's
+  ``FIRST_COMPLETED`` merge loop is byte-for-byte unchanged.
+* **Per-tenant fair queueing** — with ``fair=True`` (the default) each
+  tenant (the container ingress's ``clientId``) gets its own FIFO and
+  runnable tasks are admitted round-robin across tenants, so a flooding
+  tenant lengthens only its own queue.  ``fair=False`` degrades to one
+  global FIFO (the benchmark's unfair arm).
+* **Token-bucket rate limiting** — :meth:`acquire_rate` charges one
+  token per query against the tenant's bucket and sheds excess with the
+  established ``ServerBusy`` :class:`~repro.ogsi.dispatch.BusyFault`.
+* **A reactor-driven control loop** — when the environment's
+  :class:`~repro.simnet.reactor.Reactor` is attached, a periodic tick
+  samples pool utilization and *completes the futures of tasks that
+  overstayed* ``max_queue_wait_s`` with a ``BusyFault`` (queue-wait
+  shedding).  Data-path completions are set by the worker that computed
+  them — funnelling every completion through the single reactor thread
+  would serialize the whole pool — so the reactor paces control work,
+  never the merge.
+* **An elastic stream lane** — :meth:`spawn` runs long-lived
+  backpressure-blocked producers (:class:`~repro.fedquery.stream.
+  MemberStream`) on reusable threads *outside* the bounded pool, so a
+  stalled stream can never deadlock the sub-query workers, while
+  per-tenant slot accounting still shows who holds stream capacity.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from typing import Callable
+
+from repro.ogsi.dispatch import BusyFault
+
+#: pool width when no Manager topology is known
+DEFAULT_POOL_WORKERS = 8
+
+#: tenant key for work submitted with no client identity
+DEFAULT_TENANT = "default"
+
+#: idle pool workers exit after this long with nothing queued
+DEFAULT_WORKER_IDLE_S = 10.0
+
+#: parked stream-lane threads exit after this long without a new producer
+DEFAULT_STREAM_IDLE_S = 5.0
+
+#: reactor tick interval: utilization sampling + queue-wait shedding
+DEFAULT_TICK_INTERVAL_S = 0.25
+
+#: minimum spacing between worker spawns once one worker exists —
+#: damped growth: a submit burst must sustain a backlog to grow the
+#: pool, so a transient wave is absorbed by the warm workers instead of
+#: paying burst-sized thread churn (the very cost the pool exists to
+#: avoid) and over-subscribing the interpreter
+DEFAULT_SPAWN_INTERVAL_S = 0.01
+
+
+class TokenBucket:
+    """A classic token bucket: ``rate`` tokens/second, ``burst`` capacity."""
+
+    __slots__ = ("rate", "burst", "tokens", "_last")
+
+    def __init__(self, rate: float, burst: float) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be > 0, got {rate}")
+        if burst < 1:
+            raise ValueError(f"burst must be >= 1, got {burst}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self._last = time.monotonic()
+
+    def try_acquire(self, tokens: float = 1.0) -> bool:
+        now = time.monotonic()
+        self.tokens = min(self.burst, self.tokens + (now - self._last) * self.rate)
+        self._last = now
+        if self.tokens >= tokens:
+            self.tokens -= tokens
+            return True
+        return False
+
+
+class _Task:
+    __slots__ = ("tenant", "fn", "future", "enqueued")
+
+    def __init__(self, tenant: str, fn: Callable, future: Future, enqueued: float) -> None:
+        self.tenant = tenant
+        self.fn = fn
+        self.future = future
+        self.enqueued = enqueued
+
+
+class _TenantState:
+    """Per-tenant accounting (guarded by the scheduler condition)."""
+
+    __slots__ = (
+        "submitted", "completed", "cancelled", "shed",
+        "wait_total_s", "wait_count", "wait_max_s", "stream_slots",
+    )
+
+    def __init__(self) -> None:
+        self.submitted = 0
+        self.completed = 0
+        self.cancelled = 0
+        self.shed = 0
+        self.wait_total_s = 0.0
+        self.wait_count = 0
+        self.wait_max_s = 0.0
+        self.stream_slots = 0
+
+    def snapshot(self, queued: int) -> dict[str, object]:
+        avg_ms = (
+            1000.0 * self.wait_total_s / self.wait_count if self.wait_count else 0.0
+        )
+        return {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "cancelled": self.cancelled,
+            "shed": self.shed,
+            "queued": queued,
+            "avgWaitMs": round(avg_ms, 3),
+            "maxWaitMs": round(1000.0 * self.wait_max_s, 3),
+            "streamSlots": self.stream_slots,
+        }
+
+
+class FanoutScheduler:
+    """One shared worker pool for federated fan-out (see module doc).
+
+    ``reactor`` (optional) attaches the control tick; ``rate`` /
+    ``burst`` set the default per-tenant token bucket (``None`` = no
+    rate limiting until :meth:`set_rate_limit` is called);
+    ``max_queue_wait_s`` (``None`` = off) sheds tasks that waited too
+    long, their futures completed with a ``BusyFault`` by the reactor.
+    """
+
+    def __init__(
+        self,
+        max_workers: int = DEFAULT_POOL_WORKERS,
+        fair: bool = True,
+        reactor=None,
+        name: str = "fanout",
+        rate: float | None = None,
+        burst: float | None = None,
+        max_queue_wait_s: float | None = None,
+        worker_idle_s: float = DEFAULT_WORKER_IDLE_S,
+        stream_idle_s: float = DEFAULT_STREAM_IDLE_S,
+        tick_interval_s: float = DEFAULT_TICK_INTERVAL_S,
+        spawn_interval_s: float = DEFAULT_SPAWN_INTERVAL_S,
+    ) -> None:
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        self.max_workers = max_workers
+        self.fair = fair
+        self.name = name
+        self._cond = threading.Condition()
+        #: fair mode: tenant -> FIFO of tasks, rotated round-robin
+        self._queues: dict[str, deque[_Task]] = {}
+        self._rotation: deque[str] = deque()
+        #: unfair mode: one global FIFO
+        self._fifo: deque[_Task] = deque()
+        self._tenants: dict[str, _TenantState] = {}
+        self._buckets: dict[str, TokenBucket] = {}
+        self._default_rate = rate
+        self._default_burst = burst if burst is not None else (rate or 0.0)
+        self._max_queue_wait_s = max_queue_wait_s
+        self._worker_idle_s = worker_idle_s
+        self._stream_idle_s = stream_idle_s
+        self._spawn_interval_s = spawn_interval_s
+        self._last_spawn = 0.0
+        self._workers: set[threading.Thread] = set()
+        self._idle = 0
+        self._busy = 0
+        self._queued = 0
+        self._shutdown = False
+        # counters (guarded by _cond)
+        self.workers_created = 0
+        self.submitted = 0
+        self.completed = 0
+        self.cancelled = 0
+        self.shed = 0
+        self.shed_timeouts = 0
+        self.peak_queued = 0
+        self._util_sum = 0.0
+        self._util_samples = 0
+        # elastic stream lane (guarded by _stream_lock)
+        self._stream_lock = threading.Lock()
+        self._stream_idle_chans: list[queue.SimpleQueue] = []
+        self._stream_active = 0
+        self._stream_peak = 0
+        self.stream_threads_created = 0
+        self.stream_threads_reused = 0
+        self.stream_failures = 0
+        self._reactor_task = None
+        if reactor is not None:
+            try:
+                self._reactor_task = reactor.call_every(tick_interval_s, self._on_tick)
+            except RuntimeError:
+                # reactor already shut down: run without the control tick
+                self._reactor_task = None
+
+    # ------------------------------------------------------------- submission
+    def submit(self, fn: Callable, tenant: str = DEFAULT_TENANT) -> Future:
+        """Queue ``fn()`` for a pool worker; returns its Future."""
+        future: Future = Future()
+        task = _Task(tenant, fn, future, time.monotonic())
+        with self._cond:
+            if self._shutdown:
+                raise RuntimeError(f"scheduler {self.name!r} is shut down")
+            if self.fair:
+                fifo = self._queues.get(tenant)
+                if fifo is None:
+                    fifo = self._queues[tenant] = deque()
+                    self._rotation.append(tenant)
+                fifo.append(task)
+            else:
+                self._fifo.append(task)
+            self._queued += 1
+            self.submitted += 1
+            self.peak_queued = max(self.peak_queued, self._queued)
+            self._tenant_locked(tenant).submitted += 1
+            if self._idle == 0 and len(self._workers) < self.max_workers:
+                # damped growth: always keep at least one worker, then
+                # add at most one per spawn interval while demand holds
+                now = time.monotonic()
+                if (
+                    not self._workers
+                    or now - self._last_spawn >= self._spawn_interval_s
+                ):
+                    self._last_spawn = now
+                    self._spawn_worker_locked()
+            # one task, one wakeup: notify_all here is a thundering herd
+            # (every idle worker wakes, one wins, the rest re-sleep) that
+            # convoys the pool at high submit rates
+            self._cond.notify()
+        return future
+
+    def acquire_rate(self, tenant: str = DEFAULT_TENANT, tokens: float = 1.0) -> None:
+        """Charge *tokens* against the tenant's bucket or shed the query.
+
+        Raises the established ``ServerBusy`` :class:`BusyFault` when
+        the tenant is over its rate; no-op while no limit is configured.
+        """
+        with self._cond:
+            bucket = self._buckets.get(tenant)
+            if bucket is None:
+                if self._default_rate is None:
+                    return
+                bucket = self._buckets[tenant] = TokenBucket(
+                    self._default_rate, max(1.0, self._default_burst)
+                )
+            if not bucket.try_acquire(tokens):
+                self.shed += 1
+                self._tenant_locked(tenant).shed += 1
+                raise BusyFault(
+                    f"tenant {tenant!r} over its query rate "
+                    f"({bucket.rate:g}/s, burst {bucket.burst:g}), try again later"
+                )
+
+    def set_rate_limit(
+        self, tenant: str | None, rate: float | None, burst: float | None = None
+    ) -> None:
+        """Configure the token bucket for *tenant* (``None`` = the default
+        applied to tenants without an explicit bucket).  ``rate=None``
+        removes the limit."""
+        with self._cond:
+            if tenant is None:
+                self._default_rate = rate
+                self._default_burst = burst if burst is not None else (rate or 0.0)
+                return
+            if rate is None:
+                self._buckets.pop(tenant, None)
+                return
+            self._buckets[tenant] = TokenBucket(
+                rate, max(1.0, burst if burst is not None else rate)
+            )
+
+    # ------------------------------------------------------------ stream lane
+    def spawn(self, fn: Callable[[], None], tenant: str = DEFAULT_TENANT) -> None:
+        """Run a long-lived producer on the elastic stream lane.
+
+        Stream producers block on backpressure for arbitrarily long, so
+        they must not occupy bounded pool slots (a wide streamed query
+        could otherwise starve every other tenant's sub-queries into a
+        deadlock).  Parked lane threads are reused across streams; the
+        tenant's ``streamSlots`` gauge tracks who holds lane capacity.
+        """
+        with self._cond:
+            if self._shutdown:
+                raise RuntimeError(f"scheduler {self.name!r} is shut down")
+            self._tenant_locked(tenant).stream_slots += 1
+            self._stream_active += 1
+            self._stream_peak = max(self._stream_peak, self._stream_active)
+        job = (fn, tenant)
+        with self._stream_lock:
+            if self._stream_idle_chans:
+                chan = self._stream_idle_chans.pop()
+                self.stream_threads_reused += 1
+                chan.put(job)
+                return
+            self.stream_threads_created += 1
+        thread = threading.Thread(
+            target=self._stream_loop, args=(job,),
+            name=f"{self.name}-stream", daemon=True,
+        )
+        thread.start()
+
+    def _stream_loop(self, job) -> None:
+        while job is not None:
+            fn, tenant = job
+            try:
+                fn()
+            except Exception:
+                # producers report their own failures through the
+                # MemberStream contract; a raw escape must not kill the
+                # lane thread (it would defeat parking/reuse)
+                with self._cond:
+                    self.stream_failures += 1
+            finally:
+                with self._cond:
+                    self._tenant_locked(tenant).stream_slots -= 1
+                    self._stream_active -= 1
+            chan: queue.SimpleQueue = queue.SimpleQueue()
+            with self._stream_lock:
+                if self._shutdown:
+                    return
+                self._stream_idle_chans.append(chan)
+            try:
+                job = chan.get(timeout=self._stream_idle_s)
+            except queue.Empty:
+                with self._stream_lock:
+                    try:
+                        self._stream_idle_chans.remove(chan)
+                    except ValueError:
+                        # a dispatcher (or shutdown) claimed this thread
+                        # between the timeout and the lock: the job (or
+                        # the shutdown sentinel) is already in flight
+                        job = chan.get()
+                    else:
+                        return
+
+    # ---------------------------------------------------------------- workers
+    def _spawn_worker_locked(self) -> None:
+        self.workers_created += 1
+        thread = threading.Thread(
+            target=self._worker_loop,
+            name=f"{self.name}-worker-{self.workers_created}",
+            daemon=True,
+        )
+        self._workers.add(thread)
+        thread.start()
+
+    def _worker_loop(self) -> None:
+        me = threading.current_thread()
+        while True:
+            with self._cond:
+                task = self._pop_locked()
+                while task is None:
+                    if self._shutdown:
+                        self._workers.discard(me)
+                        return
+                    self._idle += 1
+                    signalled = self._cond.wait(timeout=self._worker_idle_s)
+                    self._idle -= 1
+                    task = self._pop_locked()
+                    if task is None and not signalled and not self._shutdown:
+                        # idled through the reap window with nothing
+                        # queued: shrink the pool (lazily regrown)
+                        self._workers.discard(me)
+                        return
+                self._busy += 1
+            tenant = task.tenant
+            if task.future.set_running_or_notify_cancel():
+                try:
+                    result = task.fn()
+                except BaseException as exc:  # noqa: BLE001 - forwarded via Future
+                    task.future.set_exception(exc)
+                else:
+                    task.future.set_result(result)
+                ran = True
+            else:
+                ran = False
+            with self._cond:
+                self._busy -= 1
+                state = self._tenant_locked(tenant)
+                if ran:
+                    self.completed += 1
+                    state.completed += 1
+                else:
+                    self.cancelled += 1
+                    state.cancelled += 1
+
+    def _pop_locked(self) -> _Task | None:
+        if self.fair:
+            if not self._rotation:
+                return None
+            tenant = self._rotation.popleft()
+            fifo = self._queues[tenant]
+            task = fifo.popleft()
+            if fifo:
+                self._rotation.append(tenant)  # round-robin re-queue
+            else:
+                del self._queues[tenant]
+        else:
+            if not self._fifo:
+                return None
+            task = self._fifo.popleft()
+        self._queued -= 1
+        state = self._tenant_locked(task.tenant)
+        wait_s = time.monotonic() - task.enqueued
+        state.wait_total_s += wait_s
+        state.wait_count += 1
+        state.wait_max_s = max(state.wait_max_s, wait_s)
+        return task
+
+    def _tenant_locked(self, tenant: str) -> _TenantState:
+        state = self._tenants.get(tenant)
+        if state is None:
+            state = self._tenants[tenant] = _TenantState()
+        return state
+
+    # ----------------------------------------------------------- reactor tick
+    def _on_tick(self) -> None:
+        """The reactor-driven control loop: sample gauges, shed overstays."""
+        overdue: list[_Task] = []
+        with self._cond:
+            self._util_sum += self._busy / self.max_workers
+            self._util_samples += 1
+            if self._max_queue_wait_s is not None:
+                cutoff = time.monotonic() - self._max_queue_wait_s
+                fifos = list(self._queues.values()) if self.fair else [self._fifo]
+                for fifo in fifos:
+                    while fifo and fifo[0].enqueued < cutoff:
+                        task = fifo.popleft()
+                        overdue.append(task)
+                        self._queued -= 1
+                        self.shed += 1
+                        self.shed_timeouts += 1
+                        self._tenant_locked(task.tenant).shed += 1
+                if self.fair:
+                    drained = [t for t, fifo in self._queues.items() if not fifo]
+                    for tenant in drained:
+                        del self._queues[tenant]
+                        try:
+                            self._rotation.remove(tenant)
+                        except ValueError:
+                            pass
+        for task in overdue:
+            # the reactor completes shed futures: the merge loop sees a
+            # BusyFault exactly as if admission had refused the work
+            if task.future.set_running_or_notify_cancel():
+                task.future.set_exception(
+                    BusyFault(
+                        f"tenant {task.tenant!r} task queued longer than "
+                        f"{self._max_queue_wait_s:g}s, shed"
+                    )
+                )
+
+    # -------------------------------------------------------------- lifecycle
+    @property
+    def is_shutdown(self) -> bool:
+        with self._cond:
+            return self._shutdown
+
+    def worker_count(self) -> int:
+        with self._cond:
+            return len(self._workers)
+
+    def shutdown(self) -> None:
+        """Stop workers and cancel queued tasks.  Idempotent."""
+        with self._cond:
+            self._shutdown = True
+            pending: list[_Task] = list(self._fifo)
+            self._fifo.clear()
+            for fifo in self._queues.values():
+                pending.extend(fifo)
+            self._queues.clear()
+            self._rotation.clear()
+            self._queued = 0
+            workers = list(self._workers)
+            self._cond.notify_all()
+        for task in pending:
+            task.future.cancel()
+        if self._reactor_task is not None:
+            self._reactor_task.cancel()
+        with self._stream_lock:
+            idle = list(self._stream_idle_chans)
+            self._stream_idle_chans.clear()
+        for chan in idle:
+            chan.put(None)
+        me = threading.current_thread()
+        for thread in workers:
+            if thread is not me:
+                thread.join(timeout=2.0)
+
+    # -------------------------------------------------------------- telemetry
+    def stats(self) -> dict[str, object]:
+        """Counter snapshot, with per-tenant sub-records under ``tenants``."""
+        with self._cond:
+            queued_by_tenant = {t: len(f) for t, f in self._queues.items()}
+            tenants = {
+                name: state.snapshot(queued_by_tenant.get(name, 0))
+                for name, state in sorted(self._tenants.items())
+            }
+            avg_util = (
+                self._util_sum / self._util_samples if self._util_samples else 0.0
+            )
+            return {
+                "fair": int(self.fair),
+                "maxWorkers": self.max_workers,
+                "workers": len(self._workers),
+                "busy": self._busy,
+                "queueDepth": self._queued,
+                "peakQueueDepth": self.peak_queued,
+                "submitted": self.submitted,
+                "completed": self.completed,
+                "cancelled": self.cancelled,
+                "shed": self.shed,
+                "shedTimeouts": self.shed_timeouts,
+                "workersCreated": self.workers_created,
+                "poolUtilization": round(self._busy / self.max_workers, 6),
+                "avgUtilization": round(avg_util, 6),
+                "streamActive": self._stream_active,
+                "streamPeak": self._stream_peak,
+                "streamThreadsCreated": self.stream_threads_created,
+                "streamThreadsReused": self.stream_threads_reused,
+                "streamFailures": self.stream_failures,
+                "tenants": tenants,
+            }
+
+
+# ---------------------------------------------------------- shared client pool
+_SHARED: FanoutScheduler | None = None
+_SHARED_LOCK = threading.Lock()
+
+
+def shared_scheduler(max_workers: int = DEFAULT_POOL_WORKERS) -> FanoutScheduler:
+    """The process-wide pool for client-side batch work (query panels).
+
+    Created on first use; replaced transparently if the previous one was
+    shut down.  ``max_workers`` applies only when (re)creating.
+    """
+    global _SHARED
+    with _SHARED_LOCK:
+        if _SHARED is None or _SHARED.is_shutdown:
+            _SHARED = FanoutScheduler(max_workers=max_workers, name="shared")
+        return _SHARED

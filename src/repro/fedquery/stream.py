@@ -21,6 +21,7 @@ query.  The streaming path keeps memory bounded end to end:
 from __future__ import annotations
 
 import threading
+import time
 from collections import deque
 from heapq import heappop, heappush
 from typing import Callable, Iterable, Iterator
@@ -57,6 +58,12 @@ class MemberStream:
     on a full window and a consumer blocked on an empty one wake each
     other (and :meth:`close`) immediately — no polling loop, no CPU burn
     while blocked, no latency tax on early close.
+
+    ``runner`` (optional) hands the producer body to an external
+    executor — the engine passes the fan-out scheduler's elastic stream
+    lane, so producers reuse lane threads instead of costing one fresh
+    thread per member stream.  Without it the stream owns a dedicated
+    thread, exactly as before.
     """
 
     def __init__(
@@ -64,6 +71,7 @@ class MemberStream:
         label: str,
         produce: Callable[[threading.Event], Iterable[list[ResultRow]]],
         chunk_depth: int = DEFAULT_CHUNK_DEPTH,
+        runner: Callable[[Callable[[], None]], None] | None = None,
     ) -> None:
         if chunk_depth < 1:
             raise ValueError(f"chunk_depth must be >= 1, got {chunk_depth}")
@@ -77,17 +85,27 @@ class MemberStream:
         self._buffer: list[ResultRow] = []
         self._index = 0
         self._finished = False
+        self._started = False
         #: the producer's exception, visible before the final None
         self.failure: BaseException | None = None
-        self._thread = threading.Thread(
-            target=self._run, name=f"fedstream-{label}", daemon=True
-        )
+        self._runner = runner
+        self._producer_ident: int | None = None
+        self._thread: threading.Thread | None = None
+        if runner is None:
+            self._thread = threading.Thread(
+                target=self._run, name=f"fedstream-{label}", daemon=True
+            )
 
     def start(self) -> None:
-        self._thread.start()
+        self._started = True
+        if self._thread is not None:
+            self._thread.start()
+        else:
+            self._runner(self._run)
 
     # ------------------------------------------------------ producer side
     def _run(self) -> None:
+        self._producer_ident = threading.get_ident()
         try:
             for chunk in self._produce(self._stop):
                 if self._stop.is_set():
@@ -144,8 +162,19 @@ class MemberStream:
             self._buffer = []
             self._index = 0
             self._cond.notify_all()
-        if self._thread.is_alive() and self._thread is not threading.current_thread():
-            self._thread.join(timeout=2.0)
+        if self._thread is not None:
+            if self._thread.is_alive() and self._thread is not threading.current_thread():
+                self._thread.join(timeout=2.0)
+        elif self._started and self._producer_ident != threading.get_ident():
+            # pooled producer: no thread to join — wait (bounded) for it
+            # to notice the stop flag and drain out of its lane
+            deadline = time.monotonic() + 2.0
+            with self._cond:
+                while not self._producer_done:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    self._cond.wait(timeout=min(remaining, 0.05))
 
 
 def merge_streams(

@@ -23,12 +23,15 @@ one PPerfGrid session lives in one environment object.
 from __future__ import annotations
 
 import threading
+import time
+from collections import OrderedDict
 from typing import Callable
 
 from repro.ogsi.dispatch import (
     AdmissionController,
     BusyFault,
     DispatchCore,
+    client_context,
     dispatch_frame,
     extract_client_id,
     in_dispatch,
@@ -120,12 +123,17 @@ class ServiceContainer:
         path = f"{factory_path}/instances/{count}"
         return self.deploy(path, instance)
 
-    def deploy_monitor(self, path: str = "services/container-monitor"):
+    def deploy_monitor(self, path: str = "services/container-monitor", sources=None):
         """Deploy a :class:`~repro.ogsi.monitor.ContainerMonitorService`
-        publishing this container's ingress/admission counters as SDEs."""
+        publishing this container's ingress/admission counters as SDEs.
+
+        ``sources`` (name -> zero-arg stats provider) merge extra
+        counter dicts into the surface as ``<name>.<key>`` entries —
+        e.g. the federation engine's fan-out scheduler gauges.
+        """
         from repro.ogsi.monitor import ContainerMonitorService
 
-        return self.deploy(path, ContainerMonitorService(self))
+        return self.deploy(path, ContainerMonitorService(self, sources=sources))
 
     def remove_service(self, gsh: GridServiceHandle) -> None:
         with self._services_lock:
@@ -184,7 +192,8 @@ class ServiceContainer:
             # outermost ingress — re-admitting would deadlock a saturated
             # queue against itself — but the per-service gate still does.
             return self._dispatch(path, request)
-        client = extract_client_id(request) or f"thread-{threading.get_ident()}"
+        client_header = extract_client_id(request)
+        client = client_header or f"thread-{threading.get_ident()}"
         try:
             self.admission.acquire(client)
         except BusyFault as fault:
@@ -192,7 +201,11 @@ class ServiceContainer:
                 self.requests_shed += 1
             return encode_fault(fault)
         try:
-            return self._dispatch(path, request)
+            # the explicit header identity (never the thread fallback) is
+            # visible to dispatched code via current_client_id(), so the
+            # engine's tenant scheduling sees the same key admission did
+            with client_context(client_header):
+                return self._dispatch(path, request)
         finally:
             self.admission.release()
 
@@ -284,6 +297,104 @@ class ServiceContainer:
         )
 
 
+#: default stub-pool entry lifetime: long enough to amortize bind work
+#: across a burst of calls, short enough that a re-published GSH cannot
+#: be answered by a stale binding for long
+DEFAULT_STUB_TTL_S = 30.0
+DEFAULT_STUB_POOL_CAPACITY = 512
+
+
+class StubPool:
+    """Keyed, TTL'd cache of bound client stubs.
+
+    Binding a stub validates the handle and (on the dynamic path)
+    fetches and parses the service's WSDL; repeated calls to the same
+    GSH paid that on every construction.  The pool keys entries by
+    ``(handle, porttype)``, expires them after ``ttl`` seconds (expiry
+    forces a liveness re-validation through the normal bind), and is
+    invalidated wholesale on ``refresh_members()`` and per handle on
+    bind faults.  Stubs are stateless operation tables, safe to share
+    across threads; identity-stamped stubs (a ``headers_provider``) are
+    never pooled.
+    """
+
+    def __init__(
+        self,
+        ttl: float = DEFAULT_STUB_TTL_S,
+        capacity: int = DEFAULT_STUB_POOL_CAPACITY,
+    ) -> None:
+        if ttl <= 0:
+            raise ValueError(f"ttl must be > 0, got {ttl}")
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.ttl = ttl
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        #: (handle url, porttype name) -> (stub, expiry monotonic time)
+        self._entries: OrderedDict[tuple[str, str], tuple[ClientStub, float]] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.expirations = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def get(self, key: tuple[str, str]) -> ClientStub | None:
+        now = time.monotonic()
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            stub, expiry = entry
+            if expiry <= now:
+                del self._entries[key]
+                self.expirations += 1
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return stub
+
+    def put(self, key: tuple[str, str], stub: ClientStub) -> None:
+        with self._lock:
+            self._entries[key] = (stub, time.monotonic() + self.ttl)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def invalidate(self, handle: str) -> int:
+        """Drop every pooled stub bound to *handle* (bind-fault path)."""
+        with self._lock:
+            doomed = [key for key in self._entries if key[0] == handle]
+            for key in doomed:
+                del self._entries[key]
+            self.invalidations += len(doomed)
+            return len(doomed)
+
+    def clear(self) -> int:
+        with self._lock:
+            dropped = len(self._entries)
+            self._entries.clear()
+            self.invalidations += dropped
+            return dropped
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "expirations": self.expirations,
+                "evictions": self.evictions,
+                "invalidations": self.invalidations,
+            }
+
+
 class GridEnvironment:
     """One grid: shared clock, transport, reactor, a set of containers."""
 
@@ -294,6 +405,8 @@ class GridEnvironment:
         self._containers: dict[str, ServiceContainer] = {}
         self._reactor: Reactor | None = None
         self._sweeper: RepeatingTask | None = None
+        #: shared TTL'd stub cache for the pooled bind helpers
+        self.stub_pool = StubPool()
 
     def create_container(
         self,
@@ -349,12 +462,26 @@ class GridEnvironment:
             self._sweeper.cancel()
             self._sweeper = None
 
-    def close(self) -> None:
-        """Stop the sweeper and the reactor; the environment stays usable
-        for synchronous work afterwards."""
+    def close(self, drain_timeout: float = 5.0) -> None:
+        """Quiesce, then tear down; the environment stays usable for
+        synchronous work afterwards.  Idempotent.
+
+        Ordering matters: first cancel the sweeper (no *new* sweeps),
+        then let already-due reactor work — including a sweep caught
+        mid-flight — run to completion, then wait for every container's
+        in-flight and queued dispatches to drain, and only then stop the
+        reactor.  The old stop-everything-at-once order could shut the
+        reactor down under a dispatch that was about to schedule
+        deferred work on it.
+        """
         self.stop_sweeper()
-        if self._reactor is not None:
-            self._reactor.shutdown()
+        reactor = self._reactor
+        if reactor is not None:
+            reactor.drain(timeout=drain_timeout)
+        for container in self._containers.values():
+            container.admission.wait_idle(timeout=drain_timeout)
+        if reactor is not None:
+            reactor.shutdown()
             self._reactor = None
 
     # ---------------------------------------------------------------- stubs
@@ -375,6 +502,59 @@ class GridEnvironment:
         self, endpoint_url: str, porttype: PortType, headers_provider=None
     ) -> ClientStub:
         return make_stub(porttype, endpoint_url, self.transport, headers_provider)
+
+    def pooled_stub_for_handle(
+        self,
+        handle: str | GridServiceHandle,
+        porttype: PortType,
+        headers_provider=None,
+    ) -> ClientStub:
+        """:meth:`stub_for_handle` through the TTL'd :class:`StubPool`.
+
+        A hit skips handle validation and stub construction entirely;
+        expiry re-validates through the normal bind.  A bind fault
+        drops every pooled stub for the handle before propagating, so a
+        dead service's cached bindings never outlive the failure.
+        Identity-stamped stubs (``headers_provider``) bypass the pool.
+        """
+        if headers_provider is not None:
+            return self.stub_for_handle(handle, porttype, headers_provider)
+        url = handle.url() if isinstance(handle, GridServiceHandle) else str(handle)
+        key = (url, porttype.name)
+        stub = self.stub_pool.get(key)
+        if stub is not None:
+            return stub
+        try:
+            stub = self.stub_for_handle(handle, porttype)
+        except GshError:
+            self.stub_pool.invalidate(url)
+            raise
+        self.stub_pool.put(key, stub)
+        return stub
+
+    def pooled_stub_from_wsdl(
+        self, handle: str | GridServiceHandle, headers_provider=None
+    ) -> ClientStub:
+        """:meth:`stub_from_wsdl` through the pool — the expensive path.
+
+        The dynamic bind fetches and parses the service's WSDL on every
+        call; pooling keys it under ``(handle, "@wsdl")`` so repeated
+        dynamic binds to one GSH pay the parse once per TTL window.
+        """
+        if headers_provider is not None:
+            return self.stub_from_wsdl(handle, headers_provider)
+        url = handle.url() if isinstance(handle, GridServiceHandle) else str(handle)
+        key = (url, "@wsdl")
+        stub = self.stub_pool.get(key)
+        if stub is not None:
+            return stub
+        try:
+            stub = self.stub_from_wsdl(handle)
+        except GshError:
+            self.stub_pool.invalidate(url)
+            raise
+        self.stub_pool.put(key, stub)
+        return stub
 
     def stub_from_wsdl(
         self, handle: str | GridServiceHandle, headers_provider=None

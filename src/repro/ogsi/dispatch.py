@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import re
 import threading
+import time
 from collections import deque
 from contextlib import contextmanager
 from typing import Callable, Iterator
@@ -238,6 +239,25 @@ class AdmissionController:
         with self._cond:
             self.inflight -= 1
             self._grant_locked()
+            if self.inflight == 0 and self.queued == 0:
+                self._cond.notify_all()  # wake wait_idle
+
+    def wait_idle(self, timeout: float = 5.0) -> bool:
+        """Block until no request is in flight or queued (True on success).
+
+        The teardown half of the admission contract: environment close
+        drains in-flight dispatches through this before stopping the
+        reactor, so a service mid-request never sees its infrastructure
+        vanish under it.
+        """
+        deadline = time.monotonic() + timeout
+        with self._cond:
+            while self.inflight > 0 or self.queued > 0:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._cond.wait(timeout=min(remaining, 0.05))
+            return True
 
     def _admit_locked(self) -> None:
         self.inflight += 1
@@ -315,6 +335,34 @@ class DispatchCore:
 # ------------------------------------------------------------ client identity
 #: SOAP header element name carrying an explicit client identity
 CLIENT_ID_HEADER = "clientId"
+
+
+class _ClientContext(threading.local):
+    value: str | None = None
+
+
+_CLIENT_CONTEXT = _ClientContext()
+
+
+def current_client_id() -> str | None:
+    """The ``clientId`` header of the request this thread is dispatching.
+
+    ``None`` outside dispatch, and for requests that carried no header —
+    the engine's tenant scheduling then falls back to its default
+    tenant, exactly as admission control falls back to the thread key.
+    """
+    return _CLIENT_CONTEXT.value
+
+
+@contextmanager
+def client_context(client_id: str | None) -> Iterator[None]:
+    """Make *client_id* visible via :func:`current_client_id` within."""
+    previous = _CLIENT_CONTEXT.value
+    _CLIENT_CONTEXT.value = client_id
+    try:
+        yield
+    finally:
+        _CLIENT_CONTEXT.value = previous
 
 _CLIENT_ID_RE = re.compile(
     rb"<(?:[A-Za-z0-9_.-]+:)?clientId(?:\s[^>]*)?>([^<]{1,128})</"

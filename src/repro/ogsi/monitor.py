@@ -12,7 +12,7 @@ are refreshed from the live counters on every read, so a plain
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable, Mapping
 
 from repro.ogsi.service import GridServiceBase
 from repro.wsdl.porttype import Operation, PortType
@@ -46,17 +46,49 @@ CONTAINER_MONITOR_PORTTYPE = PortType(
 )
 
 
+def _flatten(prefix: str, value, out: dict) -> None:
+    """Flatten nested stats dicts into dotted scalar names."""
+    if isinstance(value, Mapping):
+        for key in sorted(value):
+            _flatten(f"{prefix}.{key}", value[key], out)
+    else:
+        out[prefix] = value
+
+
 class ContainerMonitorService(GridServiceBase):
-    """SDE/operation surface over :meth:`ServiceContainer.stats`."""
+    """SDE/operation surface over :meth:`ServiceContainer.stats`.
+
+    ``sources`` (or :meth:`add_stats_source`) attaches extra named stats
+    providers — e.g. the federation engine's fan-out scheduler — whose
+    dicts are flattened into dotted SDE names
+    (``fanoutScheduler.queueDepth``, ``fanoutScheduler.tenants.alpha.shed``)
+    so the same FindServiceData surface covers them.  A provider that
+    raises contributes a single ``<name>.error=1`` record instead of
+    breaking the whole refresh.
+    """
 
     porttype = CONTAINER_MONITOR_PORTTYPE
 
-    def __init__(self, target: "ServiceContainer") -> None:
+    def __init__(
+        self,
+        target: "ServiceContainer",
+        sources: Mapping[str, Callable[[], Mapping]] | None = None,
+    ) -> None:
         super().__init__()
         self._target = target
+        self._sources: dict[str, Callable[[], Mapping]] = dict(sources or {})
 
-    def _refresh(self) -> dict[str, int]:
-        stats = self._target.stats()
+    def add_stats_source(self, name: str, provider: Callable[[], Mapping]) -> None:
+        """Attach a named stats dict provider after deployment."""
+        self._sources[name] = provider
+
+    def _refresh(self) -> dict:
+        stats: dict = dict(self._target.stats())
+        for name, provider in self._sources.items():
+            try:
+                _flatten(name, provider(), stats)
+            except Exception:
+                stats[f"{name}.error"] = 1
         for name, value in stats.items():
             self.service_data.set(name, str(value))
         return stats

@@ -76,7 +76,12 @@ class Reactor:
                 fn(*args)
             finally:
                 if not task.cancelled:
-                    self._schedule(time.monotonic() + interval, tick, ())
+                    try:
+                        self._schedule(time.monotonic() + interval, tick, ())
+                    except RuntimeError:
+                        # shut down while this tick ran (shutdown-while-
+                        # sweeping): stop repeating, don't count a failure
+                        pass
         self._schedule(time.monotonic() + interval, tick, ())
         return task
 
@@ -121,6 +126,11 @@ class Reactor:
                     self._cond.notify_all()
 
     # -------------------------------------------------------------- control
+    @property
+    def is_shutdown(self) -> bool:
+        with self._cond:
+            return self._shutdown
+
     def pending(self) -> int:
         with self._cond:
             return len(self._queue) + (1 if self._running_one else 0)

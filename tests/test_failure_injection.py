@@ -280,3 +280,77 @@ class TestStatsFetchFailures:
         text = "\n".join(engine.explain_plan(self.QUERY))
         assert "stats unavailable" in text
         assert "skipped" not in text
+
+
+class TestTenantIsolationUnderFailure:
+    """A tenant whose member dies mid-stream must release its pool and
+    stream-lane slots; other tenants' queries proceed undisturbed."""
+
+    def _grid(self):
+        def rows(metric, count, base):
+            return [
+                PerformanceResult(
+                    metric, "/R", "s", float(i), float(i + 1), base + i
+                )
+                for i in range(count)
+            ]
+
+        a = InMemoryWrapper(
+            "A", [InMemoryExecution("0", {"numprocs": "2"}, rows("m", 20, 0.0))]
+        )
+        b = InMemoryWrapper(
+            "B", [InMemoryExecution("0", {"numprocs": "4"}, rows("m", 20, 100.0))]
+        )
+        grid = build_synthetic_grid({"A": a, "B": b})
+        engine = grid.deploy_federation()
+        engine.stream_threshold_rows = 0  # force the cursor path
+        engine.stream_chunk_rows = 5
+        return grid, engine
+
+    def test_member_death_mid_stream_releases_slots(self, monkeypatch):
+        grid, engine = self._grid()
+
+        def broken(*args, **kwargs):
+            raise RuntimeError("member host died")
+
+        monkeypatch.setattr(
+            grid.execution_service("B", "0"), "getPRChunked", broken
+        )
+        with engine.execute(
+            "SELECT m", stream=True, tenant="victim"
+        ) as streamed:
+            rows = list(streamed)
+        assert {row["app"] for row in rows} == {"A"}
+        assert len(streamed.errors) == 1
+
+        # the dead member's producer drained out of the stream lane:
+        # every slot the victim held is back
+        stats = engine.scheduler_stats()
+        assert stats["streamActive"] == 0
+        assert stats["tenants"]["victim"]["streamSlots"] == 0
+
+        # an unrelated tenant's bulk query is unaffected
+        result = engine.execute(
+            "SELECT m WHERE numprocs = 2", tenant="bystander"
+        )
+        assert len(result.rows) == 20
+        assert not result.errors
+        tenants = engine.scheduler_stats()["tenants"]
+        assert tenants["bystander"]["completed"] >= 1
+        assert tenants["bystander"]["shed"] == 0
+
+    def test_early_close_under_failure_releases_slots(self, monkeypatch):
+        grid, engine = self._grid()
+
+        def broken(*args, **kwargs):
+            raise RuntimeError("member host died")
+
+        monkeypatch.setattr(
+            grid.execution_service("A", "0"), "getPRChunked", broken
+        )
+        streamed = engine.execute("SELECT m", stream=True, tenant="victim")
+        next(iter(streamed))  # touch the stream, then abandon it
+        streamed.close()
+        stats = engine.scheduler_stats()
+        assert stats["tenants"]["victim"]["streamSlots"] == 0
+        assert stats["streamActive"] == 0
